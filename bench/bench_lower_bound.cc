@@ -1,0 +1,109 @@
+// Optimality-gap measurement against the Li-Miklau spectral lower bound
+// (reference [28]; Section 9 of the paper notes that HDMM's distance to the
+// true optimum is unknown and that the bound "is often a very loose lower
+// bound under epsilon-differential privacy"). This bench quantifies the gap
+// sqrt(Err_HDMM / bound) for the paper's core workload families: a value of
+// 1.00 certifies an optimal strategy; the gap bounds any possible further
+// improvement over HDMM by a competing mechanism.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "core/hdmm.h"
+#include "core/svd_bound.h"
+#include "workload/building_blocks.h"
+#include "workload/marginals.h"
+
+namespace {
+
+using namespace hdmm;
+
+// Identity-strategy error, for the "headroom" column: how much of the
+// Identity -> bound interval HDMM closes.
+double IdentityError(const UnionWorkload& w) {
+  std::vector<Matrix> factors;
+  for (int i = 0; i < w.domain().NumAttributes(); ++i) {
+    factors.push_back(IdentityBlock(w.domain().AttributeSize(i)));
+  }
+  return KronStrategy(std::move(factors)).SquaredError(w);
+}
+
+void ReportRow(const char* label, const UnionWorkload& w, int restarts,
+               uint64_t seed) {
+  HdmmOptions options;
+  options.restarts = restarts;
+  options.seed = seed;
+  HdmmResult result = OptimizeStrategy(w, options);
+
+  const double bound = SquaredErrorLowerBound(w);
+  const double gap = std::sqrt(result.squared_error / bound);
+  const double identity_gap = std::sqrt(IdentityError(w) / bound);
+  std::printf("%-32s %14.4g %14.4g %9.3f %9.3f   %s\n", label, bound,
+              result.squared_error, gap, identity_gap,
+              result.chosen_operator.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hdmm;
+  const bool full = hdmm_bench::FullScale(argc, argv);
+  hdmm_bench::Banner(
+      "Optimality gap vs the Li-Miklau spectral lower bound",
+      "the Section 9 discussion of [28]; gap = sqrt(Err_HDMM / bound)");
+
+  std::printf("%-32s %14s %14s %9s %9s   %s\n", "workload", "bound",
+              "Err(HDMM)", "gap", "gap(Id)", "operator");
+
+  const int64_t n = full ? 256 : 64;
+  const int restarts = full ? 5 : 2;
+
+  // 1D families (Table 4a).
+  ReportRow("Identity (certified optimal)",
+            MakeProductWorkload(Domain({n}), {IdentityBlock(n)}), restarts, 1);
+  ReportRow("Total (certified optimal)",
+            MakeProductWorkload(Domain({n}), {TotalBlock(n)}), restarts, 2);
+  ReportRow("Prefix 1D",
+            MakeProductWorkload(Domain({n}), {PrefixBlock(n)}), restarts, 3);
+  ReportRow("AllRange 1D",
+            MakeProductWorkload(Domain({n}), {AllRangeBlock(n)}), restarts, 4);
+  {
+    Rng rng(99);
+    ReportRow("PermutedRange 1D",
+              MakeProductWorkload(Domain({n}), {PermutedRangeBlock(n, &rng)}),
+              restarts, 5);
+  }
+
+  // 2D products (Table 4b).
+  const int64_t n2 = full ? 64 : 16;
+  ReportRow("Prefix x Prefix 2D",
+            MakeProductWorkload(Domain({n2, n2}),
+                                {PrefixBlock(n2), PrefixBlock(n2)}),
+            restarts, 6);
+  {
+    Domain d({n2, n2});
+    UnionWorkload w(d);
+    ProductWorkload p1;
+    p1.factors = {AllRangeBlock(n2), TotalBlock(n2)};
+    w.AddProduct(p1);
+    ProductWorkload p2;
+    p2.factors = {TotalBlock(n2), AllRangeBlock(n2)};
+    w.AddProduct(p2);
+    ReportRow("[R x T; T x R] 2D union", w, restarts, 7);
+  }
+
+  // Marginals (Table 5 family).
+  {
+    Domain d({4, 4, 4, 4});
+    ReportRow("All marginals d=4", AllMarginals(d), restarts, 8);
+    ReportRow("2-way marginals d=4", KWayMarginals(d, 2), restarts, 9);
+  }
+
+  std::printf(
+      "\nReading: gap = 1.00 certifies optimality (identity/total rows).\n"
+      "The spectral bound is loose for range workloads under pure eps-DP\n"
+      "(Section 9), so gaps > 1 there bound, not measure, suboptimality;\n"
+      "gap(Id) shows how much headroom HDMM closes relative to Identity.\n");
+  return 0;
+}

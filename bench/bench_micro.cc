@@ -1,0 +1,73 @@
+// Micro-benchmarks (google-benchmark) for the kernels HDMM's scalability
+// rests on: the Kronecker mat-vec (Appendix A.5), the p-Identity objective
+// (Theorem 4), Cholesky solves, and LSMR iterations.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/pidentity.h"
+#include "linalg/cholesky.h"
+#include "linalg/kron.h"
+#include "linalg/lsmr.h"
+#include "workload/building_blocks.h"
+
+namespace {
+
+using namespace hdmm;
+
+void BM_KronMatVec(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Matrix a = Matrix::RandomUniform(n, n, &rng);
+  Matrix b = Matrix::RandomUniform(n, n, &rng);
+  Vector x(static_cast<size_t>(n * n), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KronMatVec({a, b}, x));
+  }
+  state.SetComplexityN(n * n);
+}
+BENCHMARK(BM_KronMatVec)->Arg(32)->Arg(64)->Arg(128)->Complexity();
+
+void BM_PIdentityObjective(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int p = static_cast<int>(std::max<int64_t>(1, n / 16));
+  Matrix gram = AllRangeGram(n);
+  PIdentityObjective obj(gram, p);
+  Rng rng(2);
+  Matrix theta = Matrix::RandomUniform(p, n, &rng, 0.1, 1.0);
+  Vector flat(theta.data(), theta.data() + theta.size());
+  Vector grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obj.Eval(flat, &grad));
+  }
+}
+BENCHMARK(BM_PIdentityObjective)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_CholeskySolve(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Matrix gram = PrefixGram(n);
+  Matrix l;
+  CholeskyFactor(gram, &l);
+  Vector b(static_cast<size_t>(n), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CholeskySolve(l, b));
+  }
+}
+BENCHMARK(BM_CholeskySolve)->Arg(64)->Arg(256);
+
+void BM_LsmrSolve(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Matrix h = HierarchicalBlock(n, 2);
+  DenseOperator op(h);
+  Rng rng(3);
+  Vector x(static_cast<size_t>(n));
+  for (auto& v : x) v = rng.Uniform(0.0, 1.0);
+  Vector y = MatVec(h, x);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LsmrSolve(op, y));
+  }
+}
+BENCHMARK(BM_LsmrSolve)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Shared helpers for the experiment binaries. Each bench regenerates one
+// table or figure of the paper (see DESIGN.md section 6) and prints the
+// paper's rows/series; pass --full to run at full paper scale.
+#ifndef HDMM_BENCH_BENCH_UTIL_H_
+#define HDMM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace hdmm_bench {
+
+/// True if --full was passed (paper-scale domains; slower).
+inline bool FullScale(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) return true;
+  }
+  return false;
+}
+
+/// Prints a header banner for one experiment.
+inline void Banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("(reproduces %s; error ratios are sqrt(Err_other/Err_HDMM), "
+              "epsilon-independent)\n\n",
+              paper_ref.c_str());
+}
+
+/// Prints one row of a ratio table: label followed by values ("-" for NaN,
+/// "*" for infeasible/skipped).
+inline void PrintRow(const std::string& label,
+                     const std::vector<double>& values, int width = 10) {
+  std::printf("%-28s", label.c_str());
+  for (double v : values) {
+    if (v != v) {  // NaN = not applicable.
+      std::printf("%*s", width, "-");
+    } else if (v < 0) {  // Negative = infeasible marker.
+      std::printf("%*s", width, "*");
+    } else {
+      std::printf("%*.2f", width, v);
+    }
+  }
+  std::printf("\n");
+}
+
+inline void PrintHeader(const std::string& label,
+                        const std::vector<std::string>& columns,
+                        int width = 10) {
+  std::printf("%-28s", label.c_str());
+  for (const auto& c : columns) std::printf("%*s", width, c.c_str());
+  std::printf("\n");
+}
+
+}  // namespace hdmm_bench
+
+#endif  // HDMM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,50 @@
+// Using HDMM to improve an existing mechanism (Appendix B.3): DAWA's
+// data-dependent partitioning with HDMM's OPT_0 replacing GreedyH as the
+// second stage. Reports the empirical improvement on clustered data.
+//
+//   build/examples/example_dawa_pipeline
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/dawa.h"
+#include "core/error.h"
+#include "data/synthetic.h"
+#include "workload/building_blocks.h"
+
+int main() {
+  using namespace hdmm;
+
+  const int64_t n = 256;
+  Domain domain({n});
+  Matrix workload = PrefixBlock(n);
+  Rng rng(99);
+  Vector x = ClusteredDataVector(domain, 500000, 6, &rng);
+  Vector truth = MatVec(workload, x);
+  std::printf("Prefix workload over %lld cells; clustered data with 6 "
+              "density levels, 500k records\n",
+              static_cast<long long>(n));
+
+  const double epsilon = std::sqrt(2.0);
+  const int trials = 10;
+  double err_orig = 0.0, err_hdmm = 0.0;
+  // Common random numbers: both variants see identical noise sequences so
+  // the comparison isolates the stage-2 strategy difference.
+  Rng rng_orig(1234), rng_hdmm(1234);
+  for (int t = 0; t < trials; ++t) {
+    DawaOptions original;
+    err_orig += EmpiricalSquaredError(
+        truth, RunDawa(workload, x, epsilon, original, &rng_orig));
+    DawaOptions modified;
+    modified.stage2 = DawaStage2::kHdmm;
+    modified.opt0_p = 8;
+    err_hdmm += EmpiricalSquaredError(
+        truth, RunDawa(workload, x, epsilon, modified, &rng_hdmm));
+  }
+  std::printf("average total squared error over %d trials:\n", trials);
+  std::printf("  DAWA (GreedyH stage 2): %.3g\n", err_orig / trials);
+  std::printf("  DAWA (HDMM stage 2):    %.3g\n", err_hdmm / trials);
+  std::printf("improvement ratio: %.2fx  (paper Table 6: 1.04x - 2.28x "
+              "depending on data/domain)\n",
+              std::sqrt(err_orig / err_hdmm));
+  return 0;
+}

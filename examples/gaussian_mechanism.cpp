@@ -1,0 +1,92 @@
+// Approximate differential privacy ((epsilon, delta)-DP) with the Gaussian
+// mechanism — the Section 3.5 extension: "our techniques also apply to a
+// version of MM satisfying approximate differential privacy (delta > 0)."
+// Strategy selection, Kronecker measurement, and reconstruction are shared
+// with the pure epsilon-DP path; only the sensitivity norm (L2 instead of
+// L1) and the noise distribution change.
+//
+// Which mechanism wins depends on the strategy's L1/L2 sensitivity gap:
+// Laplace noise scales with the max column *sum*, Gaussian with the max
+// column *Euclidean norm*. Measuring the Prefix workload directly has
+// ||A||_1 = n but ||A||_{2,col} = sqrt(n), so Gaussian wins by ~n/(2 ln(1/
+// delta)); an HDMM-optimized strategy has columns engineered to unit L1
+// norm, shrinking the gap — both effects are shown below.
+//
+//   build/examples/example_gaussian_mechanism
+#include <cmath>
+#include <cstdio>
+
+#include "core/error.h"
+#include "core/gaussian.h"
+#include "core/hdmm.h"
+#include "data/synthetic.h"
+#include "workload/building_blocks.h"
+
+int main() {
+  using namespace hdmm;
+  const int64_t n = 256;
+  Domain domain({n});
+  UnionWorkload workload = MakeProductWorkload(domain, {PrefixBlock(n)});
+
+  Rng rng(3);
+  Vector x = ZipfDataVector(domain, 100000, 1.2, &rng);
+  const Vector truth = TrueAnswers(workload, x);
+  const double epsilon = 1.0;
+  const double delta = 1e-6;
+  const int trials = 15;
+
+  // --- 1. Measuring the workload itself (the LM baseline, both noises). ---
+  ExplicitStrategy direct(PrefixBlock(n), "prefix-direct");
+  const double l1 = direct.Sensitivity();               // = n.
+  const double l2 = L2Sensitivity(direct.matrix());     // = sqrt(n).
+  std::printf("direct Prefix measurement: ||A||_1 = %.0f, ||A||_2,col = %.1f\n",
+              l1, l2);
+
+  double sq_lap = 0.0, sq_gauss = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    Vector y_lap = direct.Measure(x, epsilon, &rng);
+    sq_lap += EmpiricalSquaredError(truth, y_lap);
+    Vector y_gauss = MeasureGaussian(direct, x, l2, epsilon, delta, &rng);
+    sq_gauss += EmpiricalSquaredError(truth, y_gauss);
+  }
+  std::printf("  Laplace  (pure %.1f-DP):        total squared error %.3g\n",
+              epsilon, sq_lap / trials);
+  std::printf("  Gaussian ((%.1f, %.0e)-DP):  total squared error %.3g "
+              "(%.1fx lower — the L1/L2 gap)\n",
+              epsilon, delta, sq_gauss / trials, sq_lap / sq_gauss);
+
+  // --- 2. The full HDMM pipeline under both mechanisms. -------------------
+  HdmmOptions options;
+  options.restarts = 2;
+  HdmmResult selection = OptimizeStrategy(workload, options);
+  double hdmm_l2 = selection.strategy->Sensitivity();  // Valid upper bound.
+  if (auto* kron = dynamic_cast<KronStrategy*>(selection.strategy.get())) {
+    hdmm_l2 = KronL2Sensitivity(kron->factors());
+  }
+  std::printf("\nHDMM strategy (%s): ||A||_1 = %.3f, ||A||_2,col = %.3f\n",
+              selection.chosen_operator.c_str(),
+              selection.strategy->Sensitivity(), hdmm_l2);
+
+  double sq_hdmm_lap = 0.0, sq_hdmm_gauss = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    Vector ans = RunMechanism(workload, *selection.strategy, x, epsilon, &rng);
+    sq_hdmm_lap += EmpiricalSquaredError(truth, ans);
+    Vector y = MeasureGaussian(*selection.strategy, x, hdmm_l2, epsilon,
+                               delta, &rng);
+    Vector ans_g = TrueAnswers(workload, selection.strategy->Reconstruct(y));
+    sq_hdmm_gauss += EmpiricalSquaredError(truth, ans_g);
+  }
+  std::printf("  HDMM + Laplace:  total squared error %.3g "
+              "(%.0fx below direct Laplace)\n",
+              sq_hdmm_lap / trials, sq_lap / sq_hdmm_lap);
+  std::printf("  HDMM + Gaussian: total squared error %.3g\n",
+              sq_hdmm_gauss / trials);
+  std::printf(
+      "\nReading: strategy optimization dwarfs the noise-distribution "
+      "choice here;\nonce columns are normalized to unit L1 norm the L1/L2 "
+      "gap (and Gaussian's\nedge) shrinks, while the delta > 0 relaxation "
+      "still costs its 2 ln(1.25/delta)\nfactor. Gaussian pays off when the "
+      "deployment requires (epsilon, delta)\naccounting anyway (e.g., "
+      "composition across many releases).\n");
+  return 0;
+}

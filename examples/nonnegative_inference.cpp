@@ -1,0 +1,87 @@
+// Non-negative inference: replacing the RECONSTRUCT least-squares solve with
+// NNLS (x >= 0). Counts can't be negative, and on sparse data the projection
+// onto the orthant removes a large fraction of the per-cell noise — a pure
+// post-processing step, so the epsilon-DP guarantee is untouched
+// (post-processing theorem, reference [12] of the paper).
+//
+// The demo also shows the caveat that makes NNLS a choice rather than a
+// default: clamping turns zero-mean cell noise into positively-biased cell
+// estimates, and aggregate queries (prefix sums) accumulate that bias. NNLS
+// is the right call when the deliverable is the cell histogram / synthetic
+// table; plain least squares keeps aggregates unbiased.
+//
+//   build/examples/example_nonnegative_inference
+#include <cmath>
+#include <cstdio>
+
+#include "core/hdmm.h"
+#include "core/nnls.h"
+#include "data/synthetic.h"
+#include "linalg/kron.h"
+#include "workload/building_blocks.h"
+
+int main() {
+  using namespace hdmm;
+  const int64_t n = 128;
+  Domain domain({n});
+  UnionWorkload workload = MakeProductWorkload(domain, {PrefixBlock(n)});
+
+  HdmmOptions options;
+  options.restarts = 2;
+  HdmmResult selection = OptimizeStrategy(workload, options);
+  auto* kron = dynamic_cast<KronStrategy*>(selection.strategy.get());
+  std::printf("strategy: %s\n", selection.chosen_operator.c_str());
+
+  // Sparse data: most cells empty — the regime where non-negativity helps.
+  Rng rng(13);
+  Vector x(static_cast<size_t>(n), 0.0);
+  for (int i = 0; i < 10; ++i) {
+    x[static_cast<size_t>(rng.UniformInt(0, n - 1))] =
+        static_cast<double>(rng.UniformInt(50, 400));
+  }
+  const Vector truth = TrueAnswers(workload, x);
+
+  const double epsilon = 0.2;
+  const int trials = 20;
+  double cell_ls = 0.0, cell_nnls = 0.0;     // Error on the cell estimates.
+  double query_ls = 0.0, query_nnls = 0.0;   // Error on the prefix answers.
+  int negative_cells = 0;
+  for (int t = 0; t < trials; ++t) {
+    const Vector y = selection.strategy->Measure(x, epsilon, &rng);
+
+    // Standard pipeline: least-squares x_hat (can go negative).
+    const Vector x_ls = selection.strategy->Reconstruct(y);
+    for (double v : x_ls) negative_cells += (v < 0.0) ? 1 : 0;
+
+    // NNLS pipeline, warm-started from the least-squares solution.
+    KronOperator op(kron ? kron->factors()
+                         : std::vector<Matrix>{IdentityBlock(n)});
+    NnlsResult res = SolveNnls(op, y, x_ls);
+
+    for (size_t i = 0; i < x.size(); ++i) {
+      cell_ls += (x_ls[i] - x[i]) * (x_ls[i] - x[i]);
+      cell_nnls += (res.x[i] - x[i]) * (res.x[i] - x[i]);
+    }
+    const Vector ans_ls = TrueAnswers(workload, x_ls);
+    const Vector ans_nnls = TrueAnswers(workload, res.x);
+    for (size_t i = 0; i < truth.size(); ++i) {
+      query_ls += (ans_ls[i] - truth[i]) * (ans_ls[i] - truth[i]);
+      query_nnls += (ans_nnls[i] - truth[i]) * (ans_nnls[i] - truth[i]);
+    }
+  }
+  std::printf("sparse data (10 of %lld cells occupied), %d runs at "
+              "epsilon=%.2f:\n",
+              static_cast<long long>(n), trials, epsilon);
+  std::printf("  cell-histogram squared error:  least-squares %.0f "
+              "(%d negative estimates)  |  NNLS %.0f  (%.2fx better)\n",
+              cell_ls / trials, negative_cells, cell_nnls / trials,
+              cell_ls / cell_nnls);
+  std::printf("  prefix-answer squared error:   least-squares %.0f  |  "
+              "NNLS %.0f\n",
+              query_ls / trials, query_nnls / trials);
+  std::printf(
+      "\nReading: NNLS sharpens the cell histogram (noise on empty cells is\n"
+      "clamped away) but biases each cell upward, and prefix sums accumulate\n"
+      "that bias — choose the inference to match the deliverable.\n");
+  return 0;
+}

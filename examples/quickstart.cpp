@@ -1,0 +1,53 @@
+// Quickstart: answer a workload of range queries over a 1D domain under
+// epsilon-differential privacy with HDMM, end to end.
+//
+//   build/examples/example_quickstart
+#include <cstdio>
+
+#include "core/error.h"
+#include "core/hdmm.h"
+#include "data/synthetic.h"
+#include "workload/building_blocks.h"
+
+int main() {
+  using namespace hdmm;
+
+  // 1. Define the domain and the workload: all prefix (CDF) queries over a
+  //    domain of 64 values.
+  Domain domain({64});
+  UnionWorkload workload = MakeProductWorkload(domain, {PrefixBlock(64)});
+  std::printf("workload: %lld queries over %lld cells\n",
+              static_cast<long long>(workload.TotalQueries()),
+              static_cast<long long>(workload.DomainSize()));
+
+  // 2. SELECT: optimize a measurement strategy for this workload. This step
+  //    is data-independent and consumes no privacy budget.
+  HdmmOptions options;
+  options.restarts = 3;
+  HdmmResult selection = OptimizeStrategy(workload, options);
+  std::printf("selected operator: %s, expected squared error %.1f "
+              "(identity baseline: %.1f)\n",
+              selection.chosen_operator.c_str(), selection.squared_error,
+              PrefixGram(64).Trace());
+
+  // 3. Make some data and run the private mechanism at epsilon = 1.
+  Rng rng(7);
+  Vector x = ZipfDataVector(domain, 10000, 1.1, &rng);
+  const double epsilon = 1.0;
+  Vector private_answers =
+      RunMechanism(workload, *selection.strategy, x, epsilon, &rng);
+
+  // 4. Compare with the true answers.
+  Vector truth = TrueAnswers(workload, x);
+  double err = EmpiricalSquaredError(truth, private_answers);
+  std::printf("one run at epsilon=%.1f: total squared error %.1f "
+              "(expected %.1f)\n",
+              epsilon, err,
+              selection.strategy->TotalSquaredError(workload, epsilon));
+  std::printf("first five answers (true vs private):\n");
+  for (int i = 0; i < 5; ++i) {
+    std::printf("  q%d: %8.0f vs %8.1f\n", i, truth[static_cast<size_t>(i)],
+                private_answers[static_cast<size_t>(i)]);
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Approximate relative-error optimization by workload re-weighting — the
+// Section 9 extension: "by weighting the workload queries (e.g. inversely
+// with their L1-norm) we can approximately optimize relative error, at least
+// for datasets whose data vectors are close to uniform."
+//
+// The demo compares two strategies for a mixed workload containing the total
+// query, broad ranges, and point queries: one optimized for absolute error,
+// one for the re-weighted workload. On near-uniform data, the re-weighted
+// strategy trades a little absolute accuracy on the big aggregates for much
+// better relative accuracy on the small counts.
+//
+//   build/examples/example_relative_error
+#include <cmath>
+#include <cstdio>
+
+#include "core/hdmm.h"
+#include "data/synthetic.h"
+#include "workload/building_blocks.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace hdmm;
+
+// Mean over queries of |estimate - truth| / max(truth, 1).
+double MeanRelativeError(const Vector& truth, const Vector& estimate) {
+  double total = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    total += std::abs(estimate[i] - truth[i]) / std::max(truth[i], 1.0);
+  }
+  return total / static_cast<double>(truth.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace hdmm;
+  const int64_t n = 64;
+  Domain domain({n});
+
+  // A workload mixing scales: the total (answer ~ all records), all width-16
+  // ranges (answers ~ n_records/4), and every point query (small answers).
+  UnionWorkload workload(domain);
+  ProductWorkload total;
+  total.factors = {TotalBlock(n)};
+  workload.AddProduct(total);
+  ProductWorkload ranges;
+  ranges.factors = {WidthRangeBlock(n, 16)};
+  workload.AddProduct(ranges);
+  ProductWorkload points;
+  points.factors = {IdentityBlock(n)};
+  workload.AddProduct(points);
+
+  // Re-weight inversely with per-query L1 norm (Section 9's heuristic).
+  UnionWorkload reweighted = WeightForRelativeError(workload);
+  std::printf("re-weighted product weights:");
+  for (const ProductWorkload& p : reweighted.products()) {
+    std::printf(" %.4f", p.weight);
+  }
+  std::printf("  (total gets the smallest weight)\n\n");
+
+  HdmmOptions options;
+  options.restarts = 3;
+  HdmmResult absolute = OptimizeStrategy(workload, options);
+  HdmmResult relative = OptimizeStrategy(reweighted, options);
+
+  // Near-uniform data, where the Section 9 argument applies.
+  Rng rng(11);
+  Vector x = UniformDataVector(domain, 20000, &rng);
+  const Vector truth = TrueAnswers(workload, x);
+
+  const double epsilon = 0.5;
+  const int trials = 25;
+  double rel_abs = 0.0, rel_rel = 0.0, abs_abs = 0.0, abs_rel = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    Vector est_a = RunMechanism(workload, *absolute.strategy, x, epsilon, &rng);
+    Vector est_r = RunMechanism(workload, *relative.strategy, x, epsilon, &rng);
+    rel_abs += MeanRelativeError(truth, est_a);
+    rel_rel += MeanRelativeError(truth, est_r);
+    for (size_t i = 0; i < truth.size(); ++i) {
+      abs_abs += (est_a[i] - truth[i]) * (est_a[i] - truth[i]);
+      abs_rel += (est_r[i] - truth[i]) * (est_r[i] - truth[i]);
+    }
+  }
+  std::printf("over %d runs at epsilon=%.2f:\n", trials, epsilon);
+  std::printf("  absolute-optimized: mean relative error %.4f, "
+              "total squared error %.0f\n",
+              rel_abs / trials, abs_abs / trials);
+  std::printf("  re-weighted:        mean relative error %.4f, "
+              "total squared error %.0f\n",
+              rel_rel / trials, abs_rel / trials);
+  std::printf("\nThe re-weighted optimization targets the error each query "
+              "can afford\n(small counts get proportionally more accuracy), "
+              "which is the Section 9\nrecipe for approximate relative-error "
+              "optimization on near-uniform data.\n");
+  return 0;
+}

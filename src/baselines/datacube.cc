@@ -1,0 +1,171 @@
+#include "baselines/datacube.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "linalg/kron.h"
+#include "linalg/matrix.h"
+#include "workload/building_blocks.h"
+#include "workload/marginals.h"
+
+namespace hdmm {
+namespace {
+
+int64_t MarginalCells(const Domain& domain, uint32_t mask) {
+  int64_t cells = 1;
+  for (int i = 0; i < domain.NumAttributes(); ++i)
+    if ((mask >> i) & 1u) cells *= domain.AttributeSize(i);
+  return cells;
+}
+
+// Cost of answering workload marginal S from measured T (T must cover S):
+// |cells(S)| * prod_{i in T\S} n_i, before the k^2 budget factor.
+double AnswerCost(const Domain& domain, uint32_t s, uint32_t t) {
+  double cost = static_cast<double>(MarginalCells(domain, s));
+  for (int i = 0; i < domain.NumAttributes(); ++i) {
+    if (((t >> i) & 1u) && !((s >> i) & 1u))
+      cost *= static_cast<double>(domain.AttributeSize(i));
+  }
+  return cost;
+}
+
+// Total error of a measured set against the workload; infinity if some
+// workload marginal has no measured superset.
+double TotalError(const Domain& domain,
+                  const std::vector<uint32_t>& workload_masks,
+                  const std::vector<uint32_t>& measured) {
+  const double k = static_cast<double>(measured.size());
+  double total = 0.0;
+  for (uint32_t s : workload_masks) {
+    double best = std::numeric_limits<double>::infinity();
+    for (uint32_t t : measured) {
+      if ((s & t) == s) best = std::min(best, AnswerCost(domain, s, t));
+    }
+    if (!std::isfinite(best)) return best;
+    total += best;
+  }
+  return k * k * total;
+}
+
+}  // namespace
+
+DataCubeResult DataCubeSelect(const Domain& domain,
+                              const std::vector<uint32_t>& workload_masks) {
+  const int d = domain.NumAttributes();
+  HDMM_CHECK(d <= 20);
+  const uint32_t full = (uint32_t{1} << d) - 1;
+
+  // Two greedy runs from different seeds sets; keep the better.
+  std::vector<std::vector<uint32_t>> inits = {{full}, workload_masks};
+  DataCubeResult best;
+  best.squared_error = std::numeric_limits<double>::infinity();
+
+  for (auto measured : inits) {
+    // Deduplicate the initial set.
+    std::sort(measured.begin(), measured.end());
+    measured.erase(std::unique(measured.begin(), measured.end()),
+                   measured.end());
+    double err = TotalError(domain, workload_masks, measured);
+    if (!std::isfinite(err)) continue;
+
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      // Try adding each candidate marginal.
+      double best_err = err;
+      int best_action = -1;  // >= 0: add mask; < -1: remove index ~action.
+      for (uint32_t cand = 1; cand <= full; ++cand) {
+        if (std::find(measured.begin(), measured.end(), cand) !=
+            measured.end())
+          continue;
+        measured.push_back(cand);
+        double e = TotalError(domain, workload_masks, measured);
+        measured.pop_back();
+        if (e < best_err) {
+          best_err = e;
+          best_action = static_cast<int>(cand);
+        }
+      }
+      // Try removing each measured marginal.
+      for (size_t r = 0; r < measured.size(); ++r) {
+        std::vector<uint32_t> trial = measured;
+        trial.erase(trial.begin() + static_cast<long>(r));
+        if (trial.empty()) continue;
+        double e = TotalError(domain, workload_masks, trial);
+        if (e < best_err) {
+          best_err = e;
+          best_action = -2 - static_cast<int>(r);
+        }
+      }
+      if (best_action >= 0) {
+        measured.push_back(static_cast<uint32_t>(best_action));
+        err = best_err;
+        improved = true;
+      } else if (best_action <= -2) {
+        measured.erase(measured.begin() + (-2 - best_action));
+        err = best_err;
+        improved = true;
+      }
+    }
+    if (err < best.squared_error) {
+      best.squared_error = err;
+      best.measured = measured;
+    }
+  }
+  HDMM_CHECK_MSG(std::isfinite(best.squared_error),
+                 "DataCube: workload unsupported by any init");
+  return best;
+}
+
+Vector RunDataCube(const Domain& domain,
+                   const std::vector<uint32_t>& workload_masks,
+                   const DataCubeResult& selection, const Vector& x,
+                   double epsilon, Rng* rng) {
+  const double k = static_cast<double>(selection.measured.size());
+  const double scale = k / epsilon;  // Even budget split, sensitivity 1 each.
+
+  // Measure each selected marginal.
+  std::vector<Vector> noisy(selection.measured.size());
+  for (size_t m = 0; m < selection.measured.size(); ++m) {
+    ProductWorkload marg = MarginalProduct(domain, selection.measured[m]);
+    noisy[m] = KronMatVec(marg.factors, x);
+    for (double& v : noisy[m]) v += rng->Laplace(scale);
+  }
+
+  // Answer each workload marginal from its cheapest measured superset by
+  // aggregating the measured marginal's cells.
+  Vector out;
+  for (uint32_t s : workload_masks) {
+    size_t best_idx = selection.measured.size();
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (size_t m = 0; m < selection.measured.size(); ++m) {
+      uint32_t t = selection.measured[m];
+      if ((s & t) == s) {
+        double c = AnswerCost(domain, s, t);
+        if (c < best_cost) {
+          best_cost = c;
+          best_idx = m;
+        }
+      }
+    }
+    HDMM_CHECK(best_idx < selection.measured.size());
+    uint32_t t = selection.measured[best_idx];
+    // Aggregate T's noisy cells down to S: apply the marginal-of-marginal
+    // operator, which is the product over attributes in T of either Identity
+    // (attribute in S) or Total (attribute in T \ S).
+    std::vector<Matrix> agg;
+    for (int i = 0; i < domain.NumAttributes(); ++i) {
+      if (!((t >> i) & 1u)) continue;
+      const int64_t n = domain.AttributeSize(i);
+      agg.push_back(((s >> i) & 1u) ? IdentityBlock(n) : TotalBlock(n));
+    }
+    Vector answer = agg.empty() ? noisy[best_idx]
+                                : KronMatVec(agg, noisy[best_idx]);
+    out.insert(out.end(), answer.begin(), answer.end());
+  }
+  return out;
+}
+
+}  // namespace hdmm

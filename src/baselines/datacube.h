@@ -1,0 +1,44 @@
+// DataCube [10]: answers a workload of marginals by greedily selecting a
+// different set of marginals to measure. Each workload marginal is answered
+// by aggregating the cheapest measured superset; the greedy step adds the
+// candidate marginal that most reduces total expected error.
+#ifndef HDMM_BASELINES_DATACUBE_H_
+#define HDMM_BASELINES_DATACUBE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/vector_ops.h"
+#include "workload/domain.h"
+
+namespace hdmm {
+
+/// Result of DataCube's selection.
+struct DataCubeResult {
+  std::vector<uint32_t> measured;  ///< Marginal masks to measure.
+  /// Total expected squared error in the library's sens^2-scaled convention
+  /// (multiply by 2/eps^2 for Err at budget eps).
+  double squared_error = 0.0;
+};
+
+/// Greedy marginal-set selection for a workload consisting of the marginals
+/// in `workload_masks` over `domain`. The error model follows [10]: with k
+/// measured marginals sharing the budget evenly, a workload marginal S
+/// answered from measured T (superset of S) costs
+/// |cells(S)| * prod_{i in T \ S} n_i * k^2.
+DataCubeResult DataCubeSelect(const Domain& domain,
+                              const std::vector<uint32_t>& workload_masks);
+
+/// One mechanism run: measures the selected marginals under epsilon-DP and
+/// returns the estimated answers of the workload marginals, concatenated in
+/// the order of `workload_masks` (cells of each marginal in row-major
+/// order).
+Vector RunDataCube(const Domain& domain,
+                   const std::vector<uint32_t>& workload_masks,
+                   const DataCubeResult& selection, const Vector& x,
+                   double epsilon, Rng* rng);
+
+}  // namespace hdmm
+
+#endif  // HDMM_BASELINES_DATACUBE_H_

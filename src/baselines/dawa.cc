@@ -1,0 +1,115 @@
+#include "baselines/dawa.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "baselines/greedy_h.h"
+#include "common/check.h"
+#include "core/opt0.h"
+#include "core/strategy.h"
+#include "linalg/pinv.h"
+
+namespace hdmm {
+
+std::vector<int64_t> DawaPartition(const Vector& noisy_counts,
+                                   double bucket_penalty) {
+  const int64_t n = static_cast<int64_t>(noisy_counts.size());
+  HDMM_CHECK(n >= 1);
+  // Prefix sums for O(1) interval L2 deviation:
+  // dev(i, j) = sum x^2 - (sum x)^2 / len over cells [i, j).
+  Vector ps(static_cast<size_t>(n + 1), 0.0), ps2(static_cast<size_t>(n + 1), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    ps[static_cast<size_t>(i + 1)] = ps[static_cast<size_t>(i)] + noisy_counts[static_cast<size_t>(i)];
+    ps2[static_cast<size_t>(i + 1)] =
+        ps2[static_cast<size_t>(i)] +
+        noisy_counts[static_cast<size_t>(i)] * noisy_counts[static_cast<size_t>(i)];
+  }
+  auto deviation = [&](int64_t i, int64_t j) {
+    double s = ps[static_cast<size_t>(j)] - ps[static_cast<size_t>(i)];
+    double s2 = ps2[static_cast<size_t>(j)] - ps2[static_cast<size_t>(i)];
+    return s2 - s * s / static_cast<double>(j - i);
+  };
+
+  // DP over bucket end positions.
+  Vector best(static_cast<size_t>(n + 1),
+              std::numeric_limits<double>::infinity());
+  std::vector<int64_t> prev(static_cast<size_t>(n + 1), 0);
+  best[0] = 0.0;
+  for (int64_t j = 1; j <= n; ++j) {
+    for (int64_t i = 0; i < j; ++i) {
+      double cost = best[static_cast<size_t>(i)] + deviation(i, j) + bucket_penalty;
+      if (cost < best[static_cast<size_t>(j)]) {
+        best[static_cast<size_t>(j)] = cost;
+        prev[static_cast<size_t>(j)] = i;
+      }
+    }
+  }
+  std::vector<int64_t> bounds;
+  for (int64_t j = n; j > 0; j = prev[static_cast<size_t>(j)])
+    bounds.push_back(j);
+  std::reverse(bounds.begin(), bounds.end());
+  return bounds;
+}
+
+Vector RunDawa(const Matrix& workload, const Vector& x, double epsilon,
+               const DawaOptions& options, Rng* rng) {
+  const int64_t n = workload.cols();
+  HDMM_CHECK(static_cast<int64_t>(x.size()) == n);
+  const double eps1 = options.partition_budget_fraction * epsilon;
+  const double eps2 = epsilon - eps1;
+  HDMM_CHECK(eps1 > 0.0 && eps2 > 0.0);
+
+  // Stage 1: private partition from noisy counts.
+  Vector noisy = x;
+  for (double& v : noisy) v += rng->Laplace(1.0 / eps1);
+  std::vector<int64_t> bounds = DawaPartition(noisy, 2.0 / (eps2 * eps2));
+  const int64_t b = static_cast<int64_t>(bounds.size());
+
+  // Bucket membership and uniform-expansion matrix U (n x b).
+  std::vector<int64_t> bucket_of(static_cast<size_t>(n));
+  std::vector<int64_t> bucket_size(static_cast<size_t>(b), 0);
+  {
+    int64_t cell = 0;
+    for (int64_t k = 0; k < b; ++k) {
+      for (; cell < bounds[static_cast<size_t>(k)]; ++cell) {
+        bucket_of[static_cast<size_t>(cell)] = k;
+        ++bucket_size[static_cast<size_t>(k)];
+      }
+    }
+  }
+
+  // Reduced workload W_r = W U (m x b).
+  Matrix reduced(workload.rows(), b);
+  for (int64_t r = 0; r < workload.rows(); ++r) {
+    const double* row = workload.Row(r);
+    for (int64_t j = 0; j < n; ++j) {
+      int64_t k = bucket_of[static_cast<size_t>(j)];
+      reduced(r, k) += row[j] / static_cast<double>(bucket_size[static_cast<size_t>(k)]);
+    }
+  }
+
+  // Bucket totals z = E^T x.
+  Vector z(static_cast<size_t>(b), 0.0);
+  for (int64_t j = 0; j < n; ++j)
+    z[static_cast<size_t>(bucket_of[static_cast<size_t>(j)])] += x[static_cast<size_t>(j)];
+
+  // Stage 2: select-measure-reconstruct on the compressed domain.
+  Matrix gram = Gram(reduced);
+  std::unique_ptr<Strategy> strategy;
+  if (options.stage2 == DawaStage2::kGreedyH && b >= 2) {
+    strategy = MakeGreedyHStrategy(gram);
+  } else {
+    Opt0Options o;
+    o.p = std::max(1, std::min<int>(options.opt0_p, static_cast<int>(b)));
+    o.restarts = 2;
+    Opt0Result res = Opt0(gram, o, rng);
+    strategy = std::make_unique<ExplicitStrategy>(
+        PIdentityObjective::BuildStrategy(res.theta), "dawa-hdmm");
+  }
+  Vector y = strategy->Measure(z, eps2, rng);
+  Vector z_hat = strategy->Reconstruct(y);
+  return MatVec(reduced, z_hat);
+}
+
+}  // namespace hdmm

@@ -1,0 +1,43 @@
+// DAWA [25]: the data- and workload-aware mechanism for 1D (and by
+// extension 2D) workloads. Stage 1 spends part of the budget finding a
+// partition of the domain into approximately-uniform buckets from noisy
+// counts; stage 2 measures bucket totals with a workload-aware strategy
+// (GreedyH in the original; optionally HDMM's OPT_0, the hybrid studied in
+// Appendix B.3) and expands bucket estimates uniformly.
+#ifndef HDMM_BASELINES_DAWA_H_
+#define HDMM_BASELINES_DAWA_H_
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace hdmm {
+
+/// Which strategy stage 2 uses on the compressed domain.
+enum class DawaStage2 {
+  kGreedyH,  ///< The original DAWA second stage.
+  kHdmm,     ///< HDMM's OPT_0 (the Appendix B.3 improvement).
+};
+
+/// Options for DAWA.
+struct DawaOptions {
+  double partition_budget_fraction = 0.25;  ///< epsilon_1 / epsilon.
+  int max_buckets = 0;                      ///< 0 = unlimited.
+  DawaStage2 stage2 = DawaStage2::kGreedyH;
+  int opt0_p = 4;  ///< p for the kHdmm second stage.
+};
+
+/// The deviation-penalized partition (stage 1): minimizes
+/// sum_buckets [L2 deviation of noisy counts + 1/eps2 per bucket] with an
+/// O(n^2) dynamic program. Returns bucket boundaries (ascending, the last
+/// entry is n).
+std::vector<int64_t> DawaPartition(const Vector& noisy_counts,
+                                   double bucket_penalty);
+
+/// One full DAWA run on a 1D workload: returns estimated workload answers.
+/// `workload` is the explicit m x n query matrix.
+Vector RunDawa(const Matrix& workload, const Vector& x, double epsilon,
+               const DawaOptions& options, Rng* rng);
+
+}  // namespace hdmm
+
+#endif  // HDMM_BASELINES_DAWA_H_

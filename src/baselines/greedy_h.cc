@@ -1,0 +1,98 @@
+#include "baselines/greedy_h.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "linalg/pinv.h"
+#include "workload/building_blocks.h"
+
+namespace hdmm {
+namespace {
+
+// Rows of the binary hierarchy grouped by level (level 0 = leaves).
+std::vector<Matrix> HierarchyLevels(int64_t n) {
+  std::vector<Matrix> levels;
+  std::vector<std::pair<int64_t, int64_t>> cur;  // [lo, hi)
+  for (int64_t i = 0; i < n; ++i) cur.push_back({i, i + 1});
+  while (true) {
+    Matrix level(static_cast<int64_t>(cur.size()), n);
+    for (size_t r = 0; r < cur.size(); ++r)
+      for (int64_t j = cur[r].first; j < cur[r].second; ++j)
+        level(static_cast<int64_t>(r), j) = 1.0;
+    levels.push_back(level);
+    if (cur.size() == 1) break;
+    std::vector<std::pair<int64_t, int64_t>> next;
+    for (size_t i = 0; i < cur.size(); i += 2) {
+      size_t hi = std::min(cur.size(), i + 2);
+      next.push_back({cur[i].first, cur[hi - 1].second});
+    }
+    cur = next;
+  }
+  return levels;
+}
+
+Matrix AssembleWeighted(const std::vector<Matrix>& levels,
+                        const std::vector<double>& weights) {
+  std::vector<Matrix> scaled;
+  scaled.reserve(levels.size());
+  for (size_t l = 0; l < levels.size(); ++l) {
+    if (weights[l] <= 0.0) continue;
+    scaled.push_back(MatScale(levels[l], weights[l]));
+  }
+  HDMM_CHECK(!scaled.empty());
+  return VStack(scaled);
+}
+
+double Evaluate(const std::vector<Matrix>& levels,
+                const std::vector<double>& weights, const Matrix& gram) {
+  Matrix a = AssembleWeighted(levels, weights);
+  double sens = a.MaxAbsColSum();
+  double tr = TracePinvGram(Gram(a), gram);
+  if (!std::isfinite(tr)) return std::numeric_limits<double>::infinity();
+  return sens * sens * tr;
+}
+
+}  // namespace
+
+GreedyHResult GreedyH(const Matrix& workload_gram,
+                      const GreedyHOptions& options) {
+  const int64_t n = workload_gram.rows();
+  HDMM_CHECK(workload_gram.cols() == n);
+  std::vector<Matrix> levels = HierarchyLevels(n);
+  std::vector<double> weights(levels.size(), 1.0);
+
+  double best = Evaluate(levels, weights, workload_gram);
+  // Greedy coordinate descent over level scales on a multiplicative grid.
+  for (int sweep = 0; sweep < options.sweeps; ++sweep) {
+    for (size_t l = 0; l < levels.size(); ++l) {
+      double best_w = weights[l];
+      for (int c = 0; c < options.candidates_per_level; ++c) {
+        double factor = std::pow(2.0, c - options.candidates_per_level / 2);
+        std::vector<double> trial = weights;
+        trial[l] = weights[l] * factor;
+        double err = Evaluate(levels, trial, workload_gram);
+        if (err < best) {
+          best = err;
+          best_w = trial[l];
+        }
+      }
+      weights[l] = best_w;
+    }
+  }
+
+  GreedyHResult out;
+  out.strategy = AssembleWeighted(levels, weights);
+  out.squared_error = best;
+  out.level_weights = std::move(weights);
+  return out;
+}
+
+std::unique_ptr<Strategy> MakeGreedyHStrategy(const Matrix& workload_gram,
+                                              const GreedyHOptions& options) {
+  GreedyHResult res = GreedyH(workload_gram, options);
+  return std::make_unique<ExplicitStrategy>(std::move(res.strategy),
+                                            "greedy-h");
+}
+
+}  // namespace hdmm

@@ -1,0 +1,40 @@
+// GreedyH [25]: the weighted binary hierarchy used as DAWA's second stage.
+// Each level of the hierarchy carries a scale factor; the scales are
+// greedily optimized for the input workload (this is what distinguishes it
+// from HB, which ignores the workload).
+#ifndef HDMM_BASELINES_GREEDY_H_H_
+#define HDMM_BASELINES_GREEDY_H_H_
+
+#include <memory>
+
+#include "core/strategy.h"
+#include "linalg/matrix.h"
+
+namespace hdmm {
+
+/// Options for the level-weight search.
+struct GreedyHOptions {
+  int sweeps = 3;              ///< Coordinate-descent sweeps over levels.
+  int candidates_per_level = 9;  ///< Multiplicative grid per evaluation.
+};
+
+/// Result: the weighted hierarchy and its expected error.
+struct GreedyHResult {
+  Matrix strategy;       ///< Stacked weighted levels ((~2n) x n).
+  double squared_error;  ///< sens^2 * ||W A^+||_F^2 against the input Gram.
+  std::vector<double> level_weights;
+};
+
+/// Optimizes per-level weights of a binary hierarchy over a 1D domain of
+/// size n against the workload with Gram matrix `workload_gram` (n x n).
+GreedyHResult GreedyH(const Matrix& workload_gram,
+                      const GreedyHOptions& options = GreedyHOptions());
+
+/// Wraps the result as a Strategy.
+std::unique_ptr<Strategy> MakeGreedyHStrategy(const Matrix& workload_gram,
+                                              const GreedyHOptions& options =
+                                                  GreedyHOptions());
+
+}  // namespace hdmm
+
+#endif  // HDMM_BASELINES_GREEDY_H_H_

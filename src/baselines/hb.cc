@@ -1,0 +1,50 @@
+#include "baselines/hb.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "linalg/pinv.h"
+#include "workload/building_blocks.h"
+
+namespace hdmm {
+
+int SelectHbBranching(int64_t n, int64_t exact_threshold) {
+  if (n <= 2) return 2;
+  double best_score = std::numeric_limits<double>::infinity();
+  int best_b = 2;
+  for (int b = 2; b <= 16; ++b) {
+    double score;
+    if (n <= exact_threshold) {
+      Matrix h = HierarchicalBlock(n, b);
+      double sens = h.MaxAbsColSum();
+      score = sens * sens * TracePinvGram(Gram(h), AllRangeGram(n));
+    } else {
+      // Qardaji et al.'s analytic criterion: height h = ceil(log_b n); the
+      // average range-query variance scales like (b - 1) h^3.
+      double height = std::ceil(std::log(static_cast<double>(n)) /
+                                std::log(static_cast<double>(b)));
+      score = (b - 1) * height * height * height;
+    }
+    if (score < best_score) {
+      best_score = score;
+      best_b = b;
+    }
+  }
+  return best_b;
+}
+
+std::unique_ptr<Strategy> MakeHbStrategy(const Domain& domain) {
+  std::vector<Matrix> factors;
+  for (int i = 0; i < domain.NumAttributes(); ++i) {
+    const int64_t n = domain.AttributeSize(i);
+    if (n == 1) {
+      factors.push_back(TotalBlock(1));
+      continue;
+    }
+    factors.push_back(HierarchicalBlock(n, SelectHbBranching(n)));
+  }
+  return std::make_unique<KronStrategy>(std::move(factors), "hb");
+}
+
+}  // namespace hdmm

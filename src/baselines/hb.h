@@ -1,0 +1,26 @@
+// HB [36]: hierarchical strategies with a branching factor tuned for the
+// all-range workload (regardless of the actual input workload — the paper
+// stresses this as HB's key limitation). Multi-dimensional domains use the
+// per-attribute Kronecker extension.
+#ifndef HDMM_BASELINES_HB_H_
+#define HDMM_BASELINES_HB_H_
+
+#include <memory>
+
+#include "core/strategy.h"
+#include "workload/domain.h"
+
+namespace hdmm {
+
+/// Chooses HB's branching factor for a 1D domain of size n. For modest n the
+/// expected AllRange error is evaluated exactly for each candidate; beyond
+/// `exact_threshold` the standard analytic criterion (minimize
+/// (b-1) * height^3) is used.
+int SelectHbBranching(int64_t n, int64_t exact_threshold = 1024);
+
+/// Builds the HB strategy for the domain (hierarchy per attribute).
+std::unique_ptr<Strategy> MakeHbStrategy(const Domain& domain);
+
+}  // namespace hdmm
+
+#endif  // HDMM_BASELINES_HB_H_

@@ -1,0 +1,104 @@
+#include "baselines/lrm.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/eigen_sym.h"
+#include "linalg/pinv.h"
+
+namespace hdmm {
+namespace {
+
+// Spectral factorization W^T W = V diag(lambda) V^T gives the SVD-bound
+// strategy L = diag(sqrt(lambda)) V^T; with B's rows expressed in the same
+// basis, ||B||_F^2 = sum lambda_i^{1/2} ... here simply B = W V
+// diag(lambda^{-1/2}).
+struct Spectral {
+  Matrix l;
+  Vector lambda;
+  Matrix v;
+  int64_t rank;
+};
+
+Spectral SpectralStrategy(const Matrix& gram, const LrmOptions& options) {
+  SymmetricEigen eig = EigenSym(gram);
+  const int64_t n = gram.rows();
+  double max_ev = 0.0;
+  for (double ev : eig.eigenvalues) max_ev = std::max(max_ev, ev);
+  // Retained components (descending order of eigenvalue).
+  std::vector<int64_t> keep;
+  for (int64_t i = n - 1; i >= 0; --i) {
+    double ev = eig.eigenvalues[static_cast<size_t>(i)];
+    if (ev > options.spectral_tol * std::max(max_ev, 1e-300)) {
+      keep.push_back(i);
+      if (options.rank > 0 &&
+          static_cast<int64_t>(keep.size()) >= options.rank)
+        break;
+    }
+  }
+  HDMM_CHECK(!keep.empty());
+  Spectral out;
+  out.rank = static_cast<int64_t>(keep.size());
+  out.l = Matrix(out.rank, n);
+  out.lambda.resize(static_cast<size_t>(out.rank));
+  out.v = Matrix(n, out.rank);
+  for (int64_t r = 0; r < out.rank; ++r) {
+    int64_t src = keep[static_cast<size_t>(r)];
+    double ev = eig.eigenvalues[static_cast<size_t>(src)];
+    out.lambda[static_cast<size_t>(r)] = ev;
+    // W = U Sigma V^T with Sigma = diag(sqrt(lambda)); the SVD-bound
+    // strategy is L = Sigma^{1/2} V^T, i.e. rows scaled by lambda^{1/4}.
+    double s = std::pow(ev, 0.25);
+    for (int64_t j = 0; j < n; ++j) {
+      out.v(j, r) = eig.eigenvectors(j, src);
+      out.l(r, j) = s * eig.eigenvectors(j, src);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LrmResult LowRankMechanismFromGram(const Matrix& workload_gram,
+                                   const LrmOptions& options) {
+  Spectral spec = SpectralStrategy(workload_gram, options);
+  // With W = U Sigma V^T: B = U Sigma^{1/2}, so ||B||_F^2 = sum sqrt(lambda).
+  double b_frob = 0.0;
+  for (double ev : spec.lambda) b_frob += std::sqrt(ev);
+  double sens = spec.l.MaxAbsColSum();
+
+  LrmResult out;
+  out.l = spec.l;
+  // Representative B in the eigenbasis: diag(lambda^{1/4}) rows.
+  out.b = Matrix(spec.rank, spec.rank);
+  for (int64_t i = 0; i < spec.rank; ++i)
+    out.b(i, i) = std::pow(spec.lambda[static_cast<size_t>(i)], 0.25);
+  out.squared_error = sens * sens * b_frob;
+  return out;
+}
+
+LrmResult LowRankMechanism(const Matrix& w, const LrmOptions& options) {
+  Matrix gram = Gram(w);
+  Spectral spec = SpectralStrategy(gram, options);
+  Matrix l = spec.l;
+  Matrix b = MatMul(w, PseudoInverse(l));
+
+  // Alternating refinement: B = W L^+, L = B^+ W, rebalanced each round so
+  // the L1 sensitivity stays on L's side of the product.
+  for (int it = 0; it < options.als_iterations; ++it) {
+    l = MatMul(PseudoInverse(b), w);
+    double sens = l.MaxAbsColSum();
+    if (sens <= 0.0) break;
+    l.ScaleInPlace(1.0 / sens);
+    b = MatMul(w, PseudoInverse(l));
+  }
+
+  LrmResult out;
+  out.b = b;
+  out.l = l;
+  double sens = l.MaxAbsColSum();
+  out.squared_error = sens * sens * b.FrobeniusNormSquared();
+  return out;
+}
+
+}  // namespace hdmm

@@ -1,0 +1,136 @@
+#include "baselines/matrix_mechanism.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "linalg/cholesky.h"
+#include "optimize/lbfgsb.h"
+
+namespace hdmm {
+namespace {
+
+// Objective over the full (non-negative) strategy space: B is n x n,
+// A = B D with D = diag(1 / colsum(B)), so ||A||_1 = 1 by construction and
+//   C(B) = tr[(A^T A)^{-1} G],
+// with the exact gradient derived exactly as for p-Identity strategies but
+// without the identity block. Every evaluation performs dense O(N^3)
+// solves — the scaling wall that makes MM infeasible beyond N ~ 10^3
+// (Section 5.1).
+class FullSpaceObjective {
+ public:
+  explicit FullSpaceObjective(const Matrix& gram) : gram_(gram) {}
+
+  double Eval(const Vector& b_flat, Vector* grad) const {
+    const int64_t n = gram_.rows();
+    Matrix b(n, n, b_flat);
+    // Column sums s_j; all must be positive for A to be defined.
+    Vector s(static_cast<size_t>(n), 0.0);
+    for (int64_t i = 0; i < n; ++i)
+      for (int64_t j = 0; j < n; ++j) s[static_cast<size_t>(j)] += b(i, j);
+    for (double v : s) {
+      if (v < 1e-9) {
+        if (grad != nullptr) grad->assign(b_flat.size(), 0.0);
+        return std::numeric_limits<double>::infinity();
+      }
+    }
+    Vector d(s.size());
+    for (size_t j = 0; j < s.size(); ++j) d[j] = 1.0 / s[j];
+
+    // X = D (B^T B) D.
+    Matrix btb = Gram(b);
+    Matrix x(n, n);
+    for (int64_t i = 0; i < n; ++i)
+      for (int64_t j = 0; j < n; ++j)
+        x(i, j) = btb(i, j) * d[static_cast<size_t>(i)] * d[static_cast<size_t>(j)];
+    Matrix l;
+    if (!CholeskyFactor(x, &l)) {
+      if (grad != nullptr) grad->assign(b_flat.size(), 0.0);
+      return std::numeric_limits<double>::infinity();
+    }
+    Matrix xinv_g = CholeskySolveMatrix(l, gram_);
+    double obj = xinv_g.Trace();
+    if (!(obj > 0.0) || !std::isfinite(obj)) {
+      if (grad != nullptr) grad->assign(b_flat.size(), 0.0);
+      return std::numeric_limits<double>::infinity();
+    }
+    if (grad == nullptr) return obj;
+
+    // Y = X^{-1} G X^{-1}.
+    Matrix y = CholeskySolveMatrix(l, xinv_g.Transposed());
+    // Gradient: dC/dB = -2 (B D) Y D + 2 * 1 (r .* d)^T with Z = D Y D and
+    // r_j = sum_i B_ij (B Z)_ij.
+    Matrix bd = b;
+    for (int64_t i = 0; i < n; ++i)
+      for (int64_t j = 0; j < n; ++j) bd(i, j) *= d[static_cast<size_t>(j)];
+    Matrix bdy = MatMul(bd, y);
+    Matrix z = y;
+    for (int64_t i = 0; i < n; ++i)
+      for (int64_t j = 0; j < n; ++j)
+        z(i, j) *= d[static_cast<size_t>(i)] * d[static_cast<size_t>(j)];
+    Matrix bz = MatMul(b, z);
+    Vector r(static_cast<size_t>(n), 0.0);
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t i = 0; i < n; ++i) acc += b(i, j) * bz(i, j);
+      r[static_cast<size_t>(j)] = acc;
+    }
+    grad->assign(b_flat.size(), 0.0);
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        (*grad)[static_cast<size_t>(i * n + j)] =
+            -2.0 * bdy(i, j) * d[static_cast<size_t>(j)] +
+            2.0 * r[static_cast<size_t>(j)] * d[static_cast<size_t>(j)];
+      }
+    }
+    return obj;
+  }
+
+ private:
+  const Matrix& gram_;
+};
+
+}  // namespace
+
+MatrixMechanismResult MatrixMechanism(const Matrix& workload_gram,
+                                      const MatrixMechanismOptions& options,
+                                      Rng* rng) {
+  const int64_t n = workload_gram.rows();
+  HDMM_CHECK_MSG(n <= options.max_domain,
+                 "MatrixMechanism: domain beyond the feasibility wall");
+
+  FullSpaceObjective objective(workload_gram);
+  ObjectiveFn fn = [&objective](const Vector& x, Vector* grad) {
+    return objective.Eval(x, grad);
+  };
+
+  // Start from a dense random matrix plus identity: random enough to escape
+  // the identity basin (a strict local minimum of the normalized objective),
+  // identity-shifted to guarantee full rank.
+  Vector b0(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    b0[static_cast<size_t>(i * n + i)] = 1.0;
+    for (int64_t j = 0; j < n; ++j)
+      b0[static_cast<size_t>(i * n + j)] += rng->Uniform();
+  }
+
+  LbfgsbOptions lbfgs;
+  lbfgs.max_iterations = options.max_iterations;
+  LbfgsbResult res = MinimizeNonNegative(fn, std::move(b0), lbfgs);
+
+  MatrixMechanismResult out;
+  Matrix b(n, n, res.x);
+  // Normalize to unit column sums (the objective is invariant).
+  Vector s(static_cast<size_t>(n), 0.0);
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < n; ++j) s[static_cast<size_t>(j)] += b(i, j);
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < n; ++j)
+      if (s[static_cast<size_t>(j)] > 0.0) b(i, j) /= s[static_cast<size_t>(j)];
+  out.a = std::move(b);
+  out.squared_error = res.f;  // ||A||_1 = 1.
+  out.iterations = res.iterations;
+  return out;
+}
+
+}  // namespace hdmm

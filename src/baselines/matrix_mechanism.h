@@ -1,0 +1,40 @@
+// MM — the (original) Matrix Mechanism [29]. The paper's formulation is a
+// rank-constrained SDP with O(m^4 (m^4 + N^4)) complexity, "infeasible to
+// execute on any non-trivial input workload" (Section 5.1); it is starred
+// out of every experimental table.
+//
+// Substitution note (see DESIGN.md): we implement MM as local gradient
+// optimization over an unrestricted square strategy using the exact
+// gradient of Equation 4, with column re-normalization after every step.
+// This searches the same general strategy space and exhibits the same
+// O(N^3)-per-iteration wall that motivates HDMM.
+#ifndef HDMM_BASELINES_MATRIX_MECHANISM_H_
+#define HDMM_BASELINES_MATRIX_MECHANISM_H_
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace hdmm {
+
+/// Options for the general-space optimizer.
+struct MatrixMechanismOptions {
+  int max_iterations = 60;
+  double step = 0.05;        ///< Initial step; halved on failure.
+  int64_t max_domain = 2048;  ///< Dies beyond this (the infeasibility wall).
+};
+
+/// Result of the MM search.
+struct MatrixMechanismResult {
+  Matrix a;              ///< n x n strategy with unit column norms.
+  double squared_error;  ///< ||A||_1^2 ||W A^+||_F^2.
+  int iterations = 0;
+};
+
+/// Optimizes a general strategy for the workload Gram matrix (n x n).
+MatrixMechanismResult MatrixMechanism(const Matrix& workload_gram,
+                                      const MatrixMechanismOptions& options,
+                                      Rng* rng);
+
+}  // namespace hdmm
+
+#endif  // HDMM_BASELINES_MATRIX_MECHANISM_H_

@@ -1,0 +1,164 @@
+#include "baselines/privbayes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace hdmm {
+namespace {
+
+// Marginal count table over one attribute.
+Vector Marginal1(const Domain& d, const Vector& x, int attr) {
+  Vector out(static_cast<size_t>(d.AttributeSize(attr)), 0.0);
+  for (int64_t cell = 0; cell < d.TotalSize(); ++cell) {
+    if (x[static_cast<size_t>(cell)] == 0.0) continue;
+    out[static_cast<size_t>(d.Unflatten(cell)[static_cast<size_t>(attr)])] +=
+        x[static_cast<size_t>(cell)];
+  }
+  return out;
+}
+
+// Joint count table over two attributes, row-major (a, b).
+Matrix Marginal2(const Domain& d, const Vector& x, int a, int b) {
+  Matrix out(d.AttributeSize(a), d.AttributeSize(b));
+  for (int64_t cell = 0; cell < d.TotalSize(); ++cell) {
+    if (x[static_cast<size_t>(cell)] == 0.0) continue;
+    std::vector<int64_t> coords = d.Unflatten(cell);
+    out(coords[static_cast<size_t>(a)], coords[static_cast<size_t>(b)]) +=
+        x[static_cast<size_t>(cell)];
+  }
+  return out;
+}
+
+// Empirical mutual information between attributes a and b.
+double MutualInformation(const Domain& d, const Vector& x, int a, int b) {
+  Matrix joint = Marginal2(d, x, a, b);
+  double total = joint.Sum();
+  if (total <= 0.0) return 0.0;
+  Vector pa = joint.Transposed().ColSums();  // Row sums of joint.
+  Vector pb = joint.ColSums();
+  double mi = 0.0;
+  for (int64_t i = 0; i < joint.rows(); ++i) {
+    for (int64_t j = 0; j < joint.cols(); ++j) {
+      double pij = joint(i, j) / total;
+      if (pij <= 0.0) continue;
+      double pi = pa[static_cast<size_t>(i)] / total;
+      double pj = pb[static_cast<size_t>(j)] / total;
+      mi += pij * std::log(pij / (pi * pj));
+    }
+  }
+  return mi;
+}
+
+}  // namespace
+
+Vector RunPrivBayesSynthetic(const Domain& domain, const Vector& x,
+                             double epsilon, const PrivBayesOptions& options,
+                             Rng* rng) {
+  const int d = domain.NumAttributes();
+  HDMM_CHECK(static_cast<int64_t>(x.size()) == domain.TotalSize());
+  const double eps1 = options.structure_budget_fraction * epsilon;
+  const double eps2 = epsilon - eps1;
+
+  // --- Structure: greedy tree with noisy MI scores (exponential mechanism
+  // implemented via Gumbel perturbation).
+  std::vector<int> order(static_cast<size_t>(d));
+  std::vector<int> parent(static_cast<size_t>(d), -1);
+  std::vector<bool> placed(static_cast<size_t>(d), false);
+  order[0] = 0;
+  placed[0] = true;
+  const double mi_sensitivity = std::log(Sum(x) + 2.0);  // Loose bound.
+  for (int step = 1; step < d; ++step) {
+    double best_score = -std::numeric_limits<double>::infinity();
+    int best_attr = -1, best_parent = -1;
+    for (int a = 0; a < d; ++a) {
+      if (placed[static_cast<size_t>(a)]) continue;
+      for (int p = 0; p < d; ++p) {
+        if (!placed[static_cast<size_t>(p)]) continue;
+        double mi = MutualInformation(domain, x, a, p);
+        // Gumbel trick = exponential mechanism over (attr, parent) pairs.
+        double gumbel =
+            -std::log(-std::log(std::max(1e-12, rng->Uniform())));
+        double score = mi * eps1 * static_cast<double>(d) /
+                           (2.0 * std::max(1e-9, mi_sensitivity)) +
+                       gumbel;
+        if (score > best_score) {
+          best_score = score;
+          best_attr = a;
+          best_parent = p;
+        }
+      }
+    }
+    order[static_cast<size_t>(step)] = best_attr;
+    parent[static_cast<size_t>(best_attr)] = best_parent;
+    placed[static_cast<size_t>(best_attr)] = true;
+  }
+
+  // --- Noisy conditional distributions. Each attribute's (joint with
+  // parent) counts get Laplace noise at scale d/eps2 (budget split).
+  const double noise = static_cast<double>(d) / eps2;
+  // Root distribution.
+  int root = order[0];
+  Vector root_dist = Marginal1(domain, x, root);
+  for (double& v : root_dist) v = std::max(0.0, v + rng->Laplace(noise));
+  double root_total = Sum(root_dist);
+  if (root_total <= 0.0) root_dist.assign(root_dist.size(), 1.0);
+
+  // Conditionals child | parent as noisy joint tables.
+  std::vector<Matrix> joint(static_cast<size_t>(d));
+  for (int step = 1; step < d; ++step) {
+    int a = order[static_cast<size_t>(step)];
+    int p = parent[static_cast<size_t>(a)];
+    Matrix j = Marginal2(domain, x, a, p);
+    for (int64_t i = 0; i < j.rows(); ++i)
+      for (int64_t k = 0; k < j.cols(); ++k)
+        j(i, k) = std::max(0.0, j(i, k) + rng->Laplace(noise));
+    joint[static_cast<size_t>(a)] = std::move(j);
+  }
+
+  // --- Sampling.
+  int64_t records = options.synthetic_records > 0
+                        ? options.synthetic_records
+                        : static_cast<int64_t>(std::llround(Sum(x)));
+  Vector synthetic(x.size(), 0.0);
+  auto sample_from = [&](const Vector& weights) -> int64_t {
+    double total = Sum(weights);
+    if (total <= 0.0)
+      return rng->UniformInt(0, static_cast<int64_t>(weights.size()) - 1);
+    double u = rng->Uniform() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (u <= acc) return static_cast<int64_t>(i);
+    }
+    return static_cast<int64_t>(weights.size()) - 1;
+  };
+  std::vector<int64_t> coords(static_cast<size_t>(d));
+  for (int64_t r = 0; r < records; ++r) {
+    coords[static_cast<size_t>(root)] = sample_from(root_dist);
+    for (int step = 1; step < d; ++step) {
+      int a = order[static_cast<size_t>(step)];
+      int p = parent[static_cast<size_t>(a)];
+      const Matrix& j = joint[static_cast<size_t>(a)];
+      Vector conditional(static_cast<size_t>(j.rows()));
+      for (int64_t i = 0; i < j.rows(); ++i)
+        conditional[static_cast<size_t>(i)] =
+            j(i, coords[static_cast<size_t>(p)]);
+      coords[static_cast<size_t>(a)] = sample_from(conditional);
+    }
+    synthetic[static_cast<size_t>(domain.Flatten(coords))] += 1.0;
+  }
+  return synthetic;
+}
+
+Vector RunPrivBayes(const UnionWorkload& w, const Vector& x, double epsilon,
+                    const PrivBayesOptions& options, Rng* rng) {
+  Vector synthetic =
+      RunPrivBayesSynthetic(w.domain(), x, epsilon, options, rng);
+  auto op = w.ToOperator();
+  return op->Apply(synthetic);
+}
+
+}  // namespace hdmm

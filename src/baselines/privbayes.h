@@ -1,0 +1,34 @@
+// PrivBayes [50]: private synthetic data via a Bayesian network. Fits a
+// tree-structured network (each attribute gets at most one parent) with a
+// noisy mutual-information criterion, perturbs the conditional
+// distributions with Laplace noise, samples synthetic records, and answers
+// the workload on the synthetic data vector.
+#ifndef HDMM_BASELINES_PRIVBAYES_H_
+#define HDMM_BASELINES_PRIVBAYES_H_
+
+#include "common/rng.h"
+#include "linalg/vector_ops.h"
+#include "workload/domain.h"
+#include "workload/workload.h"
+
+namespace hdmm {
+
+/// Options for PrivBayes.
+struct PrivBayesOptions {
+  double structure_budget_fraction = 0.3;  ///< For network selection.
+  int64_t synthetic_records = 0;           ///< 0 = match input total.
+};
+
+/// One PrivBayes run: returns the synthetic data vector (same shape as x)
+/// built under epsilon-DP. Workload answers follow by applying W.
+Vector RunPrivBayesSynthetic(const Domain& domain, const Vector& x,
+                             double epsilon, const PrivBayesOptions& options,
+                             Rng* rng);
+
+/// Convenience: synthetic data vector -> workload answers.
+Vector RunPrivBayes(const UnionWorkload& w, const Vector& x, double epsilon,
+                    const PrivBayesOptions& options, Rng* rng);
+
+}  // namespace hdmm
+
+#endif  // HDMM_BASELINES_PRIVBAYES_H_

@@ -1,0 +1,19 @@
+#include "baselines/privelet.h"
+
+#include "common/check.h"
+#include "workload/building_blocks.h"
+
+namespace hdmm {
+
+std::unique_ptr<Strategy> MakePriveletStrategy(const Domain& domain) {
+  std::vector<Matrix> factors;
+  for (int i = 0; i < domain.NumAttributes(); ++i) {
+    const int64_t n = domain.AttributeSize(i);
+    HDMM_CHECK_MSG((n & (n - 1)) == 0,
+                   "Privelet requires power-of-two attribute sizes");
+    factors.push_back(HaarBlock(n));
+  }
+  return std::make_unique<KronStrategy>(std::move(factors), "privelet");
+}
+
+}  // namespace hdmm

@@ -1,0 +1,23 @@
+// Privelet [43]: the Haar-wavelet strategy. For multi-dimensional domains
+// the wavelet basis extends as the Kronecker product of 1D Haar matrices
+// (Xiao et al.'s multi-dimensional extension).
+#ifndef HDMM_BASELINES_PRIVELET_H_
+#define HDMM_BASELINES_PRIVELET_H_
+
+#include <memory>
+
+#include "core/strategy.h"
+#include "workload/domain.h"
+
+namespace hdmm {
+
+/// Builds the Privelet (Haar wavelet) strategy for the given domain. Every
+/// attribute size is rounded up to a power of two internally; queries over
+/// padded cells are zero so error is unaffected on the real domain when the
+/// size is already a power of two (benchmarks use power-of-two domains as in
+/// the paper).
+std::unique_ptr<Strategy> MakePriveletStrategy(const Domain& domain);
+
+}  // namespace hdmm
+
+#endif  // HDMM_BASELINES_PRIVELET_H_

@@ -1,0 +1,30 @@
+#include "baselines/quadtree.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "workload/building_blocks.h"
+
+namespace hdmm {
+
+std::unique_ptr<Strategy> MakeQuadtreeStrategy(int64_t n1, int64_t n2) {
+  HDMM_CHECK_MSG((n1 & (n1 - 1)) == 0 && (n2 & (n2 - 1)) == 0,
+                 "QuadTree requires power-of-two grid sides");
+  int levels1 = 0, levels2 = 0;
+  while ((int64_t{1} << levels1) < n1) ++levels1;
+  while ((int64_t{1} << levels2) < n2) ++levels2;
+  const int depth = std::max(levels1, levels2);
+
+  std::vector<std::vector<Matrix>> parts;
+  for (int k = 0; k <= depth; ++k) {
+    // Clamp each side's level so small sides bottom out at cells.
+    int k1 = std::min(k, levels1);
+    int k2 = std::min(k, levels2);
+    parts.push_back({DyadicPartitionBlock(n1, k1),
+                     DyadicPartitionBlock(n2, k2)});
+  }
+  return std::make_unique<ImplicitStackedStrategy>(std::move(parts),
+                                                   "quadtree");
+}
+
+}  // namespace hdmm

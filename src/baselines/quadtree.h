@@ -1,0 +1,21 @@
+// QuadTree [8]: the 2D spatial-decomposition strategy. Level k of a
+// quadtree over an n1 x n2 grid is exactly the Kronecker product of the 1D
+// dyadic partitions at level k, so the full strategy is an implicit stack of
+// Kronecker products — which is what lets us evaluate it at 256 x 256 and
+// beyond without densifying.
+#ifndef HDMM_BASELINES_QUADTREE_H_
+#define HDMM_BASELINES_QUADTREE_H_
+
+#include <memory>
+
+#include "baselines/baselines.h"
+
+namespace hdmm {
+
+/// Builds the QuadTree strategy over an n1 x n2 grid (both powers of two).
+/// Levels run from the root (whole grid) down to individual cells.
+std::unique_ptr<Strategy> MakeQuadtreeStrategy(int64_t n1, int64_t n2);
+
+}  // namespace hdmm
+
+#endif  // HDMM_BASELINES_QUADTREE_H_

@@ -1,0 +1,31 @@
+// Lightweight contract-checking macros. The library does not use exceptions
+// (Google C++ style); contract violations abort with a diagnostic instead.
+#ifndef HDMM_COMMON_CHECK_H_
+#define HDMM_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts the process with a diagnostic if `cond` is false. Used for
+/// programmer-error contracts (shape mismatches, invalid arguments); it is not
+/// a recoverable error channel.
+#define HDMM_CHECK(cond)                                                    \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "HDMM_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// HDMM_CHECK with an extra human-readable message.
+#define HDMM_CHECK_MSG(cond, msg)                                           \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "HDMM_CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // HDMM_COMMON_CHECK_H_

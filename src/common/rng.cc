@@ -1,0 +1,51 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdmm {
+
+double Rng::Uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(gen_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(gen_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  return std::uniform_int_distribution<int64_t>(lo, hi)(gen_);
+}
+
+double Rng::Gaussian() {
+  return std::normal_distribution<double>(0.0, 1.0)(gen_);
+}
+
+double Rng::Laplace(double b) {
+  // Inverse-CDF sampling: u uniform in (-1/2, 1/2),
+  // x = -b * sign(u) * ln(1 - 2|u|).
+  double u = Uniform() - 0.5;
+  double sign = (u >= 0.0) ? 1.0 : -1.0;
+  return -b * sign * std::log(1.0 - 2.0 * std::fabs(u));
+}
+
+std::vector<double> Rng::LaplaceVector(int64_t n, double b) {
+  std::vector<double> out(static_cast<size_t>(n));
+  for (auto& v : out) v = Laplace(b);
+  return out;
+}
+
+std::vector<double> Rng::RademacherVector(int64_t n) {
+  std::vector<double> out(static_cast<size_t>(n));
+  for (auto& v : out) v = (Uniform() < 0.5) ? -1.0 : 1.0;
+  return out;
+}
+
+std::vector<int> Rng::Permutation(int n) {
+  std::vector<int> p(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) p[static_cast<size_t>(i)] = i;
+  std::shuffle(p.begin(), p.end(), gen_);
+  return p;
+}
+
+}  // namespace hdmm

@@ -1,0 +1,52 @@
+// Seeded random number generation, including the Laplace sampler used by the
+// Laplace mechanism (Definition 6 of the paper).
+#ifndef HDMM_COMMON_RNG_H_
+#define HDMM_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace hdmm {
+
+/// Deterministic, seedable random source. All randomized components of the
+/// library (strategy initialization, noise, synthetic data) draw from an Rng
+/// passed in by the caller so experiments are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0) : gen_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal sample.
+  double Gaussian();
+
+  /// Zero-mean Laplace sample with scale `b` (variance 2b^2).
+  double Laplace(double b);
+
+  /// Vector of `n` iid Laplace(b) samples.
+  std::vector<double> LaplaceVector(int64_t n, double b);
+
+  /// Rademacher (+1/-1) vector, used by the Hutchinson trace estimator.
+  std::vector<double> RademacherVector(int64_t n);
+
+  /// Uniform random permutation of {0, ..., n-1}.
+  std::vector<int> Permutation(int n);
+
+  /// Access to the underlying engine for std distributions.
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace hdmm
+
+#endif  // HDMM_COMMON_RNG_H_

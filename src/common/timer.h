@@ -1,0 +1,29 @@
+// Wall-clock timer for the scalability experiments (Figures 1, 5, 6).
+#ifndef HDMM_COMMON_TIMER_H_
+#define HDMM_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace hdmm {
+
+/// Simple monotonic wall-clock timer.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the start time to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hdmm
+
+#endif  // HDMM_COMMON_TIMER_H_

@@ -1,0 +1,61 @@
+// Strategy diagnostics: the support constraint of Problem 1 and numerical
+// health checks. A strategy A supports a workload W iff every workload query
+// is a linear combination of strategy queries — W A^+ A = W — which the
+// optimizers guarantee by construction (p-Identity strategies contain a
+// scaled identity; M(theta) requires theta_full > 0) but user-supplied or
+// deserialized strategies may violate. Reconstruction against a
+// non-supporting strategy silently produces biased answers, so deployments
+// should gate on these checks.
+#ifndef HDMM_CORE_DIAGNOSTICS_H_
+#define HDMM_CORE_DIAGNOSTICS_H_
+
+#include <string>
+
+#include "core/strategy.h"
+#include "workload/workload.h"
+
+namespace hdmm {
+
+/// Explicit support check: ||W A^+ A - W||_max <= tol. O(N^3); for modest
+/// domains or per-attribute factors.
+bool SupportsWorkloadExplicit(const Matrix& w, const Matrix& a,
+                              double tol = 1e-8);
+
+/// Support check for an implicit workload against a library strategy.
+///
+/// * KronStrategy: exact per-factor reduction — a product workload
+///   W_1 x ... x W_d is supported iff rowspace(W_i) <= rowspace(A_i) for
+///   every i, so each factor is checked explicitly at per-attribute cost.
+/// * MarginalsStrategy: supported iff theta on the full marginal is
+///   positive (M then spans the full contingency table).
+/// * ExplicitStrategy: direct check (requires modest N).
+/// * UnionKronStrategy: per-group check of the group's products against the
+///   group's part (the Definition 11 inference convention).
+bool SupportsWorkload(const Strategy& strategy, const UnionWorkload& w,
+                      double tol = 1e-8);
+
+/// Numerical health report for a strategy.
+struct StrategyReport {
+  std::string name;
+  int64_t num_queries = 0;
+  int64_t domain_size = 0;
+  double l1_sensitivity = 0.0;   ///< Laplace calibration norm (Section 3.5).
+  double l2_sensitivity = 0.0;   ///< Gaussian calibration norm.
+  int64_t rank = 0;              ///< Numerical rank of A.
+  double condition_number = 0.0; ///< sigma_max / sigma_min_positive.
+  bool full_column_rank = false; ///< rank == domain_size: supports anything.
+};
+
+/// Builds the report. Explicit and Kron strategies are analyzed exactly
+/// (Kron: rank and conditioning multiply across factors); other types are
+/// expanded when N <= max_explicit_cells and die beyond it.
+StrategyReport DescribeStrategy(const Strategy& strategy,
+                                int64_t max_explicit_cells = (int64_t{1}
+                                                              << 22));
+
+/// Human-readable rendering of a report (used by hdmm_cli).
+std::string ReportToString(const StrategyReport& report);
+
+}  // namespace hdmm
+
+#endif  // HDMM_CORE_DIAGNOSTICS_H_

@@ -1,0 +1,48 @@
+#include "core/error.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/pinv.h"
+#include "linalg/trace_estimator.h"
+
+namespace hdmm {
+
+double ExplicitSquaredError(const Matrix& w, const Matrix& a) {
+  HDMM_CHECK(w.cols() == a.cols());
+  double sens = a.MaxAbsColSum();
+  return sens * sens * TracePinvGram(Gram(a), Gram(w));
+}
+
+double ErrorRatio(const UnionWorkload& w, const Strategy& other,
+                  const Strategy& reference) {
+  double e_other = other.SquaredError(w);
+  double e_ref = reference.SquaredError(w);
+  HDMM_CHECK(e_ref > 0.0);
+  return std::sqrt(e_other / e_ref);
+}
+
+double EstimateSquaredError(const LinearOperator& strategy_op,
+                            const LinearOperator& workload_op,
+                            double sensitivity, Rng* rng, int num_samples) {
+  auto gram_a = GramOperator(
+      std::shared_ptr<const LinearOperator>(&strategy_op, [](auto*) {}));
+  auto gram_w = GramOperator(
+      std::shared_ptr<const LinearOperator>(&workload_op, [](auto*) {}));
+  TraceEstimatorOptions opts;
+  opts.num_samples = num_samples;
+  double tr = EstimateTraceInvProduct(gram_a, gram_w, rng, opts);
+  return sensitivity * sensitivity * tr;
+}
+
+double EmpiricalSquaredError(const Vector& truth, const Vector& estimate) {
+  HDMM_CHECK(truth.size() == estimate.size());
+  double total = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    double diff = truth[i] - estimate[i];
+    total += diff * diff;
+  }
+  return total;
+}
+
+}  // namespace hdmm

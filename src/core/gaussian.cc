@@ -1,0 +1,46 @@
+#include "core/gaussian.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hdmm {
+
+double L2Sensitivity(const Matrix& a) {
+  double best = 0.0;
+  for (int64_t j = 0; j < a.cols(); ++j) {
+    double s = 0.0;
+    for (int64_t i = 0; i < a.rows(); ++i) s += a(i, j) * a(i, j);
+    best = std::max(best, s);
+  }
+  return std::sqrt(best);
+}
+
+double KronL2Sensitivity(const std::vector<Matrix>& factors) {
+  double s = 1.0;
+  for (const Matrix& f : factors) s *= L2Sensitivity(f);
+  return s;
+}
+
+double GaussianNoiseScale(double l2_sensitivity, double epsilon,
+                          double delta) {
+  HDMM_CHECK(epsilon > 0.0 && delta > 0.0 && delta < 1.0);
+  return l2_sensitivity * std::sqrt(2.0 * std::log(1.25 / delta)) / epsilon;
+}
+
+Vector MeasureGaussian(const Strategy& strategy, const Vector& x,
+                       double l2_sensitivity, double epsilon, double delta,
+                       Rng* rng) {
+  Vector y = strategy.Apply(x);
+  const double sigma = GaussianNoiseScale(l2_sensitivity, epsilon, delta);
+  for (double& v : y) v += sigma * rng->Gaussian();
+  return y;
+}
+
+double GaussianTotalSquaredError(double trace_term, double l2_sensitivity,
+                                 double epsilon, double delta) {
+  double sigma = GaussianNoiseScale(l2_sensitivity, epsilon, delta);
+  return sigma * sigma * trace_term;
+}
+
+}  // namespace hdmm

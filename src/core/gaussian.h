@@ -1,0 +1,41 @@
+// Approximate-DP ((epsilon, delta)) measurement via the Gaussian mechanism.
+// Section 3.5 of the paper notes the HDMM machinery "also appl[ies] to a
+// version of MM satisfying approximate differential privacy (delta > 0)":
+// the only changes are L2 (not L1) sensitivity and Gaussian (not Laplace)
+// noise; selection, measurement, and reconstruction are otherwise identical.
+#ifndef HDMM_CORE_GAUSSIAN_H_
+#define HDMM_CORE_GAUSSIAN_H_
+
+#include "common/rng.h"
+#include "core/strategy.h"
+#include "linalg/matrix.h"
+
+namespace hdmm {
+
+/// L2 sensitivity of an explicit strategy: max column Euclidean norm.
+double L2Sensitivity(const Matrix& a);
+
+/// L2 sensitivity of a Kronecker strategy: columns of a Kronecker product
+/// are Kronecker products of columns, and ||u x v||_2 = ||u||_2 ||v||_2, so
+/// the sensitivity is the product of the factor sensitivities.
+double KronL2Sensitivity(const std::vector<Matrix>& factors);
+
+/// Classic Gaussian-mechanism noise scale sigma for (epsilon, delta)-DP
+/// (epsilon <= 1 regime): sigma = sens * sqrt(2 ln(1.25/delta)) / epsilon.
+double GaussianNoiseScale(double l2_sensitivity, double epsilon, double delta);
+
+/// MEASURE under (epsilon, delta)-DP: y = A x + N(0, sigma^2)^m. The caller
+/// supplies the L2 sensitivity of the strategy.
+Vector MeasureGaussian(const Strategy& strategy, const Vector& x,
+                       double l2_sensitivity, double epsilon, double delta,
+                       Rng* rng);
+
+/// Expected total squared error of the workload answers under Gaussian
+/// measurement: sigma^2 * ||W A^+||_F^2. `trace_term` is ||W A^+||_F^2
+/// (i.e., Strategy::SquaredError divided by the L1 sensitivity squared).
+double GaussianTotalSquaredError(double trace_term, double l2_sensitivity,
+                                 double epsilon, double delta);
+
+}  // namespace hdmm
+
+#endif  // HDMM_CORE_GAUSSIAN_H_

@@ -1,0 +1,100 @@
+#include "core/hdmm.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "workload/building_blocks.h"
+
+namespace hdmm {
+namespace {
+
+std::unique_ptr<Strategy> MakeIdentityStrategy(const Domain& domain) {
+  std::vector<Matrix> factors;
+  for (int i = 0; i < domain.NumAttributes(); ++i)
+    factors.push_back(IdentityBlock(domain.AttributeSize(i)));
+  return std::make_unique<KronStrategy>(std::move(factors), "identity");
+}
+
+}  // namespace
+
+HdmmResult OptimizeStrategy(const UnionWorkload& w,
+                            const HdmmOptions& options) {
+  HDMM_CHECK(w.NumProducts() >= 1);
+  Rng rng(options.seed);
+  const int d = w.domain().NumAttributes();
+
+  // Line 1 of Algorithm 2: best = (I, error_I).
+  HdmmResult best;
+  best.strategy = MakeIdentityStrategy(w.domain());
+  best.squared_error = best.strategy->SquaredError(w);
+  best.chosen_operator = "identity";
+
+  // Candidates are always compared through the strategy's own closed-form
+  // SquaredError rather than the optimizer's internal objective value, so
+  // HdmmResult::squared_error is guaranteed to describe the strategy that is
+  // actually returned (the optimizers' fast-path objectives can disagree
+  // with the built strategy at extreme parameters; see
+  // docs/pidentity_gradient.md).
+  auto consider = [&](std::unique_ptr<Strategy> s, const std::string& op) {
+    const double err = s->SquaredError(w);
+    if (err < best.squared_error) {
+      best.strategy = std::move(s);
+      best.squared_error = err;
+      best.chosen_operator = op;
+    }
+  };
+
+  for (int restart = 0; restart < std::max(1, options.restarts); ++restart) {
+    if (options.use_kron) {
+      OptKronResult res = OptKron(w, options.kron, &rng);
+      auto strat = std::make_unique<KronStrategy>(KronStrategyFactors(res),
+                                                  "opt-kron");
+      consider(std::move(strat), "kron");
+    }
+    if (options.use_union) {
+      std::vector<std::vector<int>> groups =
+          PartitionBySignature(w, options.union_opts.max_groups);
+      // With a single signature group OPT_+ degenerates to OPT_x; skip it.
+      if (groups.size() > 1) {
+        OptUnionResult res = OptUnion(w, options.union_opts, &rng);
+        std::vector<std::vector<Matrix>> parts;
+        for (size_t g = 0; g < res.group_thetas.size(); ++g) {
+          OptKronResult tmp;
+          tmp.thetas = res.group_thetas[g];
+          std::vector<Matrix> factors = KronStrategyFactors(tmp);
+          // Fold the group's budget fraction into the strategy: scaling one
+          // factor by lambda_g makes the stacked sensitivity sum to 1 and
+          // the closed-form error match OptUnion's bookkeeping.
+          factors[0].ScaleInPlace(res.budget_split[g]);
+          parts.push_back(std::move(factors));
+        }
+        auto strat = std::make_unique<UnionKronStrategy>(
+            std::move(parts), res.group_products, "opt-union");
+        consider(std::move(strat), "union");
+      }
+    }
+    if (options.use_marginals && d <= options.max_marginals_dims) {
+      OptMarginalsResult res = OptMarginals(w, options.marginals, &rng);
+      auto strat = std::make_unique<MarginalsStrategy>(
+          w.domain(), res.theta, "opt-marginals");
+      consider(std::move(strat), "marginals");
+    }
+  }
+  return best;
+}
+
+Vector RunMechanism(const UnionWorkload& w, const Strategy& strategy,
+                    const Vector& x, double epsilon, Rng* rng) {
+  HDMM_CHECK(static_cast<int64_t>(x.size()) == w.DomainSize());
+  Vector y = strategy.Measure(x, epsilon, rng);
+  Vector x_hat = strategy.Reconstruct(y);
+  return TrueAnswers(w, x_hat);
+}
+
+Vector TrueAnswers(const UnionWorkload& w, const Vector& x) {
+  auto op = w.ToOperator();
+  return op->Apply(x);
+}
+
+}  // namespace hdmm

@@ -1,0 +1,17 @@
+#include "core/measure.h"
+
+#include "common/check.h"
+
+namespace hdmm {
+
+Vector LaplaceMeasure(const LinearOperator& a, const Vector& x,
+                      double sensitivity, double epsilon, Rng* rng) {
+  HDMM_CHECK(epsilon > 0.0 && sensitivity > 0.0);
+  Vector y;
+  a.Apply(x, &y);
+  const double scale = LaplaceScale(sensitivity, epsilon);
+  for (double& v : y) v += rng->Laplace(scale);
+  return y;
+}
+
+}  // namespace hdmm

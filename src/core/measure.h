@@ -1,0 +1,23 @@
+// The MEASURE step (Table 1b): Laplace mechanism in vector form
+// (Definition 6) over implicit operators.
+#ifndef HDMM_CORE_MEASURE_H_
+#define HDMM_CORE_MEASURE_H_
+
+#include "common/rng.h"
+#include "linalg/linear_operator.h"
+
+namespace hdmm {
+
+/// y = A x + Lap(sensitivity / epsilon)^m. The caller supplies the
+/// sensitivity (||A||_1) since implicit operators cannot always compute it.
+Vector LaplaceMeasure(const LinearOperator& a, const Vector& x,
+                      double sensitivity, double epsilon, Rng* rng);
+
+/// Noise scale used by LaplaceMeasure (sigma_A of Definition 6).
+inline double LaplaceScale(double sensitivity, double epsilon) {
+  return sensitivity / epsilon;
+}
+
+}  // namespace hdmm
+
+#endif  // HDMM_CORE_MEASURE_H_

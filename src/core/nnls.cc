@@ -1,0 +1,125 @@
+#include "core/nnls.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace hdmm {
+namespace {
+
+void ProjectNonNegative(Vector* x) {
+  for (double& v : *x) v = std::max(v, 0.0);
+}
+
+// Largest eigenvalue of A^T A by power iteration (deterministic seed; the
+// estimate only needs ~2 digits for a safe step size).
+double EstimateLipschitz(const LinearOperator& a, int iterations) {
+  const int64_t n = a.Cols();
+  Rng rng(12345);
+  Vector v(static_cast<size_t>(n));
+  for (double& x : v) x = rng.Uniform(-1.0, 1.0);
+  double norm = Norm2(v);
+  HDMM_CHECK(norm > 0.0);
+  Scale(1.0 / norm, &v);
+
+  double lambda = 1.0;
+  Vector av, atav;
+  for (int it = 0; it < iterations; ++it) {
+    a.Apply(v, &av);
+    a.ApplyTranspose(av, &atav);
+    lambda = Norm2(atav);
+    if (lambda <= 1e-300) return 1.0;  // A == 0: any step size works.
+    v = atav;
+    Scale(1.0 / lambda, &v);
+  }
+  return lambda;
+}
+
+double Objective(const LinearOperator& a, const Vector& y, const Vector& x,
+                 Vector* scratch) {
+  a.Apply(x, scratch);
+  double obj = 0.0;
+  for (size_t i = 0; i < scratch->size(); ++i) {
+    const double diff = (*scratch)[i] - y[i];
+    obj += diff * diff;
+  }
+  return obj;
+}
+
+}  // namespace
+
+NnlsResult SolveNnls(const LinearOperator& a, const Vector& y,
+                     const NnlsOptions& options) {
+  return SolveNnls(a, y, Vector(static_cast<size_t>(a.Cols()), 0.0), options);
+}
+
+NnlsResult SolveNnls(const LinearOperator& a, const Vector& y, Vector x0,
+                     const NnlsOptions& options) {
+  HDMM_CHECK(static_cast<int64_t>(y.size()) == a.Rows());
+  HDMM_CHECK(static_cast<int64_t>(x0.size()) == a.Cols());
+
+  // Step size 1/L with L = ||A^T A||_2 (a safety margin absorbs the power
+  // iteration's underestimate).
+  const double lipschitz =
+      1.05 * EstimateLipschitz(a, options.power_iterations);
+  const double step = 1.0 / lipschitz;
+
+  ProjectNonNegative(&x0);
+  Vector x = x0;            // Current iterate.
+  Vector z = x;             // Extrapolated point.
+  double t = 1.0;           // Nesterov momentum parameter.
+
+  Vector az, grad, residual;
+  double prev_obj = Objective(a, y, x, &residual);
+
+  NnlsResult result;
+  result.x = x;
+  result.objective = prev_obj;
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    // FISTA step at the extrapolated point, in the f(x) = 1/2 ||Ax - y||^2
+    // convention: x_next = P_+(z - (1/L) A^T (A z - y)), L = ||A^T A||_2.
+    a.Apply(z, &az);
+    for (size_t i = 0; i < az.size(); ++i) az[i] -= y[i];
+    a.ApplyTranspose(az, &grad);
+
+    Vector x_next = z;
+    Axpy(-step, grad, &x_next);
+    ProjectNonNegative(&x_next);
+
+    // Momentum update.
+    const double t_next = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t * t));
+    z = x_next;
+    const double beta = (t - 1.0) / t_next;
+    for (size_t i = 0; i < z.size(); ++i) {
+      z[i] += beta * (x_next[i] - x[i]);
+    }
+    // The extrapolated point may leave the orthant; that is fine for FISTA,
+    // the projection happens after the gradient step.
+
+    const double obj = Objective(a, y, x_next, &residual);
+    result.iterations = it + 1;
+    if (obj > prev_obj) {
+      // Function-value restart: drop the momentum when it overshoots.
+      t = 1.0;
+      z = x_next;
+    } else {
+      t = t_next;
+    }
+
+    const double change = std::abs(prev_obj - obj);
+    x = std::move(x_next);
+    result.x = x;
+    result.objective = obj;
+    if (change <= options.tolerance * std::max(1.0, prev_obj)) {
+      result.converged = true;
+      break;
+    }
+    prev_obj = obj;
+  }
+  return result;
+}
+
+}  // namespace hdmm

@@ -1,0 +1,74 @@
+#include "core/opt0.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace hdmm {
+
+int DefaultPFromSize(int64_t n) {
+  return static_cast<int>(std::max<int64_t>(1, n / 16));
+}
+
+int DefaultP(const Matrix& workload_factor) {
+  // "If an attribute's predicate set is contained in T u I, we set p = 1."
+  bool simple = true;
+  for (int64_t i = 0; i < workload_factor.rows() && simple; ++i) {
+    const double* row = workload_factor.Row(i);
+    int64_t nonzero = 0;
+    bool all_ones = true;
+    for (int64_t j = 0; j < workload_factor.cols(); ++j) {
+      if (row[j] != 0.0) {
+        ++nonzero;
+        if (row[j] != 1.0) all_ones = false;
+      }
+    }
+    bool is_point = (nonzero == 1 && all_ones);
+    bool is_total = (nonzero == workload_factor.cols() && all_ones);
+    if (!is_point && !is_total) simple = false;
+  }
+  if (simple) return 1;
+  return DefaultPFromSize(workload_factor.cols());
+}
+
+Opt0Result Opt0WarmStart(const Matrix& gram, const Matrix& theta0,
+                         const LbfgsbOptions& lbfgs) {
+  const int p = static_cast<int>(theta0.rows());
+  PIdentityObjective objective(gram, p);
+  ObjectiveFn fn = [&objective](const Vector& x, Vector* grad) {
+    return objective.Eval(x, grad);
+  };
+  Vector x0(theta0.data(), theta0.data() + theta0.size());
+  LbfgsbResult res = MinimizeNonNegative(fn, std::move(x0), lbfgs);
+  Opt0Result out;
+  out.theta = Matrix(p, gram.rows(), std::move(res.x));
+  // Report the error through the backward-stable dense path so the restart
+  // selection can never be fooled by Woodbury cancellation at extreme Theta
+  // (one O(n^3) evaluation per restart).
+  out.error = PIdentityObjective::EvalReference(out.theta, gram);
+  return out;
+}
+
+Opt0Result Opt0(const Matrix& gram, const Opt0Options& options, Rng* rng) {
+  HDMM_CHECK(gram.rows() == gram.cols());
+  const int64_t n = gram.rows();
+  const int p = options.p > 0 ? options.p : DefaultPFromSize(n);
+
+  Opt0Result best;
+  best.error = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < std::max(1, options.restarts); ++r) {
+    // Cycle the initialization scale across restarts: the Theta = 0 basin
+    // (the identity strategy, always a strict local minimum) captures some
+    // scales on some workloads, and varying the scale escapes it.
+    const double scale = options.init_hi / static_cast<double>(int64_t{1} << (r % 3));
+    Matrix theta0 =
+        Matrix::RandomUniform(p, n, rng, options.init_lo, scale);
+    Opt0Result res = Opt0WarmStart(gram, theta0, options.lbfgs);
+    if (res.error < best.error) best = std::move(res);
+  }
+  return best;
+}
+
+}  // namespace hdmm

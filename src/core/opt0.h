@@ -1,0 +1,52 @@
+// OPT_0 (Problem 2, Section 5.2): gradient-based optimization of p-Identity
+// strategies for an explicitly-represented workload Gram matrix. Scales to
+// modest domains (N ~ 10^4 in the paper); the multi-dimensional operators of
+// Section 6 use it as their inner subroutine.
+#ifndef HDMM_CORE_OPT0_H_
+#define HDMM_CORE_OPT0_H_
+
+#include "common/rng.h"
+#include "core/pidentity.h"
+#include "linalg/matrix.h"
+#include "optimize/lbfgsb.h"
+
+namespace hdmm {
+
+/// Options for OPT_0.
+struct Opt0Options {
+  int p = 0;           ///< Extra rows; 0 = auto (max(1, n/16), Section 7.1).
+  int restarts = 1;    ///< Random restarts (S in Algorithm 2).
+  LbfgsbOptions lbfgs; ///< Inner optimizer settings.
+  /// Uniform init range for Theta. Restarts cycle the scale downward from
+  /// init_hi (see Opt0); 0.5 is markedly more robust than 1.0 at small n.
+  double init_lo = 0.0, init_hi = 0.5;
+};
+
+/// Result of OPT_0: the optimized parameters and their error.
+struct Opt0Result {
+  Matrix theta;        ///< p x n parameters of the p-Identity strategy.
+  double error = 0.0;  ///< ||W A^+||_F^2 (sensitivity-1 expected error).
+};
+
+/// Runs OPT_0 on the Gram matrix G = W^T W of an explicit workload. Taking
+/// the Gram rather than W itself allows closed-form Grams for structured
+/// workloads (e.g., AllRange) that are too large to materialize.
+Opt0Result Opt0(const Matrix& gram, const Opt0Options& options, Rng* rng);
+
+/// Warm-started single run from an existing parameter matrix (used by the
+/// block-cyclic union optimization, Problem 3).
+Opt0Result Opt0WarmStart(const Matrix& gram, const Matrix& theta0,
+                         const LbfgsbOptions& lbfgs);
+
+/// The paper's default p for a workload factor: 1 if every query row is
+/// either a point query or the total (strategies richer than [I; T] don't
+/// help), else max(1, n/16) (Section 7.1).
+int DefaultP(const Matrix& workload_factor);
+
+/// DefaultP from a Gram matrix when the factor itself is implicit: uses the
+/// diagonal/off-diagonal structure to detect Identity+Total-like workloads.
+int DefaultPFromSize(int64_t n);
+
+}  // namespace hdmm
+
+#endif  // HDMM_CORE_OPT0_H_

@@ -1,0 +1,135 @@
+#include "core/opt_kron.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace hdmm {
+
+int AttributeDefaultP(const UnionWorkload& w, int attribute) {
+  int p = 1;
+  for (const ProductWorkload& prod : w.products()) {
+    int candidate = DefaultP(prod.factors[static_cast<size_t>(attribute)]);
+    p = std::max(p, candidate);
+  }
+  return p;
+}
+
+OptKronResult OptKron(const UnionWorkload& w, const OptKronOptions& options,
+                      Rng* rng) {
+  const int d = w.domain().NumAttributes();
+  const int k = w.NumProducts();
+  HDMM_CHECK(k >= 1);
+
+  // Per-product, per-attribute Gram matrices (cached once; Section 6.2 notes
+  // (W^T W)_i^(j) can be precomputed).
+  std::vector<std::vector<Matrix>> grams(static_cast<size_t>(k));
+  for (int j = 0; j < k; ++j) {
+    for (int i = 0; i < d; ++i) {
+      grams[static_cast<size_t>(j)].push_back(
+          w.products()[static_cast<size_t>(j)].FactorGram(i));
+    }
+  }
+
+  std::vector<int> p(static_cast<size_t>(d));
+  for (int i = 0; i < d; ++i) {
+    p[static_cast<size_t>(i)] = options.p.empty()
+                                    ? AttributeDefaultP(w, i)
+                                    : options.p[static_cast<size_t>(i)];
+  }
+
+  OptKronResult best;
+  best.error = std::numeric_limits<double>::infinity();
+
+  for (int restart = 0; restart < std::max(1, options.restarts); ++restart) {
+    // Random initialization of each attribute's parameters.
+    std::vector<Matrix> thetas;
+    thetas.reserve(static_cast<size_t>(d));
+    // Initialization scale cycles across restarts (see Opt0).
+    const double scale = 0.5 / static_cast<double>(int64_t{1} << (restart % 3));
+    for (int i = 0; i < d; ++i) {
+      thetas.push_back(Matrix::RandomUniform(
+          p[static_cast<size_t>(i)], w.domain().AttributeSize(i), rng, 0.0,
+          scale));
+    }
+    // t[j][i] = tr[(A_i^T A_i)^{-1} G_i^(j)].
+    std::vector<std::vector<double>> t(static_cast<size_t>(k),
+                                       std::vector<double>(static_cast<size_t>(d)));
+    for (int j = 0; j < k; ++j)
+      for (int i = 0; i < d; ++i)
+        t[static_cast<size_t>(j)][static_cast<size_t>(i)] =
+            PIdentityObjective::TraceWithGram(
+                thetas[static_cast<size_t>(i)],
+                grams[static_cast<size_t>(j)][static_cast<size_t>(i)]);
+
+    auto total_error = [&]() {
+      double total = 0.0;
+      for (int j = 0; j < k; ++j) {
+        double term = w.products()[static_cast<size_t>(j)].weight *
+                      w.products()[static_cast<size_t>(j)].weight;
+        for (int i = 0; i < d; ++i)
+          term *= t[static_cast<size_t>(j)][static_cast<size_t>(i)];
+        total += term;
+      }
+      return total;
+    };
+
+    double err = total_error();
+    // Block-cyclic optimization (Problem 3). With k == 1 the surrogate is
+    // just a rescaled G_i, so one pass reduces to independent OPT_0 calls
+    // (Definition 10).
+    const int cycles = (d == 1) ? 1 : options.max_cycles;
+    for (int cycle = 0; cycle < cycles; ++cycle) {
+      for (int i = 0; i < d; ++i) {
+        // Surrogate Gram: \hat{G}_i = sum_j c_j^2 G_i^(j) with
+        // c_j = w_j prod_{i' != i} ||W_i'^(j) A_i'^+||_F (Equation 6).
+        const int64_t ni = w.domain().AttributeSize(i);
+        Matrix surrogate = Matrix::Zeros(ni, ni);
+        for (int j = 0; j < k; ++j) {
+          double c2 = w.products()[static_cast<size_t>(j)].weight *
+                      w.products()[static_cast<size_t>(j)].weight;
+          for (int i2 = 0; i2 < d; ++i2) {
+            if (i2 == i) continue;
+            c2 *= t[static_cast<size_t>(j)][static_cast<size_t>(i2)];
+          }
+          surrogate.AddInPlace(
+              grams[static_cast<size_t>(j)][static_cast<size_t>(i)], c2);
+        }
+        Opt0Result res = Opt0WarmStart(
+            surrogate, thetas[static_cast<size_t>(i)], options.lbfgs);
+        thetas[static_cast<size_t>(i)] = std::move(res.theta);
+        for (int j = 0; j < k; ++j) {
+          t[static_cast<size_t>(j)][static_cast<size_t>(i)] =
+              PIdentityObjective::TraceWithGram(
+                  thetas[static_cast<size_t>(i)],
+                  grams[static_cast<size_t>(j)][static_cast<size_t>(i)]);
+        }
+      }
+      double new_err = total_error();
+      if (err - new_err <= options.cycle_tol * std::fabs(err)) {
+        err = new_err;
+        break;
+      }
+      err = new_err;
+    }
+
+    // Keep the first restart unconditionally so the result always carries a
+    // valid parameterization even if every objective came out non-finite.
+    if (restart == 0 || err < best.error) {
+      best.error = err;
+      best.thetas = std::move(thetas);
+    }
+  }
+  return best;
+}
+
+std::vector<Matrix> KronStrategyFactors(const OptKronResult& result) {
+  std::vector<Matrix> factors;
+  factors.reserve(result.thetas.size());
+  for (const Matrix& theta : result.thetas)
+    factors.push_back(PIdentityObjective::BuildStrategy(theta));
+  return factors;
+}
+
+}  // namespace hdmm

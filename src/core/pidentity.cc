@@ -1,0 +1,223 @@
+#include "core/pidentity.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "linalg/cholesky.h"
+#include "linalg/pinv.h"
+
+namespace hdmm {
+namespace {
+
+// Column scale factors s_j = 1 + sum_i Theta_ij (the inverse of D's diagonal).
+Vector ColumnScales(const Matrix& theta) {
+  Vector s(static_cast<size_t>(theta.cols()), 1.0);
+  for (int64_t i = 0; i < theta.rows(); ++i) {
+    const double* row = theta.Row(i);
+    for (int64_t j = 0; j < theta.cols(); ++j) s[static_cast<size_t>(j)] += row[j];
+  }
+  return s;
+}
+
+// M = I_p + Theta Theta^T (p x p), the Woodbury capacitance matrix.
+Matrix Capacitance(const Matrix& theta) {
+  Matrix m = MatMulNT(theta, theta);
+  for (int64_t i = 0; i < m.rows(); ++i) m(i, i) += 1.0;
+  return m;
+}
+
+// Scales the rows (axis == 0) or columns (axis == 1) of `m` by `scale`.
+Matrix ScaledCopy(const Matrix& m, const Vector& scale, int axis) {
+  Matrix out = m;
+  if (axis == 0) {
+    HDMM_CHECK(static_cast<int64_t>(scale.size()) == m.rows());
+    for (int64_t i = 0; i < m.rows(); ++i) {
+      double s = scale[static_cast<size_t>(i)];
+      double* row = out.Row(i);
+      for (int64_t j = 0; j < m.cols(); ++j) row[j] *= s;
+    }
+  } else {
+    HDMM_CHECK(static_cast<int64_t>(scale.size()) == m.cols());
+    for (int64_t i = 0; i < m.rows(); ++i) {
+      double* row = out.Row(i);
+      for (int64_t j = 0; j < m.cols(); ++j)
+        row[j] *= scale[static_cast<size_t>(j)];
+    }
+  }
+  return out;
+}
+
+// Trust floor for the Woodbury fast path, as a fraction of term1 (the
+// positive part of the cancelling subtraction). The subtraction's noise is
+// governed by the capacitance solve: with condition number kappa(M) the
+// computed trace carries ~ kappa * eps * term1 of error, and kappa grows like
+// max(Theta)^2. sqrt(eps) ~ 1.5e-8 is the break-even point for
+// kappa ~ 1e8 (Theta entries ~ 1e4, which gradient ascent does reach on
+// range-type workloads); one order of margin on top of that. Values below
+// the floor are treated as pure cancellation: Eval reports the point as
+// infeasible (the line search backs off) and TraceWithGram falls back to the
+// backward-stable dense path.
+constexpr double kFastPathTrustFloor = 1e-7;
+
+}  // namespace
+
+PIdentityObjective::PIdentityObjective(Matrix gram, int p)
+    : gram_(std::move(gram)), p_(p) {
+  HDMM_CHECK(gram_.rows() == gram_.cols());
+  HDMM_CHECK(p_ >= 1);
+}
+
+double PIdentityObjective::Eval(const Vector& theta_flat,
+                                Vector* grad_flat) const {
+  const int64_t n = gram_.rows();
+  HDMM_CHECK(static_cast<int64_t>(theta_flat.size()) == p_ * n);
+  Matrix theta(p_, n, theta_flat);
+
+  const Vector s = ColumnScales(theta);            // s_j = 1/d_j
+  Vector d(s.size());
+  for (size_t j = 0; j < s.size(); ++j) d[j] = 1.0 / s[j];
+
+  Matrix m = Capacitance(theta);                   // I_p + Theta Theta^T
+  Matrix l;
+  if (!CholeskyFactor(m, &l)) {
+    // Numerically indefinite capacitance: treat as an infeasible point.
+    if (grad_flat != nullptr) grad_flat->assign(theta_flat.size(), 0.0);
+    return std::numeric_limits<double>::infinity();
+  }
+
+  // --- Objective: tr[X^{-1} G] with X^{-1} = S (I - Theta^T M^{-1} Theta) S,
+  //     S = diag(s). (Appendix A.3.)
+  // term1 = sum_j s_j^2 G_jj.
+  double term1 = 0.0;
+  for (int64_t j = 0; j < n; ++j)
+    term1 += s[static_cast<size_t>(j)] * s[static_cast<size_t>(j)] * gram_(j, j);
+  // T1 = Theta * S, B = T1 * G, Spp = B * T1^T; term2 = tr[M^{-1} Spp].
+  Matrix t1 = ScaledCopy(theta, s, /*axis=*/1);
+  Matrix b = MatMul(t1, gram_);
+  Matrix spp = MatMulNT(b, t1);
+  Matrix z = CholeskySolveMatrix(l, spp);
+  double objective = term1 - z.Trace();
+  // The exact objective is strictly positive and bounded by term1 (since
+  // X^{-1} is dominated by D^{-2}); the subtraction's noise scales with the
+  // capacitance solve's conditioning (see kFastPathTrustFloor). Values at or
+  // below that noise floor are pure cancellation — treat the point as
+  // infeasible so the line search backs off rather than "winning" with
+  // garbage.
+  if (!(objective > kFastPathTrustFloor * term1) || !std::isfinite(objective)) {
+    if (grad_flat != nullptr) grad_flat->assign(theta_flat.size(), 0.0);
+    return std::numeric_limits<double>::infinity();
+  }
+
+  if (grad_flat == nullptr) return objective;
+
+  // --- Gradient (derivation in docs/pidentity_gradient.md):
+  //   dC/dTheta = -2 ThetaTilde Y D + 2 * 1_p (r .* d)^T
+  // with Y = X^{-1} G X^{-1}, ThetaTilde = Theta D, Z = D Y D,
+  // r_j = Z_jj + sum_i Theta_ij (Theta Z)_ij.
+  //
+  // K = X^{-1} G = S(G1 - Theta^T M^{-1} (Theta G1)) with G1 = S G.
+  Matrix g1 = ScaledCopy(gram_, s, /*axis=*/0);
+  Matrix u = MatMul(theta, g1);
+  Matrix v = CholeskySolveMatrix(l, u);
+  Matrix k = MatMulTN(theta, v);       // Theta^T (M^{-1} Theta G1)
+  k.ScaleInPlace(-1.0);
+  k.AddInPlace(g1, 1.0);
+  k = ScaledCopy(k, s, /*axis=*/0);    // K = S (G1 - ...)
+
+  // Y = K X^{-1} = (K1 - (K1 Theta^T) M^{-1} Theta) S, K1 = K S.
+  Matrix k1 = ScaledCopy(k, s, /*axis=*/1);
+  Matrix pmat = MatMulNT(k1, theta);   // N x p
+  Matrix q = CholeskySolveMatrix(l, pmat.Transposed()).Transposed();  // N x p
+  Matrix r_term = MatMul(q, theta);    // N x N
+  Matrix y = k1;
+  y.AddInPlace(r_term, -1.0);
+  y = ScaledCopy(y, s, /*axis=*/1);
+
+  // ThetaTilde = Theta D.
+  Matrix theta_tilde = ScaledCopy(theta, d, /*axis=*/1);
+  Matrix ty = MatMul(theta_tilde, y);            // p x N
+  Matrix grad1 = ScaledCopy(ty, d, /*axis=*/1);  // ThetaTilde Y D
+  grad1.ScaleInPlace(-2.0);
+
+  // Z = D Y D; r_j = Z_jj + sum_i Theta_ij (Theta Z)_ij.
+  Matrix zmat = ScaledCopy(ScaledCopy(y, d, 0), d, 1);
+  Matrix tz = MatMul(theta, zmat);               // p x N
+  Vector r(static_cast<size_t>(n), 0.0);
+  for (int64_t j = 0; j < n; ++j) {
+    double acc = zmat(j, j);
+    for (int64_t i = 0; i < p_; ++i) acc += theta(i, j) * tz(i, j);
+    r[static_cast<size_t>(j)] = acc;
+  }
+
+  grad_flat->assign(static_cast<size_t>(p_ * n), 0.0);
+  for (int64_t i = 0; i < p_; ++i) {
+    const double* g1row = grad1.Row(i);
+    double* out = grad_flat->data() + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      out[j] = g1row[j] +
+               2.0 * r[static_cast<size_t>(j)] * d[static_cast<size_t>(j)];
+    }
+  }
+  return objective;
+}
+
+Matrix PIdentityObjective::BuildStrategy(const Matrix& theta) {
+  const int64_t p = theta.rows();
+  const int64_t n = theta.cols();
+  Vector s = ColumnScales(theta);
+  Matrix a(n + p, n);
+  for (int64_t j = 0; j < n; ++j) a(j, j) = 1.0 / s[static_cast<size_t>(j)];
+  for (int64_t i = 0; i < p; ++i)
+    for (int64_t j = 0; j < n; ++j)
+      a(n + i, j) = theta(i, j) / s[static_cast<size_t>(j)];
+  return a;
+}
+
+double PIdentityObjective::TraceWithGram(const Matrix& theta, const Matrix& g) {
+  const int64_t n = theta.cols();
+  HDMM_CHECK(g.rows() == n && g.cols() == n);
+  const Vector s = ColumnScales(theta);
+
+  Matrix m = Capacitance(theta);
+  Matrix l;
+  if (CholeskyFactor(m, &l)) {
+    double term1 = 0.0;
+    for (int64_t j = 0; j < n; ++j)
+      term1 += s[static_cast<size_t>(j)] * s[static_cast<size_t>(j)] * g(j, j);
+    Matrix t1 = ScaledCopy(theta, s, 1);
+    Matrix b = MatMul(t1, g);
+    Matrix spp = MatMulNT(b, t1);
+    Matrix z = CholeskySolveMatrix(l, spp);
+    double objective = term1 - z.Trace();
+    // Fast path only trusted above the cancellation noise floor (see Eval).
+    if (objective > kFastPathTrustFloor * term1 && std::isfinite(objective))
+      return objective;
+  }
+  // The Woodbury form cancels catastrophically when the true trace is tiny
+  // relative to term1 (e.g. rank-1 Grams against strategies with a heavy
+  // total row). Fall back to the backward-stable dense path: form
+  // X = A^T A explicitly and solve. O(n^3), evaluation-only.
+  Matrix a = BuildStrategy(theta);
+  Matrix x = Gram(a);
+  Matrix lx;
+  if (!CholeskyFactor(x, &lx)) return std::numeric_limits<double>::infinity();
+  double tr = 0.0;
+  for (int64_t j = 0; j < n; ++j) {
+    Vector col = g.ColVector(j);
+    Vector sol = CholeskySolve(lx, col);
+    tr += sol[static_cast<size_t>(j)];
+  }
+  if (!(tr > 0.0) || !std::isfinite(tr))
+    return std::numeric_limits<double>::infinity();
+  return tr;
+}
+
+double PIdentityObjective::EvalReference(const Matrix& theta,
+                                         const Matrix& gram) {
+  Matrix a = BuildStrategy(theta);
+  Matrix x = Gram(a);
+  return TracePinvGram(x, gram);
+}
+
+}  // namespace hdmm

@@ -1,0 +1,51 @@
+// p-Identity strategies (Definition 9) and the O(pN^2) objective/gradient of
+// Theorem 4 / Appendix A.3. This is the computational kernel behind OPT_0.
+//
+//   A(Theta) = [I; Theta] * D,  D = diag(1_N + 1_p Theta)^{-1}
+//
+// so that ||A(Theta)||_1 = 1 for every non-negative Theta, and
+//
+//   C(A) = || W A^+ ||_F^2 = tr[(A^T A)^{-1} (W^T W)].
+#ifndef HDMM_CORE_PIDENTITY_H_
+#define HDMM_CORE_PIDENTITY_H_
+
+#include "linalg/matrix.h"
+
+namespace hdmm {
+
+/// Expected-error objective for p-Identity strategies against a fixed
+/// workload Gram matrix G = W^T W. Stateless between calls except for the
+/// cached Gram; thread-compatible for concurrent Eval on distinct instances.
+class PIdentityObjective {
+ public:
+  /// `gram` is W^T W (N x N, symmetric PSD); `p` the number of extra rows.
+  PIdentityObjective(Matrix gram, int p);
+
+  int64_t n() const { return gram_.rows(); }
+  int p() const { return p_; }
+  const Matrix& gram() const { return gram_; }
+
+  /// Evaluates C(A(Theta)) and, if grad != nullptr, dC/dTheta.
+  /// `theta` is the p x N parameter matrix flattened row-major; the gradient
+  /// uses the same layout. Both run in O(p N^2) time (Theorem 4).
+  double Eval(const Vector& theta_flat, Vector* grad_flat) const;
+
+  /// Builds the explicit (N+p) x N strategy matrix A(Theta).
+  static Matrix BuildStrategy(const Matrix& theta);
+
+  /// tr[(A(Theta)^T A(Theta))^{-1} G] for an arbitrary symmetric G (not
+  /// necessarily the cached one): used by OPT_x to evaluate per-product
+  /// errors of a shared sub-strategy. O(p N^2).
+  static double TraceWithGram(const Matrix& theta, const Matrix& g);
+
+  /// Reference O(N^3) implementation of Eval's objective (for tests).
+  static double EvalReference(const Matrix& theta, const Matrix& gram);
+
+ private:
+  Matrix gram_;
+  int p_;
+};
+
+}  // namespace hdmm
+
+#endif  // HDMM_CORE_PIDENTITY_H_

@@ -1,0 +1,10 @@
+#include "core/reconstruct.h"
+
+namespace hdmm {
+
+Vector LeastSquaresReconstruct(const LinearOperator& a, const Vector& y,
+                               const LsmrOptions& options) {
+  return LsmrSolve(a, y, options).x;
+}
+
+}  // namespace hdmm

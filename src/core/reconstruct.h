@@ -1,0 +1,19 @@
+// The RECONSTRUCT step (Table 1b): least-squares inference x_hat from noisy
+// strategy answers. Strategies with structured pseudo-inverses implement
+// Reconstruct directly; this is the generic LSMR fallback (Section 7.2).
+#ifndef HDMM_CORE_RECONSTRUCT_H_
+#define HDMM_CORE_RECONSTRUCT_H_
+
+#include "linalg/linear_operator.h"
+#include "linalg/lsmr.h"
+
+namespace hdmm {
+
+/// Least-squares x_hat = argmin ||A x - y||_2 via LSMR on the implicit
+/// operator; only mat-vec products with A and A^T are needed.
+Vector LeastSquaresReconstruct(const LinearOperator& a, const Vector& y,
+                               const LsmrOptions& options = LsmrOptions());
+
+}  // namespace hdmm
+
+#endif  // HDMM_CORE_RECONSTRUCT_H_

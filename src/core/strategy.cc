@@ -1,0 +1,281 @@
+#include "core/strategy.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/lsmr.h"
+#include "linalg/pinv.h"
+#include "workload/building_blocks.h"
+
+namespace hdmm {
+
+// ---------------------------------------------------------------- Strategy
+
+Vector Strategy::Measure(const Vector& x, double epsilon, Rng* rng) const {
+  HDMM_CHECK(epsilon > 0.0);
+  Vector answers = Apply(x);
+  const double scale = Sensitivity() / epsilon;
+  for (double& v : answers) v += rng->Laplace(scale);
+  return answers;
+}
+
+double Strategy::TotalSquaredError(const UnionWorkload& w,
+                                   double epsilon) const {
+  return 2.0 / (epsilon * epsilon) * SquaredError(w);
+}
+
+double Strategy::RootMeanSquaredError(const UnionWorkload& w,
+                                      double epsilon) const {
+  return std::sqrt(TotalSquaredError(w, epsilon) /
+                   static_cast<double>(w.TotalQueries()));
+}
+
+// -------------------------------------------------------- ExplicitStrategy
+
+ExplicitStrategy::ExplicitStrategy(Matrix a, std::string name)
+    : a_(std::move(a)), name_(std::move(name)) {}
+
+double ExplicitStrategy::Sensitivity() const { return a_.MaxAbsColSum(); }
+
+Vector ExplicitStrategy::Apply(const Vector& x) const { return MatVec(a_, x); }
+
+const Matrix& ExplicitStrategy::Pinv() const {
+  if (!have_pinv_) {
+    pinv_ = PseudoInverse(a_);
+    have_pinv_ = true;
+  }
+  return pinv_;
+}
+
+Vector ExplicitStrategy::Reconstruct(const Vector& y) const {
+  return MatVec(Pinv(), y);
+}
+
+double ExplicitStrategy::SquaredError(const UnionWorkload& w) const {
+  HDMM_CHECK(w.DomainSize() == a_.cols());
+  Matrix wg = w.ExplicitGram();
+  double sens = Sensitivity();
+  return sens * sens * TracePinvGram(Gram(a_), wg);
+}
+
+// ------------------------------------------------------------ KronStrategy
+
+KronStrategy::KronStrategy(std::vector<Matrix> factors, std::string name)
+    : factors_(std::move(factors)), name_(std::move(name)) {
+  HDMM_CHECK(!factors_.empty());
+}
+
+int64_t KronStrategy::DomainSize() const {
+  int64_t n = 1;
+  for (const Matrix& f : factors_) n *= f.cols();
+  return n;
+}
+
+int64_t KronStrategy::NumQueries() const {
+  int64_t m = 1;
+  for (const Matrix& f : factors_) m *= f.rows();
+  return m;
+}
+
+double KronStrategy::Sensitivity() const { return KronSensitivity(factors_); }
+
+Vector KronStrategy::Apply(const Vector& x) const {
+  return KronMatVec(factors_, x);
+}
+
+const std::vector<Matrix>& KronStrategy::FactorPinvs() const {
+  if (pinvs_.empty()) {
+    pinvs_.reserve(factors_.size());
+    for (const Matrix& f : factors_) pinvs_.push_back(PseudoInverse(f));
+  }
+  return pinvs_;
+}
+
+Vector KronStrategy::Reconstruct(const Vector& y) const {
+  return KronMatVec(FactorPinvs(), y);
+}
+
+double KronStrategy::SquaredError(const UnionWorkload& w) const {
+  HDMM_CHECK(w.DomainSize() == DomainSize());
+  HDMM_CHECK(static_cast<int>(factors_.size()) ==
+             w.domain().NumAttributes());
+  // Theorem 6: ||W A^+||_F^2 = sum_j w_j^2 prod_i tr[(A_i^T A_i)^+ G_i^(j)].
+  double total = 0.0;
+  std::vector<Matrix> factor_grams;
+  factor_grams.reserve(factors_.size());
+  for (const Matrix& f : factors_) factor_grams.push_back(Gram(f));
+  for (const ProductWorkload& prod : w.products()) {
+    double term = prod.weight * prod.weight;
+    for (size_t i = 0; i < factors_.size(); ++i) {
+      term *= TracePinvGram(factor_grams[i],
+                            prod.FactorGram(static_cast<int>(i)));
+    }
+    total += term;
+  }
+  double sens = Sensitivity();
+  return sens * sens * total;
+}
+
+// ------------------------------------------------------- UnionKronStrategy
+
+UnionKronStrategy::UnionKronStrategy(
+    std::vector<std::vector<Matrix>> parts,
+    std::vector<std::vector<int>> group_products, std::string name)
+    : parts_(std::move(parts)),
+      group_products_(std::move(group_products)),
+      name_(std::move(name)) {
+  HDMM_CHECK(!parts_.empty());
+  HDMM_CHECK(parts_.size() == group_products_.size());
+  std::vector<std::shared_ptr<const LinearOperator>> blocks;
+  for (const auto& factors : parts_)
+    blocks.push_back(std::make_shared<KronOperator>(factors));
+  op_ = std::make_shared<StackedOperator>(std::move(blocks));
+}
+
+int64_t UnionKronStrategy::DomainSize() const { return op_->Cols(); }
+
+int64_t UnionKronStrategy::NumQueries() const { return op_->Rows(); }
+
+double UnionKronStrategy::Sensitivity() const {
+  double s = 0.0;
+  for (const auto& factors : parts_) s += KronSensitivity(factors);
+  return s;
+}
+
+Vector UnionKronStrategy::Apply(const Vector& x) const {
+  return op_->Apply(x);
+}
+
+Vector UnionKronStrategy::Reconstruct(const Vector& y) const {
+  LsmrResult res = LsmrSolve(*op_, y);
+  return res.x;
+}
+
+double UnionKronStrategy::SquaredError(const UnionWorkload& w) const {
+  HDMM_CHECK_MSG(static_cast<int>(group_products_.size()) >= 1,
+                 "union strategy without group mapping");
+  // Each group g answers the workload products assigned to it using its own
+  // sub-strategy; the stacked sensitivity scales all measurements.
+  double total = 0.0;
+  for (size_t g = 0; g < parts_.size(); ++g) {
+    std::vector<Matrix> grams;
+    grams.reserve(parts_[g].size());
+    for (const Matrix& f : parts_[g]) grams.push_back(Gram(f));
+    for (int j : group_products_[g]) {
+      HDMM_CHECK(j >= 0 && j < w.NumProducts());
+      const ProductWorkload& prod = w.products()[static_cast<size_t>(j)];
+      double term = prod.weight * prod.weight;
+      for (size_t i = 0; i < grams.size(); ++i) {
+        term *= TracePinvGram(grams[i], prod.FactorGram(static_cast<int>(i)));
+      }
+      total += term;
+    }
+  }
+  double sens = Sensitivity();
+  return sens * sens * total;
+}
+
+// ------------------------------------------------------- MarginalsStrategy
+
+MarginalsStrategy::MarginalsStrategy(Domain domain, Vector theta,
+                                     std::string name)
+    : domain_(std::move(domain)),
+      theta_(std::move(theta)),
+      name_(std::move(name)),
+      algebra_(domain_.sizes()) {
+  HDMM_CHECK(theta_.size() == algebra_.num_masks());
+}
+
+std::vector<uint32_t> MarginalsStrategy::ActiveMasks() const {
+  std::vector<uint32_t> masks;
+  for (uint32_t a = 0; a < algebra_.num_masks(); ++a) {
+    if (theta_[a] > 1e-12) masks.push_back(a);
+  }
+  HDMM_CHECK_MSG(!masks.empty(), "marginals strategy with all-zero weights");
+  return masks;
+}
+
+std::vector<Matrix> MarginalsStrategy::MarginalFactors(uint32_t mask) const {
+  std::vector<Matrix> factors;
+  for (int i = 0; i < domain_.NumAttributes(); ++i) {
+    const int64_t n = domain_.AttributeSize(i);
+    factors.push_back(((mask >> i) & 1u) ? IdentityBlock(n) : TotalBlock(n));
+  }
+  return factors;
+}
+
+int64_t MarginalsStrategy::NumQueries() const {
+  int64_t m = 0;
+  for (uint32_t mask : ActiveMasks()) {
+    int64_t cells = 1;
+    for (int i = 0; i < domain_.NumAttributes(); ++i)
+      if ((mask >> i) & 1u) cells *= domain_.AttributeSize(i);
+    m += cells;
+  }
+  return m;
+}
+
+double MarginalsStrategy::Sensitivity() const {
+  double s = 0.0;
+  for (double t : theta_) s += std::fabs(t);
+  return s;
+}
+
+Vector MarginalsStrategy::Apply(const Vector& x) const {
+  Vector out;
+  for (uint32_t mask : ActiveMasks()) {
+    Vector part = KronMatVec(MarginalFactors(mask), x);
+    for (double& v : part) v *= theta_[mask];
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+Vector MarginalsStrategy::Reconstruct(const Vector& y) const {
+  // x_hat = (M^T M)^{-1} M^T y, with (M^T M)^{-1} = G(v) (Appendix A.4).
+  const uint32_t masks = algebra_.num_masks();
+  Vector u(masks);
+  for (uint32_t a = 0; a < masks; ++a) u[a] = theta_[a] * theta_[a];
+  Vector v = algebra_.InverseWeights(u);
+
+  // M^T y: accumulate theta_a * (marginal factors)^T y_a.
+  const int64_t n = domain_.TotalSize();
+  Vector mty(static_cast<size_t>(n), 0.0);
+  size_t offset = 0;
+  for (uint32_t mask : ActiveMasks()) {
+    std::vector<Matrix> factors = MarginalFactors(mask);
+    int64_t rows = 1;
+    for (const Matrix& f : factors) rows *= f.rows();
+    Vector sub(y.begin() + static_cast<long>(offset),
+               y.begin() + static_cast<long>(offset + static_cast<size_t>(rows)));
+    Vector part = KronMatTVec(factors, sub);
+    Axpy(theta_[mask], part, &mty);
+    offset += static_cast<size_t>(rows);
+  }
+  HDMM_CHECK(offset == y.size());
+
+  // G(v) * mty = sum_a v_a C(a) mty, each term a Kronecker mat-vec with
+  // factors I or the all-ones matrix.
+  Vector xhat(static_cast<size_t>(n), 0.0);
+  for (uint32_t a = 0; a < masks; ++a) {
+    if (v[a] == 0.0) continue;
+    std::vector<Matrix> factors;
+    for (int i = 0; i < domain_.NumAttributes(); ++i) {
+      const int64_t ni = domain_.AttributeSize(i);
+      factors.push_back(((a >> i) & 1u) ? IdentityBlock(ni)
+                                        : Matrix::Ones(ni, ni));
+    }
+    Vector part = KronMatVec(factors, mty);
+    Axpy(v[a], part, &xhat);
+  }
+  return xhat;
+}
+
+double MarginalsStrategy::SquaredError(const UnionWorkload& w) const {
+  Vector tau = algebra_.WorkloadTraceVector(w);
+  double tr = algebra_.TraceObjective(theta_, tau);
+  double sens = Sensitivity();
+  return sens * sens * tr;
+}
+
+}  // namespace hdmm

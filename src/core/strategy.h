@@ -1,0 +1,175 @@
+// Strategy representations (Section 7): explicit matrices, Kronecker
+// products of p-Identity blocks, unions of Kronecker products, and weighted
+// marginals. Every representation knows how to MEASURE (apply itself + its
+// sensitivity), RECONSTRUCT (apply its pseudo-inverse or solve least squares),
+// and evaluate the closed-form expected error against an implicit workload.
+#ifndef HDMM_CORE_STRATEGY_H_
+#define HDMM_CORE_STRATEGY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/opt_marginals.h"
+#include "linalg/kron.h"
+#include "linalg/matrix.h"
+#include "workload/workload.h"
+
+namespace hdmm {
+
+/// Abstract differentially-private measurement strategy A.
+///
+/// Error convention: SquaredError returns ||A||_1^2 * ||W A^+||_F^2, i.e. the
+/// expected total squared error at unit budget up to the universal 2/eps^2
+/// factor (Definition 7). TotalSquaredError applies the factor.
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  virtual std::string Name() const = 0;
+  virtual int64_t DomainSize() const = 0;
+  virtual int64_t NumQueries() const = 0;
+
+  /// Sensitivity ||A||_1 (maximum absolute column sum).
+  virtual double Sensitivity() const = 0;
+
+  /// Noiseless strategy query answers a = A x.
+  virtual Vector Apply(const Vector& x) const = 0;
+
+  /// x_hat = A^+ y (least-squares inference on noisy answers).
+  virtual Vector Reconstruct(const Vector& y) const = 0;
+
+  /// ||A||_1^2 * ||W A^+||_F^2 for an implicit workload.
+  virtual double SquaredError(const UnionWorkload& w) const = 0;
+
+  /// The MEASURE step (Definition 6): y = A x + Lap(||A||_1 / epsilon)^m.
+  Vector Measure(const Vector& x, double epsilon, Rng* rng) const;
+
+  /// Err(W, A) = (2/eps^2) * SquaredError(W) (Definition 7).
+  double TotalSquaredError(const UnionWorkload& w, double epsilon) const;
+
+  /// Root-mean squared error per workload query at budget epsilon.
+  double RootMeanSquaredError(const UnionWorkload& w, double epsilon) const;
+};
+
+/// A strategy held as a dense matrix. Only for modest domains.
+class ExplicitStrategy : public Strategy {
+ public:
+  explicit ExplicitStrategy(Matrix a, std::string name = "explicit");
+
+  std::string Name() const override { return name_; }
+  int64_t DomainSize() const override { return a_.cols(); }
+  int64_t NumQueries() const override { return a_.rows(); }
+  double Sensitivity() const override;
+  Vector Apply(const Vector& x) const override;
+  Vector Reconstruct(const Vector& y) const override;
+  double SquaredError(const UnionWorkload& w) const override;
+
+  const Matrix& matrix() const { return a_; }
+
+ private:
+  const Matrix& Pinv() const;
+
+  Matrix a_;
+  std::string name_;
+  mutable Matrix pinv_;        // Cached lazily.
+  mutable bool have_pinv_ = false;
+};
+
+/// A single Kronecker product A_1 x ... x A_d (the OPT_x output form).
+class KronStrategy : public Strategy {
+ public:
+  explicit KronStrategy(std::vector<Matrix> factors,
+                        std::string name = "kron");
+
+  std::string Name() const override { return name_; }
+  int64_t DomainSize() const override;
+  int64_t NumQueries() const override;
+  double Sensitivity() const override;
+  Vector Apply(const Vector& x) const override;
+  /// (A_1 x ... x A_d)^+ = A_1^+ x ... x A_d^+ (Section 4.4) applied via
+  /// the Kronecker mat-vec algorithm.
+  Vector Reconstruct(const Vector& y) const override;
+  /// Theorem 6: sum_j w_j^2 prod_i ||W_i^(j) A_i^+||_F^2, scaled by sens^2.
+  double SquaredError(const UnionWorkload& w) const override;
+
+  const std::vector<Matrix>& factors() const { return factors_; }
+
+ private:
+  const std::vector<Matrix>& FactorPinvs() const;
+
+  std::vector<Matrix> factors_;
+  std::string name_;
+  mutable std::vector<Matrix> pinvs_;  // Cached lazily.
+};
+
+/// A union (vertical stack) of Kronecker products A_1 + ... + A_l, the OPT_+
+/// output form. Each part covers a recorded subset of the workload products;
+/// error uses the per-group inference convention of Definition 11 (each group
+/// answers its own products; the stacked sensitivity multiplies the noise).
+class UnionKronStrategy : public Strategy {
+ public:
+  UnionKronStrategy(std::vector<std::vector<Matrix>> parts,
+                    std::vector<std::vector<int>> group_products,
+                    std::string name = "union-kron");
+
+  std::string Name() const override { return name_; }
+  int64_t DomainSize() const override;
+  int64_t NumQueries() const override;
+  /// Exact for parts with uniform column sums (true of p-Identity blocks):
+  /// sum of part sensitivities.
+  double Sensitivity() const override;
+  Vector Apply(const Vector& x) const override;
+  /// No closed-form pseudo-inverse exists (Section 7.2): solves the least
+  /// squares problem with LSMR on the implicit stacked operator.
+  Vector Reconstruct(const Vector& y) const override;
+  double SquaredError(const UnionWorkload& w) const override;
+
+  int NumParts() const { return static_cast<int>(parts_.size()); }
+  const std::vector<std::vector<Matrix>>& parts() const { return parts_; }
+  const std::vector<std::vector<int>>& group_products() const {
+    return group_products_;
+  }
+
+ private:
+  std::vector<std::vector<Matrix>> parts_;
+  std::vector<std::vector<int>> group_products_;
+  std::string name_;
+  std::shared_ptr<LinearOperator> op_;
+};
+
+/// The weighted-marginals strategy M(theta) produced by OPT_M.
+class MarginalsStrategy : public Strategy {
+ public:
+  MarginalsStrategy(Domain domain, Vector theta,
+                    std::string name = "marginals");
+
+  std::string Name() const override { return name_; }
+  int64_t DomainSize() const override { return domain_.TotalSize(); }
+  int64_t NumQueries() const override;
+  /// Every domain cell is counted once per active marginal: sum theta_a.
+  double Sensitivity() const override;
+  Vector Apply(const Vector& x) const override;
+  /// M^+ y = (M^T M)^+ M^T y with (M^T M)^{-1} = G(v) from the closed
+  /// marginals algebra (Section 7.2 / Appendix A.4).
+  Vector Reconstruct(const Vector& y) const override;
+  double SquaredError(const UnionWorkload& w) const override;
+
+  const Vector& theta() const { return theta_; }
+  const Domain& domain() const { return domain_; }
+
+ private:
+  /// Masks with non-negligible weight, in ascending order.
+  std::vector<uint32_t> ActiveMasks() const;
+  std::vector<Matrix> MarginalFactors(uint32_t mask) const;
+
+  Domain domain_;
+  Vector theta_;
+  std::string name_;
+  MarginalsAlgebra algebra_;
+};
+
+}  // namespace hdmm
+
+#endif  // HDMM_CORE_STRATEGY_H_

@@ -1,0 +1,350 @@
+#include "core/strategy_io.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace hdmm {
+namespace {
+
+constexpr char kHeader[] = "hdmm-strategy v1";
+
+void AppendDouble(std::ostringstream* out, double v) {
+  if (v == static_cast<int64_t>(v) && std::abs(v) < 1e15) {
+    *out << static_cast<int64_t>(v);
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    *out << buf;
+  }
+}
+
+void AppendMatrixLine(std::ostringstream* out, const char* tag,
+                      const Matrix& m) {
+  *out << tag << " " << m.rows() << "x" << m.cols() << " ";
+  for (int64_t i = 0; i < m.size(); ++i) {
+    if (i > 0) *out << ",";
+    AppendDouble(out, m.data()[i]);
+  }
+  *out << "\n";
+}
+
+// --- Parsing helpers ---------------------------------------------------------
+
+struct LineReader {
+  std::istringstream in;
+  std::string line;
+  int line_no = 0;
+  bool eof = false;
+
+  explicit LineReader(const std::string& text) : in(text) {}
+
+  // Advances to the next non-empty line; returns false at end of input.
+  bool Next() {
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (!line.empty() && line.find_first_not_of(" \t\r") != std::string::npos)
+        return true;
+    }
+    eof = true;
+    return false;
+  }
+
+  std::string Error(const std::string& message) const {
+    return "line " + std::to_string(line_no) + ": " + message;
+  }
+};
+
+bool ParseMatrixLine(const std::string& line, const std::string& tag,
+                     Matrix* out, std::string* why) {
+  std::istringstream in(line);
+  std::string word, shape, payload;
+  in >> word >> shape >> payload;
+  if (word != tag) {
+    *why = "expected '" + tag + "' line";
+    return false;
+  }
+  const size_t x = shape.find('x');
+  if (x == std::string::npos) {
+    *why = "bad shape '" + shape + "'";
+    return false;
+  }
+  const int64_t rows = std::strtoll(shape.c_str(), nullptr, 10);
+  const int64_t cols = std::strtoll(shape.c_str() + x + 1, nullptr, 10);
+  if (rows <= 0 || cols <= 0) {
+    *why = "bad shape '" + shape + "'";
+    return false;
+  }
+  std::vector<double> data;
+  data.reserve(static_cast<size_t>(rows * cols));
+  std::string token;
+  std::istringstream values(payload);
+  while (std::getline(values, token, ',')) {
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (token.empty() || end != token.c_str() + token.size()) {
+      *why = "bad entry '" + token + "'";
+      return false;
+    }
+    data.push_back(v);
+  }
+  if (static_cast<int64_t>(data.size()) != rows * cols) {
+    *why = "entry count does not match shape";
+    return false;
+  }
+  *out = Matrix(rows, cols, std::move(data));
+  return true;
+}
+
+// Reads "key value value ..." integer lines.
+bool ParseIntList(const std::string& line, const std::string& tag,
+                  std::vector<int64_t>* out, std::string* why) {
+  std::istringstream in(line);
+  std::string word;
+  in >> word;
+  if (word != tag) {
+    *why = "expected '" + tag + "' line";
+    return false;
+  }
+  int64_t v;
+  while (in >> v) out->push_back(v);
+  if (in.fail() && !in.eof()) {
+    *why = "bad integer in '" + tag + "' line";
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<Strategy> ParseExplicit(LineReader* reader,
+                                        const std::string& name,
+                                        std::string* error) {
+  if (!reader->Next()) {
+    *error = reader->Error("missing 'matrix' line");
+    return nullptr;
+  }
+  Matrix m;
+  std::string why;
+  if (!ParseMatrixLine(reader->line, "matrix", &m, &why)) {
+    *error = reader->Error(why);
+    return nullptr;
+  }
+  return std::make_unique<ExplicitStrategy>(std::move(m), name);
+}
+
+std::unique_ptr<Strategy> ParseKron(LineReader* reader,
+                                    const std::string& name,
+                                    std::string* error) {
+  std::vector<Matrix> factors;
+  while (reader->Next()) {
+    Matrix m;
+    std::string why;
+    if (!ParseMatrixLine(reader->line, "factor", &m, &why)) {
+      *error = reader->Error(why);
+      return nullptr;
+    }
+    factors.push_back(std::move(m));
+  }
+  if (factors.empty()) {
+    *error = "kron strategy has no factors";
+    return nullptr;
+  }
+  return std::make_unique<KronStrategy>(std::move(factors), name);
+}
+
+std::unique_ptr<Strategy> ParseUnionKron(LineReader* reader,
+                                         const std::string& name,
+                                         std::string* error) {
+  std::vector<std::vector<Matrix>> parts;
+  std::vector<std::vector<int>> covers;
+  while (reader->Next()) {
+    if (reader->line.rfind("part", 0) == 0) {
+      parts.emplace_back();
+      covers.emplace_back();
+      continue;
+    }
+    if (parts.empty()) {
+      *error = reader->Error("expected 'part' before factors");
+      return nullptr;
+    }
+    if (reader->line.rfind("covers", 0) == 0) {
+      std::vector<int64_t> ids;
+      std::string why;
+      if (!ParseIntList(reader->line, "covers", &ids, &why)) {
+        *error = reader->Error(why);
+        return nullptr;
+      }
+      for (int64_t id : ids) covers.back().push_back(static_cast<int>(id));
+      continue;
+    }
+    Matrix m;
+    std::string why;
+    if (!ParseMatrixLine(reader->line, "factor", &m, &why)) {
+      *error = reader->Error(why);
+      return nullptr;
+    }
+    parts.back().push_back(std::move(m));
+  }
+  if (parts.empty()) {
+    *error = "union-kron strategy has no parts";
+    return nullptr;
+  }
+  for (const auto& p : parts) {
+    if (p.empty()) {
+      *error = "union-kron part has no factors";
+      return nullptr;
+    }
+  }
+  return std::make_unique<UnionKronStrategy>(std::move(parts),
+                                             std::move(covers), name);
+}
+
+std::unique_ptr<Strategy> ParseMarginals(LineReader* reader,
+                                         const std::string& name,
+                                         std::string* error) {
+  if (!reader->Next()) {
+    *error = reader->Error("missing 'domain' line");
+    return nullptr;
+  }
+  std::vector<int64_t> sizes;
+  std::string why;
+  if (!ParseIntList(reader->line, "domain", &sizes, &why)) {
+    *error = reader->Error(why);
+    return nullptr;
+  }
+  if (sizes.empty()) {
+    *error = reader->Error("empty domain");
+    return nullptr;
+  }
+  if (!reader->Next()) {
+    *error = reader->Error("missing 'theta' line");
+    return nullptr;
+  }
+  std::istringstream in(reader->line);
+  std::string word;
+  in >> word;
+  if (word != "theta") {
+    *error = reader->Error("expected 'theta' line");
+    return nullptr;
+  }
+  Vector theta;
+  double v;
+  while (in >> v) theta.push_back(v);
+  const size_t expected = size_t{1} << sizes.size();
+  if (theta.size() != expected) {
+    *error = reader->Error("theta needs exactly 2^d = " +
+                           std::to_string(expected) + " weights");
+    return nullptr;
+  }
+  return std::make_unique<MarginalsStrategy>(Domain(std::move(sizes)),
+                                             std::move(theta), name);
+}
+
+}  // namespace
+
+std::string SerializeStrategy(const Strategy& strategy) {
+  std::ostringstream out;
+  out << kHeader << "\n";
+  if (const auto* e = dynamic_cast<const ExplicitStrategy*>(&strategy)) {
+    out << "kind explicit\nname " << e->Name() << "\n";
+    AppendMatrixLine(&out, "matrix", e->matrix());
+    return out.str();
+  }
+  if (const auto* k = dynamic_cast<const KronStrategy*>(&strategy)) {
+    out << "kind kron\nname " << k->Name() << "\n";
+    for (const Matrix& f : k->factors()) AppendMatrixLine(&out, "factor", f);
+    return out.str();
+  }
+  if (const auto* u = dynamic_cast<const UnionKronStrategy*>(&strategy)) {
+    out << "kind union-kron\nname " << u->Name() << "\n";
+    for (int p = 0; p < u->NumParts(); ++p) {
+      out << "part\n";
+      out << "covers";
+      for (int id : u->group_products()[static_cast<size_t>(p)]) {
+        out << " " << id;
+      }
+      out << "\n";
+      for (const Matrix& f : u->parts()[static_cast<size_t>(p)]) {
+        AppendMatrixLine(&out, "factor", f);
+      }
+    }
+    return out.str();
+  }
+  if (const auto* m = dynamic_cast<const MarginalsStrategy*>(&strategy)) {
+    out << "kind marginals\nname " << m->Name() << "\n";
+    out << "domain";
+    for (int i = 0; i < m->domain().NumAttributes(); ++i) {
+      out << " " << m->domain().AttributeSize(i);
+    }
+    out << "\ntheta";
+    for (double v : m->theta()) {
+      out << " ";
+      AppendDouble(&out, v);
+    }
+    out << "\n";
+    return out.str();
+  }
+  HDMM_CHECK_MSG(false, "unknown strategy type for serialization");
+  return "";
+}
+
+std::unique_ptr<Strategy> ParseStrategy(const std::string& text,
+                                        std::string* error) {
+  HDMM_CHECK(error != nullptr);
+  LineReader reader(text);
+  if (!reader.Next() || reader.line != kHeader) {
+    *error = "missing 'hdmm-strategy v1' header";
+    return nullptr;
+  }
+  if (!reader.Next() || reader.line.rfind("kind ", 0) != 0) {
+    *error = reader.Error("missing 'kind' line");
+    return nullptr;
+  }
+  const std::string kind = reader.line.substr(5);
+  if (!reader.Next() || reader.line.rfind("name ", 0) != 0) {
+    *error = reader.Error("missing 'name' line");
+    return nullptr;
+  }
+  const std::string name = reader.line.substr(5);
+
+  if (kind == "explicit") return ParseExplicit(&reader, name, error);
+  if (kind == "kron") return ParseKron(&reader, name, error);
+  if (kind == "union-kron") return ParseUnionKron(&reader, name, error);
+  if (kind == "marginals") return ParseMarginals(&reader, name, error);
+  *error = reader.Error("unknown strategy kind '" + kind + "'");
+  return nullptr;
+}
+
+bool SaveStrategyFile(const std::string& path, const Strategy& strategy,
+                      std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  out << SerializeStrategy(strategy);
+  out.flush();
+  if (!out) {
+    *error = "write to '" + path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<Strategy> LoadStrategyFile(const std::string& path,
+                                           std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open '" + path + "'";
+    return nullptr;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseStrategy(buffer.str(), error);
+}
+
+}  // namespace hdmm

@@ -1,0 +1,47 @@
+// Strategy persistence. Section 3.6 of the paper motivates this directly:
+// "if the workload is fixed, the optimized strategy A can be computed once
+// and used for multiple invocations of measure and reconstruct (i.e. on
+// different input datasets and/or for different outputs generated with
+// different epsilon values)" — the Census workload changes once a decade
+// while releases recur. This module round-trips every strategy type the
+// optimizers produce through a line-oriented text format:
+//
+//   hdmm-strategy v1
+//   kind kron                      # explicit | kron | union-kron | marginals
+//   name opt-kron
+//   factor 5x4 0.25,0,0,0,...      # row-major entries
+//   factor 3x2 ...
+//
+// union-kron adds `part <k>` headers and `covers i j ...` lines (the
+// workload products each part answers); marginals stores the domain sizes
+// and the 2^d theta weights.
+#ifndef HDMM_CORE_STRATEGY_IO_H_
+#define HDMM_CORE_STRATEGY_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "core/strategy.h"
+
+namespace hdmm {
+
+/// Renders a strategy in the persistence format. Dies on strategy types
+/// outside the four library representations.
+std::string SerializeStrategy(const Strategy& strategy);
+
+/// Parses the persistence format. Returns nullptr and fills *error with a
+/// line-numbered message on malformed input.
+std::unique_ptr<Strategy> ParseStrategy(const std::string& text,
+                                        std::string* error);
+
+/// SerializeStrategy to a file. Returns false (with *error) on I/O failure.
+bool SaveStrategyFile(const std::string& path, const Strategy& strategy,
+                      std::string* error);
+
+/// ParseStrategy from a file.
+std::unique_ptr<Strategy> LoadStrategyFile(const std::string& path,
+                                           std::string* error);
+
+}  // namespace hdmm
+
+#endif  // HDMM_CORE_STRATEGY_IO_H_

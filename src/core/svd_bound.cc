@@ -1,0 +1,57 @@
+#include "core/svd_bound.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/eigen_sym.h"
+#include "linalg/svd.h"
+
+namespace hdmm {
+
+double WorkloadNuclearNorm(const UnionWorkload& w,
+                           int64_t max_explicit_cells) {
+  HDMM_CHECK_MSG(w.NumProducts() > 0, "empty workload");
+
+  if (w.NumProducts() == 1) {
+    // Multiplicativity over Kronecker factors: no expansion needed, so this
+    // path works at any domain size.
+    const ProductWorkload& p = w.products()[0];
+    double norm = std::abs(p.weight);
+    for (const Matrix& factor : p.factors) norm *= NuclearNorm(factor);
+    return norm;
+  }
+
+  // Union of products: ||W||_* = sum_i sqrt(lambda_i(W^T W)). The Gram is
+  // N x N, so guard the expansion.
+  const int64_t n = w.DomainSize();
+  HDMM_CHECK_MSG(n * n <= max_explicit_cells,
+                 "union workload too large for explicit Gram nuclear norm");
+  Matrix gram = w.ExplicitGram();
+  SymmetricEigen eig = EigenSym(gram);
+  double total = 0.0;
+  for (double lambda : eig.eigenvalues) {
+    if (lambda > 0.0) total += std::sqrt(lambda);
+  }
+  return total;
+}
+
+double SquaredErrorLowerBound(const UnionWorkload& w,
+                              int64_t max_explicit_cells) {
+  const double nuclear = WorkloadNuclearNorm(w, max_explicit_cells);
+  return nuclear * nuclear / static_cast<double>(w.DomainSize());
+}
+
+double TotalSquaredErrorLowerBound(const UnionWorkload& w, double epsilon) {
+  HDMM_CHECK(epsilon > 0.0);
+  return 2.0 / (epsilon * epsilon) * SquaredErrorLowerBound(w);
+}
+
+double OptimalityRatio(const Strategy& a, const UnionWorkload& w) {
+  const double bound = SquaredErrorLowerBound(w);
+  HDMM_CHECK_MSG(bound > 0.0, "degenerate workload: zero spectral bound");
+  const double actual = a.SquaredError(w);
+  return std::sqrt(actual / bound);
+}
+
+}  // namespace hdmm

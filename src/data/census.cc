@@ -1,0 +1,145 @@
+#include "data/census.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "workload/building_blocks.h"
+#include "workload/predicate.h"
+
+namespace hdmm {
+namespace {
+
+// Attribute indices in the CPH domain.
+constexpr int kHispanic = 0;
+constexpr int kSex = 1;
+constexpr int kRace = 2;
+constexpr int kRelationship = 3;
+constexpr int kAge = 4;
+constexpr int kState = 5;
+
+// A predicate-set matrix of `rows` random age ranges (SF1 tabulates many
+// overlapping age brackets, e.g. P12's [0,4], [5,9], ..., [85,114]).
+Matrix RandomRangeSet(int64_t n, int rows, Rng* rng) {
+  std::vector<Predicate> preds;
+  for (int r = 0; r < rows; ++r) {
+    int64_t lo = rng->UniformInt(0, n - 1);
+    int64_t len = rng->UniformInt(1, std::max<int64_t>(1, n / 4));
+    int64_t hi = std::min(n - 1, lo + len - 1);
+    preds.push_back(Predicate::Range(lo, hi));
+  }
+  return VectorizePredicateSet(preds, n);
+}
+
+// A predicate-set matrix of `rows` random subsets (SF1's race categories are
+// complex disjunctions over the merged 64-value Race attribute, Example 1).
+Matrix RandomSubsetSet(int64_t n, int rows, Rng* rng) {
+  std::vector<Predicate> preds;
+  for (int r = 0; r < rows; ++r) {
+    std::vector<int64_t> values;
+    for (int64_t v = 0; v < n; ++v) {
+      if (rng->Uniform() < 0.25) values.push_back(v);
+    }
+    if (values.empty()) values.push_back(rng->UniformInt(0, n - 1));
+    preds.push_back(Predicate::InSet(std::move(values)));
+  }
+  return VectorizePredicateSet(preds, n);
+}
+
+// Builds the 32 products with per-product query counts summing to 4151.
+// `state_factor` (may be empty) is applied to the State attribute of every
+// product; when empty the workload lives on the national 5-attribute domain.
+UnionWorkload BuildSf1(const Matrix& state_factor) {
+  const bool with_state = state_factor.size() > 0;
+  Domain domain = CphDomain(with_state);
+  UnionWorkload w(domain);
+  Rng rng(20180710);  // Fixed seed: the workload is a deterministic fixture.
+
+  // 23 products of 130 queries + 9 products of 129 queries = 4151.
+  std::vector<int> sizes;
+  for (int j = 0; j < 23; ++j) sizes.push_back(130);
+  for (int j = 0; j < 9; ++j) sizes.push_back(129);
+  HDMM_CHECK(static_cast<int>(sizes.size()) == 32);
+
+  for (int j = 0; j < 32; ++j) {
+    const int size = sizes[static_cast<size_t>(j)];
+    ProductWorkload p;
+    p.factors.assign(with_state ? 6 : 5, Matrix());
+    if (with_state) p.factors[kState] = state_factor;
+
+    // Rotate through representative SF1 shapes. Patterns 0 and 2 split the
+    // query count across a binary attribute and need an even size; odd-sized
+    // products fall back to the single-attribute patterns.
+    const int pattern = (size % 2 == 0) ? (j % 4) : ((j % 2 == 0) ? 1 : 3);
+    switch (pattern) {
+      case 0: {  // Sex x AgeRanges (P12-like): 2 * (size/2) queries.
+        p.factors[kSex] = IdentityBlock(2);
+        p.factors[kAge] = RandomRangeSet(115, size / 2, &rng);
+        break;
+      }
+      case 1: {  // Race subsets alone (P3-like).
+        p.factors[kRace] = RandomSubsetSet(64, size, &rng);
+        break;
+      }
+      case 2: {  // Hispanic x Relationship ranges (P10-like).
+        p.factors[kHispanic] = IdentityBlock(2);
+        p.factors[kRelationship] = RandomRangeSet(17, size / 2, &rng);
+        break;
+      }
+      default: {  // Age ranges alone (median-age-support-like).
+        p.factors[kAge] = RandomRangeSet(115, size, &rng);
+        break;
+      }
+    }
+    // Unmentioned attributes get Total.
+    for (int i = 0; i < (with_state ? 6 : 5); ++i) {
+      if (p.factors[static_cast<size_t>(i)].size() == 0) {
+        p.factors[static_cast<size_t>(i)] =
+            TotalBlock(domain.AttributeSize(i));
+      }
+    }
+    // Odd sizes cannot split across Sex/Hispanic pairs: patterns 0 and 2
+    // require even sizes, which the 130-query products satisfy.
+    const int64_t state_rows = with_state ? state_factor.rows() : 1;
+    HDMM_CHECK(p.NumQueries() == size * state_rows);
+    w.AddProduct(std::move(p));
+  }
+  HDMM_CHECK(w.TotalQueries() ==
+             4151 * (with_state ? state_factor.rows() : 1));
+  return w;
+}
+
+}  // namespace
+
+Domain CphDomain(bool include_state) {
+  std::vector<std::string> names = {"hispanic", "sex", "race", "relationship",
+                                    "age"};
+  std::vector<int64_t> sizes = {2, 2, 64, 17, 115};
+  if (include_state) {
+    names.push_back("state");
+    sizes.push_back(51);
+  }
+  return Domain(std::move(names), std::move(sizes));
+}
+
+UnionWorkload Sf1Workload() { return BuildSf1(Matrix()); }
+
+UnionWorkload Sf1PlusWorkload() {
+  // [Total; Identity] on State: national counts plus per-state grouping.
+  Matrix state(52, 51);
+  for (int64_t j = 0; j < 51; ++j) state(0, j) = 1.0;
+  for (int64_t i = 0; i < 51; ++i) state(i + 1, i) = 1.0;
+  return BuildSf1(state);
+}
+
+Domain AdultDomain() {
+  return Domain({"age", "education", "race", "sex", "hours"},
+                {75, 16, 5, 2, 20});
+}
+
+Domain CpsDomain() {
+  return Domain({"income", "age", "marital", "race", "sex"},
+                {100, 50, 7, 4, 2});
+}
+
+}  // namespace hdmm

@@ -1,0 +1,90 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/check.h"
+
+namespace hdmm {
+
+Vector UniformDataVector(const Domain& domain, int64_t total, Rng* rng) {
+  const int64_t n = domain.TotalSize();
+  Vector x(static_cast<size_t>(n), 0.0);
+  for (int64_t r = 0; r < total; ++r)
+    x[static_cast<size_t>(rng->UniformInt(0, n - 1))] += 1.0;
+  return x;
+}
+
+Vector ZipfDataVector(const Domain& domain, int64_t total, double shape,
+                      Rng* rng) {
+  const int64_t n = domain.TotalSize();
+  HDMM_CHECK(shape > 0.0);
+  // Unnormalized Zipf masses over a random permutation of the cells.
+  Vector mass(static_cast<size_t>(n));
+  double z = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    mass[static_cast<size_t>(i)] = 1.0 / std::pow(static_cast<double>(i + 1), shape);
+    z += mass[static_cast<size_t>(i)];
+  }
+  std::vector<int> perm = rng->Permutation(static_cast<int>(std::min<int64_t>(
+      n, std::numeric_limits<int>::max())));
+  Vector x(static_cast<size_t>(n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    double expected = static_cast<double>(total) * mass[static_cast<size_t>(i)] / z;
+    x[static_cast<size_t>(perm[static_cast<size_t>(i)])] =
+        std::floor(expected + rng->Uniform());
+  }
+  return x;
+}
+
+Vector ClusteredDataVector(const Domain& domain, int64_t total,
+                           int num_clusters, Rng* rng) {
+  const int64_t n = domain.TotalSize();
+  HDMM_CHECK(num_clusters >= 1);
+  Vector density(static_cast<size_t>(n), 0.0);
+  int64_t seg = std::max<int64_t>(1, n / num_clusters);
+  double z = 0.0;
+  for (int64_t start = 0; start < n; start += seg) {
+    // Each segment gets a log-uniform density level.
+    double level = std::pow(10.0, rng->Uniform(0.0, 3.0));
+    for (int64_t i = start; i < std::min(n, start + seg); ++i) {
+      density[static_cast<size_t>(i)] = level;
+      z += level;
+    }
+  }
+  Vector x(static_cast<size_t>(n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    double expected = static_cast<double>(total) * density[static_cast<size_t>(i)] / z;
+    x[static_cast<size_t>(i)] = std::floor(expected + rng->Uniform());
+  }
+  return x;
+}
+
+Vector DpbenchStandinDataVector(const std::string& name, int64_t domain_size,
+                                int64_t total, Rng* rng) {
+  Domain d({domain_size});
+  if (name == "Hepth") {
+    return ClusteredDataVector(d, total, 12, rng);
+  } else if (name == "Medcost") {
+    return ZipfDataVector(d, total, 1.2, rng);
+  } else if (name == "Nettrace") {
+    // Very sparse with a few spikes.
+    Vector x(static_cast<size_t>(domain_size), 0.0);
+    int spikes = 8;
+    for (int s = 0; s < spikes; ++s) {
+      int64_t pos = rng->UniformInt(0, domain_size - 1);
+      x[static_cast<size_t>(pos)] += static_cast<double>(total / spikes);
+    }
+    return x;
+  } else if (name == "Patent") {
+    return ClusteredDataVector(d, total, 32, rng);
+  } else if (name == "Searchlogs") {
+    return ZipfDataVector(d, total, 0.8, rng);
+  }
+  HDMM_CHECK_MSG(false, "unknown dpbench stand-in name");
+  return {};
+}
+
+}  // namespace hdmm

@@ -1,0 +1,47 @@
+#include "linalg/cg.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hdmm {
+
+CgResult CgSolve(const LinearOperator& a, const Vector& b,
+                 const CgOptions& options) {
+  HDMM_CHECK(a.Rows() == a.Cols());
+  HDMM_CHECK(static_cast<int64_t>(b.size()) == a.Rows());
+
+  CgResult result;
+  result.x.assign(b.size(), 0.0);
+  Vector r = b;
+  Vector p = r;
+  double rs = Norm2Squared(r);
+  const double b_norm = std::sqrt(Norm2Squared(b));
+  if (b_norm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+
+  Vector ap;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    a.Apply(p, &ap);
+    double pap = Dot(p, ap);
+    if (pap <= 0.0) break;  // Not SPD (or breakdown); return best iterate.
+    double alpha = rs / pap;
+    Axpy(alpha, p, &result.x);
+    Axpy(-alpha, ap, &r);
+    double rs_new = Norm2Squared(r);
+    result.residual_norm = std::sqrt(rs_new);
+    if (result.residual_norm <= options.rtol * b_norm) {
+      result.converged = true;
+      break;
+    }
+    double beta = rs_new / rs;
+    for (size_t i = 0; i < p.size(); ++i) p[i] = r[i] + beta * p[i];
+    rs = rs_new;
+  }
+  return result;
+}
+
+}  // namespace hdmm

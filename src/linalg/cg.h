@@ -1,0 +1,30 @@
+// Conjugate gradient for SPD implicit operators. Used by the matrix-free
+// expected-error estimator for baseline strategies on large domains.
+#ifndef HDMM_LINALG_CG_H_
+#define HDMM_LINALG_CG_H_
+
+#include "linalg/linear_operator.h"
+
+namespace hdmm {
+
+/// Options for conjugate gradient.
+struct CgOptions {
+  int max_iterations = 2000;
+  double rtol = 1e-10;  ///< Relative residual tolerance.
+};
+
+/// Result of a CG solve.
+struct CgResult {
+  Vector x;
+  int iterations = 0;
+  double residual_norm = 0.0;
+  bool converged = false;
+};
+
+/// Solves A x = b for symmetric positive definite operator A.
+CgResult CgSolve(const LinearOperator& a, const Vector& b,
+                 const CgOptions& options = CgOptions());
+
+}  // namespace hdmm
+
+#endif  // HDMM_LINALG_CG_H_

@@ -1,0 +1,86 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace hdmm {
+
+bool CholeskyFactor(const Matrix& x, Matrix* l) {
+  HDMM_CHECK(x.rows() == x.cols());
+  const int64_t n = x.rows();
+  *l = Matrix::Zeros(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      double s = x(i, j);
+      const double* li = l->Row(i);
+      const double* lj = l->Row(j);
+      for (int64_t k = 0; k < j; ++k) s -= li[k] * lj[k];
+      if (i == j) {
+        if (s <= 0.0 || !std::isfinite(s)) return false;
+        (*l)(i, i) = std::sqrt(s);
+      } else {
+        (*l)(i, j) = s / (*l)(j, j);
+      }
+    }
+  }
+  return true;
+}
+
+void ForwardSubstitute(const Matrix& l, Vector* b) {
+  const int64_t n = l.rows();
+  for (int64_t i = 0; i < n; ++i) {
+    double s = (*b)[static_cast<size_t>(i)];
+    const double* li = l.Row(i);
+    for (int64_t k = 0; k < i; ++k) s -= li[k] * (*b)[static_cast<size_t>(k)];
+    (*b)[static_cast<size_t>(i)] = s / li[i];
+  }
+}
+
+void BackwardSubstituteTranspose(const Matrix& l, Vector* b) {
+  const int64_t n = l.rows();
+  for (int64_t i = n - 1; i >= 0; --i) {
+    double s = (*b)[static_cast<size_t>(i)];
+    for (int64_t k = i + 1; k < n; ++k)
+      s -= l(k, i) * (*b)[static_cast<size_t>(k)];
+    (*b)[static_cast<size_t>(i)] = s / l(i, i);
+  }
+}
+
+Vector CholeskySolve(const Matrix& l, const Vector& b) {
+  Vector y = b;
+  ForwardSubstitute(l, &y);
+  BackwardSubstituteTranspose(l, &y);
+  return y;
+}
+
+Matrix CholeskySolveMatrix(const Matrix& l, const Matrix& b) {
+  HDMM_CHECK(l.rows() == b.rows());
+  Matrix out(b.rows(), b.cols());
+  for (int64_t j = 0; j < b.cols(); ++j) {
+    Vector col = b.ColVector(j);
+    Vector sol = CholeskySolve(l, col);
+    for (int64_t i = 0; i < b.rows(); ++i) out(i, j) = sol[static_cast<size_t>(i)];
+  }
+  return out;
+}
+
+Matrix SpdInverse(const Matrix& x) {
+  Matrix l;
+  HDMM_CHECK_MSG(CholeskyFactor(x, &l), "SpdInverse: matrix not SPD");
+  return CholeskySolveMatrix(l, Matrix::Identity(x.rows()));
+}
+
+double TraceSolveSpd(const Matrix& x, const Matrix& g) {
+  HDMM_CHECK(x.rows() == g.rows() && x.cols() == g.cols());
+  Matrix l;
+  HDMM_CHECK_MSG(CholeskyFactor(x, &l), "TraceSolveSpd: matrix not SPD");
+  // tr[X^{-1} G] = sum_j e_j^T X^{-1} G e_j = sum_j (X^{-1} g_j)_j.
+  double tr = 0.0;
+  for (int64_t j = 0; j < g.cols(); ++j) {
+    Vector col = g.ColVector(j);
+    Vector sol = CholeskySolve(l, col);
+    tr += sol[static_cast<size_t>(j)];
+  }
+  return tr;
+}
+
+}  // namespace hdmm

@@ -1,0 +1,35 @@
+// Cholesky factorization and SPD solves. Workhorse for the closed-form error
+// computation tr[(A^T A)^{-1} (W^T W)] (Definition 7 / Equation 3).
+#ifndef HDMM_LINALG_CHOLESKY_H_
+#define HDMM_LINALG_CHOLESKY_H_
+
+#include "linalg/matrix.h"
+
+namespace hdmm {
+
+/// Computes the lower-triangular Cholesky factor L with X = L L^T.
+/// Returns false if X is not (numerically) positive definite.
+bool CholeskyFactor(const Matrix& x, Matrix* l);
+
+/// Solves L z = b in place (forward substitution, L lower triangular).
+void ForwardSubstitute(const Matrix& l, Vector* b);
+
+/// Solves L^T z = b in place (backward substitution against L^T).
+void BackwardSubstituteTranspose(const Matrix& l, Vector* b);
+
+/// Solves X y = b for SPD X given its Cholesky factor L.
+Vector CholeskySolve(const Matrix& l, const Vector& b);
+
+/// Solves X Y = B column-by-column for SPD X given its Cholesky factor L.
+Matrix CholeskySolveMatrix(const Matrix& l, const Matrix& b);
+
+/// Inverse of an SPD matrix via Cholesky. Dies if not SPD.
+Matrix SpdInverse(const Matrix& x);
+
+/// tr[X^{-1} G] for SPD X. Factors X once and reuses the factorization.
+/// Dies if X is not SPD.
+double TraceSolveSpd(const Matrix& x, const Matrix& g);
+
+}  // namespace hdmm
+
+#endif  // HDMM_LINALG_CHOLESKY_H_

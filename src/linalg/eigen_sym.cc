@@ -1,0 +1,78 @@
+#include "linalg/eigen_sym.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace hdmm {
+
+SymmetricEigen EigenSym(const Matrix& x, int max_sweeps, double tol) {
+  HDMM_CHECK(x.rows() == x.cols());
+  const int64_t n = x.rows();
+  Matrix a = x;
+  Matrix v = Matrix::Identity(n);
+
+  double base = 0.0;  // Frobenius scale used for the convergence threshold.
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < n; ++j) base += a(i, j) * a(i, j);
+  base = std::sqrt(base);
+  if (base == 0.0) base = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int64_t i = 0; i < n; ++i)
+      for (int64_t j = i + 1; j < n; ++j) off += a(i, j) * a(i, j);
+    if (std::sqrt(off) <= tol * base) break;
+
+    for (int64_t p = 0; p < n - 1; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        double apq = a(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        double app = a(p, p), aqq = a(q, q);
+        double tau = (aqq - app) / (2.0 * apq);
+        double t = (tau >= 0.0)
+                       ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                       : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+        double c = 1.0 / std::sqrt(1.0 + t * t);
+        double s = t * c;
+        // Apply rotation J(p,q,theta) on both sides: A <- J^T A J.
+        for (int64_t k = 0; k < n; ++k) {
+          double akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          double apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Collect and sort ascending.
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  Vector evals(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) evals[static_cast<size_t>(i)] = a(i, i);
+  std::sort(order.begin(), order.end(), [&](int64_t l, int64_t r) {
+    return evals[static_cast<size_t>(l)] < evals[static_cast<size_t>(r)];
+  });
+
+  SymmetricEigen out;
+  out.eigenvalues.resize(static_cast<size_t>(n));
+  out.eigenvectors = Matrix(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t src = order[static_cast<size_t>(i)];
+    out.eigenvalues[static_cast<size_t>(i)] = evals[static_cast<size_t>(src)];
+    for (int64_t k = 0; k < n; ++k) out.eigenvectors(k, i) = v(k, src);
+  }
+  return out;
+}
+
+}  // namespace hdmm

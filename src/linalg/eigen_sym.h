@@ -1,0 +1,24 @@
+// Symmetric eigendecomposition via the cyclic Jacobi method. Used to build
+// pseudo-inverses of Gram matrices (Section 4.4) and of strategy matrices.
+#ifndef HDMM_LINALG_EIGEN_SYM_H_
+#define HDMM_LINALG_EIGEN_SYM_H_
+
+#include "linalg/matrix.h"
+
+namespace hdmm {
+
+/// Result of a symmetric eigendecomposition X = V diag(lambda) V^T.
+struct SymmetricEigen {
+  Vector eigenvalues;   ///< Ascending order.
+  Matrix eigenvectors;  ///< Column i is the eigenvector for eigenvalues[i].
+};
+
+/// Full eigendecomposition of a symmetric matrix using cyclic Jacobi
+/// rotations. O(n^3) per sweep; converges in a handful of sweeps for the
+/// well-conditioned matrices this library produces.
+SymmetricEigen EigenSym(const Matrix& x, int max_sweeps = 64,
+                        double tol = 1e-12);
+
+}  // namespace hdmm
+
+#endif  // HDMM_LINALG_EIGEN_SYM_H_

@@ -1,0 +1,77 @@
+#include "linalg/linear_operator.h"
+
+namespace hdmm {
+
+Vector LinearOperator::Apply(const Vector& x) const {
+  Vector y;
+  Apply(x, &y);
+  return y;
+}
+
+Vector LinearOperator::ApplyTranspose(const Vector& x) const {
+  Vector y;
+  ApplyTranspose(x, &y);
+  return y;
+}
+
+void DenseOperator::Apply(const Vector& x, Vector* y) const {
+  *y = MatVec(a_, x);
+}
+
+void DenseOperator::ApplyTranspose(const Vector& x, Vector* y) const {
+  *y = MatTVec(a_, x);
+}
+
+void ScaledOperator::Apply(const Vector& x, Vector* y) const {
+  a_->Apply(x, y);
+  Scale(alpha_, y);
+}
+
+void ScaledOperator::ApplyTranspose(const Vector& x, Vector* y) const {
+  a_->ApplyTranspose(x, y);
+  Scale(alpha_, y);
+}
+
+StackedOperator::StackedOperator(
+    std::vector<std::shared_ptr<const LinearOperator>> blocks)
+    : blocks_(std::move(blocks)), rows_(0), cols_(0) {
+  HDMM_CHECK(!blocks_.empty());
+  cols_ = blocks_[0]->Cols();
+  for (const auto& b : blocks_) {
+    HDMM_CHECK(b->Cols() == cols_);
+    rows_ += b->Rows();
+  }
+}
+
+void StackedOperator::Apply(const Vector& x, Vector* y) const {
+  y->assign(static_cast<size_t>(rows_), 0.0);
+  size_t offset = 0;
+  Vector part;
+  for (const auto& b : blocks_) {
+    b->Apply(x, &part);
+    std::copy(part.begin(), part.end(), y->begin() + static_cast<long>(offset));
+    offset += part.size();
+  }
+}
+
+void StackedOperator::ApplyTranspose(const Vector& x, Vector* y) const {
+  y->assign(static_cast<size_t>(cols_), 0.0);
+  size_t offset = 0;
+  Vector part, sub;
+  for (const auto& b : blocks_) {
+    size_t r = static_cast<size_t>(b->Rows());
+    sub.assign(x.begin() + static_cast<long>(offset),
+               x.begin() + static_cast<long>(offset + r));
+    b->ApplyTranspose(sub, &part);
+    for (size_t i = 0; i < part.size(); ++i) (*y)[i] += part[i];
+    offset += r;
+  }
+}
+
+void GramOperator::Apply(const Vector& x, Vector* y) const {
+  Vector mid;
+  a_->Apply(x, &mid);
+  a_->ApplyTranspose(mid, y);
+}
+
+}  // namespace hdmm

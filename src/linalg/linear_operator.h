@@ -1,0 +1,103 @@
+// Implicit linear operators. The paper's central trick is never materializing
+// workload or strategy matrices; everything downstream (measurement, LSMR
+// inference, trace estimation) only needs matrix-vector products.
+#ifndef HDMM_LINALG_LINEAR_OPERATOR_H_
+#define HDMM_LINALG_LINEAR_OPERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace hdmm {
+
+/// Abstract y = A x / y = A^T x interface.
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+
+  virtual int64_t Rows() const = 0;
+  virtual int64_t Cols() const = 0;
+
+  /// y = A x. `y` is resized and overwritten.
+  virtual void Apply(const Vector& x, Vector* y) const = 0;
+
+  /// y = A^T x. `y` is resized and overwritten.
+  virtual void ApplyTranspose(const Vector& x, Vector* y) const = 0;
+
+  /// Convenience wrappers returning by value.
+  Vector Apply(const Vector& x) const;
+  Vector ApplyTranspose(const Vector& x) const;
+};
+
+/// Wraps an explicit dense matrix (not owned copies: holds its own copy).
+class DenseOperator : public LinearOperator {
+ public:
+  using LinearOperator::Apply;
+  using LinearOperator::ApplyTranspose;
+  explicit DenseOperator(Matrix a) : a_(std::move(a)) {}
+  int64_t Rows() const override { return a_.rows(); }
+  int64_t Cols() const override { return a_.cols(); }
+  void Apply(const Vector& x, Vector* y) const override;
+  void ApplyTranspose(const Vector& x, Vector* y) const override;
+
+ private:
+  Matrix a_;
+};
+
+/// alpha * A for an owned operator.
+class ScaledOperator : public LinearOperator {
+ public:
+  using LinearOperator::Apply;
+  using LinearOperator::ApplyTranspose;
+  ScaledOperator(double alpha, std::shared_ptr<const LinearOperator> a)
+      : alpha_(alpha), a_(std::move(a)) {}
+  int64_t Rows() const override { return a_->Rows(); }
+  int64_t Cols() const override { return a_->Cols(); }
+  void Apply(const Vector& x, Vector* y) const override;
+  void ApplyTranspose(const Vector& x, Vector* y) const override;
+
+ private:
+  double alpha_;
+  std::shared_ptr<const LinearOperator> a_;
+};
+
+/// Vertical stack [A1; A2; ...]; all blocks share a column count.
+class StackedOperator : public LinearOperator {
+ public:
+  using LinearOperator::Apply;
+  using LinearOperator::ApplyTranspose;
+  explicit StackedOperator(
+      std::vector<std::shared_ptr<const LinearOperator>> blocks);
+  int64_t Rows() const override { return rows_; }
+  int64_t Cols() const override { return cols_; }
+  void Apply(const Vector& x, Vector* y) const override;
+  void ApplyTranspose(const Vector& x, Vector* y) const override;
+
+ private:
+  std::vector<std::shared_ptr<const LinearOperator>> blocks_;
+  int64_t rows_;
+  int64_t cols_;
+};
+
+/// Symmetric operator A^T A built from A (e.g., for CG solves).
+class GramOperator : public LinearOperator {
+ public:
+  using LinearOperator::Apply;
+  using LinearOperator::ApplyTranspose;
+  explicit GramOperator(std::shared_ptr<const LinearOperator> a)
+      : a_(std::move(a)) {}
+  int64_t Rows() const override { return a_->Cols(); }
+  int64_t Cols() const override { return a_->Cols(); }
+  void Apply(const Vector& x, Vector* y) const override;
+  void ApplyTranspose(const Vector& x, Vector* y) const override {
+    Apply(x, y);
+  }
+
+ private:
+  std::shared_ptr<const LinearOperator> a_;
+};
+
+}  // namespace hdmm
+
+#endif  // HDMM_LINALG_LINEAR_OPERATOR_H_

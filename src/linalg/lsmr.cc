@@ -1,0 +1,132 @@
+#include "linalg/lsmr.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hdmm {
+
+LsmrResult LsmrSolve(const LinearOperator& a, const Vector& b,
+                     const LsmrOptions& options) {
+  const int64_t m = a.Rows();
+  const int64_t n = a.Cols();
+  HDMM_CHECK(static_cast<int64_t>(b.size()) == m);
+
+  LsmrResult result;
+  result.x.assign(static_cast<size_t>(n), 0.0);
+
+  // Golub-Kahan bidiagonalization initialization.
+  Vector u = b;
+  double beta = Norm2(u);
+  if (beta > 0.0) Scale(1.0 / beta, &u);
+  Vector v(static_cast<size_t>(n), 0.0);
+  double alpha = 0.0;
+  if (beta > 0.0) {
+    a.ApplyTranspose(u, &v);
+    alpha = Norm2(v);
+    if (alpha > 0.0) Scale(1.0 / alpha, &v);
+  }
+  if (alpha * beta == 0.0) {
+    result.converged = true;  // b is zero (or in the null space of A^T).
+    return result;
+  }
+
+  double zetabar = alpha * beta;
+  double alphabar = alpha;
+  double rho = 1.0, rhobar = 1.0, cbar = 1.0, sbar = 0.0;
+  Vector h = v;
+  Vector hbar(static_cast<size_t>(n), 0.0);
+
+  // Residual-norm estimation state.
+  double betadd = beta, betad = 0.0;
+  double rhodold = 1.0, tautildeold = 0.0, thetatilde = 0.0, zeta = 0.0;
+  double d = 0.0;
+  double norm_a2 = alpha * alpha;
+  const double normb = beta;
+
+  Vector tmp;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Continue the bidiagonalization: u = A v - alpha u.
+    a.Apply(v, &tmp);
+    for (size_t i = 0; i < u.size(); ++i) u[i] = tmp[i] - alpha * u[i];
+    beta = Norm2(u);
+    if (beta > 0.0) {
+      Scale(1.0 / beta, &u);
+      a.ApplyTranspose(u, &tmp);
+      for (size_t i = 0; i < v.size(); ++i) v[i] = tmp[i] - beta * v[i];
+      alpha = Norm2(v);
+      if (alpha > 0.0) Scale(1.0 / alpha, &v);
+    }
+    norm_a2 += beta * beta + alpha * alpha;
+
+    // Plane rotations (damp = 0).
+    const double alphahat = alphabar;
+    const double rhoold = rho;
+    rho = std::hypot(alphahat, beta);
+    const double c = alphahat / rho;
+    const double s = beta / rho;
+    const double thetanew = s * alpha;
+    alphabar = c * alpha;
+
+    const double rhobarold = rhobar;
+    const double zetaold = zeta;
+    const double thetabar = sbar * rho;
+    const double rhotemp = cbar * rho;
+    rhobar = std::hypot(cbar * rho, thetanew);
+    cbar = cbar * rho / rhobar;
+    sbar = thetanew / rhobar;
+    zeta = cbar * zetabar;
+    zetabar = -sbar * zetabar;
+
+    // Update h, hbar, x.
+    const double hbar_coeff = thetabar * rho / (rhoold * rhobarold);
+    for (size_t i = 0; i < hbar.size(); ++i)
+      hbar[i] = h[i] - hbar_coeff * hbar[i];
+    const double x_coeff = zeta / (rho * rhobar);
+    for (size_t i = 0; i < result.x.size(); ++i)
+      result.x[i] += x_coeff * hbar[i];
+    const double h_coeff = thetanew / rho;
+    for (size_t i = 0; i < h.size(); ++i) h[i] = v[i] - h_coeff * h[i];
+
+    // Residual estimates.
+    const double betaacute = betadd;  // chat = 1, shat = 0 when damp = 0.
+    const double betacheck = 0.0;
+    const double betahat = c * betaacute;
+    betadd = -s * betaacute;
+
+    const double thetatildeold = thetatilde;
+    const double rhotildeold = std::hypot(rhodold, thetabar);
+    const double ctildeold = rhodold / rhotildeold;
+    const double stildeold = thetabar / rhotildeold;
+    thetatilde = stildeold * rhobar;
+    rhodold = ctildeold * rhobar;
+    betad = -stildeold * betad + ctildeold * betahat;
+
+    tautildeold = (zetaold - thetatildeold * tautildeold) / rhotildeold;
+    const double taud = (zeta - thetatilde * tautildeold) / rhodold;
+    d += betacheck * betacheck;
+    const double normr =
+        std::sqrt(d + (betad - taud) * (betad - taud) + betadd * betadd);
+    const double normar = std::fabs(zetabar);
+    const double norma = std::sqrt(norm_a2);
+
+    result.residual_norm = normr;
+    result.normal_residual = normar;
+
+    // Convergence tests (as in Fong & Saunders).
+    if (normar <= options.atol * norma * normr + 1e-300) {
+      result.converged = true;
+      break;
+    }
+    if (normr <= options.btol * normb + options.atol * norma * Norm2(result.x)) {
+      result.converged = true;
+      break;
+    }
+    (void)rhotemp;
+  }
+  return result;
+}
+
+}  // namespace hdmm

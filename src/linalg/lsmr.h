@@ -1,0 +1,35 @@
+// LSMR iterative least-squares solver (Fong & Saunders, SISC 2011) on
+// implicit operators. Used for the RECONSTRUCT step when the strategy is a
+// union of Kronecker products, whose pseudo-inverse has no closed form
+// (Section 7.2).
+#ifndef HDMM_LINALG_LSMR_H_
+#define HDMM_LINALG_LSMR_H_
+
+#include "linalg/linear_operator.h"
+
+namespace hdmm {
+
+/// Options for the LSMR solver.
+struct LsmrOptions {
+  int max_iterations = 2000;
+  double atol = 1e-10;  ///< Relative tolerance on ||A^T r||.
+  double btol = 1e-10;  ///< Relative tolerance on ||r||.
+};
+
+/// Result of an LSMR solve.
+struct LsmrResult {
+  Vector x;              ///< Least-squares solution.
+  int iterations = 0;    ///< Iterations performed.
+  double residual_norm = 0.0;     ///< ||b - A x||.
+  double normal_residual = 0.0;   ///< ||A^T (b - A x)||.
+  bool converged = false;
+};
+
+/// Minimizes ||A x - b||_2 with the LSMR bidiagonalization method. Only
+/// matrix-vector products with A and A^T are required.
+LsmrResult LsmrSolve(const LinearOperator& a, const Vector& b,
+                     const LsmrOptions& options = LsmrOptions());
+
+}  // namespace hdmm
+
+#endif  // HDMM_LINALG_LSMR_H_

@@ -1,0 +1,310 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace hdmm {
+namespace {
+
+// Threshold (in multiply-add flops) above which MatMul fans out to threads.
+constexpr int64_t kParallelFlopThreshold = int64_t{1} << 24;
+
+int NumWorkerThreads(int64_t flops) {
+  if (flops < kParallelFlopThreshold) return 1;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// Core kernel: C[r0:r1, :] += A[r0:r1, :] * B, with ikj loop order so the
+// inner loop streams over contiguous rows of B and C.
+void MatMulRows(const Matrix& a, const Matrix& b, Matrix* c, int64_t r0,
+                int64_t r1) {
+  const int64_t k_dim = a.cols();
+  const int64_t n = b.cols();
+  for (int64_t i = r0; i < r1; ++i) {
+    const double* arow = a.Row(i);
+    double* crow = c->Row(i);
+    for (int64_t k = 0; k < k_dim; ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.Row(k);
+      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void ParallelOverRows(int64_t rows, int64_t flops,
+                      const std::function<void(int64_t, int64_t)>& body) {
+  int threads = NumWorkerThreads(flops);
+  if (threads <= 1 || rows < 2 * threads) {
+    body(0, rows);
+    return;
+  }
+  std::vector<std::thread> pool;
+  int64_t chunk = (rows + threads - 1) / threads;
+  for (int t = 0; t < threads; ++t) {
+    int64_t r0 = t * chunk;
+    int64_t r1 = std::min(rows, r0 + chunk);
+    if (r0 >= r1) break;
+    pool.emplace_back(body, r0, r1);
+  }
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace
+
+Matrix Matrix::Identity(int64_t n) {
+  Matrix m(n, n);
+  for (int64_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Zeros(int64_t rows, int64_t cols) { return Matrix(rows, cols); }
+
+Matrix Matrix::Ones(int64_t rows, int64_t cols) {
+  Matrix m(rows, cols);
+  std::fill(m.data_.begin(), m.data_.end(), 1.0);
+  return m;
+}
+
+Matrix Matrix::Diagonal(const Vector& d) {
+  int64_t n = static_cast<int64_t>(d.size());
+  Matrix m(n, n);
+  for (int64_t i = 0; i < n; ++i) m(i, i) = d[static_cast<size_t>(i)];
+  return m;
+}
+
+Matrix Matrix::RandomUniform(int64_t rows, int64_t cols, Rng* rng, double lo,
+                             double hi) {
+  Matrix m(rows, cols);
+  for (double& v : m.data_) v = rng->Uniform(lo, hi);
+  return m;
+}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  HDMM_CHECK(!rows.empty());
+  int64_t r = static_cast<int64_t>(rows.size());
+  int64_t c = static_cast<int64_t>(rows[0].size());
+  Matrix m(r, c);
+  for (int64_t i = 0; i < r; ++i) {
+    HDMM_CHECK(static_cast<int64_t>(rows[static_cast<size_t>(i)].size()) == c);
+    std::copy(rows[static_cast<size_t>(i)].begin(),
+              rows[static_cast<size_t>(i)].end(), m.Row(i));
+  }
+  return m;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (int64_t i = 0; i < rows_; ++i)
+    for (int64_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+void Matrix::ScaleInPlace(double alpha) {
+  for (double& v : data_) v *= alpha;
+}
+
+void Matrix::AddInPlace(const Matrix& other, double alpha) {
+  HDMM_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+Vector Matrix::RowVector(int64_t i) const {
+  return Vector(Row(i), Row(i) + cols_);
+}
+
+Vector Matrix::ColVector(int64_t j) const {
+  Vector v(static_cast<size_t>(rows_));
+  for (int64_t i = 0; i < rows_; ++i) v[static_cast<size_t>(i)] = (*this)(i, j);
+  return v;
+}
+
+void Matrix::SetRow(int64_t i, const Vector& v) {
+  HDMM_CHECK(static_cast<int64_t>(v.size()) == cols_);
+  std::copy(v.begin(), v.end(), Row(i));
+}
+
+double Matrix::Sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Matrix::Trace() const {
+  HDMM_CHECK(rows_ == cols_);
+  double s = 0.0;
+  for (int64_t i = 0; i < rows_; ++i) s += (*this)(i, i);
+  return s;
+}
+
+double Matrix::FrobeniusNormSquared() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return s;
+}
+
+double Matrix::MaxAbsColSum() const {
+  Vector sums = AbsColSums();
+  double m = 0.0;
+  for (double v : sums) m = std::max(m, v);
+  return m;
+}
+
+Vector Matrix::AbsColSums() const {
+  Vector sums(static_cast<size_t>(cols_), 0.0);
+  for (int64_t i = 0; i < rows_; ++i) {
+    const double* row = Row(i);
+    for (int64_t j = 0; j < cols_; ++j)
+      sums[static_cast<size_t>(j)] += std::fabs(row[j]);
+  }
+  return sums;
+}
+
+Vector Matrix::ColSums() const {
+  Vector sums(static_cast<size_t>(cols_), 0.0);
+  for (int64_t i = 0; i < rows_; ++i) {
+    const double* row = Row(i);
+    for (int64_t j = 0; j < cols_; ++j) sums[static_cast<size_t>(j)] += row[j];
+  }
+  return sums;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  HDMM_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  double m = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i)
+    m = std::max(m, std::fabs(data_[i] - other.data_[i]));
+  return m;
+}
+
+std::string Matrix::DebugString(int64_t max_rows, int64_t max_cols) const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << " matrix\n";
+  for (int64_t i = 0; i < std::min(rows_, max_rows); ++i) {
+    for (int64_t j = 0; j < std::min(cols_, max_cols); ++j) {
+      os << (*this)(i, j) << (j + 1 < std::min(cols_, max_cols) ? " " : "");
+    }
+    if (cols_ > max_cols) os << " ...";
+    os << "\n";
+  }
+  if (rows_ > max_rows) os << "...\n";
+  return os.str();
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  HDMM_CHECK_MSG(a.cols() == b.rows(), "MatMul shape mismatch");
+  Matrix c(a.rows(), b.cols());
+  int64_t flops = a.rows() * a.cols() * b.cols();
+  ParallelOverRows(a.rows(), flops, [&](int64_t r0, int64_t r1) {
+    MatMulRows(a, b, &c, r0, r1);
+  });
+  return c;
+}
+
+Matrix MatMulTN(const Matrix& a, const Matrix& b) {
+  HDMM_CHECK_MSG(a.rows() == b.rows(), "MatMulTN shape mismatch");
+  // C = A^T B: accumulate outer products of matching rows. Row-major friendly.
+  Matrix c(a.cols(), b.cols());
+  const int64_t m = a.rows();
+  const int64_t p = a.cols();
+  const int64_t n = b.cols();
+  for (int64_t k = 0; k < m; ++k) {
+    const double* arow = a.Row(k);
+    const double* brow = b.Row(k);
+    for (int64_t i = 0; i < p; ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.Row(i);
+      for (int64_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulNT(const Matrix& a, const Matrix& b) {
+  HDMM_CHECK_MSG(a.cols() == b.cols(), "MatMulNT shape mismatch");
+  Matrix c(a.rows(), b.rows());
+  int64_t flops = a.rows() * a.cols() * b.rows();
+  ParallelOverRows(a.rows(), flops, [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const double* arow = a.Row(i);
+      double* crow = c.Row(i);
+      for (int64_t j = 0; j < b.rows(); ++j) {
+        const double* brow = b.Row(j);
+        double s = 0.0;
+        for (int64_t k = 0; k < a.cols(); ++k) s += arow[k] * brow[k];
+        crow[j] = s;
+      }
+    }
+  });
+  return c;
+}
+
+Matrix Gram(const Matrix& a) { return MatMulTN(a, a); }
+
+Vector MatVec(const Matrix& a, const Vector& x) {
+  HDMM_CHECK(static_cast<int64_t>(x.size()) == a.cols());
+  Vector y(static_cast<size_t>(a.rows()), 0.0);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.Row(i);
+    double s = 0.0;
+    for (int64_t j = 0; j < a.cols(); ++j) s += row[j] * x[static_cast<size_t>(j)];
+    y[static_cast<size_t>(i)] = s;
+  }
+  return y;
+}
+
+Vector MatTVec(const Matrix& a, const Vector& x) {
+  HDMM_CHECK(static_cast<int64_t>(x.size()) == a.rows());
+  Vector y(static_cast<size_t>(a.cols()), 0.0);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const double xi = x[static_cast<size_t>(i)];
+    if (xi == 0.0) continue;
+    const double* row = a.Row(i);
+    for (int64_t j = 0; j < a.cols(); ++j) y[static_cast<size_t>(j)] += xi * row[j];
+  }
+  return y;
+}
+
+Matrix MatAdd(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  c.AddInPlace(b, 1.0);
+  return c;
+}
+
+Matrix MatSub(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  c.AddInPlace(b, -1.0);
+  return c;
+}
+
+Matrix MatScale(const Matrix& a, double alpha) {
+  Matrix c = a;
+  c.ScaleInPlace(alpha);
+  return c;
+}
+
+Matrix VStack(const std::vector<Matrix>& blocks) {
+  HDMM_CHECK(!blocks.empty());
+  int64_t cols = blocks[0].cols();
+  int64_t rows = 0;
+  for (const Matrix& b : blocks) {
+    HDMM_CHECK(b.cols() == cols);
+    rows += b.rows();
+  }
+  Matrix out(rows, cols);
+  int64_t r = 0;
+  for (const Matrix& b : blocks) {
+    std::copy(b.data(), b.data() + b.size(), out.Row(r));
+    r += b.rows();
+  }
+  return out;
+}
+
+}  // namespace hdmm

@@ -1,0 +1,58 @@
+#include "linalg/pinv.h"
+
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "linalg/eigen_sym.h"
+
+namespace hdmm {
+
+Matrix PsdPseudoInverse(const Matrix& x, double rcond) {
+  SymmetricEigen eig = EigenSym(x);
+  const int64_t n = x.rows();
+  double max_ev = 0.0;
+  for (double v : eig.eigenvalues) max_ev = std::max(max_ev, v);
+  double cut = rcond * std::max(max_ev, 1e-300);
+  // X^+ = V diag(1/lambda_i for lambda_i > cut else 0) V^T.
+  Matrix scaled = eig.eigenvectors;  // columns scaled by 1/lambda.
+  for (int64_t j = 0; j < n; ++j) {
+    double ev = eig.eigenvalues[static_cast<size_t>(j)];
+    double inv = (ev > cut) ? 1.0 / ev : 0.0;
+    for (int64_t i = 0; i < n; ++i) scaled(i, j) *= inv;
+  }
+  return MatMulNT(scaled, eig.eigenvectors);
+}
+
+Matrix PseudoInverse(const Matrix& a, double rcond) {
+  if (a.rows() >= a.cols()) {
+    Matrix g = Gram(a);
+    Matrix gp = PsdPseudoInverse(g, rcond);
+    // A^+ = (A^T A)^+ A^T.
+    return MatMulNT(gp, a);
+  }
+  Matrix g = MatMulNT(a, a);
+  Matrix gp = PsdPseudoInverse(g, rcond);
+  // A^+ = A^T (A A^T)^+.
+  return MatMulTN(a, gp);
+}
+
+double TracePinvGram(const Matrix& gram_a, const Matrix& gram_w) {
+  HDMM_CHECK(gram_a.rows() == gram_w.rows());
+  Matrix l;
+  if (CholeskyFactor(gram_a, &l)) {
+    double tr = 0.0;
+    for (int64_t j = 0; j < gram_w.cols(); ++j) {
+      Vector col = gram_w.ColVector(j);
+      Vector sol = CholeskySolve(l, col);
+      tr += sol[static_cast<size_t>(j)];
+    }
+    return tr;
+  }
+  Matrix pinv = PsdPseudoInverse(gram_a);
+  double tr = 0.0;
+  for (int64_t i = 0; i < pinv.rows(); ++i)
+    for (int64_t j = 0; j < pinv.cols(); ++j) tr += pinv(i, j) * gram_w(j, i);
+  return tr;
+}
+
+}  // namespace hdmm

@@ -1,0 +1,27 @@
+// Moore-Penrose pseudo-inverses. The RECONSTRUCT step of the mechanism
+// (Table 1) and the error metric (Definition 7) are defined through A^+.
+#ifndef HDMM_LINALG_PINV_H_
+#define HDMM_LINALG_PINV_H_
+
+#include "linalg/matrix.h"
+
+namespace hdmm {
+
+/// Pseudo-inverse of a symmetric positive semi-definite matrix via
+/// eigendecomposition. Eigenvalues below rcond * max_eigenvalue are treated
+/// as zero.
+Matrix PsdPseudoInverse(const Matrix& x, double rcond = 1e-12);
+
+/// Pseudo-inverse of a general matrix. Uses A^+ = (A^T A)^+ A^T when
+/// rows >= cols and A^+ = A^T (A A^T)^+ otherwise.
+Matrix PseudoInverse(const Matrix& a, double rcond = 1e-12);
+
+/// tr[(A^T A)^+ G] with PSD pseudo-inverse semantics; the core quantity in
+/// the expected-error formula ||W A^+||_F^2 = tr[(A^T A)^+ (W^T W)]
+/// (Equation 3). Falls back from Cholesky to the eigendecomposition path
+/// when A^T A is singular.
+double TracePinvGram(const Matrix& gram_a, const Matrix& gram_w);
+
+}  // namespace hdmm
+
+#endif  // HDMM_LINALG_PINV_H_

@@ -1,0 +1,169 @@
+#include "linalg/qr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hdmm {
+
+namespace {
+
+// Compact Householder factorization. On return `a` holds R in its upper
+// triangle and the essential parts of the Householder vectors below the
+// diagonal (v_j has v_j[j] = 1 implicit); `betas` holds the reflector
+// coefficients. Standard Golub & Van Loan algorithm 5.2.1.
+void HouseholderFactor(Matrix* a, Vector* betas) {
+  const int64_t m = a->rows();
+  const int64_t n = a->cols();
+  betas->assign(static_cast<size_t>(n), 0.0);
+
+  for (int64_t j = 0; j < n; ++j) {
+    // Norm of the trailing part of column j.
+    double sigma = 0.0;
+    for (int64_t i = j; i < m; ++i) sigma += (*a)(i, j) * (*a)(i, j);
+    const double norm = std::sqrt(sigma);
+    if (norm == 0.0) continue;  // Zero column: nothing to reflect.
+
+    const double ajj = (*a)(j, j);
+    // Choose the sign that avoids cancellation.
+    const double alpha = ajj >= 0.0 ? -norm : norm;
+    const double v0 = ajj - alpha;
+    // beta = 2 / ||v||^2 with v = (v0, a_{j+1,j}, ..., a_{m-1,j}).
+    const double vnorm2 = sigma - ajj * ajj + v0 * v0;
+    if (vnorm2 == 0.0) continue;  // Column already in triangular form.
+    const double beta = 2.0 / vnorm2;
+    (*betas)[static_cast<size_t>(j)] = beta;
+
+    // Store the essential vector scaled so its leading entry is 1.
+    (*a)(j, j) = alpha;
+    for (int64_t i = j + 1; i < m; ++i) (*a)(i, j) /= v0;
+    // Absorb v0 into beta so the stored vector (1, a_{j+1,j}, ...) works.
+    (*betas)[static_cast<size_t>(j)] *= v0 * v0;
+
+    // Apply the reflector to the trailing columns.
+    for (int64_t k = j + 1; k < n; ++k) {
+      double dot = (*a)(j, k);
+      for (int64_t i = j + 1; i < m; ++i) dot += (*a)(i, j) * (*a)(i, k);
+      const double scale = (*betas)[static_cast<size_t>(j)] * dot;
+      (*a)(j, k) -= scale;
+      for (int64_t i = j + 1; i < m; ++i) (*a)(i, k) -= scale * (*a)(i, j);
+    }
+  }
+}
+
+// Applies Q^T (the accumulated reflectors) to a vector in place.
+void ApplyQTranspose(const Matrix& factored, const Vector& betas, Vector* b) {
+  const int64_t m = factored.rows();
+  const int64_t n = factored.cols();
+  for (int64_t j = 0; j < n; ++j) {
+    const double beta = betas[static_cast<size_t>(j)];
+    if (beta == 0.0) continue;
+    double dot = (*b)[static_cast<size_t>(j)];
+    for (int64_t i = j + 1; i < m; ++i) {
+      dot += factored(i, j) * (*b)[static_cast<size_t>(i)];
+    }
+    const double scale = beta * dot;
+    (*b)[static_cast<size_t>(j)] -= scale;
+    for (int64_t i = j + 1; i < m; ++i) {
+      (*b)[static_cast<size_t>(i)] -= scale * factored(i, j);
+    }
+  }
+}
+
+}  // namespace
+
+Matrix QrResult::Reconstruct() const { return MatMul(q, r); }
+
+QrResult HouseholderQr(const Matrix& a) {
+  HDMM_CHECK_MSG(a.rows() >= a.cols(),
+                 "HouseholderQr requires rows >= cols (thin factorization)");
+  HDMM_CHECK(a.cols() > 0);
+  const int64_t m = a.rows();
+  const int64_t n = a.cols();
+
+  Matrix factored = a;
+  Vector betas;
+  HouseholderFactor(&factored, &betas);
+
+  // Extract R (upper triangle), flipping signs so the diagonal is >= 0.
+  Matrix r(n, n);
+  std::vector<bool> flip(static_cast<size_t>(n), false);
+  for (int64_t i = 0; i < n; ++i) {
+    flip[static_cast<size_t>(i)] = factored(i, i) < 0.0;
+    for (int64_t j = i; j < n; ++j) {
+      r(i, j) = flip[static_cast<size_t>(i)] ? -factored(i, j) : factored(i, j);
+    }
+  }
+
+  // Build thin Q by applying the reflectors to the first n identity columns:
+  // Q e_k for k < n. Reflectors are applied in reverse order.
+  Matrix q(m, n);
+  for (int64_t k = 0; k < n; ++k) {
+    Vector col(static_cast<size_t>(m), 0.0);
+    col[static_cast<size_t>(k)] = 1.0;
+    for (int64_t j = n - 1; j >= 0; --j) {
+      const double beta = betas[static_cast<size_t>(j)];
+      if (beta == 0.0) continue;
+      double dot = col[static_cast<size_t>(j)];
+      for (int64_t i = j + 1; i < m; ++i) {
+        dot += factored(i, j) * col[static_cast<size_t>(i)];
+      }
+      const double scale = beta * dot;
+      col[static_cast<size_t>(j)] -= scale;
+      for (int64_t i = j + 1; i < m; ++i) {
+        col[static_cast<size_t>(i)] -= scale * factored(i, j);
+      }
+    }
+    const double sign = flip[static_cast<size_t>(k)] ? -1.0 : 1.0;
+    for (int64_t i = 0; i < m; ++i) q(i, k) = sign * col[static_cast<size_t>(i)];
+  }
+  return QrResult{std::move(q), std::move(r)};
+}
+
+Vector QrLeastSquares(const Matrix& a, const Vector& b, double rcond) {
+  HDMM_CHECK_MSG(a.rows() >= a.cols(),
+                 "QrLeastSquares requires rows >= cols");
+  HDMM_CHECK(static_cast<int64_t>(b.size()) == a.rows());
+  const int64_t n = a.cols();
+
+  Matrix factored = a;
+  Vector betas;
+  HouseholderFactor(&factored, &betas);
+
+  // Rank check on the R diagonal.
+  double max_diag = 0.0;
+  for (int64_t j = 0; j < n; ++j) {
+    max_diag = std::max(max_diag, std::abs(factored(j, j)));
+  }
+  for (int64_t j = 0; j < n; ++j) {
+    HDMM_CHECK_MSG(std::abs(factored(j, j)) > rcond * max_diag,
+                   "QrLeastSquares: numerically rank-deficient input");
+  }
+
+  Vector qtb = b;
+  ApplyQTranspose(factored, betas, &qtb);
+
+  // Back substitution on R x = (Q^T b)[0..n).
+  Vector x(static_cast<size_t>(n), 0.0);
+  for (int64_t i = n - 1; i >= 0; --i) {
+    double acc = qtb[static_cast<size_t>(i)];
+    for (int64_t j = i + 1; j < n; ++j) {
+      acc -= factored(i, j) * x[static_cast<size_t>(j)];
+    }
+    x[static_cast<size_t>(i)] = acc / factored(i, i);
+  }
+  return x;
+}
+
+double AbsDeterminant(const Matrix& a) {
+  HDMM_CHECK_MSG(a.rows() == a.cols(), "AbsDeterminant requires square input");
+  Matrix factored = a;
+  Vector betas;
+  HouseholderFactor(&factored, &betas);
+  double det = 1.0;
+  for (int64_t j = 0; j < a.cols(); ++j) det *= std::abs(factored(j, j));
+  return det;
+}
+
+}  // namespace hdmm

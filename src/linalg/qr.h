@@ -1,0 +1,39 @@
+// Householder QR factorization: orthonormal range bases and full-rank least
+// squares without forming normal equations (which square the condition
+// number). Complements the Gram/Cholesky and SVD paths used elsewhere in the
+// linear-algebra substrate.
+#ifndef HDMM_LINALG_QR_H_
+#define HDMM_LINALG_QR_H_
+
+#include "linalg/matrix.h"
+
+namespace hdmm {
+
+/// Thin QR factorization A = Q R of an m x n matrix with m >= n:
+/// `q` is m x n with orthonormal columns and `r` is n x n upper triangular
+/// with non-negative diagonal.
+struct QrResult {
+  Matrix q;
+  Matrix r;
+
+  /// Q R, for testing the factorization.
+  Matrix Reconstruct() const;
+};
+
+/// Computes the thin QR factorization via Householder reflections.
+/// Requires rows >= cols. O(m n^2), backward stable.
+QrResult HouseholderQr(const Matrix& a);
+
+/// Solves the least squares problem min_x ||A x - b||_2 through the QR
+/// factorization. Requires rows >= cols and numerically full column rank
+/// (every |r_jj| > rcond * max_j |r_jj|; dies otherwise — rank-deficient
+/// problems should go through PinvViaSvd or LSMR instead).
+Vector QrLeastSquares(const Matrix& a, const Vector& b, double rcond = 1e-12);
+
+/// Determinant of a square matrix through its QR factorization, up to sign:
+/// returns prod_j r_jj = |det(A)|.
+double AbsDeterminant(const Matrix& a);
+
+}  // namespace hdmm
+
+#endif  // HDMM_LINALG_QR_H_

@@ -1,0 +1,104 @@
+#include "linalg/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "common/check.h"
+
+namespace hdmm {
+
+SparseMatrix SparseMatrix::FromTriplets(
+    int64_t rows, int64_t cols,
+    std::vector<std::tuple<int64_t, int64_t, double>> triplets) {
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  std::sort(triplets.begin(), triplets.end());
+  m.row_ptr_.assign(static_cast<size_t>(rows + 1), 0);
+  for (size_t t = 0; t < triplets.size();) {
+    auto [i, j, v] = triplets[t];
+    HDMM_CHECK(i >= 0 && i < rows && j >= 0 && j < cols);
+    // Sum duplicates.
+    double sum = v;
+    size_t u = t + 1;
+    while (u < triplets.size() && std::get<0>(triplets[u]) == i &&
+           std::get<1>(triplets[u]) == j) {
+      sum += std::get<2>(triplets[u]);
+      ++u;
+    }
+    if (sum != 0.0) {
+      m.col_idx_.push_back(j);
+      m.values_.push_back(sum);
+      ++m.row_ptr_[static_cast<size_t>(i + 1)];
+    }
+    t = u;
+  }
+  for (int64_t i = 0; i < rows; ++i)
+    m.row_ptr_[static_cast<size_t>(i + 1)] += m.row_ptr_[static_cast<size_t>(i)];
+  return m;
+}
+
+SparseMatrix SparseMatrix::FromDense(const Matrix& dense, double tolerance) {
+  std::vector<std::tuple<int64_t, int64_t, double>> triplets;
+  for (int64_t i = 0; i < dense.rows(); ++i) {
+    for (int64_t j = 0; j < dense.cols(); ++j) {
+      if (std::fabs(dense(i, j)) > tolerance)
+        triplets.push_back({i, j, dense(i, j)});
+    }
+  }
+  return FromTriplets(dense.rows(), dense.cols(), std::move(triplets));
+}
+
+Vector SparseMatrix::Apply(const Vector& x) const {
+  HDMM_CHECK(static_cast<int64_t>(x.size()) == cols_);
+  Vector y(static_cast<size_t>(rows_), 0.0);
+  for (int64_t i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (int64_t k = row_ptr_[static_cast<size_t>(i)];
+         k < row_ptr_[static_cast<size_t>(i + 1)]; ++k) {
+      s += values_[static_cast<size_t>(k)] *
+           x[static_cast<size_t>(col_idx_[static_cast<size_t>(k)])];
+    }
+    y[static_cast<size_t>(i)] = s;
+  }
+  return y;
+}
+
+Vector SparseMatrix::ApplyTranspose(const Vector& x) const {
+  HDMM_CHECK(static_cast<int64_t>(x.size()) == rows_);
+  Vector y(static_cast<size_t>(cols_), 0.0);
+  for (int64_t i = 0; i < rows_; ++i) {
+    const double xi = x[static_cast<size_t>(i)];
+    if (xi == 0.0) continue;
+    for (int64_t k = row_ptr_[static_cast<size_t>(i)];
+         k < row_ptr_[static_cast<size_t>(i + 1)]; ++k) {
+      y[static_cast<size_t>(col_idx_[static_cast<size_t>(k)])] +=
+          xi * values_[static_cast<size_t>(k)];
+    }
+  }
+  return y;
+}
+
+Matrix SparseMatrix::ToDense() const {
+  Matrix out(rows_, cols_);
+  for (int64_t i = 0; i < rows_; ++i) {
+    for (int64_t k = row_ptr_[static_cast<size_t>(i)];
+         k < row_ptr_[static_cast<size_t>(i + 1)]; ++k) {
+      out(i, col_idx_[static_cast<size_t>(k)]) = values_[static_cast<size_t>(k)];
+    }
+  }
+  return out;
+}
+
+double SparseMatrix::MaxAbsColSum() const {
+  Vector sums(static_cast<size_t>(cols_), 0.0);
+  for (size_t k = 0; k < values_.size(); ++k) {
+    sums[static_cast<size_t>(col_idx_[k])] += std::fabs(values_[k]);
+  }
+  double m = 0.0;
+  for (double v : sums) m = std::max(m, v);
+  return m;
+}
+
+}  // namespace hdmm

@@ -1,0 +1,26 @@
+#include "linalg/trace_estimator.h"
+
+#include "common/check.h"
+
+namespace hdmm {
+
+double EstimateTraceInvProduct(const LinearOperator& x,
+                               const LinearOperator& g, Rng* rng,
+                               const TraceEstimatorOptions& options) {
+  HDMM_CHECK(x.Rows() == x.Cols());
+  HDMM_CHECK(g.Rows() == g.Cols());
+  HDMM_CHECK(x.Rows() == g.Rows());
+  const int64_t n = x.Rows();
+
+  double acc = 0.0;
+  Vector gz;
+  for (int s = 0; s < options.num_samples; ++s) {
+    Vector z = rng->RademacherVector(n);
+    g.Apply(z, &gz);                       // w = G z
+    CgResult solve = CgSolve(x, gz, options.cg);  // y = X^{-1} w
+    acc += Dot(z, solve.x);
+  }
+  return acc / options.num_samples;
+}
+
+}  // namespace hdmm

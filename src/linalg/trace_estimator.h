@@ -1,0 +1,29 @@
+// Hutchinson stochastic trace estimation of tr[X^{-1} G] for implicit SPD X.
+// Lets us evaluate the expected error of strategies that are neither Kronecker
+// products nor marginals (e.g., QuadTree at 256x256) without densifying.
+#ifndef HDMM_LINALG_TRACE_ESTIMATOR_H_
+#define HDMM_LINALG_TRACE_ESTIMATOR_H_
+
+#include "common/rng.h"
+#include "linalg/cg.h"
+#include "linalg/linear_operator.h"
+
+namespace hdmm {
+
+/// Options for the Hutchinson estimator.
+struct TraceEstimatorOptions {
+  int num_samples = 32;
+  CgOptions cg;
+};
+
+/// Estimates tr[X^{-1} G] where X is SPD, using Rademacher probes:
+/// tr[X^{-1} G] = E_z[z^T X^{-1} G z]. Each sample costs one CG solve with X
+/// plus one product with G. Standard error decreases as 1/sqrt(samples).
+double EstimateTraceInvProduct(const LinearOperator& x,
+                               const LinearOperator& g, Rng* rng,
+                               const TraceEstimatorOptions& options =
+                                   TraceEstimatorOptions());
+
+}  // namespace hdmm
+
+#endif  // HDMM_LINALG_TRACE_ESTIMATOR_H_

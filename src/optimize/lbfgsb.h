@@ -1,0 +1,53 @@
+// Box-constrained limited-memory BFGS. The paper's implementation uses
+// scipy.optimize's L-BFGS-B for every optimization routine (Section 8.1);
+// this is the equivalent substrate, implemented from scratch: projected
+// gradient active sets + two-loop recursion + Armijo backtracking along the
+// projected path.
+#ifndef HDMM_OPTIMIZE_LBFGSB_H_
+#define HDMM_OPTIMIZE_LBFGSB_H_
+
+#include <functional>
+#include <limits>
+
+#include "linalg/vector_ops.h"
+
+namespace hdmm {
+
+/// Objective callback: returns f(x) and writes the gradient into *grad
+/// (same size as x).
+using ObjectiveFn = std::function<double(const Vector& x, Vector* grad)>;
+
+/// Options controlling the optimizer.
+struct LbfgsbOptions {
+  int max_iterations = 400;
+  int history = 10;           ///< Number of (s, y) correction pairs kept.
+  double pg_tolerance = 1e-6; ///< Stop when ||projected gradient||_inf small.
+  double f_tolerance = 1e-10; ///< Stop on relative objective improvement.
+  int max_line_search = 30;   ///< Backtracking steps per iteration.
+  double armijo_c1 = 1e-4;
+};
+
+/// Result of a minimization run.
+struct LbfgsbResult {
+  Vector x;
+  double f = std::numeric_limits<double>::infinity();
+  int iterations = 0;
+  int function_evaluations = 0;
+  bool converged = false;
+};
+
+/// Minimizes f over the box [lower_i, upper_i]^n starting from x0 (which is
+/// clamped into the box). Use -inf/+inf entries for unbounded coordinates.
+LbfgsbResult MinimizeLbfgsb(const ObjectiveFn& f, Vector x0,
+                            const Vector& lower, const Vector& upper,
+                            const LbfgsbOptions& options = LbfgsbOptions());
+
+/// Convenience: non-negativity constraint only (lower = 0, upper = +inf),
+/// the constraint set used by OPT_0 (Theta >= 0) and OPT_M (theta >= 0).
+LbfgsbResult MinimizeNonNegative(const ObjectiveFn& f, Vector x0,
+                                 const LbfgsbOptions& options =
+                                     LbfgsbOptions());
+
+}  // namespace hdmm
+
+#endif  // HDMM_OPTIMIZE_LBFGSB_H_

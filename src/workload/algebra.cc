@@ -1,0 +1,95 @@
+#include "workload/algebra.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "workload/building_blocks.h"
+
+namespace hdmm {
+
+UnionWorkload UnionOf(const UnionWorkload& a, const UnionWorkload& b) {
+  HDMM_CHECK_MSG(a.domain().NumAttributes() == b.domain().NumAttributes(),
+                 "UnionOf: domains have different dimensionality");
+  for (int i = 0; i < a.domain().NumAttributes(); ++i) {
+    HDMM_CHECK_MSG(a.domain().AttributeSize(i) == b.domain().AttributeSize(i),
+                   "UnionOf: attribute size mismatch");
+  }
+  UnionWorkload out(a.domain());
+  for (const ProductWorkload& p : a.products()) out.AddProduct(p);
+  for (const ProductWorkload& p : b.products()) out.AddProduct(p);
+  return out;
+}
+
+UnionWorkload ScaleWeights(const UnionWorkload& w, double c) {
+  HDMM_CHECK_MSG(c > 0.0, "ScaleWeights: scale must be positive");
+  UnionWorkload out(w.domain());
+  for (ProductWorkload p : w.products()) {
+    p.weight *= c;
+    out.AddProduct(std::move(p));
+  }
+  return out;
+}
+
+UnionWorkload AppendAttribute(const UnionWorkload& w, const Matrix& block,
+                              const std::string& name) {
+  HDMM_CHECK_MSG(block.rows() >= 1 && block.cols() >= 1,
+                 "AppendAttribute: empty block");
+  std::vector<std::string> names;
+  std::vector<int64_t> sizes;
+  for (int i = 0; i < w.domain().NumAttributes(); ++i) {
+    names.push_back(w.domain().AttributeName(i));
+    sizes.push_back(w.domain().AttributeSize(i));
+  }
+  names.push_back(name);
+  sizes.push_back(block.cols());
+
+  UnionWorkload out(Domain(std::move(names), std::move(sizes)));
+  for (const ProductWorkload& p : w.products()) {
+    ProductWorkload extended = p;
+    extended.factors.push_back(block);
+    out.AddProduct(std::move(extended));
+  }
+  return out;
+}
+
+UnionWorkload MarginalizeAttribute(const UnionWorkload& w, int attr) {
+  HDMM_CHECK(attr >= 0 && attr < w.domain().NumAttributes());
+  const int64_t n = w.domain().AttributeSize(attr);
+  UnionWorkload out(w.domain());
+  for (ProductWorkload p : w.products()) {
+    p.factors[static_cast<size_t>(attr)] = TotalBlock(n);
+    out.AddProduct(std::move(p));
+  }
+  return out;
+}
+
+UnionWorkload MergeDuplicateProducts(const UnionWorkload& w) {
+  UnionWorkload out(w.domain());
+  std::vector<ProductWorkload> merged;
+  for (const ProductWorkload& p : w.products()) {
+    bool found = false;
+    for (ProductWorkload& m : merged) {
+      if (m.factors.size() != p.factors.size()) continue;
+      bool same = true;
+      for (size_t i = 0; i < p.factors.size() && same; ++i) {
+        if (m.factors[i].rows() != p.factors[i].rows() ||
+            m.factors[i].cols() != p.factors[i].cols() ||
+            m.factors[i].MaxAbsDiff(p.factors[i]) != 0.0) {
+          same = false;
+        }
+      }
+      if (same) {
+        // Gram-preserving combination: weights enter W^T W quadratically.
+        m.weight = std::sqrt(m.weight * m.weight + p.weight * p.weight);
+        found = true;
+        break;
+      }
+    }
+    if (!found) merged.push_back(p);
+  }
+  for (ProductWorkload& m : merged) out.AddProduct(std::move(m));
+  return out;
+}
+
+}  // namespace hdmm

@@ -1,0 +1,45 @@
+// Composable operations on implicit workloads. The paper builds its
+// workloads by algebra — SF1+ is SF1 with a [Total; Identity] factor grafted
+// onto a new State attribute (Example 5), weighted workloads express
+// accuracy priorities (Section 3.3) — and these helpers make the same
+// constructions one-liners over UnionWorkload values.
+#ifndef HDMM_WORKLOAD_ALGEBRA_H_
+#define HDMM_WORKLOAD_ALGEBRA_H_
+
+#include <string>
+
+#include "workload/workload.h"
+
+namespace hdmm {
+
+/// Union of two workloads over the same domain: the products of `b` appended
+/// to those of `a` (stacking; Section 4.3). Dies on domain mismatch.
+UnionWorkload UnionOf(const UnionWorkload& a, const UnionWorkload& b);
+
+/// Scales every product weight by c > 0 (expected squared error scales by
+/// c^2; see Definition 7).
+UnionWorkload ScaleWeights(const UnionWorkload& w, double c);
+
+/// Appends a new attribute to the domain and grafts `block` onto every
+/// product as its factor for that attribute. This is Example 5's
+/// SF1 -> SF1+ construction: AppendAttribute(sf1, [Total; Identity], "state")
+/// turns each national query into a national + 51 per-state queries.
+/// The new attribute's size is block.cols(); `name` may be empty.
+UnionWorkload AppendAttribute(const UnionWorkload& w, const Matrix& block,
+                              const std::string& name);
+
+/// Replaces attribute `attr`'s factor with Total in every product —
+/// marginalizing the workload over that attribute (queries stop
+/// distinguishing its values). The domain keeps the attribute.
+UnionWorkload MarginalizeAttribute(const UnionWorkload& w, int attr);
+
+/// Merges products with identical factors into one, combining weights as
+/// w = sqrt(w_1^2 + w_2^2). This preserves the workload Gram matrix W^T W —
+/// and therefore every strategy's expected error (Equation 3) — while
+/// shrinking the representation; the query multiset changes (k duplicates
+/// collapse to one re-weighted copy).
+UnionWorkload MergeDuplicateProducts(const UnionWorkload& w);
+
+}  // namespace hdmm
+
+#endif  // HDMM_WORKLOAD_ALGEBRA_H_

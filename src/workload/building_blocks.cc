@@ -1,0 +1,148 @@
+#include "workload/building_blocks.h"
+
+#include <algorithm>
+
+namespace hdmm {
+
+Matrix IdentityBlock(int64_t n) { return Matrix::Identity(n); }
+
+Matrix TotalBlock(int64_t n) { return Matrix::Ones(1, n); }
+
+Matrix PrefixBlock(int64_t n) {
+  Matrix m(n, n);
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j <= i; ++j) m(i, j) = 1.0;
+  return m;
+}
+
+Matrix AllRangeBlock(int64_t n) {
+  Matrix m(n * (n + 1) / 2, n);
+  int64_t r = 0;
+  for (int64_t a = 0; a < n; ++a) {
+    for (int64_t b = a; b < n; ++b) {
+      for (int64_t j = a; j <= b; ++j) m(r, j) = 1.0;
+      ++r;
+    }
+  }
+  return m;
+}
+
+Matrix WidthRangeBlock(int64_t n, int64_t w) {
+  HDMM_CHECK(w >= 1 && w <= n);
+  Matrix m(n - w + 1, n);
+  for (int64_t a = 0; a + w <= n; ++a)
+    for (int64_t j = a; j < a + w; ++j) m(a, j) = 1.0;
+  return m;
+}
+
+Matrix PermutedRangeBlock(int64_t n, Rng* rng) {
+  Matrix ranges = AllRangeBlock(n);
+  std::vector<int> perm = rng->Permutation(static_cast<int>(n));
+  Matrix out(ranges.rows(), n);
+  for (int64_t i = 0; i < ranges.rows(); ++i)
+    for (int64_t j = 0; j < n; ++j)
+      out(i, perm[static_cast<size_t>(j)]) = ranges(i, j);
+  return out;
+}
+
+Matrix PrefixGram(int64_t n) {
+  Matrix g(n, n);
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < n; ++j)
+      g(i, j) = static_cast<double>(n - std::max(i, j));
+  return g;
+}
+
+Matrix AllRangeGram(int64_t n) {
+  Matrix g(n, n);
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < n; ++j)
+      g(i, j) = static_cast<double>((std::min(i, j) + 1) * (n - std::max(i, j)));
+  return g;
+}
+
+Matrix WidthRangeGram(int64_t n, int64_t w) {
+  HDMM_CHECK(w >= 1 && w <= n);
+  Matrix g(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      if (std::llabs(i - j) >= w) continue;
+      // Window starts s with s <= min(i,j), s + w > max(i,j), 0 <= s <= n-w.
+      int64_t lo = std::max<int64_t>(0, std::max(i, j) - w + 1);
+      int64_t hi = std::min(std::min(i, j), n - w);
+      if (hi >= lo) g(i, j) = static_cast<double>(hi - lo + 1);
+    }
+  }
+  return g;
+}
+
+Matrix PermuteGram(const Matrix& g, const std::vector<int>& perm) {
+  const int64_t n = g.rows();
+  HDMM_CHECK(static_cast<int64_t>(perm.size()) == n);
+  Matrix out(n, n);
+  // Workload W P has Gram P^T G P: out[p(i)][p(j)] = g[i][j].
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < n; ++j)
+      out(perm[static_cast<size_t>(i)], perm[static_cast<size_t>(j)]) = g(i, j);
+  return out;
+}
+
+Matrix HaarBlock(int64_t n) {
+  HDMM_CHECK_MSG((n & (n - 1)) == 0 && n >= 1, "HaarBlock requires power of 2");
+  Matrix m(n, n);
+  // Row 0: total.
+  for (int64_t j = 0; j < n; ++j) m(0, j) = 1.0;
+  int64_t r = 1;
+  for (int64_t width = n; width >= 2; width /= 2) {
+    for (int64_t start = 0; start < n; start += width) {
+      for (int64_t j = start; j < start + width / 2; ++j) m(r, j) = 1.0;
+      for (int64_t j = start + width / 2; j < start + width; ++j)
+        m(r, j) = -1.0;
+      ++r;
+    }
+  }
+  HDMM_CHECK(r == n);
+  return m;
+}
+
+Matrix HierarchicalBlock(int64_t n, int64_t b) {
+  HDMM_CHECK(b >= 2);
+  // Levels from leaves up to the root; each level groups the previous level's
+  // blocks b at a time.
+  std::vector<std::vector<std::pair<int64_t, int64_t>>> levels;  // [lo, hi)
+  std::vector<std::pair<int64_t, int64_t>> cur;
+  for (int64_t i = 0; i < n; ++i) cur.push_back({i, i + 1});
+  levels.push_back(cur);
+  while (cur.size() > 1) {
+    std::vector<std::pair<int64_t, int64_t>> next;
+    for (size_t i = 0; i < cur.size(); i += static_cast<size_t>(b)) {
+      size_t hi = std::min(cur.size(), i + static_cast<size_t>(b));
+      next.push_back({cur[i].first, cur[hi - 1].second});
+    }
+    levels.push_back(next);
+    cur = next;
+  }
+  int64_t rows = 0;
+  for (const auto& level : levels) rows += static_cast<int64_t>(level.size());
+  Matrix m(rows, n);
+  int64_t r = 0;
+  for (const auto& level : levels) {
+    for (const auto& [lo, hi] : level) {
+      for (int64_t j = lo; j < hi; ++j) m(r, j) = 1.0;
+      ++r;
+    }
+  }
+  return m;
+}
+
+Matrix DyadicPartitionBlock(int64_t n, int level) {
+  int64_t blocks = int64_t{1} << level;
+  HDMM_CHECK_MSG(n % blocks == 0, "domain not divisible by 2^level");
+  int64_t width = n / blocks;
+  Matrix m(blocks, n);
+  for (int64_t r = 0; r < blocks; ++r)
+    for (int64_t j = r * width; j < (r + 1) * width; ++j) m(r, j) = 1.0;
+  return m;
+}
+
+}  // namespace hdmm

@@ -1,0 +1,61 @@
+// Per-attribute predicate-set matrices (Section 3.3): Identity, Total,
+// Prefix, AllRange, and friends, plus closed-form Gram matrices W^T W that
+// avoid materializing the quadratically-sized workloads.
+#ifndef HDMM_WORKLOAD_BUILDING_BLOCKS_H_
+#define HDMM_WORKLOAD_BUILDING_BLOCKS_H_
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace hdmm {
+
+/// Identity_A: one point predicate per domain element (n x n identity).
+Matrix IdentityBlock(int64_t n);
+
+/// Total_A: the single True predicate (1 x n of ones).
+Matrix TotalBlock(int64_t n);
+
+/// Prefix_A: predicates a_1 <= t.A <= a_i for each i (n x n lower-triangular
+/// ones). A compact proxy for all range queries; defines the CDF.
+Matrix PrefixBlock(int64_t n);
+
+/// AllRange_A: all interval predicates a_i <= t.A <= a_j
+/// (n(n+1)/2 x n). Quadratic in n: use AllRangeGram for large domains.
+Matrix AllRangeBlock(int64_t n);
+
+/// All width-w ranges (n-w+1 x n), the "Width 32 Range" workload family.
+Matrix WidthRangeBlock(int64_t n, int64_t w);
+
+/// AllRange right-multiplied by a random permutation (the Permuted Range
+/// workload of Section 8.1): destroys locality while preserving spectrum.
+Matrix PermutedRangeBlock(int64_t n, Rng* rng);
+
+/// Closed-form Gram matrix of PrefixBlock: (W^T W)_{ij} = n - max(i, j).
+Matrix PrefixGram(int64_t n);
+
+/// Closed-form Gram of AllRangeBlock:
+/// (W^T W)_{ij} = (min(i,j)+1) * (n - max(i,j)).
+Matrix AllRangeGram(int64_t n);
+
+/// Closed-form Gram of WidthRangeBlock.
+Matrix WidthRangeGram(int64_t n, int64_t w);
+
+/// Gram of a permuted workload: P^T G P for permutation perm.
+Matrix PermuteGram(const Matrix& g, const std::vector<int>& perm);
+
+/// Haar wavelet strategy matrix for n a power of two: one total row plus
+/// difference rows at every dyadic level (the Privelet strategy [43]).
+/// Sensitivity log2(n) + 1.
+Matrix HaarBlock(int64_t n);
+
+/// Hierarchical strategy with branching factor b (the HB strategy [36]):
+/// all levels of a b-ary aggregation tree, leaves included.
+Matrix HierarchicalBlock(int64_t n, int64_t b);
+
+/// The 2^level x n dyadic partition matrix (row r sums cells in block r).
+/// Requires n divisible by 2^level. Building block of the QuadTree strategy.
+Matrix DyadicPartitionBlock(int64_t n, int level);
+
+}  // namespace hdmm
+
+#endif  // HDMM_WORKLOAD_BUILDING_BLOCKS_H_

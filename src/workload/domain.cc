@@ -1,0 +1,63 @@
+#include "workload/domain.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace hdmm {
+
+Domain::Domain(std::vector<int64_t> sizes)
+    : names_(sizes.size()), sizes_(std::move(sizes)) {
+  for (int64_t n : sizes_) HDMM_CHECK(n >= 1);
+}
+
+Domain::Domain(std::vector<std::string> names, std::vector<int64_t> sizes)
+    : names_(std::move(names)), sizes_(std::move(sizes)) {
+  HDMM_CHECK(names_.size() == sizes_.size());
+  for (int64_t n : sizes_) HDMM_CHECK(n >= 1);
+}
+
+int Domain::AttributeIndex(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  HDMM_CHECK_MSG(false, "unknown attribute name");
+  return -1;
+}
+
+int64_t Domain::TotalSize() const {
+  int64_t n = 1;
+  for (int64_t s : sizes_) n *= s;
+  return n;
+}
+
+int64_t Domain::Flatten(const std::vector<int64_t>& coords) const {
+  HDMM_CHECK(coords.size() == sizes_.size());
+  int64_t idx = 0;
+  for (size_t i = 0; i < sizes_.size(); ++i) {
+    HDMM_CHECK(coords[i] >= 0 && coords[i] < sizes_[i]);
+    idx = idx * sizes_[i] + coords[i];
+  }
+  return idx;
+}
+
+std::vector<int64_t> Domain::Unflatten(int64_t index) const {
+  HDMM_CHECK(index >= 0 && index < TotalSize());
+  std::vector<int64_t> coords(sizes_.size());
+  for (size_t i = sizes_.size(); i-- > 0;) {
+    coords[i] = index % sizes_[i];
+    index /= sizes_[i];
+  }
+  return coords;
+}
+
+std::string Domain::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < sizes_.size(); ++i) {
+    if (i > 0) os << " x ";
+    os << sizes_[i];
+  }
+  return os.str();
+}
+
+}  // namespace hdmm

@@ -1,0 +1,42 @@
+#include "workload/impvec.h"
+
+#include "common/check.h"
+#include "workload/building_blocks.h"
+
+namespace hdmm {
+
+void LogicalWorkload::AddConjunction(
+    const std::vector<std::pair<int, Predicate>>& conjuncts, double weight) {
+  LogicalProduct p;
+  p.predicate_sets.resize(static_cast<size_t>(domain.NumAttributes()));
+  p.weight = weight;
+  for (const auto& [attr, pred] : conjuncts) {
+    HDMM_CHECK(attr >= 0 && attr < domain.NumAttributes());
+    p.predicate_sets[static_cast<size_t>(attr)].push_back(pred);
+  }
+  products.push_back(std::move(p));
+}
+
+UnionWorkload ImpVec(const LogicalWorkload& logical) {
+  UnionWorkload out(logical.domain);
+  for (const LogicalProduct& q : logical.products) {
+    HDMM_CHECK(static_cast<int>(q.predicate_sets.size()) ==
+               logical.domain.NumAttributes());
+    ProductWorkload p;
+    p.weight = q.weight;
+    for (int i = 0; i < logical.domain.NumAttributes(); ++i) {
+      const auto& set = q.predicate_sets[static_cast<size_t>(i)];
+      const int64_t n = logical.domain.AttributeSize(i);
+      if (set.empty()) {
+        // Unmentioned attribute: Total predicate set.
+        p.factors.push_back(TotalBlock(n));
+      } else {
+        p.factors.push_back(VectorizePredicateSet(set, n));
+      }
+    }
+    out.AddProduct(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace hdmm

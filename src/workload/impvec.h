@@ -1,0 +1,40 @@
+// The ImpVec algorithm (Algorithm 1, Section 4.3): converts a logical
+// workload — a union of products of per-attribute predicate sets — into the
+// implicit matrix representation W = w_1 W_1 + ... + w_k W_k.
+#ifndef HDMM_WORKLOAD_IMPVEC_H_
+#define HDMM_WORKLOAD_IMPVEC_H_
+
+#include <vector>
+
+#include "workload/domain.h"
+#include "workload/predicate.h"
+#include "workload/workload.h"
+
+namespace hdmm {
+
+/// One logical product q_i = [Phi_1]_{A_1} x ... x [Phi_d]_{A_d}
+/// (Definition 3). An empty predicate set on an attribute means Total.
+struct LogicalProduct {
+  /// predicate_sets[i] applies to attribute i; empty set = Total.
+  std::vector<std::vector<Predicate>> predicate_sets;
+  double weight = 1.0;
+};
+
+/// A logical workload: a union of logical products.
+struct LogicalWorkload {
+  Domain domain;
+  std::vector<LogicalProduct> products;
+
+  /// Convenience: adds a single conjunctive counting query
+  /// (one predicate per mentioned attribute; others default to Total).
+  void AddConjunction(const std::vector<std::pair<int, Predicate>>& conjuncts,
+                      double weight = 1.0);
+};
+
+/// ImpVec (Algorithm 1): vectorizes each predicate set per attribute and
+/// assembles the implicit union-of-products workload.
+UnionWorkload ImpVec(const LogicalWorkload& logical);
+
+}  // namespace hdmm
+
+#endif  // HDMM_WORKLOAD_IMPVEC_H_

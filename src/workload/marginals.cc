@@ -1,0 +1,106 @@
+#include "workload/marginals.h"
+
+#include "common/check.h"
+#include "workload/building_blocks.h"
+
+namespace hdmm {
+
+int PopCount(uint32_t mask) {
+  int c = 0;
+  while (mask != 0) {
+    c += static_cast<int>(mask & 1u);
+    mask >>= 1;
+  }
+  return c;
+}
+
+ProductWorkload MarginalProduct(const Domain& domain, uint32_t mask,
+                                double weight) {
+  const int d = domain.NumAttributes();
+  HDMM_CHECK(d <= 31);
+  ProductWorkload p;
+  p.weight = weight;
+  for (int i = 0; i < d; ++i) {
+    const int64_t n = domain.AttributeSize(i);
+    // Bit i corresponds to attribute i; grouping attributes get Identity.
+    if ((mask >> i) & 1u) {
+      p.factors.push_back(IdentityBlock(n));
+    } else {
+      p.factors.push_back(TotalBlock(n));
+    }
+  }
+  return p;
+}
+
+UnionWorkload KWayMarginals(const Domain& domain, int k) {
+  const int d = domain.NumAttributes();
+  HDMM_CHECK(k >= 0 && k <= d);
+  UnionWorkload w(domain);
+  for (uint32_t mask = 0; mask < (1u << d); ++mask) {
+    if (PopCount(mask) == k) w.AddProduct(MarginalProduct(domain, mask));
+  }
+  return w;
+}
+
+UnionWorkload UpToKWayMarginals(const Domain& domain, int k) {
+  const int d = domain.NumAttributes();
+  HDMM_CHECK(k >= 0 && k <= d);
+  UnionWorkload w(domain);
+  for (uint32_t mask = 0; mask < (1u << d); ++mask) {
+    if (PopCount(mask) <= k) w.AddProduct(MarginalProduct(domain, mask));
+  }
+  return w;
+}
+
+UnionWorkload AllMarginals(const Domain& domain) {
+  return UpToKWayMarginals(domain, domain.NumAttributes());
+}
+
+namespace {
+
+ProductWorkload RangeMarginalProduct(const Domain& domain, uint32_t mask,
+                                     const std::vector<Matrix>& blocks) {
+  ProductWorkload p;
+  for (int i = 0; i < domain.NumAttributes(); ++i) {
+    const int64_t n = domain.AttributeSize(i);
+    if ((mask >> i) & 1u) {
+      const Matrix& blk = blocks[static_cast<size_t>(i)];
+      if (blk.size() > 0) {
+        HDMM_CHECK(blk.cols() == n);
+        p.factors.push_back(blk);
+      } else {
+        p.factors.push_back(IdentityBlock(n));
+      }
+    } else {
+      p.factors.push_back(TotalBlock(n));
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+UnionWorkload KWayRangeMarginals(const Domain& domain, int k,
+                                 const std::vector<Matrix>& numeric_blocks) {
+  const int d = domain.NumAttributes();
+  HDMM_CHECK(static_cast<int>(numeric_blocks.size()) == d);
+  UnionWorkload w(domain);
+  for (uint32_t mask = 0; mask < (1u << d); ++mask) {
+    if (PopCount(mask) == k)
+      w.AddProduct(RangeMarginalProduct(domain, mask, numeric_blocks));
+  }
+  return w;
+}
+
+UnionWorkload AllRangeMarginals(const Domain& domain,
+                                const std::vector<Matrix>& numeric_blocks) {
+  const int d = domain.NumAttributes();
+  HDMM_CHECK(static_cast<int>(numeric_blocks.size()) == d);
+  UnionWorkload w(domain);
+  for (uint32_t mask = 0; mask < (1u << d); ++mask) {
+    w.AddProduct(RangeMarginalProduct(domain, mask, numeric_blocks));
+  }
+  return w;
+}
+
+}  // namespace hdmm

@@ -1,0 +1,48 @@
+// Marginal workloads (Section 6.3): a marginal over attribute subset S is the
+// product with Identity factors on S and Total factors elsewhere. Subsets are
+// encoded as bitmasks, bit i = attribute i (the paper's binary encoding of
+// [2^d], Appendix A.4).
+#ifndef HDMM_WORKLOAD_MARGINALS_H_
+#define HDMM_WORKLOAD_MARGINALS_H_
+
+#include <cstdint>
+
+#include "workload/domain.h"
+#include "workload/workload.h"
+
+namespace hdmm {
+
+/// The single marginal over the attribute subset given by `mask`
+/// (bit i set = attribute i is a grouping attribute).
+ProductWorkload MarginalProduct(const Domain& domain, uint32_t mask,
+                                double weight = 1.0);
+
+/// All (d choose k) k-way marginals.
+UnionWorkload KWayMarginals(const Domain& domain, int k);
+
+/// All marginals with at most K grouping attributes (the "up-to-K-way"
+/// workloads of Table 5).
+UnionWorkload UpToKWayMarginals(const Domain& domain, int k);
+
+/// The full set of 2^d marginals (the "All Marginals" workload).
+UnionWorkload AllMarginals(const Domain& domain);
+
+/// Like KWayMarginals but replacing Identity with an arbitrary block on
+/// selected attributes — builds the Range-Marginals workloads of Section 8.1
+/// (range queries on "numeric" attributes, Identity elsewhere).
+/// `numeric_blocks[i]` is the block to use when attribute i is in the subset;
+/// an empty matrix means use Identity.
+UnionWorkload KWayRangeMarginals(const Domain& domain, int k,
+                                 const std::vector<Matrix>& numeric_blocks);
+
+/// Union of KWayRangeMarginals over all subset sizes 0..d (the
+/// "All Range-Marginals" workload).
+UnionWorkload AllRangeMarginals(const Domain& domain,
+                                const std::vector<Matrix>& numeric_blocks);
+
+/// Number of set bits (subset size) of a marginal mask.
+int PopCount(uint32_t mask);
+
+}  // namespace hdmm
+
+#endif  // HDMM_WORKLOAD_MARGINALS_H_

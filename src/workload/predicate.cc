@@ -1,0 +1,63 @@
+#include "workload/predicate.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hdmm {
+
+Predicate Predicate::True() { return Predicate{}; }
+
+Predicate Predicate::Equals(int64_t v) {
+  Predicate p;
+  p.kind = Kind::kEquals;
+  p.value = v;
+  return p;
+}
+
+Predicate Predicate::Range(int64_t lo, int64_t hi) {
+  HDMM_CHECK(lo <= hi);
+  Predicate p;
+  p.kind = Kind::kRange;
+  p.lo = lo;
+  p.hi = hi;
+  return p;
+}
+
+Predicate Predicate::InSet(std::vector<int64_t> values) {
+  Predicate p;
+  p.kind = Kind::kInSet;
+  p.values = std::move(values);
+  return p;
+}
+
+bool Predicate::Matches(int64_t v) const {
+  switch (kind) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kEquals:
+      return v == value;
+    case Kind::kRange:
+      return v >= lo && v <= hi;
+    case Kind::kInSet:
+      return std::find(values.begin(), values.end(), v) != values.end();
+  }
+  return false;
+}
+
+Vector VectorizePredicate(const Predicate& p, int64_t n) {
+  Vector v(static_cast<size_t>(n), 0.0);
+  for (int64_t i = 0; i < n; ++i)
+    if (p.Matches(i)) v[static_cast<size_t>(i)] = 1.0;
+  return v;
+}
+
+Matrix VectorizePredicateSet(const std::vector<Predicate>& set, int64_t n) {
+  HDMM_CHECK(!set.empty());
+  Matrix m(static_cast<int64_t>(set.size()), n);
+  for (size_t i = 0; i < set.size(); ++i)
+    m.SetRow(static_cast<int64_t>(i), VectorizePredicate(set[i], n));
+  return m;
+}
+
+}  // namespace hdmm

@@ -1,0 +1,165 @@
+#include "workload/algebra.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/strategy.h"
+#include "linalg/kron.h"
+#include "workload/building_blocks.h"
+
+namespace hdmm {
+namespace {
+
+UnionWorkload TwoProducts() {
+  Domain d({3, 4});
+  UnionWorkload w(d);
+  ProductWorkload p1;
+  p1.factors = {PrefixBlock(3), IdentityBlock(4)};
+  p1.weight = 1.5;
+  w.AddProduct(p1);
+  ProductWorkload p2;
+  p2.factors = {IdentityBlock(3), TotalBlock(4)};
+  w.AddProduct(p2);
+  return w;
+}
+
+TEST(Algebra, UnionConcatenatesProducts) {
+  UnionWorkload a = TwoProducts();
+  UnionWorkload b = MakeProductWorkload(Domain({3, 4}),
+                                        {TotalBlock(3), PrefixBlock(4)});
+  UnionWorkload u = UnionOf(a, b);
+  EXPECT_EQ(u.NumProducts(), 3);
+  EXPECT_EQ(u.TotalQueries(), a.TotalQueries() + b.TotalQueries());
+  // The explicit stack equals the two stacks concatenated.
+  Matrix ua = a.Explicit();
+  Matrix ue = u.Explicit();
+  for (int64_t i = 0; i < ua.rows(); ++i) {
+    for (int64_t j = 0; j < ua.cols(); ++j) {
+      EXPECT_EQ(ue(i, j), ua(i, j));
+    }
+  }
+}
+
+TEST(AlgebraDeath, UnionRejectsMismatchedDomains) {
+  UnionWorkload a = MakeProductWorkload(Domain({3}), {PrefixBlock(3)});
+  UnionWorkload b = MakeProductWorkload(Domain({4}), {PrefixBlock(4)});
+  EXPECT_DEATH(UnionOf(a, b), "mismatch");
+}
+
+TEST(Algebra, ScaleWeightsScalesErrorQuadratically) {
+  UnionWorkload w = TwoProducts();
+  UnionWorkload w3 = ScaleWeights(w, 3.0);
+  KronStrategy a({PrefixBlock(3), IdentityBlock(4)});
+  EXPECT_NEAR(a.SquaredError(w3), 9.0 * a.SquaredError(w),
+              1e-9 * a.SquaredError(w3));
+}
+
+TEST(AlgebraDeath, ScaleRejectsNonPositive) {
+  UnionWorkload w = TwoProducts();
+  EXPECT_DEATH(ScaleWeights(w, 0.0), "positive");
+}
+
+TEST(Algebra, AppendAttributeIsExample5) {
+  // SF1 -> SF1+ in miniature: national queries get a [Total; Identity]
+  // factor on a new "state" attribute, turning q queries over N cells into
+  // q * (1 + states) queries over N * states cells.
+  UnionWorkload national = TwoProducts();
+  const int64_t states = 5;
+  Matrix state_block =
+      VStack({TotalBlock(states), IdentityBlock(states)});
+  UnionWorkload plus = AppendAttribute(national, state_block, "state");
+
+  EXPECT_EQ(plus.domain().NumAttributes(), 3);
+  EXPECT_EQ(plus.domain().AttributeSize(2), states);
+  EXPECT_EQ(plus.domain().AttributeName(2), "state");
+  EXPECT_EQ(plus.DomainSize(), national.DomainSize() * states);
+  EXPECT_EQ(plus.TotalQueries(), national.TotalQueries() * (1 + states));
+
+  // Semantics: for data that is national data replicated into state 0 only,
+  // the national rows of the extended workload give the original answers.
+  Vector x_nat(static_cast<size_t>(national.DomainSize()));
+  for (size_t i = 0; i < x_nat.size(); ++i) x_nat[i] = static_cast<double>(i);
+  Vector x_plus(static_cast<size_t>(plus.DomainSize()), 0.0);
+  for (size_t i = 0; i < x_nat.size(); ++i) {
+    x_plus[i * static_cast<size_t>(states)] = x_nat[i];  // State = 0.
+  }
+  const Vector nat_answers = national.ToOperator()->Apply(x_nat);
+  const Vector plus_answers = plus.ToOperator()->Apply(x_plus);
+  // Product 1 of `plus` emits, per original query, 1 national row then
+  // `states` per-state rows; check the first product's national rows.
+  const int64_t q1 = national.products()[0].NumQueries();
+  for (int64_t q = 0; q < q1; ++q) {
+    EXPECT_DOUBLE_EQ(plus_answers[static_cast<size_t>(q * (1 + states))],
+                     nat_answers[static_cast<size_t>(q)]);
+  }
+}
+
+TEST(Algebra, MarginalizeAttributeReplacesWithTotal) {
+  UnionWorkload w = TwoProducts();
+  UnionWorkload m = MarginalizeAttribute(w, 1);
+  EXPECT_EQ(m.NumProducts(), 2);
+  for (const ProductWorkload& p : m.products()) {
+    EXPECT_EQ(p.factors[1].rows(), 1);
+    EXPECT_EQ(p.factors[1].MaxAbsDiff(TotalBlock(4)), 0.0);
+  }
+  // Marginalized answers: sums over the removed attribute. Compare against
+  // explicit evaluation.
+  Vector x(static_cast<size_t>(w.DomainSize()));
+  for (size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i % 7);
+  Matrix explicit_m = m.Explicit();
+  const Vector got = m.ToOperator()->Apply(x);
+  for (int64_t q = 0; q < explicit_m.rows(); ++q) {
+    double expected = 0.0;
+    for (int64_t c = 0; c < explicit_m.cols(); ++c) {
+      expected += explicit_m(q, c) * x[static_cast<size_t>(c)];
+    }
+    EXPECT_NEAR(got[static_cast<size_t>(q)], expected, 1e-9);
+  }
+}
+
+TEST(Algebra, MergeDuplicatesPreservesGram) {
+  Domain d({3, 3});
+  UnionWorkload w(d);
+  ProductWorkload p;
+  p.factors = {PrefixBlock(3), TotalBlock(3)};
+  p.weight = 1.0;
+  w.AddProduct(p);
+  w.AddProduct(p);  // Exact duplicate.
+  ProductWorkload q;
+  q.factors = {IdentityBlock(3), IdentityBlock(3)};
+  q.weight = 2.0;
+  w.AddProduct(q);
+
+  UnionWorkload merged = MergeDuplicateProducts(w);
+  EXPECT_EQ(merged.NumProducts(), 2);
+  EXPECT_NEAR(merged.products()[0].weight, std::sqrt(2.0), 1e-12);
+  // Gram preservation => identical expected error for any strategy.
+  EXPECT_LT(merged.ExplicitGram().MaxAbsDiff(w.ExplicitGram()), 1e-9);
+  KronStrategy a({PrefixBlock(3), PrefixBlock(3)});
+  EXPECT_NEAR(a.SquaredError(merged), a.SquaredError(w),
+              1e-9 * a.SquaredError(w));
+}
+
+TEST(Algebra, MergeKeepsDistinctProducts) {
+  UnionWorkload w = TwoProducts();
+  UnionWorkload merged = MergeDuplicateProducts(w);
+  EXPECT_EQ(merged.NumProducts(), w.NumProducts());
+}
+
+TEST(Algebra, ComposedPipeline) {
+  // Realistic composition: (national u extra) -> add states -> dedupe.
+  UnionWorkload base = TwoProducts();
+  UnionWorkload doubled = UnionOf(base, base);
+  UnionWorkload with_state = AppendAttribute(
+      doubled, VStack({TotalBlock(3), IdentityBlock(3)}), "state");
+  UnionWorkload compact = MergeDuplicateProducts(with_state);
+  EXPECT_EQ(compact.NumProducts(), 2);
+  EXPECT_EQ(compact.domain().NumAttributes(), 3);
+  // Gram equality with the uncompacted version.
+  EXPECT_LT(compact.ExplicitGram().MaxAbsDiff(with_state.ExplicitGram()),
+            1e-9);
+}
+
+}  // namespace
+}  // namespace hdmm

@@ -1,0 +1,91 @@
+#include "baselines/dawa.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "data/synthetic.h"
+#include "workload/building_blocks.h"
+
+namespace hdmm {
+namespace {
+
+TEST(DawaPartition, UniformDataGivesFewBuckets) {
+  // Perfectly uniform counts: deviation is zero everywhere, so the
+  // per-bucket penalty forces one bucket.
+  Vector x(64, 10.0);
+  std::vector<int64_t> bounds = DawaPartition(x, 5.0);
+  EXPECT_EQ(bounds.size(), 1u);
+  EXPECT_EQ(bounds[0], 64);
+}
+
+TEST(DawaPartition, StepDataSplitsAtStep) {
+  Vector x(32, 1.0);
+  for (size_t i = 16; i < 32; ++i) x[i] = 100.0;
+  std::vector<int64_t> bounds = DawaPartition(x, 5.0);
+  ASSERT_GE(bounds.size(), 2u);
+  // One boundary must be exactly at the step.
+  bool found = false;
+  for (int64_t b : bounds) found = found || (b == 16);
+  EXPECT_TRUE(found);
+  EXPECT_EQ(bounds.back(), 32);
+}
+
+TEST(DawaPartition, ZeroPenaltyGivesSingletons) {
+  Rng rng(1);
+  Vector x(16);
+  for (auto& v : x) v = rng.Uniform(0.0, 50.0);
+  std::vector<int64_t> bounds = DawaPartition(x, 0.0);
+  EXPECT_EQ(bounds.size(), 16u);
+}
+
+TEST(Dawa, RunProducesFiniteAnswers) {
+  const int64_t n = 64;
+  Matrix w = PrefixBlock(n);
+  Domain d({n});
+  Rng rng(2);
+  Vector x = ClusteredDataVector(d, 10000, 4, &rng);
+  DawaOptions opts;
+  Vector est = RunDawa(w, x, 1.0, opts, &rng);
+  ASSERT_EQ(est.size(), static_cast<size_t>(n));
+  for (double v : est) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Dawa, AccurateOnClusteredData) {
+  // DAWA's reason to exist: on piecewise-uniform data it compresses the
+  // domain and beats plain per-cell measurement.
+  const int64_t n = 128;
+  Matrix w = PrefixBlock(n);
+  Domain d({n});
+  Rng rng(3);
+  Vector x = ClusteredDataVector(d, 100000, 4, &rng);
+  Vector truth = MatVec(w, x);
+
+  const int trials = 12;
+  double dawa_err = 0.0, identity_err = 0.0;
+  DawaOptions opts;
+  for (int t = 0; t < trials; ++t) {
+    Vector est = RunDawa(w, x, 0.1, opts, &rng);
+    dawa_err += EmpiricalSquaredError(truth, est);
+    // Identity baseline at the same budget.
+    Vector noisy = x;
+    for (double& v : noisy) v += rng.Laplace(1.0 / 0.1);
+    identity_err += EmpiricalSquaredError(truth, MatVec(w, noisy));
+  }
+  EXPECT_LT(dawa_err, identity_err);
+}
+
+TEST(Dawa, HdmmStage2RunsAndIsFinite) {
+  const int64_t n = 64;
+  Matrix w = PrefixBlock(n);
+  Domain d({n});
+  Rng rng(4);
+  Vector x = ClusteredDataVector(d, 20000, 4, &rng);
+  DawaOptions opts;
+  opts.stage2 = DawaStage2::kHdmm;
+  Vector est = RunDawa(w, x, 1.0, opts, &rng);
+  ASSERT_EQ(est.size(), static_cast<size_t>(n));
+  for (double v : est) EXPECT_TRUE(std::isfinite(v));
+}
+
+}  // namespace
+}  // namespace hdmm

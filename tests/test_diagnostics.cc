@@ -1,0 +1,143 @@
+#include "core/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/hdmm.h"
+#include "workload/building_blocks.h"
+#include "workload/marginals.h"
+
+namespace hdmm {
+namespace {
+
+TEST(Diagnostics, ExplicitSupportBasics) {
+  // Identity supports everything; Total supports only multiples of Total.
+  Matrix prefix = PrefixBlock(6);
+  EXPECT_TRUE(SupportsWorkloadExplicit(prefix, IdentityBlock(6)));
+  EXPECT_TRUE(SupportsWorkloadExplicit(TotalBlock(6), TotalBlock(6)));
+  EXPECT_FALSE(SupportsWorkloadExplicit(prefix, TotalBlock(6)));
+  // Prefix is square full rank, so it supports identity (and everything).
+  EXPECT_TRUE(SupportsWorkloadExplicit(IdentityBlock(6), prefix));
+}
+
+TEST(Diagnostics, RankDeficientStrategyRejectsRicherWorkload) {
+  // A two-row strategy spans a 2D rowspace; a 3-query workload outside it
+  // must be rejected.
+  Matrix a = Matrix::FromRows({{1.0, 1.0, 0.0, 0.0}, {0.0, 0.0, 1.0, 1.0}});
+  Matrix w_ok = Matrix::FromRows({{2.0, 2.0, 3.0, 3.0}});
+  Matrix w_bad = Matrix::FromRows({{1.0, 0.0, 0.0, 0.0}});
+  EXPECT_TRUE(SupportsWorkloadExplicit(w_ok, a));
+  EXPECT_FALSE(SupportsWorkloadExplicit(w_bad, a));
+}
+
+TEST(Diagnostics, KronSupportPerFactorReduction) {
+  UnionWorkload w = MakeProductWorkload(Domain({4, 3}),
+                                        {PrefixBlock(4), TotalBlock(3)});
+  // Identity x Total supports Prefix x Total.
+  KronStrategy good({IdentityBlock(4), TotalBlock(3)});
+  EXPECT_TRUE(SupportsWorkload(good, w));
+  // Total x Total does not support Prefix on the first attribute.
+  KronStrategy bad({TotalBlock(4), TotalBlock(3)});
+  EXPECT_FALSE(SupportsWorkload(bad, w));
+}
+
+TEST(Diagnostics, MarginalsSupportNeedsFullTableWeight) {
+  Domain d({3, 3});
+  UnionWorkload w = AllMarginals(d);
+  MarginalsStrategy with_full(d, {0.5, 0.5, 0.5, 0.5});
+  EXPECT_TRUE(SupportsWorkload(with_full, w));
+  MarginalsStrategy without_full(d, {1.0, 1.0, 1.0, 1e-12});
+  EXPECT_FALSE(SupportsWorkload(without_full, w));
+}
+
+TEST(Diagnostics, UnionKronPerGroupCheck) {
+  Domain d({4, 4});
+  UnionWorkload w(d);
+  ProductWorkload p1;
+  p1.factors = {AllRangeBlock(4), TotalBlock(4)};
+  w.AddProduct(p1);
+  ProductWorkload p2;
+  p2.factors = {TotalBlock(4), AllRangeBlock(4)};
+  w.AddProduct(p2);
+
+  UnionKronStrategy good(
+      {{MatScale(IdentityBlock(4), 0.5), MatScale(TotalBlock(4), 1.0)},
+       {MatScale(TotalBlock(4), 1.0), MatScale(IdentityBlock(4), 0.5)}},
+      {{0}, {1}}, "good");
+  EXPECT_TRUE(SupportsWorkload(good, w));
+
+  // Swap the group assignments: each part now faces the workload its
+  // factors cannot span.
+  UnionKronStrategy bad(
+      {{MatScale(IdentityBlock(4), 0.5), MatScale(TotalBlock(4), 1.0)},
+       {MatScale(TotalBlock(4), 1.0), MatScale(IdentityBlock(4), 0.5)}},
+      {{1}, {0}}, "bad");
+  EXPECT_FALSE(SupportsWorkload(bad, w));
+}
+
+TEST(Diagnostics, OptimizerOutputAlwaysSupports) {
+  // Structural guarantee of the p-Identity parameterization (Section 5.2):
+  // every OPT_HDMM strategy supports its workload.
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    UnionWorkload w = MakeProductWorkload(Domain({8, 4}),
+                                          {AllRangeBlock(8), PrefixBlock(4)});
+    HdmmOptions options;
+    options.restarts = 1;
+    options.seed = seed;
+    HdmmResult sel = OptimizeStrategy(w, options);
+    EXPECT_TRUE(SupportsWorkload(*sel.strategy, w)) << "seed " << seed;
+  }
+}
+
+TEST(Diagnostics, ReportExplicit) {
+  ExplicitStrategy s(PrefixBlock(8), "prefix");
+  StrategyReport report = DescribeStrategy(s);
+  EXPECT_EQ(report.name, "prefix");
+  EXPECT_EQ(report.num_queries, 8);
+  EXPECT_EQ(report.rank, 8);
+  EXPECT_TRUE(report.full_column_rank);
+  EXPECT_DOUBLE_EQ(report.l1_sensitivity, 8.0);
+  EXPECT_NEAR(report.l2_sensitivity, std::sqrt(8.0), 1e-12);
+  EXPECT_GT(report.condition_number, 1.0);
+}
+
+TEST(Diagnostics, ReportKronMultiplies) {
+  KronStrategy s({PrefixBlock(4), IdentityBlock(3)});
+  StrategyReport report = DescribeStrategy(s);
+  EXPECT_EQ(report.rank, 12);
+  EXPECT_TRUE(report.full_column_rank);
+  // Condition of a Kronecker product is the product of conditions; identity
+  // contributes 1.
+  StrategyReport prefix_only =
+      DescribeStrategy(ExplicitStrategy(PrefixBlock(4)));
+  EXPECT_NEAR(report.condition_number, prefix_only.condition_number, 1e-9);
+}
+
+TEST(Diagnostics, ReportMarginalsViaGenericPath) {
+  Domain d({3, 2});
+  MarginalsStrategy s(d, {0.2, 0.4, 0.6, 0.8}, "marg");
+  StrategyReport report = DescribeStrategy(s);
+  EXPECT_EQ(report.domain_size, 6);
+  EXPECT_TRUE(report.full_column_rank);  // theta_full > 0.
+  EXPECT_NEAR(report.l1_sensitivity, 2.0, 1e-12);
+  EXPECT_GT(report.l2_sensitivity, 0.0);
+  EXPECT_LE(report.l2_sensitivity, report.l1_sensitivity + 1e-12);
+}
+
+TEST(Diagnostics, ReportRankDeficiency) {
+  ExplicitStrategy s(TotalBlock(5), "total");
+  StrategyReport report = DescribeStrategy(s);
+  EXPECT_EQ(report.rank, 1);
+  EXPECT_FALSE(report.full_column_rank);
+  const std::string text = ReportToString(report);
+  EXPECT_NE(text.find("rank 1/5"), std::string::npos) << text;
+}
+
+TEST(DiagnosticsDeath, GenericPathSizeGuard) {
+  Domain d({64, 64, 64});
+  MarginalsStrategy s(d, Vector(8, 1.0));
+  EXPECT_DEATH(DescribeStrategy(s, /*max_explicit_cells=*/1024), "too large");
+}
+
+}  // namespace
+}  // namespace hdmm

@@ -1,0 +1,38 @@
+#include "workload/domain.h"
+
+#include <gtest/gtest.h>
+
+namespace hdmm {
+namespace {
+
+TEST(Domain, SizesAndTotal) {
+  Domain d({2, 3, 4});
+  EXPECT_EQ(d.NumAttributes(), 3);
+  EXPECT_EQ(d.TotalSize(), 24);
+  EXPECT_EQ(d.AttributeSize(1), 3);
+}
+
+TEST(Domain, FlattenUnflattenRoundTrip) {
+  Domain d({3, 4, 5});
+  for (int64_t i = 0; i < d.TotalSize(); ++i) {
+    EXPECT_EQ(d.Flatten(d.Unflatten(i)), i);
+  }
+}
+
+TEST(Domain, FlattenIsRowMajor) {
+  Domain d({2, 3});
+  EXPECT_EQ(d.Flatten({0, 0}), 0);
+  EXPECT_EQ(d.Flatten({0, 2}), 2);
+  EXPECT_EQ(d.Flatten({1, 0}), 3);
+  EXPECT_EQ(d.Flatten({1, 2}), 5);
+}
+
+TEST(Domain, NamedAttributes) {
+  Domain d({"sex", "age"}, {2, 115});
+  EXPECT_EQ(d.AttributeIndex("age"), 1);
+  EXPECT_EQ(d.AttributeName(0), "sex");
+  EXPECT_EQ(d.ToString(), "2 x 115");
+}
+
+}  // namespace
+}  // namespace hdmm

@@ -1,0 +1,68 @@
+#include "core/gaussian.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/kron.h"
+#include "workload/building_blocks.h"
+
+namespace hdmm {
+namespace {
+
+TEST(Gaussian, L2SensitivityExplicit) {
+  Matrix a = Matrix::FromRows({{3.0, 0.0}, {4.0, 1.0}});
+  // Column 0: sqrt(9 + 16) = 5; column 1: 1.
+  EXPECT_DOUBLE_EQ(L2Sensitivity(a), 5.0);
+}
+
+TEST(Gaussian, KronL2SensitivityMatchesExplicit) {
+  Rng rng(1);
+  Matrix a = Matrix::RandomUniform(3, 4, &rng, -1.0, 1.0);
+  Matrix b = Matrix::RandomUniform(5, 2, &rng, -1.0, 1.0);
+  double implicit = KronL2Sensitivity({a, b});
+  double explicit_sens = L2Sensitivity(KronExplicit({a, b}));
+  EXPECT_NEAR(implicit, explicit_sens, 1e-12);
+}
+
+TEST(Gaussian, NoiseScaleFormula) {
+  // sigma = sens * sqrt(2 ln(1.25/delta)) / eps.
+  double sigma = GaussianNoiseScale(2.0, 0.5, 1e-5);
+  EXPECT_NEAR(sigma, 2.0 * std::sqrt(2.0 * std::log(1.25e5)) / 0.5, 1e-9);
+}
+
+TEST(Gaussian, MeasureCalibration) {
+  // Empirical variance of the Gaussian measurement matches sigma^2.
+  KronStrategy id({IdentityBlock(4)});
+  Rng rng(2);
+  Vector x = {10.0, 20.0, 30.0, 40.0};
+  const double eps = 1.0, delta = 1e-6;
+  const double sigma = GaussianNoiseScale(1.0, eps, delta);
+  double sum_sq = 0.0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    Vector y = MeasureGaussian(id, x, 1.0, eps, delta, &rng);
+    for (size_t i = 0; i < 4; ++i) {
+      double noise = y[i] - x[i];
+      sum_sq += noise * noise;
+    }
+  }
+  double var = sum_sq / (4 * trials);
+  EXPECT_NEAR(var, sigma * sigma, 0.1 * sigma * sigma);
+}
+
+TEST(Gaussian, TotalErrorScalesWithTrace) {
+  double e1 = GaussianTotalSquaredError(10.0, 1.0, 1.0, 1e-6);
+  double e2 = GaussianTotalSquaredError(20.0, 1.0, 1.0, 1e-6);
+  EXPECT_NEAR(e2, 2.0 * e1, 1e-9);
+}
+
+TEST(Gaussian, L2AdvantageOverL1ForDenseStrategies) {
+  // For strategies with many small entries per column (e.g., Prefix), the
+  // L2 sensitivity is much smaller than L1 — the structural reason the
+  // Gaussian mechanism wins at high dimension.
+  Matrix p = PrefixBlock(64);
+  EXPECT_LT(L2Sensitivity(p), p.MaxAbsColSum());
+  EXPECT_GT(p.MaxAbsColSum() / L2Sensitivity(p), 5.0);
+}
+
+}  // namespace
+}  // namespace hdmm

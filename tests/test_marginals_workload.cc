@@ -1,0 +1,71 @@
+#include "workload/marginals.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/building_blocks.h"
+
+namespace hdmm {
+namespace {
+
+TEST(Marginals, PopCount) {
+  EXPECT_EQ(PopCount(0), 0);
+  EXPECT_EQ(PopCount(0b1011), 3);
+  EXPECT_EQ(PopCount(0xFF), 8);
+}
+
+TEST(Marginals, SingleMarginalShape) {
+  Domain d({2, 3, 4});
+  // Marginal over attributes {0, 2}: mask 0b101.
+  ProductWorkload p = MarginalProduct(d, 0b101);
+  EXPECT_EQ(p.NumQueries(), 2 * 4);
+  EXPECT_EQ(p.DomainSize(), 24);
+  // Factor 1 is Total (1 row), factors 0 and 2 are Identity.
+  EXPECT_EQ(p.factors[1].rows(), 1);
+  EXPECT_EQ(p.factors[0].rows(), 2);
+  EXPECT_EQ(p.factors[2].rows(), 4);
+}
+
+TEST(Marginals, MarginalRowsPartitionDomain) {
+  Domain d({2, 3});
+  ProductWorkload p = MarginalProduct(d, 0b01);  // Group by attribute 0.
+  Matrix full = p.Explicit();
+  EXPECT_EQ(full.rows(), 2);
+  // Every domain cell is counted exactly once across the marginal's queries.
+  Vector cs = full.ColSums();
+  for (double v : cs) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Marginals, KWayCounts) {
+  Domain d({2, 2, 2, 2});
+  EXPECT_EQ(KWayMarginals(d, 2).NumProducts(), 6);   // C(4,2).
+  EXPECT_EQ(KWayMarginals(d, 0).NumProducts(), 1);   // Total query.
+  EXPECT_EQ(UpToKWayMarginals(d, 2).NumProducts(), 1 + 4 + 6);
+  EXPECT_EQ(AllMarginals(d).NumProducts(), 16);
+}
+
+TEST(Marginals, AllMarginalsQueryCount) {
+  Domain d({2, 3});
+  UnionWorkload w = AllMarginals(d);
+  // Total(1) + {0}(2) + {1}(3) + {0,1}(6) = 12 queries.
+  EXPECT_EQ(w.TotalQueries(), 12);
+}
+
+TEST(Marginals, RangeMarginalsSubstituteBlocks) {
+  Domain d({4, 3});
+  std::vector<Matrix> blocks(2);
+  blocks[0] = PrefixBlock(4);  // Attribute 0 is "numeric".
+  UnionWorkload w = KWayRangeMarginals(d, 1, blocks);
+  // Two products: {0} uses Prefix (4 queries), {1} uses Identity (3 queries).
+  EXPECT_EQ(w.NumProducts(), 2);
+  EXPECT_EQ(w.TotalQueries(), 7);
+}
+
+TEST(Marginals, AllRangeMarginalsCovrsAllSubsets) {
+  Domain d({4, 3});
+  std::vector<Matrix> blocks(2);
+  UnionWorkload w = AllRangeMarginals(d, blocks);
+  EXPECT_EQ(w.NumProducts(), 4);
+}
+
+}  // namespace
+}  // namespace hdmm

@@ -1,0 +1,129 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hdmm {
+namespace {
+
+TEST(Matrix, BasicAccessors) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.Sum(), 5.0);
+}
+
+TEST(Matrix, IdentityDiagonalOnes) {
+  Matrix i = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(i.Trace(), 3.0);
+  EXPECT_DOUBLE_EQ(i.Sum(), 3.0);
+  Matrix d = Matrix::Diagonal({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d.Trace(), 6.0);
+  Matrix o = Matrix::Ones(2, 2);
+  EXPECT_DOUBLE_EQ(o.Sum(), 4.0);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, MatMulSmall) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatMulVariantsAgree) {
+  Rng rng(7);
+  Matrix a = Matrix::RandomUniform(13, 7, &rng, -1.0, 1.0);
+  Matrix b = Matrix::RandomUniform(13, 9, &rng, -1.0, 1.0);
+  Matrix tn = MatMulTN(a, b);
+  Matrix ref = MatMul(a.Transposed(), b);
+  EXPECT_LT(tn.MaxAbsDiff(ref), 1e-12);
+
+  Matrix c = Matrix::RandomUniform(5, 7, &rng, -1.0, 1.0);
+  Matrix d = Matrix::RandomUniform(6, 7, &rng, -1.0, 1.0);
+  Matrix nt = MatMulNT(c, d);
+  Matrix ref2 = MatMul(c, d.Transposed());
+  EXPECT_LT(nt.MaxAbsDiff(ref2), 1e-12);
+}
+
+TEST(Matrix, GramIsSymmetricPsd) {
+  Rng rng(3);
+  Matrix a = Matrix::RandomUniform(8, 5, &rng, -1.0, 1.0);
+  Matrix g = Gram(a);
+  EXPECT_EQ(g.rows(), 5);
+  EXPECT_LT(g.MaxAbsDiff(g.Transposed()), 1e-14);
+  // Diagonal entries are column norms (non-negative).
+  for (int64_t i = 0; i < 5; ++i) EXPECT_GE(g(i, i), 0.0);
+}
+
+TEST(Matrix, MatVecAgainstMatMul) {
+  Rng rng(11);
+  Matrix a = Matrix::RandomUniform(6, 4, &rng, -2.0, 2.0);
+  Vector x = {1.0, -1.0, 0.5, 2.0};
+  Vector y = MatVec(a, x);
+  for (int64_t i = 0; i < 6; ++i) {
+    double expect = 0.0;
+    for (int64_t j = 0; j < 4; ++j) expect += a(i, j) * x[static_cast<size_t>(j)];
+    EXPECT_NEAR(y[static_cast<size_t>(i)], expect, 1e-13);
+  }
+  Vector yt = MatTVec(a, y);
+  Vector ref = MatVec(a.Transposed(), y);
+  for (size_t i = 0; i < yt.size(); ++i) EXPECT_NEAR(yt[i], ref[i], 1e-12);
+}
+
+TEST(Matrix, Norms) {
+  Matrix m = Matrix::FromRows({{1, -2}, {-3, 4}});
+  EXPECT_DOUBLE_EQ(m.FrobeniusNormSquared(), 30.0);
+  EXPECT_DOUBLE_EQ(m.MaxAbsColSum(), 6.0);  // |−2| + |4| = 6.
+  Vector cs = m.ColSums();
+  EXPECT_DOUBLE_EQ(cs[0], -2.0);
+  EXPECT_DOUBLE_EQ(cs[1], 2.0);
+}
+
+TEST(Matrix, VStack) {
+  Matrix a = Matrix::Ones(2, 3);
+  Matrix b = Matrix::Zeros(1, 3);
+  Matrix s = VStack({a, b});
+  EXPECT_EQ(s.rows(), 3);
+  EXPECT_DOUBLE_EQ(s(2, 0), 0.0);
+  EXPECT_DOUBLE_EQ(s(0, 0), 1.0);
+}
+
+// Parameterized: large-shape MatMul agrees with a reference triple loop (the
+// threaded path must match the serial semantics).
+class MatMulSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatMulSizeTest, ThreadedMatchesReference) {
+  int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n));
+  Matrix a = Matrix::RandomUniform(n, n, &rng, -1.0, 1.0);
+  Matrix b = Matrix::RandomUniform(n, n, &rng, -1.0, 1.0);
+  Matrix c = MatMul(a, b);
+  // Reference: spot check 25 random entries.
+  for (int t = 0; t < 25; ++t) {
+    int64_t i = rng.UniformInt(0, n - 1);
+    int64_t j = rng.UniformInt(0, n - 1);
+    double expect = 0.0;
+    for (int64_t k = 0; k < n; ++k) expect += a(i, k) * b(k, j);
+    EXPECT_NEAR(c(i, j), expect, 1e-10 * n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatMulSizeTest,
+                         ::testing::Values(3, 17, 64, 129, 300));
+
+}  // namespace
+}  // namespace hdmm

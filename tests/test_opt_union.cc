@@ -1,0 +1,88 @@
+#include "core/opt_union.h"
+
+#include <gtest/gtest.h>
+
+#include "core/hdmm.h"
+#include "workload/building_blocks.h"
+
+namespace hdmm {
+namespace {
+
+UnionWorkload DisjointUnion(int64_t n) {
+  Domain d({n, n});
+  UnionWorkload w(d);
+  ProductWorkload p1;
+  p1.factors = {AllRangeBlock(n), TotalBlock(n)};
+  w.AddProduct(std::move(p1));
+  ProductWorkload p2;
+  p2.factors = {TotalBlock(n), AllRangeBlock(n)};
+  w.AddProduct(std::move(p2));
+  return w;
+}
+
+TEST(OptUnion, PartitionBySignatureSeparatesDisjointProducts) {
+  UnionWorkload w = DisjointUnion(6);
+  auto groups = PartitionBySignature(w, 4);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].size() + groups[1].size(), 2u);
+}
+
+TEST(OptUnion, PartitionMergesBeyondCap) {
+  Domain d({4, 4, 4});
+  UnionWorkload w(d);
+  // Three distinct signatures.
+  for (int active = 0; active < 3; ++active) {
+    ProductWorkload p;
+    for (int i = 0; i < 3; ++i) {
+      p.factors.push_back(i == active ? PrefixBlock(4) : TotalBlock(4));
+    }
+    w.AddProduct(std::move(p));
+  }
+  auto groups = PartitionBySignature(w, 2);
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(OptUnion, OptimalBudgetSplitFormula) {
+  std::vector<double> split = OptimalBudgetSplit({8.0, 1.0});
+  // Proportional to cbrt: 2 : 1 -> 2/3, 1/3.
+  EXPECT_NEAR(split[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(split[1], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(split[0] + split[1], 1.0, 1e-12);
+}
+
+TEST(OptUnion, OptimizedSplitNeverWorseThanEven) {
+  UnionWorkload w = DisjointUnion(6);
+  OptUnionOptions even;
+  even.optimize_budget_split = false;
+  even.kron.lbfgs.max_iterations = 60;
+  OptUnionOptions opt = even;
+  opt.optimize_budget_split = true;
+  Rng rng1(3), rng2(3);
+  OptUnionResult res_even = OptUnion(w, even, &rng1);
+  OptUnionResult res_opt = OptUnion(w, opt, &rng2);
+  EXPECT_LE(res_opt.error, res_even.error + 1e-9);
+  // Split sums to 1.
+  double total = 0.0;
+  for (double s : res_opt.budget_split) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(OptUnion, DriverStrategyErrorMatchesBookkeeping) {
+  // The UnionKronStrategy assembled by the HDMM driver (with budget-split
+  // scaled factors) must report the same error OptUnion computed.
+  UnionWorkload w = DisjointUnion(6);
+  HdmmOptions opts;
+  opts.restarts = 1;
+  opts.use_kron = false;
+  opts.use_marginals = false;
+  opts.union_opts.kron.lbfgs.max_iterations = 80;
+  HdmmResult res = OptimizeStrategy(w, opts);
+  if (res.chosen_operator == "union") {
+    EXPECT_NEAR(res.strategy->SquaredError(w), res.squared_error,
+                1e-4 * res.squared_error);
+    EXPECT_NEAR(res.strategy->Sensitivity(), 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace hdmm

@@ -1,0 +1,155 @@
+#include "core/pidentity.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/pinv.h"
+#include "workload/building_blocks.h"
+
+namespace hdmm {
+namespace {
+
+TEST(PIdentity, BuildStrategyExample8) {
+  // Example 8 of the paper: p = 2, N = 3.
+  Matrix theta = Matrix::FromRows({{1, 2, 3}, {1, 1, 1}});
+  Matrix a = PIdentityObjective::BuildStrategy(theta);
+  ASSERT_EQ(a.rows(), 5);
+  ASSERT_EQ(a.cols(), 3);
+  EXPECT_NEAR(a(0, 0), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(a(1, 1), 0.25, 1e-12);
+  EXPECT_NEAR(a(2, 2), 0.2, 1e-12);
+  EXPECT_NEAR(a(3, 0), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(a(3, 1), 0.5, 1e-12);
+  EXPECT_NEAR(a(3, 2), 0.6, 1e-12);
+  EXPECT_NEAR(a(4, 0), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(a(4, 1), 0.25, 1e-12);
+  EXPECT_NEAR(a(4, 2), 0.2, 1e-12);
+}
+
+TEST(PIdentity, StrategyHasUnitSensitivity) {
+  Rng rng(1);
+  for (int trial = 0; trial < 5; ++trial) {
+    Matrix theta = Matrix::RandomUniform(3, 7, &rng, 0.0, 2.0);
+    Matrix a = PIdentityObjective::BuildStrategy(theta);
+    EXPECT_NEAR(a.MaxAbsColSum(), 1.0, 1e-12);
+    // Every column, not just the max.
+    Vector cs = a.AbsColSums();
+    for (double v : cs) EXPECT_NEAR(v, 1.0, 1e-12);
+  }
+}
+
+TEST(PIdentity, ObjectiveMatchesReference) {
+  // The O(pN^2) Woodbury objective equals the O(N^3) pinv-based reference.
+  Rng rng(2);
+  for (int trial = 0; trial < 5; ++trial) {
+    int64_t n = 6 + trial;
+    int p = 2 + trial % 3;
+    Matrix theta = Matrix::RandomUniform(p, n, &rng, 0.0, 1.0);
+    Matrix w = Matrix::RandomUniform(9, n, &rng, 0.0, 1.0);
+    Matrix gram = Gram(w);
+    PIdentityObjective obj(gram, p);
+    Vector flat(theta.data(), theta.data() + theta.size());
+    double fast = obj.Eval(flat, nullptr);
+    double ref = PIdentityObjective::EvalReference(theta, gram);
+    EXPECT_NEAR(fast, ref, 1e-7 * std::max(1.0, std::fabs(ref)));
+  }
+}
+
+TEST(PIdentity, ObjectiveIsSquaredErrorOfStrategy) {
+  // tr[(A^T A)^{-1} W^T W] == ||W A^+||_F^2 for the supported workload.
+  Rng rng(3);
+  int64_t n = 8;
+  Matrix theta = Matrix::RandomUniform(2, n, &rng, 0.1, 1.0);
+  Matrix w = PrefixBlock(n);
+  PIdentityObjective obj(Gram(w), 2);
+  Vector flat(theta.data(), theta.data() + theta.size());
+  double c = obj.Eval(flat, nullptr);
+  Matrix a = PIdentityObjective::BuildStrategy(theta);
+  Matrix wap = MatMul(w, PseudoInverse(a));
+  EXPECT_NEAR(c, wap.FrobeniusNormSquared(), 1e-7 * c);
+}
+
+// Property: analytic gradient matches central finite differences.
+class PIdentityGradientTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(PIdentityGradientTest, FiniteDifference) {
+  auto [n, p] = GetParam();
+  Rng rng(static_cast<uint64_t>(17 * n + p));
+  Matrix w = Matrix::RandomUniform(n + 2, n, &rng, 0.0, 1.0);
+  Matrix gram = Gram(w);
+  PIdentityObjective obj(gram, p);
+  Matrix theta = Matrix::RandomUniform(p, n, &rng, 0.1, 1.0);
+  Vector flat(theta.data(), theta.data() + theta.size());
+
+  Vector grad;
+  double f0 = obj.Eval(flat, &grad);
+  ASSERT_TRUE(std::isfinite(f0));
+
+  const double h = 1e-5;
+  for (size_t idx = 0; idx < flat.size(); idx += 3) {  // Sample coordinates.
+    Vector plus = flat, minus = flat;
+    plus[idx] += h;
+    minus[idx] -= h;
+    double fp = obj.Eval(plus, nullptr);
+    double fm = obj.Eval(minus, nullptr);
+    double fd = (fp - fm) / (2.0 * h);
+    EXPECT_NEAR(grad[idx], fd, 1e-3 * std::max(1.0, std::fabs(fd)))
+        << "coordinate " << idx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PIdentityGradientTest,
+    ::testing::Values(std::make_pair(5, 1), std::make_pair(8, 2),
+                      std::make_pair(10, 4), std::make_pair(6, 6)));
+
+TEST(PIdentity, TraceWithGramMatchesEval) {
+  Rng rng(4);
+  int64_t n = 7;
+  int p = 3;
+  Matrix theta = Matrix::RandomUniform(p, n, &rng, 0.1, 1.0);
+  Matrix g = AllRangeGram(n);
+  PIdentityObjective obj(g, p);
+  Vector flat(theta.data(), theta.data() + theta.size());
+  EXPECT_NEAR(obj.Eval(flat, nullptr),
+              PIdentityObjective::TraceWithGram(theta, g), 1e-9);
+}
+
+TEST(PIdentity, TraceWithGramStableOnRankOneGram) {
+  // tr[(A^T A)^{-1} 1 1^T] = || X^{-1/2} 1 ||^2 is tiny when the strategy
+  // has a heavy total-like row; the Woodbury fast path cancels and must fall
+  // back to the stable dense evaluation (this was a real crash: the [RxT;
+  // TxR] union workload in Table 4b).
+  const int64_t n = 32;
+  Matrix theta = Matrix::Ones(1, n);  // Heavy total row.
+  theta.ScaleInPlace(50.0);
+  Matrix total_gram = Gram(TotalBlock(n));  // Rank-1 all-ones.
+  double fast = PIdentityObjective::TraceWithGram(theta, total_gram);
+  double ref = PIdentityObjective::EvalReference(theta, total_gram);
+  ASSERT_TRUE(std::isfinite(fast));
+  EXPECT_NEAR(fast, ref, 1e-6 * std::max(1.0, ref));
+}
+
+TEST(PIdentity, EvalRejectsCancellationRegion) {
+  // Extreme Theta drives the objective below the rounding floor: Eval must
+  // report infeasible rather than returning cancellation garbage.
+  const int64_t n = 16;
+  Matrix gram = Gram(TotalBlock(n));
+  PIdentityObjective obj(gram, 1);
+  Vector flat(static_cast<size_t>(n), 1e9);
+  double f = obj.Eval(flat, nullptr);
+  EXPECT_TRUE(std::isinf(f) || f > 0.0);
+}
+
+TEST(PIdentity, ZeroThetaIsIdentityStrategy) {
+  // Theta = 0 gives A = I, so C = tr[G].
+  int64_t n = 6;
+  Matrix g = PrefixGram(n);
+  PIdentityObjective obj(g, 2);
+  Vector flat(static_cast<size_t>(2 * n), 0.0);
+  EXPECT_NEAR(obj.Eval(flat, nullptr), g.Trace(), 1e-9);
+}
+
+}  // namespace
+}  // namespace hdmm

@@ -1,0 +1,68 @@
+#include "baselines/privbayes.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "data/synthetic.h"
+#include "workload/building_blocks.h"
+#include "workload/marginals.h"
+
+namespace hdmm {
+namespace {
+
+TEST(PrivBayes, SyntheticDataHasRequestedSize) {
+  Domain d({4, 4, 4});
+  Rng rng(1);
+  Vector x = UniformDataVector(d, 2000, &rng);
+  PrivBayesOptions opts;
+  Vector synth = RunPrivBayesSynthetic(d, x, 1.0, opts, &rng);
+  EXPECT_EQ(synth.size(), x.size());
+  EXPECT_NEAR(Sum(synth), 2000.0, 1.0);
+  for (double v : synth) EXPECT_GE(v, 0.0);
+}
+
+TEST(PrivBayes, PreservesStrongPairwiseStructure) {
+  // Data where attribute 1 == attribute 0 deterministically: a good network
+  // at high epsilon should keep the diagonal heavy.
+  Domain d({4, 4});
+  Vector x(16, 0.0);
+  Rng rng(2);
+  for (int t = 0; t < 4000; ++t) {
+    int64_t a = rng.UniformInt(0, 3);
+    x[static_cast<size_t>(a * 4 + a)] += 1.0;
+  }
+  PrivBayesOptions opts;
+  Vector synth = RunPrivBayesSynthetic(d, x, 50.0, opts, &rng);
+  double diag = 0.0;
+  for (int64_t a = 0; a < 4; ++a) diag += synth[static_cast<size_t>(a * 4 + a)];
+  EXPECT_GT(diag, 0.8 * Sum(synth));
+}
+
+TEST(PrivBayes, WorkloadAnswersFinite) {
+  Domain d({5, 5, 5});
+  Rng rng(3);
+  Vector x = ZipfDataVector(d, 5000, 1.0, &rng);
+  UnionWorkload w = UpToKWayMarginals(d, 2);
+  PrivBayesOptions opts;
+  Vector est = RunPrivBayes(w, x, 1.0, opts, &rng);
+  EXPECT_EQ(est.size(), static_cast<size_t>(w.TotalQueries()));
+  for (double v : est) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(PrivBayes, MoreBudgetHelpsOnMarginals) {
+  Domain d({6, 6});
+  Rng rng(4);
+  Vector x = ZipfDataVector(d, 20000, 1.1, &rng);
+  UnionWorkload w = AllMarginals(d);
+  Vector truth = w.ToOperator()->Apply(x);
+  PrivBayesOptions opts;
+  double err_low = 0.0, err_high = 0.0;
+  for (int t = 0; t < 8; ++t) {
+    err_low += EmpiricalSquaredError(truth, RunPrivBayes(w, x, 0.05, opts, &rng));
+    err_high += EmpiricalSquaredError(truth, RunPrivBayes(w, x, 5.0, opts, &rng));
+  }
+  EXPECT_LT(err_high, err_low);
+}
+
+}  // namespace
+}  // namespace hdmm

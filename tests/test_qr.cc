@@ -1,0 +1,132 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/cholesky.h"
+#include "linalg/lu.h"
+#include "linalg/pinv.h"
+
+namespace hdmm {
+namespace {
+
+class QrShapeTest
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(QrShapeTest, FactorizationReconstructs) {
+  auto [m, n] = GetParam();
+  Rng rng(m * 53 + n);
+  Matrix a = Matrix::RandomUniform(m, n, &rng, -1.0, 1.0);
+  QrResult qr = HouseholderQr(a);
+  EXPECT_EQ(qr.q.rows(), m);
+  EXPECT_EQ(qr.q.cols(), n);
+  EXPECT_EQ(qr.r.rows(), n);
+  EXPECT_EQ(qr.r.cols(), n);
+  EXPECT_LT(qr.Reconstruct().MaxAbsDiff(a), 1e-10);
+}
+
+TEST_P(QrShapeTest, QHasOrthonormalColumns) {
+  auto [m, n] = GetParam();
+  Rng rng(m * 59 + n);
+  Matrix a = Matrix::RandomUniform(m, n, &rng, -1.0, 1.0);
+  QrResult qr = HouseholderQr(a);
+  EXPECT_LT(Gram(qr.q).MaxAbsDiff(Matrix::Identity(n)), 1e-10);
+}
+
+TEST_P(QrShapeTest, RUpperTriangularNonNegativeDiagonal) {
+  auto [m, n] = GetParam();
+  Rng rng(m * 61 + n);
+  Matrix a = Matrix::RandomUniform(m, n, &rng, -1.0, 1.0);
+  QrResult qr = HouseholderQr(a);
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_GE(qr.r(i, i), 0.0);
+    for (int64_t j = 0; j < i; ++j) EXPECT_EQ(qr.r(i, j), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QrShapeTest,
+    ::testing::Values(std::pair<int64_t, int64_t>{5, 5},
+                      std::pair<int64_t, int64_t>{12, 4},
+                      std::pair<int64_t, int64_t>{30, 30},
+                      std::pair<int64_t, int64_t>{8, 1},
+                      std::pair<int64_t, int64_t>{25, 13}));
+
+TEST(Qr, LeastSquaresMatchesNormalEquations) {
+  Rng rng(7);
+  Matrix a = Matrix::RandomUniform(15, 6, &rng, -1.0, 1.0);
+  Vector b(15);
+  for (auto& v : b) v = rng.Uniform(-2.0, 2.0);
+
+  Vector x_qr = QrLeastSquares(a, b);
+  // Normal equations solution (A^T A) x = A^T b via Cholesky.
+  Matrix g = Gram(a);
+  Matrix l;
+  ASSERT_TRUE(CholeskyFactor(g, &l));
+  Vector x_ne = CholeskySolve(l, MatTVec(a, b));
+  for (size_t i = 0; i < x_qr.size(); ++i) {
+    EXPECT_NEAR(x_qr[i], x_ne[i], 1e-9);
+  }
+}
+
+TEST(Qr, LeastSquaresResidualOrthogonalToRange) {
+  Rng rng(8);
+  Matrix a = Matrix::RandomUniform(12, 5, &rng, -1.0, 1.0);
+  Vector b(12);
+  for (auto& v : b) v = rng.Uniform(-1.0, 1.0);
+  Vector x = QrLeastSquares(a, b);
+  Vector residual = Sub(b, MatVec(a, x));
+  // A^T r = 0 characterizes the least-squares minimizer.
+  Vector atr = MatTVec(a, residual);
+  EXPECT_LT(NormInf(atr), 1e-9);
+}
+
+TEST(Qr, ExactSolveSquareSystem) {
+  Rng rng(9);
+  Matrix a = Matrix::RandomUniform(9, 9, &rng, -1.0, 1.0);
+  for (int64_t i = 0; i < 9; ++i) a(i, i) += 3.0;
+  Vector x_true(9);
+  for (auto& v : x_true) v = rng.Uniform(-1.0, 1.0);
+  Vector b = MatVec(a, x_true);
+  Vector x = QrLeastSquares(a, b);
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(Qr, IdentityFactorsTrivially) {
+  Matrix i4 = Matrix::Identity(4);
+  QrResult qr = HouseholderQr(i4);
+  EXPECT_LT(qr.q.MaxAbsDiff(i4), 1e-12);
+  EXPECT_LT(qr.r.MaxAbsDiff(i4), 1e-12);
+}
+
+TEST(Qr, AbsDeterminantMatchesLu) {
+  Rng rng(10);
+  Matrix a = Matrix::RandomUniform(8, 8, &rng, -1.0, 1.0);
+  for (int64_t i = 0; i < 8; ++i) a(i, i) += 2.0;
+  const double qr_det = AbsDeterminant(a);
+  LuFactorization lu(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(qr_det, std::abs(lu.Determinant()), 1e-8 * qr_det);
+}
+
+TEST(Qr, AbsDeterminantOfSingularIsZero) {
+  Matrix a = Matrix::FromRows({{1.0, 2.0}, {2.0, 4.0}});
+  EXPECT_NEAR(AbsDeterminant(a), 0.0, 1e-12);
+}
+
+TEST(QrDeath, RejectsWideInput) {
+  Matrix a = Matrix::Zeros(2, 5);
+  EXPECT_DEATH(HouseholderQr(a), "rows >= cols");
+}
+
+TEST(QrDeath, LeastSquaresRejectsRankDeficient) {
+  // Two identical columns: rank 1 out of 2.
+  Matrix a = Matrix::FromRows({{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}});
+  Vector b = {1.0, 1.0, 1.0};
+  EXPECT_DEATH(QrLeastSquares(a, b), "rank-deficient");
+}
+
+}  // namespace
+}  // namespace hdmm

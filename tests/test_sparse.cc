@@ -1,0 +1,77 @@
+#include "linalg/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/lsmr.h"
+#include "workload/building_blocks.h"
+
+namespace hdmm {
+namespace {
+
+TEST(Sparse, FromTripletsBasics) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      2, 3, {{0, 1, 2.0}, {1, 0, -1.0}, {0, 1, 3.0}});  // Duplicate summed.
+  EXPECT_EQ(m.NumNonZeros(), 2);
+  Matrix d = m.ToDense();
+  EXPECT_DOUBLE_EQ(d(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(d(0, 0), 0.0);
+}
+
+TEST(Sparse, ZeroSumDuplicatesDropped) {
+  SparseMatrix m =
+      SparseMatrix::FromTriplets(1, 1, {{0, 0, 1.0}, {0, 0, -1.0}});
+  EXPECT_EQ(m.NumNonZeros(), 0);
+}
+
+TEST(Sparse, FromDenseRoundTrip) {
+  Rng rng(1);
+  Matrix dense = Matrix::RandomUniform(6, 4, &rng, -1.0, 1.0);
+  dense(2, 2) = 0.0;
+  SparseMatrix m = SparseMatrix::FromDense(dense);
+  EXPECT_LT(m.ToDense().MaxAbsDiff(dense), 1e-15);
+}
+
+TEST(Sparse, ApplyMatchesDense) {
+  Rng rng(2);
+  Matrix dense = HierarchicalBlock(16, 2);
+  SparseMatrix m = SparseMatrix::FromDense(dense);
+  Vector x(16);
+  for (auto& v : x) v = rng.Uniform(-1.0, 1.0);
+  Vector ys = m.Apply(x);
+  Vector yd = MatVec(dense, x);
+  for (size_t i = 0; i < yd.size(); ++i) EXPECT_NEAR(ys[i], yd[i], 1e-12);
+
+  Vector z(static_cast<size_t>(dense.rows()));
+  for (auto& v : z) v = rng.Uniform(-1.0, 1.0);
+  Vector ts = m.ApplyTranspose(z);
+  Vector td = MatTVec(dense, z);
+  for (size_t i = 0; i < td.size(); ++i) EXPECT_NEAR(ts[i], td[i], 1e-12);
+}
+
+TEST(Sparse, SensitivityMatchesDense) {
+  Matrix dense = HaarBlock(32);
+  SparseMatrix m = SparseMatrix::FromDense(dense);
+  EXPECT_NEAR(m.MaxAbsColSum(), dense.MaxAbsColSum(), 1e-12);
+}
+
+TEST(Sparse, HierarchyIsActuallySparse) {
+  SparseMatrix m = SparseMatrix::FromDense(HierarchicalBlock(256, 2));
+  // O(n log n) non-zeros out of ~2n * n cells.
+  EXPECT_LT(m.Density(), 0.05);
+}
+
+TEST(Sparse, OperatorWorksWithLsmr) {
+  Matrix dense = HierarchicalBlock(32, 2);
+  SparseOperator op(SparseMatrix::FromDense(dense));
+  Rng rng(3);
+  Vector x(32);
+  for (auto& v : x) v = rng.Uniform(0.0, 5.0);
+  Vector y = op.Apply(x);
+  LsmrResult res = LsmrSolve(op, y);
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(res.x[i], x[i], 1e-6);
+}
+
+}  // namespace
+}  // namespace hdmm

@@ -1,0 +1,196 @@
+#include "core/strategy_io.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/hdmm.h"
+#include "workload/building_blocks.h"
+#include "workload/marginals.h"
+
+namespace hdmm {
+namespace {
+
+// Round-trip invariant: the reloaded strategy must agree with the original
+// on every observable — name, shape, sensitivity, measurement operator, and
+// expected error on a reference workload.
+void ExpectEquivalent(const Strategy& a, const Strategy& b,
+                      const UnionWorkload& w, Rng* rng) {
+  EXPECT_EQ(a.Name(), b.Name());
+  EXPECT_EQ(a.DomainSize(), b.DomainSize());
+  EXPECT_EQ(a.NumQueries(), b.NumQueries());
+  EXPECT_NEAR(a.Sensitivity(), b.Sensitivity(), 1e-12);
+  EXPECT_NEAR(a.SquaredError(w), b.SquaredError(w),
+              1e-9 * std::max(1.0, a.SquaredError(w)));
+  Vector x(static_cast<size_t>(a.DomainSize()));
+  for (double& v : x) v = rng->Uniform(0.0, 5.0);
+  const Vector ya = a.Apply(x);
+  const Vector yb = b.Apply(x);
+  ASSERT_EQ(ya.size(), yb.size());
+  for (size_t i = 0; i < ya.size(); ++i) EXPECT_EQ(ya[i], yb[i]);
+}
+
+TEST(StrategyIo, ExplicitRoundTrip) {
+  Rng rng(1);
+  ExplicitStrategy original(
+      Matrix::RandomUniform(5, 4, &rng, 0.0, 1.0), "my-explicit");
+  UnionWorkload w = MakeProductWorkload(Domain({4}), {PrefixBlock(4)});
+
+  std::string error;
+  auto restored = ParseStrategy(SerializeStrategy(original), &error);
+  ASSERT_NE(restored, nullptr) << error;
+  ExpectEquivalent(original, *restored, w, &rng);
+}
+
+TEST(StrategyIo, KronRoundTrip) {
+  Rng rng(2);
+  KronStrategy original(
+      {Matrix::RandomUniform(3, 2, &rng, 0.1, 1.0),
+       Matrix::RandomUniform(6, 5, &rng, 0.1, 1.0)},
+      "opt-kron");
+  UnionWorkload w = MakeProductWorkload(Domain({2, 5}),
+                                        {IdentityBlock(2), PrefixBlock(5)});
+
+  std::string error;
+  auto restored = ParseStrategy(SerializeStrategy(original), &error);
+  ASSERT_NE(restored, nullptr) << error;
+  ExpectEquivalent(original, *restored, w, &rng);
+  EXPECT_NE(dynamic_cast<KronStrategy*>(restored.get()), nullptr);
+}
+
+TEST(StrategyIo, UnionKronRoundTrip) {
+  Domain d({4, 4});
+  UnionWorkload w(d);
+  ProductWorkload p1;
+  p1.factors = {AllRangeBlock(4), TotalBlock(4)};
+  w.AddProduct(p1);
+  ProductWorkload p2;
+  p2.factors = {TotalBlock(4), AllRangeBlock(4)};
+  w.AddProduct(p2);
+
+  Rng rng(3);
+  UnionKronStrategy original(
+      {{MatScale(PrefixBlock(4), 0.5), MatScale(TotalBlock(4), 1.0)},
+       {MatScale(TotalBlock(4), 1.0), MatScale(PrefixBlock(4), 0.5)}},
+      {{0}, {1}}, "opt-union");
+
+  std::string error;
+  auto restored = ParseStrategy(SerializeStrategy(original), &error);
+  ASSERT_NE(restored, nullptr) << error;
+  ExpectEquivalent(original, *restored, w, &rng);
+  auto* u = dynamic_cast<UnionKronStrategy*>(restored.get());
+  ASSERT_NE(u, nullptr);
+  EXPECT_EQ(u->NumParts(), 2);
+  EXPECT_EQ(u->group_products()[0], std::vector<int>{0});
+  EXPECT_EQ(u->group_products()[1], std::vector<int>{1});
+}
+
+TEST(StrategyIo, MarginalsRoundTrip) {
+  Domain d({3, 4, 2});
+  Rng rng(4);
+  Vector theta(8);
+  for (double& v : theta) v = rng.Uniform(0.1, 2.0);
+  MarginalsStrategy original(d, theta, "opt-marginals");
+  UnionWorkload w = KWayMarginals(d, 2);
+
+  std::string error;
+  auto restored = ParseStrategy(SerializeStrategy(original), &error);
+  ASSERT_NE(restored, nullptr) << error;
+  ExpectEquivalent(original, *restored, w, &rng);
+}
+
+TEST(StrategyIo, OptimizerOutputRoundTripsThroughDisk) {
+  // The Section 3.6 use case: optimize once, save, reload for a later
+  // release, and measure with identical accuracy.
+  UnionWorkload w = MakeProductWorkload(Domain({16, 4}),
+                                        {AllRangeBlock(16), IdentityBlock(4)});
+  HdmmOptions options;
+  options.restarts = 1;
+  options.seed = 11;
+  HdmmResult result = OptimizeStrategy(w, options);
+
+  const std::string path = ::testing::TempDir() + "/strategy.hdmm";
+  std::string error;
+  ASSERT_TRUE(SaveStrategyFile(path, *result.strategy, &error)) << error;
+  auto restored = LoadStrategyFile(path, &error);
+  ASSERT_NE(restored, nullptr) << error;
+
+  Rng rng(5);
+  ExpectEquivalent(*result.strategy, *restored, w, &rng);
+
+  // The reloaded strategy reconstructs identically: same noisy input, same
+  // inference output.
+  Vector x(static_cast<size_t>(w.DomainSize()));
+  for (double& v : x) v = std::floor(rng.Uniform(0.0, 9.0));
+  Rng noise_a(99), noise_b(99);
+  const Vector ans_a =
+      RunMechanism(w, *result.strategy, x, 1.0, &noise_a);
+  const Vector ans_b = RunMechanism(w, *restored, x, 1.0, &noise_b);
+  for (size_t i = 0; i < ans_a.size(); ++i) {
+    EXPECT_NEAR(ans_a[i], ans_b[i], 1e-9 * std::max(1.0, std::abs(ans_a[i])));
+  }
+}
+
+TEST(StrategyIo, ExactDoubleFidelity) {
+  // %.17g round-trips doubles exactly: a strategy with non-representable
+  // decimal weights must survive unchanged bit for bit.
+  KronStrategy original({Matrix::FromRows({{1.0 / 3.0, 0.1}, {0.7, 2.0 / 7.0}})},
+                        "precision");
+  std::string error;
+  auto restored = ParseStrategy(SerializeStrategy(original), &error);
+  ASSERT_NE(restored, nullptr) << error;
+  auto* k = dynamic_cast<KronStrategy*>(restored.get());
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->factors()[0].MaxAbsDiff(original.factors()[0]), 0.0);
+}
+
+struct BadStrategyText {
+  const char* text;
+  const char* message_fragment;
+};
+
+class StrategyIoErrorTest
+    : public ::testing::TestWithParam<BadStrategyText> {};
+
+TEST_P(StrategyIoErrorTest, RejectsWithMessage) {
+  std::string error;
+  EXPECT_EQ(ParseStrategy(GetParam().text, &error), nullptr);
+  EXPECT_NE(error.find(GetParam().message_fragment), std::string::npos)
+      << "actual error: " << error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadInputs, StrategyIoErrorTest,
+    ::testing::Values(
+        BadStrategyText{"", "header"},
+        BadStrategyText{"bogus header\n", "header"},
+        BadStrategyText{"hdmm-strategy v1\n", "missing 'kind'"},
+        BadStrategyText{"hdmm-strategy v1\nkind alien\nname x\n",
+                        "unknown strategy kind"},
+        BadStrategyText{"hdmm-strategy v1\nkind kron\nname x\n",
+                        "no factors"},
+        BadStrategyText{"hdmm-strategy v1\nkind kron\nname x\nfactor 2x2 1,2,3\n",
+                        "entry count"},
+        BadStrategyText{"hdmm-strategy v1\nkind kron\nname x\nfactor 2xq 1,2\n",
+                        "bad shape"},
+        BadStrategyText{
+            "hdmm-strategy v1\nkind explicit\nname x\nmatrix 1x2 1,zz\n",
+            "bad entry"},
+        BadStrategyText{
+            "hdmm-strategy v1\nkind union-kron\nname x\nfactor 1x1 1\n",
+            "expected 'part'"},
+        BadStrategyText{"hdmm-strategy v1\nkind union-kron\nname x\npart\n",
+                        "no factors"},
+        BadStrategyText{
+            "hdmm-strategy v1\nkind marginals\nname x\ndomain 2 2\ntheta 1 1\n",
+            "2^d"}));
+
+TEST(StrategyIo, LoadMissingFile) {
+  std::string error;
+  EXPECT_EQ(LoadStrategyFile("/nonexistent.hdmm", &error), nullptr);
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hdmm

@@ -1,0 +1,165 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workload/building_blocks.h"
+#include "workload/impvec.h"
+
+namespace hdmm {
+namespace {
+
+UnionWorkload TwoProductWorkload() {
+  Domain d({3, 4});
+  UnionWorkload w(d);
+  ProductWorkload p1;
+  p1.factors = {PrefixBlock(3), TotalBlock(4)};
+  p1.weight = 1.0;
+  w.AddProduct(p1);
+  ProductWorkload p2;
+  p2.factors = {TotalBlock(3), IdentityBlock(4)};
+  p2.weight = 2.0;
+  w.AddProduct(p2);
+  return w;
+}
+
+TEST(Workload, Counts) {
+  UnionWorkload w = TwoProductWorkload();
+  EXPECT_EQ(w.NumProducts(), 2);
+  EXPECT_EQ(w.TotalQueries(), 3 + 4);
+  EXPECT_EQ(w.DomainSize(), 12);
+}
+
+TEST(Workload, ExplicitMatchesOperator) {
+  UnionWorkload w = TwoProductWorkload();
+  Matrix full = w.Explicit();
+  EXPECT_EQ(full.rows(), 7);
+  EXPECT_EQ(full.cols(), 12);
+  auto op = w.ToOperator();
+  Rng rng(1);
+  Vector x(12);
+  for (auto& v : x) v = rng.Uniform(-1.0, 1.0);
+  Vector via_op = op->Apply(x);
+  Vector via_full = MatVec(full, x);
+  ASSERT_EQ(via_op.size(), via_full.size());
+  for (size_t i = 0; i < via_op.size(); ++i)
+    EXPECT_NEAR(via_op[i], via_full[i], 1e-12);
+}
+
+TEST(Workload, ExplicitGramMatches) {
+  UnionWorkload w = TwoProductWorkload();
+  Matrix g = w.ExplicitGram();
+  Matrix ref = Gram(w.Explicit());
+  EXPECT_LT(g.MaxAbsDiff(ref), 1e-12);
+}
+
+TEST(Workload, SensitivityMatchesExplicit) {
+  UnionWorkload w = TwoProductWorkload();
+  EXPECT_NEAR(w.Sensitivity(), w.Explicit().MaxAbsColSum(), 1e-12);
+}
+
+TEST(Workload, StorageAccounting) {
+  UnionWorkload w = TwoProductWorkload();
+  // Implicit: (3*3 + 1*4) + (1*3 + 4*4) = 13 + 19 = 32 doubles.
+  EXPECT_EQ(w.ImplicitStorageDoubles(), 32);
+  EXPECT_EQ(w.ExplicitStorageDoubles(), 7 * 12);
+}
+
+TEST(ImpVec, SingleConjunctionExample2) {
+  // Example 2: SELECT Count(*) WHERE sex = M AND age < 5,
+  // on a Sex(2) x Age(10) toy domain.
+  Domain d({"sex", "age"}, {2, 10});
+  LogicalWorkload logical;
+  logical.domain = d;
+  logical.AddConjunction({{0, Predicate::Equals(0)},
+                          {1, Predicate::Range(0, 4)}});
+  UnionWorkload w = ImpVec(logical);
+  EXPECT_EQ(w.TotalQueries(), 1);
+  Matrix full = w.Explicit();
+  EXPECT_EQ(full.rows(), 1);
+  // The single query counts cells (0, 0..4).
+  double expect_sum = 0.0;
+  for (int64_t j = 0; j < full.cols(); ++j) expect_sum += full(0, j);
+  EXPECT_DOUBLE_EQ(expect_sum, 5.0);
+  EXPECT_DOUBLE_EQ(full(0, 0), 1.0);   // (sex=0, age=0)
+  EXPECT_DOUBLE_EQ(full(0, 10), 0.0);  // (sex=1, age=0)
+}
+
+TEST(ImpVec, GroupByAsProductExample3) {
+  // Example 3: GROUP BY sex, age WHERE hispanic = true on
+  // Hispanic(2) x Sex(2) x Age(5): 2*5 = 10 queries.
+  Domain d({"hispanic", "sex", "age"}, {2, 2, 5});
+  LogicalWorkload logical;
+  logical.domain = d;
+  LogicalProduct p;
+  p.predicate_sets.resize(3);
+  p.predicate_sets[0] = {Predicate::Equals(1)};
+  for (int64_t s = 0; s < 2; ++s)
+    p.predicate_sets[1].push_back(Predicate::Equals(s));
+  for (int64_t a = 0; a < 5; ++a)
+    p.predicate_sets[2].push_back(Predicate::Equals(a));
+  logical.products.push_back(p);
+  UnionWorkload w = ImpVec(logical);
+  EXPECT_EQ(w.TotalQueries(), 10);
+  // Each query counts exactly one cell (hispanic=1 slice).
+  Matrix full = w.Explicit();
+  for (int64_t r = 0; r < full.rows(); ++r) {
+    double s = 0.0;
+    for (int64_t j = 0; j < full.cols(); ++j) s += full(r, j);
+    EXPECT_DOUBLE_EQ(s, 1.0);
+  }
+}
+
+TEST(ImpVec, ImplicitVectorizationTheorem1) {
+  // vec(phi1 ^ phi2) = vec(phi1) kron vec(phi2).
+  Domain d({4, 6});
+  LogicalWorkload logical;
+  logical.domain = d;
+  logical.AddConjunction({{0, Predicate::InSet({1, 3})},
+                          {1, Predicate::Range(2, 4)}});
+  UnionWorkload w = ImpVec(logical);
+  Matrix full = w.Explicit();
+  Vector v1 = VectorizePredicate(Predicate::InSet({1, 3}), 4);
+  Vector v2 = VectorizePredicate(Predicate::Range(2, 4), 6);
+  Vector kron = KronVector({v1, v2});
+  for (int64_t j = 0; j < full.cols(); ++j)
+    EXPECT_DOUBLE_EQ(full(0, j), kron[static_cast<size_t>(j)]);
+}
+
+TEST(Workload, WeightForRelativeErrorScalesInverselyToL1) {
+  Domain d({4, 4});
+  UnionWorkload w(d);
+  ProductWorkload narrow;  // Point queries: L1 norm 1 each.
+  narrow.factors = {IdentityBlock(4), IdentityBlock(4)};
+  w.AddProduct(narrow);
+  ProductWorkload wide;  // Total query: L1 norm 16.
+  wide.factors = {TotalBlock(4), TotalBlock(4)};
+  w.AddProduct(wide);
+
+  UnionWorkload rw = WeightForRelativeError(w);
+  // Point queries keep weight 1; the total query is down-weighted by 16.
+  EXPECT_NEAR(rw.products()[0].weight, 1.0, 1e-12);
+  EXPECT_NEAR(rw.products()[1].weight, 1.0 / 16.0, 1e-12);
+}
+
+TEST(Workload, WeightForRelativeErrorAveragesRowNorms) {
+  Domain d({4});
+  UnionWorkload w(d);
+  ProductWorkload p;  // Prefix rows have L1 norms 1, 2, 3, 4: mean 2.5.
+  p.factors = {PrefixBlock(4)};
+  p.weight = 5.0;
+  w.AddProduct(p);
+  UnionWorkload rw = WeightForRelativeError(w);
+  EXPECT_NEAR(rw.products()[0].weight, 5.0 / 2.5, 1e-12);
+}
+
+TEST(Workload, AbsColumnSumsMatchExplicit) {
+  UnionWorkload w = TwoProductWorkload();
+  Vector sums = w.AbsColumnSums();
+  Vector ref = w.Explicit().AbsColSums();
+  ASSERT_EQ(sums.size(), ref.size());
+  for (size_t i = 0; i < sums.size(); ++i) EXPECT_NEAR(sums[i], ref[i], 1e-12);
+}
+
+}  // namespace
+}  // namespace hdmm

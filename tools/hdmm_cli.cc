@@ -1,0 +1,366 @@
+// Command-line front end for the library: optimize a workload spec, answer
+// it privately over a CSV dataset, or translate SQL scripts into workload
+// specs. This is the path a data custodian without a C++ toolchain takes:
+// author a .workload file (or SQL), then
+//
+//   hdmm_cli optimize    --workload w.workload
+//   hdmm_cli run         --workload w.workload --data people.csv --epsilon 1
+//   hdmm_cli convert-sql --domain "sex=2,age=115" --sql queries.sql
+//
+// Strategy selection never touches the data (Section 7.3 of the paper);
+// only `run` consumes privacy budget, via the Laplace mechanism.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/diagnostics.h"
+#include "core/hdmm.h"
+#include "core/strategy_io.h"
+#include "core/svd_bound.h"
+#include "data/csv.h"
+#include "workload/building_blocks.h"
+#include "workload/parser.h"
+#include "workload/sql.h"
+
+namespace {
+
+using namespace hdmm;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  hdmm_cli optimize    --workload FILE [--restarts N] [--seed S]\n"
+      "                       [--epsilon E] [--save-strategy FILE]\n"
+      "  hdmm_cli run         --workload FILE --data FILE --epsilon E\n"
+      "                       [--seed S] [--truth] [--strategy FILE]\n"
+      "  hdmm_cli convert-sql --domain \"a=2,b=10,...\" --sql FILE\n"
+      "  hdmm_cli show        --workload FILE\n"
+      "\n"
+      "Optimize once, reuse forever: `optimize --save-strategy s.hdmm`\n"
+      "persists the selected strategy; `run --strategy s.hdmm` skips the\n"
+      "optimization (strategy selection is data-independent, Section 7.3).\n");
+  return 2;
+}
+
+// Minimal flag parsing: --name value pairs plus boolean --name.
+struct Flags {
+  std::map<std::string, std::string> values;
+  bool Has(const std::string& name) const { return values.count(name) > 0; }
+  std::string Get(const std::string& name, const std::string& dflt = "") const {
+    auto it = values.find(name);
+    return it == values.end() ? dflt : it->second;
+  }
+};
+
+bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
+  static const char* kBoolFlags[] = {"truth"};
+  for (int i = first; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      std::fprintf(stderr, "unexpected argument '%s'\n", arg);
+      return false;
+    }
+    const std::string name = arg + 2;
+    bool is_bool = false;
+    for (const char* b : kBoolFlags) {
+      if (name == b) is_bool = true;
+    }
+    if (is_bool) {
+      flags->values[name] = "1";
+    } else {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s needs a value\n", name.c_str());
+        return false;
+      }
+      flags->values[name] = argv[++i];
+    }
+  }
+  return true;
+}
+
+bool LoadWorkloadFlag(const Flags& flags, UnionWorkload* w) {
+  const std::string path = flags.Get("workload");
+  if (path.empty()) {
+    std::fprintf(stderr, "missing --workload FILE\n");
+    return false;
+  }
+  std::string error;
+  if (!LoadWorkloadFile(path, w, &error)) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Parses "a=2,b=10" into a named Domain.
+bool ParseDomainSpec(const std::string& spec, Domain* out) {
+  std::vector<std::string> names;
+  std::vector<int64_t> sizes;
+  std::string current;
+  std::istringstream in(spec);
+  while (std::getline(in, current, ',')) {
+    const size_t eq = current.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::fprintf(stderr, "bad domain component '%s' (want name=size)\n",
+                   current.c_str());
+      return false;
+    }
+    char* end = nullptr;
+    const long long size = std::strtoll(current.c_str() + eq + 1, &end, 10);
+    if (*end != '\0' || size < 1) {
+      std::fprintf(stderr, "bad attribute size in '%s'\n", current.c_str());
+      return false;
+    }
+    names.push_back(current.substr(0, eq));
+    sizes.push_back(size);
+  }
+  if (names.empty()) {
+    std::fprintf(stderr, "empty domain spec\n");
+    return false;
+  }
+  *out = Domain(std::move(names), std::move(sizes));
+  return true;
+}
+
+void PrintWorkloadSummary(const UnionWorkload& w) {
+  std::printf("domain:   %s  (N = %lld)\n", w.domain().ToString().c_str(),
+              static_cast<long long>(w.DomainSize()));
+  std::printf("products: %d\n", w.NumProducts());
+  std::printf("queries:  %lld\n", static_cast<long long>(w.TotalQueries()));
+  std::printf("implicit storage: %lld doubles (explicit would be %lld)\n",
+               static_cast<long long>(w.ImplicitStorageDoubles()),
+               static_cast<long long>(w.ExplicitStorageDoubles()));
+}
+
+HdmmResult OptimizeFromFlags(const UnionWorkload& w, const Flags& flags) {
+  HdmmOptions options;
+  options.restarts = static_cast<int>(
+      std::strtol(flags.Get("restarts", "3").c_str(), nullptr, 10));
+  options.seed = static_cast<uint64_t>(
+      std::strtoll(flags.Get("seed", "0").c_str(), nullptr, 10));
+  return OptimizeStrategy(w, options);
+}
+
+int CmdOptimize(const Flags& flags) {
+  UnionWorkload w;
+  if (!LoadWorkloadFlag(flags, &w)) return 1;
+  PrintWorkloadSummary(w);
+
+  const double epsilon = std::strtod(flags.Get("epsilon", "1.0").c_str(),
+                                     nullptr);
+  HdmmResult result = OptimizeFromFlags(w, flags);
+  std::printf("\nchosen operator: %s\n", result.chosen_operator.c_str());
+  std::printf("strategy queries: %lld, sensitivity %.6f\n",
+              static_cast<long long>(result.strategy->NumQueries()),
+              result.strategy->Sensitivity());
+  std::printf("expected per-query RMSE at epsilon=%.3g: %.4f\n", epsilon,
+              result.strategy->RootMeanSquaredError(w, epsilon));
+
+  // Identity baseline ratio (always defined).
+  std::vector<Matrix> id_factors;
+  for (int i = 0; i < w.domain().NumAttributes(); ++i) {
+    id_factors.push_back(IdentityBlock(w.domain().AttributeSize(i)));
+  }
+  KronStrategy identity(std::move(id_factors), "identity");
+  std::printf("error ratio vs Identity baseline: %.3f\n",
+              std::sqrt(identity.SquaredError(w) / result.squared_error));
+
+  // Laplace-mechanism baseline: per-query noise at workload sensitivity.
+  const double lm_error = w.Sensitivity() * w.Sensitivity() *
+                          static_cast<double>(w.TotalQueries());
+  std::printf("error ratio vs Laplace mechanism:  %.3f\n",
+              std::sqrt(lm_error / result.squared_error));
+
+  // Spectral lower bound when computable (single product at any scale,
+  // unions on modest domains).
+  if (w.NumProducts() == 1 || w.DomainSize() <= 4096) {
+    const double gap = OptimalityRatio(*result.strategy, w);
+    std::printf("optimality gap vs spectral lower bound [28]: %.3f%s\n", gap,
+                gap < 1.005 ? " (certified optimal)" : "");
+  }
+
+  if (flags.Has("save-strategy")) {
+    const std::string path = flags.Get("save-strategy");
+    std::string error;
+    if (!SaveStrategyFile(path, *result.strategy, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("strategy saved to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int CmdRun(const Flags& flags) {
+  UnionWorkload w;
+  if (!LoadWorkloadFlag(flags, &w)) return 1;
+  const std::string data_path = flags.Get("data");
+  if (data_path.empty()) {
+    std::fprintf(stderr, "missing --data FILE\n");
+    return 1;
+  }
+  if (!flags.Has("epsilon")) {
+    std::fprintf(stderr, "missing --epsilon E\n");
+    return 1;
+  }
+  const double epsilon = std::strtod(flags.Get("epsilon").c_str(), nullptr);
+  if (epsilon <= 0.0) {
+    std::fprintf(stderr, "--epsilon must be positive\n");
+    return 1;
+  }
+
+  Dataset dataset(w.domain());
+  std::string error;
+  if (!LoadCsvDataset(data_path, w.domain(), &dataset, &error)) {
+    std::fprintf(stderr, "%s: %s\n", data_path.c_str(), error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "loaded %lld records over %s\n",
+               static_cast<long long>(dataset.NumRecords()),
+               w.domain().ToString().c_str());
+
+  // Either reuse a saved strategy (optimize-once workflow) or select one
+  // now; neither path touches the data.
+  std::unique_ptr<Strategy> strategy;
+  if (flags.Has("strategy")) {
+    std::string error;
+    strategy = LoadStrategyFile(flags.Get("strategy"), &error);
+    if (strategy == nullptr) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    if (strategy->DomainSize() != w.DomainSize()) {
+      std::fprintf(stderr,
+                   "strategy domain size %lld does not match workload %lld\n",
+                   static_cast<long long>(strategy->DomainSize()),
+                   static_cast<long long>(w.DomainSize()));
+      return 1;
+    }
+    if (!SupportsWorkload(*strategy, w)) {
+      std::fprintf(stderr,
+                   "loaded strategy does not support this workload "
+                   "(W A+ A != W); reconstruction would be biased\n");
+      return 1;
+    }
+    std::fprintf(stderr, "loaded strategy: %s\n", strategy->Name().c_str());
+  } else {
+    HdmmResult result = OptimizeFromFlags(w, flags);
+    std::fprintf(stderr, "optimized strategy: %s\n",
+                 result.chosen_operator.c_str());
+    strategy = std::move(result.strategy);
+  }
+  std::fprintf(stderr, "expected per-query RMSE %.4f\n",
+               strategy->RootMeanSquaredError(w, epsilon));
+
+  const Vector x = dataset.ToDataVector();
+  Rng rng(static_cast<uint64_t>(
+      std::strtoll(flags.Get("seed", "0").c_str(), nullptr, 10)));
+  const Vector answers = RunMechanism(w, *strategy, x, epsilon, &rng);
+
+  if (flags.Has("truth")) {
+    const Vector truth = TrueAnswers(w, x);
+    double sq = 0.0;
+    for (size_t i = 0; i < answers.size(); ++i) {
+      const double diff = answers[i] - truth[i];
+      sq += diff * diff;
+    }
+    std::printf("# query, private_answer, true_answer\n");
+    for (size_t i = 0; i < answers.size(); ++i) {
+      std::printf("%zu,%.4f,%.1f\n", i, answers[i], truth[i]);
+    }
+    std::fprintf(stderr, "realized per-query RMSE: %.4f\n",
+                 std::sqrt(sq / static_cast<double>(answers.size())));
+  } else {
+    std::printf("# query, private_answer\n");
+    for (size_t i = 0; i < answers.size(); ++i) {
+      std::printf("%zu,%.4f\n", i, answers[i]);
+    }
+  }
+  return 0;
+}
+
+int CmdConvertSql(const Flags& flags) {
+  Domain domain;
+  if (!ParseDomainSpec(flags.Get("domain"), &domain)) return 1;
+  const std::string sql_path = flags.Get("sql");
+  if (sql_path.empty()) {
+    std::fprintf(stderr, "missing --sql FILE\n");
+    return 1;
+  }
+  std::ifstream in(sql_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open '%s'\n", sql_path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  UnionWorkload w;
+  std::string error;
+  if (!ParseSqlWorkload(buffer.str(), domain, &w, &error)) {
+    std::fprintf(stderr, "%s: %s\n", sql_path.c_str(), error.c_str());
+    return 1;
+  }
+  std::fputs(SerializeWorkload(w).c_str(), stdout);
+  return 0;
+}
+
+int CmdShow(const Flags& flags) {
+  // --strategy: describe a persisted strategy (optionally checking support
+  // against --workload). Otherwise show the workload.
+  if (flags.Has("strategy")) {
+    std::string error;
+    auto strategy = LoadStrategyFile(flags.Get("strategy"), &error);
+    if (strategy == nullptr) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::fputs(ReportToString(DescribeStrategy(*strategy)).c_str(), stdout);
+    if (flags.Has("workload")) {
+      UnionWorkload w;
+      if (!LoadWorkloadFlag(flags, &w)) return 1;
+      if (strategy->DomainSize() != w.DomainSize()) {
+        std::printf("workload: DOMAIN MISMATCH (%lld vs %lld cells)\n",
+                    static_cast<long long>(w.DomainSize()),
+                    static_cast<long long>(strategy->DomainSize()));
+        return 1;
+      }
+      const bool ok = SupportsWorkload(*strategy, w);
+      std::printf("workload support: %s\n",
+                  ok ? "yes (W A+ A = W)" : "NO — reconstruction would be "
+                                            "biased");
+      if (ok) {
+        std::printf("expected per-query RMSE at epsilon=1: %.4f\n",
+                    strategy->RootMeanSquaredError(w, 1.0));
+      }
+    }
+    return 0;
+  }
+  UnionWorkload w;
+  if (!LoadWorkloadFlag(flags, &w)) return 1;
+  PrintWorkloadSummary(w);
+  std::printf("\n%s", SerializeWorkload(w).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Flags flags;
+  if (!ParseFlags(argc, argv, 2, &flags)) return Usage();
+
+  if (command == "optimize") return CmdOptimize(flags);
+  if (command == "run") return CmdRun(flags);
+  if (command == "convert-sql") return CmdConvertSql(flags);
+  if (command == "show") return CmdShow(flags);
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return Usage();
+}
