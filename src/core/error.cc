@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "linalg/gemm.h"
 #include "linalg/pinv.h"
 #include "linalg/trace_estimator.h"
 
@@ -11,7 +12,10 @@ namespace hdmm {
 double ExplicitSquaredError(const Matrix& w, const Matrix& a) {
   HDMM_CHECK(w.cols() == a.cols());
   double sens = a.MaxAbsColSum();
-  return sens * sens * TracePinvGram(Gram(a), Gram(w));
+  Matrix gram_a, gram_w;
+  GramInto(a, &gram_a);
+  GramInto(w, &gram_w);
+  return sens * sens * TracePinvGram(gram_a, gram_w);
 }
 
 double ErrorRatio(const UnionWorkload& w, const Strategy& other,

@@ -54,13 +54,22 @@ Vector MarginalsAlgebra::WorkloadTraceVector(const UnionWorkload& w) const {
   Vector tau(masks, 0.0);
   for (const ProductWorkload& prod : w.products()) {
     // Per-attribute trace and sum of the factor Gram matrices. tr(1 G) is
-    // the sum of all entries of G; tr(I G) is the trace.
+    // the sum of all entries of G; tr(I G) is the trace. Neither needs the
+    // n x n Gram materialized: tr(F^T F) = ||F||_F^2 and
+    // sum(F^T F) = 1^T F^T F 1 = ||F 1||^2, both O(rows x cols) row scans.
     std::vector<double> tr(static_cast<size_t>(d_)),
         sm(static_cast<size_t>(d_));
     for (int i = 0; i < d_; ++i) {
-      Matrix g = prod.FactorGram(i);
-      tr[static_cast<size_t>(i)] = g.Trace();
-      sm[static_cast<size_t>(i)] = g.Sum();
+      const Matrix& f = prod.factors[static_cast<size_t>(i)];
+      tr[static_cast<size_t>(i)] = f.FrobeniusNormSquared();
+      double row_sum_sq = 0.0;
+      for (int64_t r = 0; r < f.rows(); ++r) {
+        const double* row = f.Row(r);
+        double rs = 0.0;
+        for (int64_t c = 0; c < f.cols(); ++c) rs += row[c];
+        row_sum_sq += rs * rs;
+      }
+      sm[static_cast<size_t>(i)] = row_sum_sq;
     }
     const double w2 = prod.weight * prod.weight;
     for (uint32_t a = 0; a < masks; ++a) {

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "linalg/cholesky.h"
+#include "linalg/gemm.h"
 #include "linalg/pinv.h"
 
 namespace hdmm {
@@ -20,9 +21,11 @@ Vector ColumnScales(const Matrix& theta) {
   return s;
 }
 
-// M = I_p + Theta Theta^T (p x p), the Woodbury capacitance matrix.
+// M = I_p + Theta Theta^T (p x p), the Woodbury capacitance matrix. The
+// outer-SYRK kernel computes one triangle and mirrors, so M is exactly
+// symmetric -- which the Cholesky factorization downstream relies on.
 Matrix Capacitance(const Matrix& theta) {
-  Matrix m = MatMulNT(theta, theta);
+  Matrix m = GramOuter(theta);
   for (int64_t i = 0; i < m.rows(); ++i) m(i, i) += 1.0;
   return m;
 }
@@ -199,7 +202,8 @@ double PIdentityObjective::TraceWithGram(const Matrix& theta, const Matrix& g) {
   // total row). Fall back to the backward-stable dense path: form
   // X = A^T A explicitly and solve. O(n^3), evaluation-only.
   Matrix a = BuildStrategy(theta);
-  Matrix x = Gram(a);
+  Matrix x;
+  GramInto(a, &x);
   Matrix lx;
   if (!CholeskyFactor(x, &lx)) return std::numeric_limits<double>::infinity();
   double tr = 0.0;
@@ -216,7 +220,8 @@ double PIdentityObjective::TraceWithGram(const Matrix& theta, const Matrix& g) {
 double PIdentityObjective::EvalReference(const Matrix& theta,
                                          const Matrix& gram) {
   Matrix a = BuildStrategy(theta);
-  Matrix x = Gram(a);
+  Matrix x;
+  GramInto(a, &x);
   return TracePinvGram(x, gram);
 }
 

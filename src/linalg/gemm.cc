@@ -1,0 +1,322 @@
+#include "linalg/gemm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace hdmm {
+namespace {
+
+// Register micro-tile (kMR x kNR accumulators live in SIMD registers) and
+// cache blocking: an A panel is kMC x kKC (~256 KiB, L2-resident), a B panel
+// is kKC x kNC streamed through L3, and one B strip (kNR x kKC, 16 KiB)
+// stays in L1 across a whole row panel. See docs/performance.md for tuning.
+constexpr int kMR = 6;
+constexpr int kNR = 8;
+constexpr int64_t kMC = 120;
+constexpr int64_t kKC = 256;
+constexpr int64_t kNC = 1024;
+
+// Below this flop count the packing traffic outweighs the blocked kernel's
+// gains; a plain triple loop wins.
+constexpr int64_t kNaiveFlopCutoff = int64_t{1} << 13;
+
+// One side of a product: base pointer + leading dimension, with `trans`
+// selecting whether logical element (i, j) reads p[i*ld+j] or p[j*ld+i].
+// This is what lets N/T kernel variants share all the packing code.
+struct Operand {
+  const double* p;
+  int64_t ld;
+  bool trans;
+};
+
+inline double At(const Operand& o, int64_t i, int64_t j) {
+  return o.trans ? o.p[j * o.ld + i] : o.p[i * o.ld + j];
+}
+
+// Packs the mc x kc panel of A starting at (i0, p0) into kMR-row strips laid
+// out k-major: buf[strip*kMR*kc + k*kMR + r]. Rows past mc are zero-padded so
+// the micro-kernel never needs a row bound.
+void PackA(const Operand& a, int64_t i0, int64_t p0, int64_t mc, int64_t kc,
+           double* buf) {
+  for (int64_t r0 = 0; r0 < mc; r0 += kMR) {
+    double* strip = buf + (r0 / kMR) * kMR * kc;
+    const int64_t rows = std::min<int64_t>(kMR, mc - r0);
+    if (a.trans) {
+      // Logical A(i,k) = p[k*ld + i]: both the read and the write of each k
+      // slice are contiguous.
+      for (int64_t k = 0; k < kc; ++k) {
+        const double* src = a.p + (p0 + k) * a.ld + i0 + r0;
+        double* dst = strip + k * kMR;
+        for (int64_t r = 0; r < rows; ++r) dst[r] = src[r];
+        for (int64_t r = rows; r < kMR; ++r) dst[r] = 0.0;
+      }
+    } else {
+      for (int64_t r = 0; r < rows; ++r) {
+        const double* src = a.p + (i0 + r0 + r) * a.ld + p0;
+        for (int64_t k = 0; k < kc; ++k) strip[k * kMR + r] = src[k];
+      }
+      for (int64_t r = rows; r < kMR; ++r)
+        for (int64_t k = 0; k < kc; ++k) strip[k * kMR + r] = 0.0;
+    }
+  }
+}
+
+// Packs the kc x nc panel of B starting at (p0, j0) into kNR-column strips
+// laid out k-major: buf[strip*kNR*kc + k*kNR + c], zero-padded past nc.
+void PackB(const Operand& b, int64_t p0, int64_t j0, int64_t kc, int64_t nc,
+           double* buf) {
+  for (int64_t c0 = 0; c0 < nc; c0 += kNR) {
+    double* strip = buf + (c0 / kNR) * kNR * kc;
+    const int64_t cols = std::min<int64_t>(kNR, nc - c0);
+    if (b.trans) {
+      // Logical B(k,j) = p[j*ld + k]: read each column contiguously.
+      for (int64_t c = 0; c < cols; ++c) {
+        const double* src = b.p + (j0 + c0 + c) * b.ld + p0;
+        for (int64_t k = 0; k < kc; ++k) strip[k * kNR + c] = src[k];
+      }
+      for (int64_t c = cols; c < kNR; ++c)
+        for (int64_t k = 0; k < kc; ++k) strip[k * kNR + c] = 0.0;
+    } else {
+      for (int64_t k = 0; k < kc; ++k) {
+        const double* src = b.p + (p0 + k) * b.ld + j0 + c0;
+        double* dst = strip + k * kNR;
+        for (int64_t c = 0; c < cols; ++c) dst[c] = src[c];
+        for (int64_t c = cols; c < kNR; ++c) dst[c] = 0.0;
+      }
+    }
+  }
+}
+
+// C[0:mr, 0:nr] += sum_k ap[k][:] outer bp[k][:]. The kMR x kNR accumulator
+// block must stay in registers across the whole k loop; a plain scalar
+// accumulator array spills to the stack (GCC reloads it every iteration), so
+// the primary kernel spells the 6x8 tile out as twelve named 4-wide vector
+// accumulators — the classic FMA-era register budget: 12 accumulators + 2 B
+// loads + 1 broadcast fits the 16 architectural ymm registers.
+#if defined(__GNUC__)
+#define HDMM_GEMM_VECTOR_KERNEL 1
+#endif
+
+#ifdef HDMM_GEMM_VECTOR_KERNEL
+typedef double V4 __attribute__((vector_size(32), aligned(8)));
+
+inline V4 LoadV(const double* p) { return *reinterpret_cast<const V4*>(p); }
+inline void StoreV(double* p, V4 v) { *reinterpret_cast<V4*>(p) = v; }
+
+void MicroKernel(int64_t kc, const double* __restrict__ ap,
+                 const double* __restrict__ bp, double* __restrict__ c,
+                 int64_t ldc, int64_t mr, int64_t nr) {
+  V4 c00 = {0, 0, 0, 0}, c01 = c00, c10 = c00, c11 = c00, c20 = c00,
+     c21 = c00, c30 = c00, c31 = c00, c40 = c00, c41 = c00, c50 = c00,
+     c51 = c00;
+  for (int64_t k = 0; k < kc; ++k) {
+    const double* a = ap + k * kMR;
+    const double* b = bp + k * kNR;
+    const V4 b0 = LoadV(b);
+    const V4 b1 = LoadV(b + 4);
+    V4 ar = {a[0], a[0], a[0], a[0]};
+    c00 += ar * b0;
+    c01 += ar * b1;
+    ar = V4{a[1], a[1], a[1], a[1]};
+    c10 += ar * b0;
+    c11 += ar * b1;
+    ar = V4{a[2], a[2], a[2], a[2]};
+    c20 += ar * b0;
+    c21 += ar * b1;
+    ar = V4{a[3], a[3], a[3], a[3]};
+    c30 += ar * b0;
+    c31 += ar * b1;
+    ar = V4{a[4], a[4], a[4], a[4]};
+    c40 += ar * b0;
+    c41 += ar * b1;
+    ar = V4{a[5], a[5], a[5], a[5]};
+    c50 += ar * b0;
+    c51 += ar * b1;
+  }
+  if (mr == kMR && nr == kNR) {
+    double* r;
+    r = c + 0 * ldc;
+    StoreV(r, LoadV(r) + c00);
+    StoreV(r + 4, LoadV(r + 4) + c01);
+    r = c + 1 * ldc;
+    StoreV(r, LoadV(r) + c10);
+    StoreV(r + 4, LoadV(r + 4) + c11);
+    r = c + 2 * ldc;
+    StoreV(r, LoadV(r) + c20);
+    StoreV(r + 4, LoadV(r + 4) + c21);
+    r = c + 3 * ldc;
+    StoreV(r, LoadV(r) + c30);
+    StoreV(r + 4, LoadV(r + 4) + c31);
+    r = c + 4 * ldc;
+    StoreV(r, LoadV(r) + c40);
+    StoreV(r + 4, LoadV(r + 4) + c41);
+    r = c + 5 * ldc;
+    StoreV(r, LoadV(r) + c50);
+    StoreV(r + 4, LoadV(r + 4) + c51);
+  } else {
+    double tmp[kMR * kNR];
+    StoreV(tmp + 0, c00);
+    StoreV(tmp + 4, c01);
+    StoreV(tmp + 8, c10);
+    StoreV(tmp + 12, c11);
+    StoreV(tmp + 16, c20);
+    StoreV(tmp + 20, c21);
+    StoreV(tmp + 24, c30);
+    StoreV(tmp + 28, c31);
+    StoreV(tmp + 32, c40);
+    StoreV(tmp + 36, c41);
+    StoreV(tmp + 40, c50);
+    StoreV(tmp + 44, c51);
+    for (int64_t r = 0; r < mr; ++r) {
+      double* crow = c + r * ldc;
+      for (int64_t j = 0; j < nr; ++j) crow[j] += tmp[r * kNR + j];
+    }
+  }
+}
+#else   // !HDMM_GEMM_VECTOR_KERNEL: portable scalar fallback.
+void MicroKernel(int64_t kc, const double* __restrict__ ap,
+                 const double* __restrict__ bp, double* __restrict__ c,
+                 int64_t ldc, int64_t mr, int64_t nr) {
+  double acc[kMR * kNR] = {0.0};
+  for (int64_t k = 0; k < kc; ++k) {
+    const double* a = ap + k * kMR;
+    const double* b = bp + k * kNR;
+    for (int r = 0; r < kMR; ++r) {
+      const double ar = a[r];
+      for (int j = 0; j < kNR; ++j) acc[r * kNR + j] += ar * b[j];
+    }
+  }
+  for (int64_t r = 0; r < mr; ++r) {
+    double* crow = c + r * ldc;
+    for (int64_t j = 0; j < nr; ++j) crow[j] += acc[r * kNR + j];
+  }
+}
+#endif  // HDMM_GEMM_VECTOR_KERNEL
+
+// C (m x n, zero-initialized) += op(A) * op(B), with op given by the operand
+// views. When `lower_only` is set (SYRK callers), row panels entirely above
+// the diagonal are skipped; the caller mirrors the lower triangle afterward.
+void GemmDriver(int64_t m, int64_t n, int64_t k, const Operand& a,
+                const Operand& b, Matrix* c, GemmParallelism par,
+                bool lower_only) {
+  if (m == 0 || n == 0 || k == 0) return;
+
+  if (m * n * k < kNaiveFlopCutoff) {
+    for (int64_t i = 0; i < m; ++i) {
+      double* crow = c->Row(i);
+      const int64_t jmax = lower_only ? std::min(n, i + 1) : n;
+      for (int64_t j = 0; j < jmax; ++j) {
+        double s = 0.0;
+        for (int64_t kk = 0; kk < k; ++kk) s += At(a, i, kk) * At(b, kk, j);
+        crow[j] = s;
+      }
+    }
+    return;
+  }
+
+  const int64_t ldc = c->cols();
+  std::vector<double> b_buf(
+      static_cast<size_t>(((std::min(n, kNC) + kNR - 1) / kNR) * kNR * std::min(k, kKC)));
+
+  for (int64_t jc = 0; jc < n; jc += kNC) {
+    const int64_t nc = std::min(kNC, n - jc);
+    for (int64_t pc = 0; pc < k; pc += kKC) {
+      const int64_t kc = std::min(kKC, k - pc);
+      PackB(b, pc, jc, kc, nc, b_buf.data());
+
+      const int64_t num_row_blocks = (m + kMC - 1) / kMC;
+      auto row_panels = [&](int64_t blk_begin, int64_t blk_end) {
+        // Per-thread A panel scratch, reused across calls.
+        thread_local std::vector<double> a_buf;
+        a_buf.resize(static_cast<size_t>(((kMC + kMR - 1) / kMR) * kMR * kKC));
+        for (int64_t blk = blk_begin; blk < blk_end; ++blk) {
+          const int64_t ic = blk * kMC;
+          const int64_t mc = std::min(kMC, m - ic);
+          // SYRK: skip panels whose rows all lie above the diagonal.
+          if (lower_only && ic + mc - 1 < jc) continue;
+          PackA(a, ic, pc, mc, kc, a_buf.data());
+          for (int64_t js = 0; js < nc; js += kNR) {
+            const double* bs = b_buf.data() + (js / kNR) * kNR * kc;
+            const int64_t nr = std::min<int64_t>(kNR, nc - js);
+            for (int64_t is = 0; is < mc; is += kMR) {
+              if (lower_only && ic + is + kMR - 1 < jc + js) continue;
+              MicroKernel(kc, a_buf.data() + (is / kMR) * kMR * kc, bs,
+                          c->Row(ic + is) + jc + js, ldc,
+                          std::min<int64_t>(kMR, mc - is), nr);
+            }
+          }
+        }
+      };
+      if (par == GemmParallelism::kPooled) {
+        ThreadPool::Global().ParallelFor(0, num_row_blocks, 1, row_panels);
+      } else {
+        row_panels(0, num_row_blocks);
+      }
+    }
+  }
+}
+
+// Copies the computed lower triangle onto the upper one, making the result
+// exactly symmetric (both halves come from the same accumulation).
+void MirrorLowerToUpper(Matrix* c) {
+  const int64_t n = c->rows();
+  for (int64_t i = 0; i < n; ++i) {
+    double* upper_row = c->Row(i);
+    for (int64_t j = i + 1; j < n; ++j) upper_row[j] = (*c)(j, i);
+  }
+}
+
+}  // namespace
+
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c,
+                GemmParallelism par) {
+  HDMM_CHECK_MSG(a.cols() == b.rows(), "MatMul shape mismatch");
+  HDMM_CHECK_MSG(c != &a && c != &b, "MatMulInto output aliases an operand");
+  *c = Matrix(a.rows(), b.cols());
+  GemmDriver(a.rows(), b.cols(), a.cols(), {a.data(), a.cols(), false},
+             {b.data(), b.cols(), false}, c, par, /*lower_only=*/false);
+}
+
+void MatMulTNInto(const Matrix& a, const Matrix& b, Matrix* c,
+                  GemmParallelism par) {
+  HDMM_CHECK_MSG(a.rows() == b.rows(), "MatMulTN shape mismatch");
+  HDMM_CHECK_MSG(c != &a && c != &b, "MatMulTNInto output aliases an operand");
+  *c = Matrix(a.cols(), b.cols());
+  GemmDriver(a.cols(), b.cols(), a.rows(), {a.data(), a.cols(), true},
+             {b.data(), b.cols(), false}, c, par, /*lower_only=*/false);
+}
+
+void MatMulNTInto(const Matrix& a, const Matrix& b, Matrix* c,
+                  GemmParallelism par) {
+  HDMM_CHECK_MSG(a.cols() == b.cols(), "MatMulNT shape mismatch");
+  HDMM_CHECK_MSG(c != &a && c != &b, "MatMulNTInto output aliases an operand");
+  *c = Matrix(a.rows(), b.rows());
+  GemmDriver(a.rows(), b.rows(), a.cols(), {a.data(), a.cols(), false},
+             {b.data(), b.cols(), true}, c, par, /*lower_only=*/false);
+}
+
+void GramInto(const Matrix& a, Matrix* out, GemmParallelism par) {
+  HDMM_CHECK_MSG(out != &a, "GramInto output aliases the operand");
+  *out = Matrix(a.cols(), a.cols());
+  GemmDriver(a.cols(), a.cols(), a.rows(), {a.data(), a.cols(), true},
+             {a.data(), a.cols(), false}, out, par, /*lower_only=*/true);
+  MirrorLowerToUpper(out);
+}
+
+void GramOuterInto(const Matrix& a, Matrix* out, GemmParallelism par) {
+  HDMM_CHECK_MSG(out != &a, "GramOuterInto output aliases the operand");
+  *out = Matrix(a.rows(), a.rows());
+  GemmDriver(a.rows(), a.rows(), a.cols(), {a.data(), a.cols(), false},
+             {a.data(), a.cols(), true}, out, par, /*lower_only=*/true);
+  MirrorLowerToUpper(out);
+}
+
+Matrix GramOuter(const Matrix& a) {
+  Matrix out;
+  GramOuterInto(a, &out);
+  return out;
+}
+
+}  // namespace hdmm

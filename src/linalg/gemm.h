@@ -1,0 +1,43 @@
+// Cache-blocked, register-tiled GEMM/SYRK kernels: the compute substrate
+// under MatMul/MatMulTN/MatMulNT/Gram. Operands are packed into contiguous
+// micro-panels (BLIS-style MC x KC x NC blocking) so the micro-kernel streams
+// unit-stride data the compiler can keep in SIMD registers; the N/T variants
+// differ only in how the packing routines gather, not in the kernel itself.
+#ifndef HDMM_LINALG_GEMM_H_
+#define HDMM_LINALG_GEMM_H_
+
+#include "linalg/matrix.h"
+
+namespace hdmm {
+
+/// Whether a kernel fans out over the shared ThreadPool or stays on the
+/// calling thread (used by benchmarks to isolate blocking from threading).
+enum class GemmParallelism { kSerial, kPooled };
+
+/// c = a * b. `c` is resized and overwritten.
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c,
+                GemmParallelism par = GemmParallelism::kPooled);
+
+/// c = a^T * b without forming a^T.
+void MatMulTNInto(const Matrix& a, const Matrix& b, Matrix* c,
+                  GemmParallelism par = GemmParallelism::kPooled);
+
+/// c = a * b^T without forming b^T.
+void MatMulNTInto(const Matrix& a, const Matrix& b, Matrix* c,
+                  GemmParallelism par = GemmParallelism::kPooled);
+
+/// out = a^T a (SYRK): only the lower triangle is computed, then mirrored, so
+/// the result is exactly symmetric and costs about half a general product.
+void GramInto(const Matrix& a, Matrix* out,
+              GemmParallelism par = GemmParallelism::kPooled);
+
+/// out = a a^T (outer SYRK), same triangle-and-mirror scheme as GramInto.
+void GramOuterInto(const Matrix& a, Matrix* out,
+                   GemmParallelism par = GemmParallelism::kPooled);
+
+/// Gram matrix a a^T returned by value (see GramOuterInto).
+Matrix GramOuter(const Matrix& a);
+
+}  // namespace hdmm
+
+#endif  // HDMM_LINALG_GEMM_H_

@@ -1,7 +1,8 @@
 #include "linalg/kron.h"
 
 #include <algorithm>
-#include <thread>
+
+#include "common/thread_pool.h"
 
 namespace hdmm {
 namespace {
@@ -120,12 +121,6 @@ Vector KronMatVecParallel(const std::vector<Matrix>& factors, const Vector& x,
   for (const Matrix& f : factors) n_total *= f.cols();
   HDMM_CHECK(static_cast<int64_t>(x.size()) == n_total);
 
-  // hardware_concurrency() can cost ~100us per call in sandboxed
-  // environments (it walks /sys); cache it for the lifetime of the process.
-  static const int kHardwareThreads =
-      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
-  const int threads = num_threads > 0 ? num_threads : kHardwareThreads;
-
   Vector y = x;
   int64_t cur = n_total;
   for (int64_t i = static_cast<int64_t>(factors.size()) - 1; i >= 0; --i) {
@@ -135,24 +130,18 @@ Vector KronMatVecParallel(const std::vector<Matrix>& factors, const Vector& x,
     const int64_t rest = cur / ni;
     Vector next(static_cast<size_t>(mi * rest), 0.0);
 
-    // Threading pays off only when this pass does enough work.
+    // Column ranges write disjoint slices of `next`, so the pass splits over
+    // the shared pool race-free. Threading pays off only when this pass does
+    // enough work; num_threads == 1 forces the serial path for callers that
+    // want deterministic single-threaded timing.
     const int64_t flops = mi * ni * rest;
-    const int64_t workers =
-        std::min<int64_t>(threads, std::max<int64_t>(1, rest / 1024));
-    if (workers <= 1 || flops < (int64_t{1} << 16)) {
+    if (num_threads == 1 || flops < (int64_t{1} << 16)) {
       KmatvecPassSlice(a, y, rest, 0, rest, &next);
     } else {
-      std::vector<std::thread> pool;
-      pool.reserve(static_cast<size_t>(workers));
-      const int64_t chunk = (rest + workers - 1) / workers;
-      for (int64_t t = 0; t < workers; ++t) {
-        const int64_t begin = t * chunk;
-        const int64_t end = std::min(rest, begin + chunk);
-        if (begin >= end) break;
-        pool.emplace_back(KmatvecPassSlice, std::cref(a), std::cref(y), rest,
-                          begin, end, &next);
-      }
-      for (std::thread& th : pool) th.join();
+      ThreadPool::Global().ParallelFor(
+          0, rest, /*grain=*/1024, [&](int64_t begin, int64_t end) {
+            KmatvecPassSlice(a, y, rest, begin, end, &next);
+          });
     }
     y = std::move(next);
     cur = mi * rest;

@@ -37,8 +37,9 @@ Vector KronMatTVec(const std::vector<Matrix>& factors, const Vector& x);
 /// specialized parallel solutions"; this is that specialization. Each
 /// per-factor pass is a batch of N/n_i independent small mat-vecs, split
 /// across threads along the batch dimension — output slices are disjoint, so
-/// the result is bit-identical to the serial KronMatVec. `num_threads <= 0`
-/// uses the hardware concurrency; small inputs fall back to the serial path
+/// the result is bit-identical to the serial KronMatVec. Work runs on the
+/// shared ThreadPool; `num_threads == 1` forces the serial path, any other
+/// value uses the pool's width. Small inputs fall back to the serial path
 /// (threading overhead dominates below ~2^16 flops per pass).
 Vector KronMatVecParallel(const std::vector<Matrix>& factors, const Vector& x,
                           int num_threads = 0);

@@ -41,6 +41,10 @@ class DenseOperator : public LinearOperator {
   void Apply(const Vector& x, Vector* y) const override;
   void ApplyTranspose(const Vector& x, Vector* y) const override;
 
+  /// The wrapped matrix; lets callers take dense-only fast paths (e.g. a
+  /// one-shot SYRK Gram instead of repeated operator applications).
+  const Matrix& matrix() const { return a_; }
+
  private:
   Matrix a_;
 };

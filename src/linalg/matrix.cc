@@ -2,61 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
 #include <sstream>
-#include <thread>
 
 #include "common/rng.h"
+#include "linalg/gemm.h"
 
 namespace hdmm {
-namespace {
-
-// Threshold (in multiply-add flops) above which MatMul fans out to threads.
-constexpr int64_t kParallelFlopThreshold = int64_t{1} << 24;
-
-int NumWorkerThreads(int64_t flops) {
-  if (flops < kParallelFlopThreshold) return 1;
-  unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
-}
-
-// Core kernel: C[r0:r1, :] += A[r0:r1, :] * B, with ikj loop order so the
-// inner loop streams over contiguous rows of B and C.
-void MatMulRows(const Matrix& a, const Matrix& b, Matrix* c, int64_t r0,
-                int64_t r1) {
-  const int64_t k_dim = a.cols();
-  const int64_t n = b.cols();
-  for (int64_t i = r0; i < r1; ++i) {
-    const double* arow = a.Row(i);
-    double* crow = c->Row(i);
-    for (int64_t k = 0; k < k_dim; ++k) {
-      const double aik = arow[k];
-      if (aik == 0.0) continue;
-      const double* brow = b.Row(k);
-      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
-}
-
-void ParallelOverRows(int64_t rows, int64_t flops,
-                      const std::function<void(int64_t, int64_t)>& body) {
-  int threads = NumWorkerThreads(flops);
-  if (threads <= 1 || rows < 2 * threads) {
-    body(0, rows);
-    return;
-  }
-  std::vector<std::thread> pool;
-  int64_t chunk = (rows + threads - 1) / threads;
-  for (int t = 0; t < threads; ++t) {
-    int64_t r0 = t * chunk;
-    int64_t r1 = std::min(rows, r0 + chunk);
-    if (r0 >= r1) break;
-    pool.emplace_back(body, r0, r1);
-  }
-  for (auto& th : pool) th.join();
-}
-
-}  // namespace
 
 Matrix Matrix::Identity(int64_t n) {
   Matrix m(n, n);
@@ -198,55 +149,28 @@ std::string Matrix::DebugString(int64_t max_rows, int64_t max_cols) const {
 }
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
-  HDMM_CHECK_MSG(a.cols() == b.rows(), "MatMul shape mismatch");
-  Matrix c(a.rows(), b.cols());
-  int64_t flops = a.rows() * a.cols() * b.cols();
-  ParallelOverRows(a.rows(), flops, [&](int64_t r0, int64_t r1) {
-    MatMulRows(a, b, &c, r0, r1);
-  });
+  Matrix c;
+  MatMulInto(a, b, &c);
   return c;
 }
 
 Matrix MatMulTN(const Matrix& a, const Matrix& b) {
-  HDMM_CHECK_MSG(a.rows() == b.rows(), "MatMulTN shape mismatch");
-  // C = A^T B: accumulate outer products of matching rows. Row-major friendly.
-  Matrix c(a.cols(), b.cols());
-  const int64_t m = a.rows();
-  const int64_t p = a.cols();
-  const int64_t n = b.cols();
-  for (int64_t k = 0; k < m; ++k) {
-    const double* arow = a.Row(k);
-    const double* brow = b.Row(k);
-    for (int64_t i = 0; i < p; ++i) {
-      const double aki = arow[i];
-      if (aki == 0.0) continue;
-      double* crow = c.Row(i);
-      for (int64_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
-    }
-  }
+  Matrix c;
+  MatMulTNInto(a, b, &c);
   return c;
 }
 
 Matrix MatMulNT(const Matrix& a, const Matrix& b) {
-  HDMM_CHECK_MSG(a.cols() == b.cols(), "MatMulNT shape mismatch");
-  Matrix c(a.rows(), b.rows());
-  int64_t flops = a.rows() * a.cols() * b.rows();
-  ParallelOverRows(a.rows(), flops, [&](int64_t r0, int64_t r1) {
-    for (int64_t i = r0; i < r1; ++i) {
-      const double* arow = a.Row(i);
-      double* crow = c.Row(i);
-      for (int64_t j = 0; j < b.rows(); ++j) {
-        const double* brow = b.Row(j);
-        double s = 0.0;
-        for (int64_t k = 0; k < a.cols(); ++k) s += arow[k] * brow[k];
-        crow[j] = s;
-      }
-    }
-  });
+  Matrix c;
+  MatMulNTInto(a, b, &c);
   return c;
 }
 
-Matrix Gram(const Matrix& a) { return MatMulTN(a, a); }
+Matrix Gram(const Matrix& a) {
+  Matrix g;
+  GramInto(a, &g);
+  return g;
+}
 
 Vector MatVec(const Matrix& a, const Vector& x) {
   HDMM_CHECK(static_cast<int64_t>(x.size()) == a.cols());

@@ -26,15 +26,12 @@ class Matrix {
 
   /// rows x cols matrix, zero-initialized.
   Matrix(int64_t rows, int64_t cols)
-      : rows_(rows), cols_(cols),
-        data_(static_cast<size_t>(rows * cols), 0.0) {
-    HDMM_CHECK(rows >= 0 && cols >= 0);
-  }
+      : rows_(rows), cols_(cols), data_(CheckedSize(rows, cols), 0.0) {}
 
   /// rows x cols matrix initialized from row-major data.
   Matrix(int64_t rows, int64_t cols, std::vector<double> data)
       : rows_(rows), cols_(cols), data_(std::move(data)) {
-    HDMM_CHECK(static_cast<int64_t>(data_.size()) == rows * cols);
+    HDMM_CHECK(data_.size() == CheckedSize(rows, cols));
   }
 
   /// n x n identity.
@@ -120,12 +117,21 @@ class Matrix {
   std::string DebugString(int64_t max_rows = 8, int64_t max_cols = 8) const;
 
  private:
+  // Validates the shape BEFORE the storage allocation sizes itself from it;
+  // a negative dimension must trip the check, not a wrapped-around huge
+  // allocation in the member-init list.
+  static size_t CheckedSize(int64_t rows, int64_t cols) {
+    HDMM_CHECK(rows >= 0 && cols >= 0);
+    return static_cast<size_t>(rows) * static_cast<size_t>(cols);
+  }
+
   int64_t rows_;
   int64_t cols_;
   std::vector<double> data_;
 };
 
-/// C = A * B. Blocked, cache-aware, multi-threaded for large shapes.
+/// C = A * B. Cache-blocked, register-tiled, parallelized over the shared
+/// ThreadPool (see linalg/gemm.h for the kernels and *Into variants).
 Matrix MatMul(const Matrix& a, const Matrix& b);
 
 /// C = A^T * B without forming A^T.
@@ -134,7 +140,9 @@ Matrix MatMulTN(const Matrix& a, const Matrix& b);
 /// C = A * B^T without forming B^T.
 Matrix MatMulNT(const Matrix& a, const Matrix& b);
 
-/// Gram matrix A^T A (symmetric output).
+/// Gram matrix A^T A via the SYRK kernel: only the lower triangle is
+/// computed and then mirrored, so the output is exactly symmetric and costs
+/// about half a general product.
 Matrix Gram(const Matrix& a);
 
 /// y = A x.

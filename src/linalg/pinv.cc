@@ -4,6 +4,7 @@
 
 #include "linalg/cholesky.h"
 #include "linalg/eigen_sym.h"
+#include "linalg/gemm.h"
 
 namespace hdmm {
 
@@ -25,12 +26,13 @@ Matrix PsdPseudoInverse(const Matrix& x, double rcond) {
 
 Matrix PseudoInverse(const Matrix& a, double rcond) {
   if (a.rows() >= a.cols()) {
-    Matrix g = Gram(a);
+    Matrix g;
+    GramInto(a, &g);
     Matrix gp = PsdPseudoInverse(g, rcond);
     // A^+ = (A^T A)^+ A^T.
     return MatMulNT(gp, a);
   }
-  Matrix g = MatMulNT(a, a);
+  Matrix g = GramOuter(a);
   Matrix gp = PsdPseudoInverse(g, rcond);
   // A^+ = A^T (A A^T)^+.
   return MatMulTN(a, gp);

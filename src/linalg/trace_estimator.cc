@@ -1,6 +1,7 @@
 #include "linalg/trace_estimator.h"
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace hdmm {
 
@@ -12,15 +13,32 @@ double EstimateTraceInvProduct(const LinearOperator& x,
   HDMM_CHECK(x.Rows() == g.Rows());
   const int64_t n = x.Rows();
 
+  // Draw every probe up front from the caller's Rng, then fan the expensive
+  // CG solves out over the shared pool. Keeping the draws serial makes the
+  // estimate a deterministic function of (seed, num_samples) no matter how
+  // many workers run the solves; per-sample results are summed in index
+  // order below for the same reason.
+  const int num_samples = options.num_samples;
+  std::vector<Vector> probes;
+  probes.reserve(static_cast<size_t>(num_samples));
+  for (int s = 0; s < num_samples; ++s)
+    probes.push_back(rng->RademacherVector(n));
+
+  Vector per_sample(static_cast<size_t>(num_samples), 0.0);
+  ThreadPool::Global().ParallelFor(
+      0, num_samples, /*grain=*/1, [&](int64_t begin, int64_t end) {
+        Vector gz;
+        for (int64_t s = begin; s < end; ++s) {
+          const Vector& z = probes[static_cast<size_t>(s)];
+          g.Apply(z, &gz);                              // w = G z
+          CgResult solve = CgSolve(x, gz, options.cg);  // y = X^{-1} w
+          per_sample[static_cast<size_t>(s)] = Dot(z, solve.x);
+        }
+      });
+
   double acc = 0.0;
-  Vector gz;
-  for (int s = 0; s < options.num_samples; ++s) {
-    Vector z = rng->RademacherVector(n);
-    g.Apply(z, &gz);                       // w = G z
-    CgResult solve = CgSolve(x, gz, options.cg);  // y = X^{-1} w
-    acc += Dot(z, solve.x);
-  }
-  return acc / options.num_samples;
+  for (double v : per_sample) acc += v;
+  return acc / num_samples;
 }
 
 }  // namespace hdmm

@@ -1,0 +1,168 @@
+// Randomized equivalence tests for the blocked GEMM/SYRK kernels against a
+// naive triple-loop reference, across the shapes that stress the blocking
+// logic: non-square, tall/skinny, zero-sized, sparse, and sizes straddling
+// every micro/macro tile boundary.
+#include "linalg/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hdmm {
+namespace {
+
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (int64_t i = 0; i < a.rows(); ++i)
+    for (int64_t k = 0; k < a.cols(); ++k)
+      for (int64_t j = 0; j < b.cols(); ++j) c(i, j) += a(i, k) * b(k, j);
+  return c;
+}
+
+// Max |diff| scaled to the operand magnitudes involved in one dot product.
+double Tol(int64_t k_dim) { return 1e-12 * std::max<int64_t>(k_dim, 1); }
+
+Matrix RandomSigned(int64_t rows, int64_t cols, Rng* rng) {
+  return Matrix::RandomUniform(rows, cols, rng, -1.0, 1.0);
+}
+
+// Zeroes a random ~half of the rows to exercise sparse inputs (the seed
+// kernels special-cased zeros; the blocked ones must stay correct on them).
+void SparsifyRows(Matrix* m, Rng* rng) {
+  for (int64_t i = 0; i < m->rows(); ++i) {
+    if (rng->Uniform() < 0.5) {
+      double* row = m->Row(i);
+      for (int64_t j = 0; j < m->cols(); ++j) row[j] = 0.0;
+    }
+  }
+}
+
+struct Shape {
+  int64_t m, k, n;
+};
+
+// Sizes around the kMR=6 / kNR=8 micro-tile, the kMC=120 / kKC=256 /
+// kNC=1024 macro-tiles, and the naive-fallback cutoff.
+const Shape kShapes[] = {
+    {1, 1, 1},    {2, 3, 4},     {6, 8, 8},    {7, 9, 5},    {13, 17, 11},
+    {64, 64, 64}, {120, 256, 8}, {121, 257, 9}, {200, 3, 200}, {3, 200, 3},
+    {130, 300, 140}, {1, 500, 1}, {500, 1, 500}, {127, 128, 129},
+};
+
+TEST(Gemm, MatMulMatchesNaive) {
+  Rng rng(42);
+  for (const Shape& s : kShapes) {
+    Matrix a = RandomSigned(s.m, s.k, &rng);
+    Matrix b = RandomSigned(s.k, s.n, &rng);
+    Matrix c;
+    MatMulInto(a, b, &c);
+    Matrix ref = NaiveMatMul(a, b);
+    EXPECT_LT(c.MaxAbsDiff(ref), Tol(s.k)) << s.m << "x" << s.k << "x" << s.n;
+
+    Matrix c_serial;
+    MatMulInto(a, b, &c_serial, GemmParallelism::kSerial);
+    EXPECT_LT(c_serial.MaxAbsDiff(ref), Tol(s.k));
+  }
+}
+
+TEST(Gemm, MatMulTNMatchesNaive) {
+  Rng rng(43);
+  for (const Shape& s : kShapes) {
+    Matrix a = RandomSigned(s.k, s.m, &rng);  // A^T is m x k.
+    Matrix b = RandomSigned(s.k, s.n, &rng);
+    Matrix c;
+    MatMulTNInto(a, b, &c);
+    Matrix ref = NaiveMatMul(a.Transposed(), b);
+    EXPECT_LT(c.MaxAbsDiff(ref), Tol(s.k)) << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(Gemm, MatMulNTMatchesNaive) {
+  Rng rng(44);
+  for (const Shape& s : kShapes) {
+    Matrix a = RandomSigned(s.m, s.k, &rng);
+    Matrix b = RandomSigned(s.n, s.k, &rng);  // B^T is k x n.
+    Matrix c;
+    MatMulNTInto(a, b, &c);
+    Matrix ref = NaiveMatMul(a, b.Transposed());
+    EXPECT_LT(c.MaxAbsDiff(ref), Tol(s.k)) << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(Gemm, GramMatchesNaiveAndIsExactlySymmetric) {
+  Rng rng(45);
+  for (const Shape& s : kShapes) {
+    Matrix a = RandomSigned(s.m, s.n, &rng);
+    Matrix g;
+    GramInto(a, &g);
+    Matrix ref = NaiveMatMul(a.Transposed(), a);
+    EXPECT_LT(g.MaxAbsDiff(ref), Tol(s.m));
+    // SYRK mirrors the lower triangle, so symmetry must be bit-exact.
+    for (int64_t i = 0; i < g.rows(); ++i)
+      for (int64_t j = 0; j < i; ++j) EXPECT_EQ(g(i, j), g(j, i));
+  }
+}
+
+TEST(Gemm, GramOuterMatchesNaiveAndIsExactlySymmetric) {
+  Rng rng(46);
+  for (const Shape& s : kShapes) {
+    Matrix a = RandomSigned(s.m, s.n, &rng);
+    Matrix g;
+    GramOuterInto(a, &g);
+    Matrix ref = NaiveMatMul(a, a.Transposed());
+    EXPECT_LT(g.MaxAbsDiff(ref), Tol(s.n));
+    for (int64_t i = 0; i < g.rows(); ++i)
+      for (int64_t j = 0; j < i; ++j) EXPECT_EQ(g(i, j), g(j, i));
+  }
+}
+
+TEST(Gemm, SparseRowInputs) {
+  Rng rng(47);
+  Matrix a = RandomSigned(150, 90, &rng);
+  Matrix b = RandomSigned(90, 70, &rng);
+  SparsifyRows(&a, &rng);
+  SparsifyRows(&b, &rng);
+  Matrix c;
+  MatMulInto(a, b, &c);
+  EXPECT_LT(c.MaxAbsDiff(NaiveMatMul(a, b)), Tol(90));
+  Matrix g;
+  GramInto(a, &g);
+  EXPECT_LT(g.MaxAbsDiff(NaiveMatMul(a.Transposed(), a)), Tol(150));
+}
+
+TEST(Gemm, ZeroSizedOperands) {
+  Matrix a(0, 5);
+  Matrix b(5, 3);
+  Matrix c;
+  MatMulInto(a, b, &c);
+  EXPECT_EQ(c.rows(), 0);
+  EXPECT_EQ(c.cols(), 3);
+
+  Matrix d(4, 0);
+  Matrix e(0, 6);
+  MatMulInto(d, e, &c);  // Inner dimension zero: all-zeros result.
+  EXPECT_EQ(c.rows(), 4);
+  EXPECT_EQ(c.cols(), 6);
+  EXPECT_DOUBLE_EQ(c.Sum(), 0.0);
+
+  Matrix g;
+  GramInto(a, &g);  // 0 x 5 input: 5 x 5 zero Gram.
+  EXPECT_EQ(g.rows(), 5);
+  EXPECT_DOUBLE_EQ(g.Sum(), 0.0);
+  GramOuterInto(d, &g);  // 4 x 0 input: 4 x 4 zero outer Gram.
+  EXPECT_EQ(g.rows(), 4);
+  EXPECT_DOUBLE_EQ(g.Sum(), 0.0);
+}
+
+TEST(Gemm, IdentityAndDiagonalSanity) {
+  Rng rng(48);
+  Matrix a = RandomSigned(37, 37, &rng);
+  Matrix c;
+  MatMulInto(a, Matrix::Identity(37), &c);
+  EXPECT_LT(c.MaxAbsDiff(a), 1e-15);
+  MatMulInto(Matrix::Identity(37), a, &c);
+  EXPECT_LT(c.MaxAbsDiff(a), 1e-15);
+}
+
+}  // namespace
+}  // namespace hdmm

@@ -16,6 +16,18 @@ TEST(Matrix, BasicAccessors) {
   EXPECT_DOUBLE_EQ(m.Sum(), 5.0);
 }
 
+TEST(MatrixDeathTest, NegativeDimensionsTripCheckBeforeAllocating) {
+  // The shape check must run before storage sizes itself from rows * cols;
+  // a negative dimension used to wrap into a huge allocation instead.
+  // Threadsafe style: other suites may have started the shared thread pool.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(Matrix(-1, 5), "rows >= 0");
+  EXPECT_DEATH(Matrix(5, -1), "rows >= 0");
+  // The data-taking constructor must reject negative shapes too, even when
+  // rows * cols happens to match the buffer size.
+  EXPECT_DEATH(Matrix(-2, -3, std::vector<double>(6)), "rows >= 0");
+}
+
 TEST(Matrix, IdentityDiagonalOnes) {
   Matrix i = Matrix::Identity(3);
   EXPECT_DOUBLE_EQ(i.Trace(), 3.0);

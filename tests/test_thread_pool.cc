@@ -1,0 +1,128 @@
+// Stress tests for the shared work-stealing pool: partition correctness,
+// concurrent ParallelFor calls from many external threads, and the serial
+// fallback for nested parallel sections.
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace hdmm {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool& pool = ThreadPool::Global();
+  const int64_t n = 10007;  // Prime: never divides evenly into chunks.
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(0, n, /*grain=*/16, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (int64_t i = 0; i < n; ++i) EXPECT_EQ(hits[static_cast<size_t>(i)], 1);
+}
+
+TEST(ThreadPool, EmptyAndTinyRanges) {
+  ThreadPool& pool = ThreadPool::Global();
+  int calls = 0;
+  pool.ParallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(3, 2, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // A single-element range runs serially on the caller.
+  pool.ParallelFor(7, 8, 64, [&](int64_t b, int64_t e) {
+    EXPECT_EQ(b, 7);
+    EXPECT_EQ(e, 8);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, PrivatePoolSumsCorrectly) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int64_t> sum{0};
+  const int64_t n = 100000;
+  pool.ParallelFor(0, n, 100, [&](int64_t b, int64_t e) {
+    int64_t local = 0;
+    for (int64_t i = b; i < e; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersShareOnePool) {
+  // Many external threads hammer the same pool concurrently; every
+  // ParallelFor must see exactly its own range covered.
+  ThreadPool pool(2);
+  constexpr int kSubmitters = 8;
+  constexpr int64_t kN = 20000;
+  std::vector<std::int64_t> sums(kSubmitters, 0);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&pool, &sums, t] {
+      std::atomic<int64_t> sum{0};
+      pool.ParallelFor(0, kN, 64, [&](int64_t b, int64_t e) {
+        int64_t local = 0;
+        for (int64_t i = b; i < e; ++i) local += i + t;
+        sum.fetch_add(local);
+      });
+      sums[static_cast<size_t>(t)] = sum.load();
+    });
+  }
+  for (auto& th : submitters) th.join();
+  for (int t = 0; t < kSubmitters; ++t) {
+    EXPECT_EQ(sums[static_cast<size_t>(t)], kN * (kN - 1) / 2 + kN * t);
+  }
+}
+
+TEST(ThreadPool, NestedParallelForRunsSerially) {
+  ThreadPool pool(3);
+  std::atomic<int64_t> total{0};
+  std::atomic<bool> saw_nested_worker_flag{false};
+  pool.ParallelFor(0, 64, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      // Inside a pool task the nested section must run inline: exactly one
+      // body invocation covering the whole range, no deadlock.
+      int inner_calls = 0;
+      pool.ParallelFor(0, 100, 1, [&](int64_t ib, int64_t ie) {
+        ++inner_calls;
+        EXPECT_EQ(ib, 0);
+        EXPECT_EQ(ie, 100);
+        total.fetch_add(ie - ib);
+      });
+      EXPECT_EQ(inner_calls, 1);
+      if (ThreadPool::InWorker()) saw_nested_worker_flag.store(true);
+    }
+  });
+  EXPECT_EQ(total.load(), 64 * 100);
+  EXPECT_TRUE(saw_nested_worker_flag.load());
+}
+
+TEST(ThreadPool, ZeroWorkerPoolIsSerial) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  int calls = 0;
+  pool.ParallelFor(0, 1000, 1, [&](int64_t b, int64_t e) {
+    ++calls;
+    EXPECT_EQ(b, 0);
+    EXPECT_EQ(e, 1000);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ManySmallParallelForsDoNotLeakOrDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int64_t> count{0};
+  for (int round = 0; round < 500; ++round) {
+    pool.ParallelFor(0, 64, 4, [&](int64_t b, int64_t e) {
+      count.fetch_add(e - b);
+    });
+  }
+  EXPECT_EQ(count.load(), 500 * 64);
+}
+
+}  // namespace
+}  // namespace hdmm
