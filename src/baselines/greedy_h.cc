@@ -44,11 +44,26 @@ Matrix AssembleWeighted(const std::vector<Matrix>& levels,
   return VStack(scaled);
 }
 
-double Evaluate(const std::vector<Matrix>& levels,
+// Evaluates the weighted-hierarchy error from per-level Grams cached by the
+// caller: the stacked strategy never needs to be assembled because
+// Gram(VStack_l w_l H_l) = sum_l w_l^2 Gram(H_l), and with nonnegative level
+// entries and weights the stacked column sums are sum_l w_l colsum_l.
+double Evaluate(const std::vector<Matrix>& level_grams,
+                const std::vector<Vector>& level_colsums,
                 const std::vector<double>& weights, const Matrix& gram) {
-  Matrix a = AssembleWeighted(levels, weights);
-  double sens = a.MaxAbsColSum();
-  double tr = TracePinvGram(Gram(a), gram);
+  const int64_t n = gram.rows();
+  Matrix ga = Matrix::Zeros(n, n);
+  Vector colsum(static_cast<size_t>(n), 0.0);
+  for (size_t l = 0; l < level_grams.size(); ++l) {
+    if (weights[l] <= 0.0) continue;
+    ga.AddInPlace(level_grams[l], weights[l] * weights[l]);
+    for (int64_t j = 0; j < n; ++j)
+      colsum[static_cast<size_t>(j)] +=
+          weights[l] * level_colsums[l][static_cast<size_t>(j)];
+  }
+  double sens = 0.0;
+  for (double v : colsum) sens = std::max(sens, v);
+  double tr = TracePinvGram(ga, gram);
   if (!std::isfinite(tr)) return std::numeric_limits<double>::infinity();
   return sens * sens * tr;
 }
@@ -62,7 +77,18 @@ GreedyHResult GreedyH(const Matrix& workload_gram,
   std::vector<Matrix> levels = HierarchyLevels(n);
   std::vector<double> weights(levels.size(), 1.0);
 
-  double best = Evaluate(levels, weights, workload_gram);
+  // Per-level Grams and column sums are invariant across the whole greedy
+  // search; every candidate evaluation reuses them.
+  std::vector<Matrix> level_grams;
+  std::vector<Vector> level_colsums;
+  level_grams.reserve(levels.size());
+  level_colsums.reserve(levels.size());
+  for (const Matrix& level : levels) {
+    level_grams.push_back(Gram(level));
+    level_colsums.push_back(level.AbsColSums());
+  }
+
+  double best = Evaluate(level_grams, level_colsums, weights, workload_gram);
   // Greedy coordinate descent over level scales on a multiplicative grid.
   for (int sweep = 0; sweep < options.sweeps; ++sweep) {
     for (size_t l = 0; l < levels.size(); ++l) {
@@ -71,7 +97,7 @@ GreedyHResult GreedyH(const Matrix& workload_gram,
         double factor = std::pow(2.0, c - options.candidates_per_level / 2);
         std::vector<double> trial = weights;
         trial[l] = weights[l] * factor;
-        double err = Evaluate(levels, trial, workload_gram);
+        double err = Evaluate(level_grams, level_colsums, trial, workload_gram);
         if (err < best) {
           best = err;
           best_w = trial[l];

@@ -13,12 +13,16 @@ int SelectHbBranching(int64_t n, int64_t exact_threshold) {
   if (n <= 2) return 2;
   double best_score = std::numeric_limits<double>::infinity();
   int best_b = 2;
+  // The all-range Gram scores every candidate branching factor; build it
+  // once, not once per candidate.
+  Matrix range_gram;
+  if (n <= exact_threshold) range_gram = AllRangeGram(n);
   for (int b = 2; b <= 16; ++b) {
     double score;
     if (n <= exact_threshold) {
       Matrix h = HierarchicalBlock(n, b);
       double sens = h.MaxAbsColSum();
-      score = sens * sens * TracePinvGram(Gram(h), AllRangeGram(n));
+      score = sens * sens * TracePinvGram(Gram(h), range_gram);
     } else {
       // Qardaji et al.'s analytic criterion: height h = ceil(log_b n); the
       // average range-query variance scales like (b - 1) h^3.

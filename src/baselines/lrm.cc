@@ -42,17 +42,27 @@ Spectral SpectralStrategy(const Matrix& gram, const LrmOptions& options) {
   out.l = Matrix(out.rank, n);
   out.lambda.resize(static_cast<size_t>(out.rank));
   out.v = Matrix(n, out.rank);
+  std::vector<double> scales(static_cast<size_t>(out.rank));
   for (int64_t r = 0; r < out.rank; ++r) {
-    int64_t src = keep[static_cast<size_t>(r)];
-    double ev = eig.eigenvalues[static_cast<size_t>(src)];
+    double ev = eig.eigenvalues[static_cast<size_t>(keep[static_cast<size_t>(r)])];
     out.lambda[static_cast<size_t>(r)] = ev;
     // W = U Sigma V^T with Sigma = diag(sqrt(lambda)); the SVD-bound
     // strategy is L = Sigma^{1/2} V^T, i.e. rows scaled by lambda^{1/4}.
-    double s = std::pow(ev, 0.25);
-    for (int64_t j = 0; j < n; ++j) {
-      out.v(j, r) = eig.eigenvectors(j, src);
-      out.l(r, j) = s * eig.eigenvectors(j, src);
-    }
+    scales[static_cast<size_t>(r)] = std::pow(ev, 0.25);
+  }
+  // Row-major fills: walk the eigenvector matrix by rows so both the reads
+  // and the writes stream contiguously.
+  for (int64_t j = 0; j < n; ++j) {
+    const double* erow = eig.eigenvectors.Row(j);
+    double* vrow = out.v.Row(j);
+    for (int64_t r = 0; r < out.rank; ++r)
+      vrow[r] = erow[keep[static_cast<size_t>(r)]];
+  }
+  for (int64_t r = 0; r < out.rank; ++r) {
+    const int64_t src = keep[static_cast<size_t>(r)];
+    const double s = scales[static_cast<size_t>(r)];
+    double* lrow = out.l.Row(r);
+    for (int64_t j = 0; j < n; ++j) lrow[j] = s * eig.eigenvectors(j, src);
   }
   return out;
 }

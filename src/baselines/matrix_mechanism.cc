@@ -48,7 +48,8 @@ class FullSpaceObjective {
       if (grad != nullptr) grad->assign(b_flat.size(), 0.0);
       return std::numeric_limits<double>::infinity();
     }
-    Matrix xinv_g = CholeskySolveMatrix(l, gram_);
+    Matrix xinv_g;
+    CholeskySolveMatrixInto(l, gram_, &xinv_g);
     double obj = xinv_g.Trace();
     if (!(obj > 0.0) || !std::isfinite(obj)) {
       if (grad != nullptr) grad->assign(b_flat.size(), 0.0);
@@ -57,7 +58,8 @@ class FullSpaceObjective {
     if (grad == nullptr) return obj;
 
     // Y = X^{-1} G X^{-1}.
-    Matrix y = CholeskySolveMatrix(l, xinv_g.Transposed());
+    Matrix y;
+    CholeskySolveMatrixInto(l, xinv_g.Transposed(), &y);
     // Gradient: dC/dB = -2 (B D) Y D + 2 * 1 (r .* d)^T with Z = D Y D and
     // r_j = sum_i B_ij (B Z)_ij.
     Matrix bd = b;

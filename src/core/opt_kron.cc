@@ -22,13 +22,37 @@ OptKronResult OptKron(const UnionWorkload& w, const OptKronOptions& options,
   const int k = w.NumProducts();
   HDMM_CHECK(k >= 1);
 
-  // Per-product, per-attribute Gram matrices (cached once; Section 6.2 notes
-  // (W^T W)_i^(j) can be precomputed).
-  std::vector<std::vector<Matrix>> grams(static_cast<size_t>(k));
-  for (int j = 0; j < k; ++j) {
-    for (int i = 0; i < d; ++i) {
-      grams[static_cast<size_t>(j)].push_back(
-          w.products()[static_cast<size_t>(j)].FactorGram(i));
+  // Per-product, per-attribute Gram matrices (Section 6.2 notes (W^T W)_i^(j)
+  // can be precomputed), deduplicated on factor identity: products that share
+  // an identical factor for attribute i (the common case — unions are usually
+  // built from a small set of per-attribute building blocks) share one Gram,
+  // one trace entry in the t table, and one term in the surrogate sum.
+  // unique_grams[i][u] is the Gram pool for attribute i; gram_id[j][i] maps
+  // product j into it.
+  std::vector<std::vector<Matrix>> unique_grams(static_cast<size_t>(d));
+  std::vector<std::vector<int>> gram_id(static_cast<size_t>(k),
+                                        std::vector<int>(static_cast<size_t>(d)));
+  for (int i = 0; i < d; ++i) {
+    std::vector<const Matrix*> seen;  // factor behind unique_grams[i][u]
+    for (int j = 0; j < k; ++j) {
+      const Matrix& f =
+          w.products()[static_cast<size_t>(j)].factors[static_cast<size_t>(i)];
+      int id = -1;
+      for (size_t u = 0; u < seen.size(); ++u) {
+        const Matrix& g = *seen[u];
+        if (g.rows() == f.rows() && g.cols() == f.cols() &&
+            g.storage() == f.storage()) {
+          id = static_cast<int>(u);
+          break;
+        }
+      }
+      if (id < 0) {
+        id = static_cast<int>(seen.size());
+        seen.push_back(&f);
+        unique_grams[static_cast<size_t>(i)].push_back(
+            w.products()[static_cast<size_t>(j)].FactorGram(i));
+      }
+      gram_id[static_cast<size_t>(j)][static_cast<size_t>(i)] = id;
     }
   }
 
@@ -53,23 +77,29 @@ OptKronResult OptKron(const UnionWorkload& w, const OptKronOptions& options,
           p[static_cast<size_t>(i)], w.domain().AttributeSize(i), rng, 0.0,
           scale));
     }
-    // t[j][i] = tr[(A_i^T A_i)^{-1} G_i^(j)].
-    std::vector<std::vector<double>> t(static_cast<size_t>(k),
-                                       std::vector<double>(static_cast<size_t>(d)));
-    for (int j = 0; j < k; ++j)
-      for (int i = 0; i < d; ++i)
-        t[static_cast<size_t>(j)][static_cast<size_t>(i)] =
-            PIdentityObjective::TraceWithGram(
-                thetas[static_cast<size_t>(i)],
-                grams[static_cast<size_t>(j)][static_cast<size_t>(i)]);
+    // tu[i][u] = tr[(A_i^T A_i)^{-1} G_i^(u)], evaluated once per *unique*
+    // Gram; t[j][i] reads through gram_id so products sharing a factor share
+    // the trace.
+    std::vector<std::vector<double>> tu(static_cast<size_t>(d));
+    auto refresh_traces = [&](int i) {
+      const auto& pool = unique_grams[static_cast<size_t>(i)];
+      tu[static_cast<size_t>(i)].resize(pool.size());
+      for (size_t u = 0; u < pool.size(); ++u)
+        tu[static_cast<size_t>(i)][u] = PIdentityObjective::TraceWithGram(
+            thetas[static_cast<size_t>(i)], pool[u]);
+    };
+    for (int i = 0; i < d; ++i) refresh_traces(i);
+    auto t = [&](int j, int i) {
+      return tu[static_cast<size_t>(i)][static_cast<size_t>(
+          gram_id[static_cast<size_t>(j)][static_cast<size_t>(i)])];
+    };
 
     auto total_error = [&]() {
       double total = 0.0;
       for (int j = 0; j < k; ++j) {
         double term = w.products()[static_cast<size_t>(j)].weight *
                       w.products()[static_cast<size_t>(j)].weight;
-        for (int i = 0; i < d; ++i)
-          term *= t[static_cast<size_t>(j)][static_cast<size_t>(i)];
+        for (int i = 0; i < d; ++i) term *= t(j, i);
         total += term;
       }
       return total;
@@ -84,27 +114,28 @@ OptKronResult OptKron(const UnionWorkload& w, const OptKronOptions& options,
       for (int i = 0; i < d; ++i) {
         // Surrogate Gram: \hat{G}_i = sum_j c_j^2 G_i^(j) with
         // c_j = w_j prod_{i' != i} ||W_i'^(j) A_i'^+||_F (Equation 6).
+        // Coefficients of products sharing a Gram are merged first so each
+        // unique Gram is accumulated exactly once.
         const int64_t ni = w.domain().AttributeSize(i);
-        Matrix surrogate = Matrix::Zeros(ni, ni);
+        const auto& pool = unique_grams[static_cast<size_t>(i)];
+        std::vector<double> coeff(pool.size(), 0.0);
         for (int j = 0; j < k; ++j) {
           double c2 = w.products()[static_cast<size_t>(j)].weight *
                       w.products()[static_cast<size_t>(j)].weight;
           for (int i2 = 0; i2 < d; ++i2) {
             if (i2 == i) continue;
-            c2 *= t[static_cast<size_t>(j)][static_cast<size_t>(i2)];
+            c2 *= t(j, i2);
           }
-          surrogate.AddInPlace(
-              grams[static_cast<size_t>(j)][static_cast<size_t>(i)], c2);
+          coeff[static_cast<size_t>(
+              gram_id[static_cast<size_t>(j)][static_cast<size_t>(i)])] += c2;
         }
+        Matrix surrogate = Matrix::Zeros(ni, ni);
+        for (size_t u = 0; u < pool.size(); ++u)
+          surrogate.AddInPlace(pool[u], coeff[u]);
         Opt0Result res = Opt0WarmStart(
             surrogate, thetas[static_cast<size_t>(i)], options.lbfgs);
         thetas[static_cast<size_t>(i)] = std::move(res.theta);
-        for (int j = 0; j < k; ++j) {
-          t[static_cast<size_t>(j)][static_cast<size_t>(i)] =
-              PIdentityObjective::TraceWithGram(
-                  thetas[static_cast<size_t>(i)],
-                  grams[static_cast<size_t>(j)][static_cast<size_t>(i)]);
-        }
+        refresh_traces(i);
       }
       double new_err = total_error();
       if (err - new_err <= options.cycle_tol * std::fabs(err)) {

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "linalg/lu.h"
 
 namespace hdmm {
@@ -131,13 +132,19 @@ OptMarginalsResult OptMarginals(const UnionWorkload& w,
     if (grad != nullptr) {
       Vector y = UpperTriangularSolveTranspose(x, tau);
       grad->assign(masks, 0.0);
-      for (uint32_t a = 0; a < masks; ++a) {
-        double dvt = 0.0;
-        for (uint32_t b = 0; b < masks; ++b) {
-          dvt -= y[a & b] * algebra.CWeight(a | b) * v[b];
-        }
-        (*grad)[a] = 2.0 * s * vt + s * s * dvt * 2.0 * theta[a];
-      }
+      // O(masks^2) double loop — the cost wall for high-d marginal domains.
+      // Rows (gradient entries) are independent; fan out over the pool.
+      ThreadPool::Global().ParallelFor(
+          0, masks, /*grain=*/64, [&](int64_t a0, int64_t a1) {
+            for (int64_t ai = a0; ai < a1; ++ai) {
+              const uint32_t a = static_cast<uint32_t>(ai);
+              double dvt = 0.0;
+              for (uint32_t b = 0; b < masks; ++b) {
+                dvt -= y[a & b] * algebra.CWeight(a | b) * v[b];
+              }
+              (*grad)[a] = 2.0 * s * vt + s * s * dvt * 2.0 * theta[a];
+            }
+          });
     }
     return obj;
   };

@@ -99,7 +99,8 @@ double PIdentityObjective::Eval(const Vector& theta_flat,
   Matrix t1 = ScaledCopy(theta, s, /*axis=*/1);
   Matrix b = MatMul(t1, gram_);
   Matrix spp = MatMulNT(b, t1);
-  Matrix z = CholeskySolveMatrix(l, spp);
+  Matrix z;
+  CholeskySolveMatrixInto(l, spp, &z);
   double objective = term1 - z.Trace();
   // The exact objective is strictly positive and bounded by term1 (since
   // X^{-1} is dominated by D^{-2}); the subtraction's noise scales with the
@@ -122,7 +123,8 @@ double PIdentityObjective::Eval(const Vector& theta_flat,
   // K = X^{-1} G = S(G1 - Theta^T M^{-1} (Theta G1)) with G1 = S G.
   Matrix g1 = ScaledCopy(gram_, s, /*axis=*/0);
   Matrix u = MatMul(theta, g1);
-  Matrix v = CholeskySolveMatrix(l, u);
+  Matrix v;
+  CholeskySolveMatrixInto(l, u, &v);
   Matrix k = MatMulTN(theta, v);       // Theta^T (M^{-1} Theta G1)
   k.ScaleInPlace(-1.0);
   k.AddInPlace(g1, 1.0);
@@ -131,7 +133,9 @@ double PIdentityObjective::Eval(const Vector& theta_flat,
   // Y = K X^{-1} = (K1 - (K1 Theta^T) M^{-1} Theta) S, K1 = K S.
   Matrix k1 = ScaledCopy(k, s, /*axis=*/1);
   Matrix pmat = MatMulNT(k1, theta);   // N x p
-  Matrix q = CholeskySolveMatrix(l, pmat.Transposed()).Transposed();  // N x p
+  Matrix qt;
+  CholeskySolveMatrixInto(l, pmat.Transposed(), &qt);
+  Matrix q = qt.Transposed();          // N x p
   Matrix r_term = MatMul(q, theta);    // N x N
   Matrix y = k1;
   y.AddInPlace(r_term, -1.0);
@@ -191,7 +195,8 @@ double PIdentityObjective::TraceWithGram(const Matrix& theta, const Matrix& g) {
     Matrix t1 = ScaledCopy(theta, s, 1);
     Matrix b = MatMul(t1, g);
     Matrix spp = MatMulNT(b, t1);
-    Matrix z = CholeskySolveMatrix(l, spp);
+    Matrix z;
+    CholeskySolveMatrixInto(l, spp, &z);
     double objective = term1 - z.Trace();
     // Fast path only trusted above the cancellation noise floor (see Eval).
     if (objective > kFastPathTrustFloor * term1 && std::isfinite(objective))
@@ -206,12 +211,9 @@ double PIdentityObjective::TraceWithGram(const Matrix& theta, const Matrix& g) {
   GramInto(a, &x);
   Matrix lx;
   if (!CholeskyFactor(x, &lx)) return std::numeric_limits<double>::infinity();
-  double tr = 0.0;
-  for (int64_t j = 0; j < n; ++j) {
-    Vector col = g.ColVector(j);
-    Vector sol = CholeskySolve(lx, col);
-    tr += sol[static_cast<size_t>(j)];
-  }
+  Matrix z;
+  CholeskySolveMatrixInto(lx, g, &z);
+  double tr = z.Trace();
   if (!(tr > 0.0) || !std::isfinite(tr))
     return std::numeric_limits<double>::infinity();
   return tr;

@@ -28,9 +28,10 @@ double WorkloadNuclearNorm(const UnionWorkload& w,
   HDMM_CHECK_MSG(n * n <= max_explicit_cells,
                  "union workload too large for explicit Gram nuclear norm");
   Matrix gram = w.ExplicitGram();
-  SymmetricEigen eig = EigenSym(gram);
+  // Only the spectrum is needed: skip eigenvector accumulation entirely.
+  Vector lambdas = EigenvaluesSym(gram);
   double total = 0.0;
-  for (double lambda : eig.eigenvalues) {
+  for (double lambda : lambdas) {
     if (lambda > 0.0) total += std::sqrt(lambda);
   }
   return total;

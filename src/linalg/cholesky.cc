@@ -1,26 +1,73 @@
 #include "linalg/cholesky.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
+#include "linalg/gemm.h"
+
 namespace hdmm {
+namespace {
+
+// Factorization panel width / solve block height. 64 keeps one diagonal block
+// (64x64x8B = 32 KiB) L1-resident for the scalar panel work while making the
+// trailing SYRK updates rank-64 — deep enough that the GEMM substrate runs at
+// full blocked speed.
+constexpr int64_t kPanel = 64;
+
+}  // namespace
 
 bool CholeskyFactor(const Matrix& x, Matrix* l) {
   HDMM_CHECK(x.rows() == x.cols());
   const int64_t n = x.rows();
-  *l = Matrix::Zeros(n, n);
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t j = 0; j <= i; ++j) {
-      double s = x(i, j);
-      const double* li = l->Row(i);
-      const double* lj = l->Row(j);
-      for (int64_t k = 0; k < j; ++k) s -= li[k] * lj[k];
-      if (i == j) {
-        if (s <= 0.0 || !std::isfinite(s)) return false;
-        (*l)(i, i) = std::sqrt(s);
-      } else {
-        (*l)(i, j) = s / (*l)(j, j);
+  *l = x;
+  Matrix& a = *l;
+  for (int64_t k = 0; k < n; k += kPanel) {
+    const int64_t nb = std::min<int64_t>(kPanel, n - k);
+    // Diagonal block: scalar factorization of A[k:k+nb, k:k+nb]. Earlier
+    // panels' contributions were already subtracted by trailing updates, so
+    // the inner dot products only span the block's own columns.
+    for (int64_t i = k; i < k + nb; ++i) {
+      double* ai = a.Row(i);
+      for (int64_t j = k; j <= i; ++j) {
+        const double* aj = a.Row(j);
+        double s = ai[j];
+        for (int64_t t = k; t < j; ++t) s -= ai[t] * aj[t];
+        if (i == j) {
+          if (s <= 0.0 || !std::isfinite(s)) return false;
+          ai[i] = std::sqrt(s);
+        } else {
+          ai[j] = s / aj[j];
+        }
       }
     }
+    const int64_t rest = n - k - nb;
+    if (rest == 0) continue;
+    // Panel TRSM: L21 = A21 L11^{-T}. Each row of the panel is an
+    // independent forward substitution against L11, so rows fan out over the
+    // shared pool.
+    ThreadPool::Global().ParallelFor(
+        k + nb, n, /*grain=*/16, [&](int64_t r0, int64_t r1) {
+          for (int64_t r = r0; r < r1; ++r) {
+            double* row = a.Row(r) + k;
+            for (int64_t j = 0; j < nb; ++j) {
+              const double* lj = a.Row(k + j) + k;
+              double s = row[j];
+              for (int64_t t = 0; t < j; ++t) s -= lj[t] * row[t];
+              row[j] = s / lj[j];
+            }
+          }
+        });
+    // Trailing SYRK: A22 -= L21 L21^T, lower triangle only. This is where
+    // the n^3/3 bulk of the factorization runs, at blocked-GEMM speed.
+    GemmViewUpdate(rest, rest, nb, -1.0, a.Row(k + nb) + k, n, false,
+                   a.Row(k + nb) + k, n, true, a.Row(k + nb) + (k + nb), n,
+                   /*lower_only=*/true);
+  }
+  // Only the lower triangle was factored; clear the copied-over upper part.
+  for (int64_t i = 0; i < n; ++i) {
+    double* row = a.Row(i);
+    for (int64_t j = i + 1; j < n; ++j) row[j] = 0.0;
   }
   return true;
 }
@@ -45,6 +92,62 @@ void BackwardSubstituteTranspose(const Matrix& l, Vector* b) {
   }
 }
 
+void ForwardSubstituteMatrix(const Matrix& l, Matrix* b) {
+  HDMM_CHECK(l.rows() == l.cols() && l.rows() == b->rows());
+  const int64_t n = l.rows();
+  const int64_t m = b->cols();
+  if (m == 0) return;
+  for (int64_t k = 0; k < n; k += kPanel) {
+    const int64_t nb = std::min<int64_t>(kPanel, n - k);
+    // Diagonal-block solve, vectorized along the RHS columns: every inner
+    // operation is a contiguous axpy across a whole row of B.
+    for (int64_t i = k; i < k + nb; ++i) {
+      double* bi = b->Row(i);
+      const double* li = l.Row(i);
+      for (int64_t t = k; t < i; ++t) {
+        const double c = li[t];
+        if (c == 0.0) continue;
+        const double* bt = b->Row(t);
+        for (int64_t j = 0; j < m; ++j) bi[j] -= c * bt[j];
+      }
+      const double inv = 1.0 / li[i];
+      for (int64_t j = 0; j < m; ++j) bi[j] *= inv;
+    }
+    // Push the finished panel into every row below in one GEMM:
+    // B[k+nb:, :] -= L[k+nb:, k:k+nb] * B[k:k+nb, :].
+    GemmViewUpdate(n - k - nb, m, nb, -1.0, l.Row(k + nb) + k, n, false,
+                   b->Row(k), m, false, b->Row(k + nb), m,
+                   /*lower_only=*/false);
+  }
+}
+
+void BackwardSubstituteTransposeMatrix(const Matrix& l, Matrix* b) {
+  HDMM_CHECK(l.rows() == l.cols() && l.rows() == b->rows());
+  const int64_t n = l.rows();
+  const int64_t m = b->cols();
+  if (m == 0 || n == 0) return;
+  for (int64_t k = ((n - 1) / kPanel) * kPanel; k >= 0; k -= kPanel) {
+    const int64_t nb = std::min<int64_t>(kPanel, n - k);
+    // Diagonal-block solve against L11^T, bottom row first.
+    for (int64_t i = k + nb - 1; i >= k; --i) {
+      double* bi = b->Row(i);
+      for (int64_t t = i + 1; t < k + nb; ++t) {
+        const double c = l(t, i);
+        if (c == 0.0) continue;
+        const double* bt = b->Row(t);
+        for (int64_t j = 0; j < m; ++j) bi[j] -= c * bt[j];
+      }
+      const double inv = 1.0 / l(i, i);
+      for (int64_t j = 0; j < m; ++j) bi[j] *= inv;
+    }
+    // Rows above the block: B[0:k, :] -= L[k:k+nb, 0:k]^T * B[k:k+nb, :].
+    if (k > 0) {
+      GemmViewUpdate(k, m, nb, -1.0, l.Row(k), n, true, b->Row(k), m, false,
+                     b->data(), m, /*lower_only=*/false);
+    }
+  }
+}
+
 Vector CholeskySolve(const Matrix& l, const Vector& b) {
   Vector y = b;
   ForwardSubstitute(l, &y);
@@ -52,35 +155,35 @@ Vector CholeskySolve(const Matrix& l, const Vector& b) {
   return y;
 }
 
-Matrix CholeskySolveMatrix(const Matrix& l, const Matrix& b) {
+void CholeskySolveMatrixInto(const Matrix& l, const Matrix& b, Matrix* out) {
   HDMM_CHECK(l.rows() == b.rows());
-  Matrix out(b.rows(), b.cols());
-  for (int64_t j = 0; j < b.cols(); ++j) {
-    Vector col = b.ColVector(j);
-    Vector sol = CholeskySolve(l, col);
-    for (int64_t i = 0; i < b.rows(); ++i) out(i, j) = sol[static_cast<size_t>(i)];
-  }
+  if (out != &b) *out = b;
+  ForwardSubstituteMatrix(l, out);
+  BackwardSubstituteTransposeMatrix(l, out);
+}
+
+Matrix CholeskySolveMatrix(const Matrix& l, const Matrix& b) {
+  Matrix out;
+  CholeskySolveMatrixInto(l, b, &out);
   return out;
 }
 
 Matrix SpdInverse(const Matrix& x) {
   Matrix l;
   HDMM_CHECK_MSG(CholeskyFactor(x, &l), "SpdInverse: matrix not SPD");
-  return CholeskySolveMatrix(l, Matrix::Identity(x.rows()));
+  Matrix out;
+  CholeskySolveMatrixInto(l, Matrix::Identity(x.rows()), &out);
+  return out;
 }
 
 double TraceSolveSpd(const Matrix& x, const Matrix& g) {
   HDMM_CHECK(x.rows() == g.rows() && x.cols() == g.cols());
   Matrix l;
   HDMM_CHECK_MSG(CholeskyFactor(x, &l), "TraceSolveSpd: matrix not SPD");
-  // tr[X^{-1} G] = sum_j e_j^T X^{-1} G e_j = sum_j (X^{-1} g_j)_j.
-  double tr = 0.0;
-  for (int64_t j = 0; j < g.cols(); ++j) {
-    Vector col = g.ColVector(j);
-    Vector sol = CholeskySolve(l, col);
-    tr += sol[static_cast<size_t>(j)];
-  }
-  return tr;
+  // tr[X^{-1} G]: one blocked multi-RHS solve, then read the diagonal.
+  Matrix z;
+  CholeskySolveMatrixInto(l, g, &z);
+  return z.Trace();
 }
 
 }  // namespace hdmm

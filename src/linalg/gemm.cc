@@ -37,9 +37,10 @@ inline double At(const Operand& o, int64_t i, int64_t j) {
 
 // Packs the mc x kc panel of A starting at (i0, p0) into kMR-row strips laid
 // out k-major: buf[strip*kMR*kc + k*kMR + r]. Rows past mc are zero-padded so
-// the micro-kernel never needs a row bound.
+// the micro-kernel never needs a row bound. The GEMM alpha scale is folded in
+// here (once per packed element, amortized over every micro-kernel reuse).
 void PackA(const Operand& a, int64_t i0, int64_t p0, int64_t mc, int64_t kc,
-           double* buf) {
+           double alpha, double* buf) {
   for (int64_t r0 = 0; r0 < mc; r0 += kMR) {
     double* strip = buf + (r0 / kMR) * kMR * kc;
     const int64_t rows = std::min<int64_t>(kMR, mc - r0);
@@ -49,13 +50,13 @@ void PackA(const Operand& a, int64_t i0, int64_t p0, int64_t mc, int64_t kc,
       for (int64_t k = 0; k < kc; ++k) {
         const double* src = a.p + (p0 + k) * a.ld + i0 + r0;
         double* dst = strip + k * kMR;
-        for (int64_t r = 0; r < rows; ++r) dst[r] = src[r];
+        for (int64_t r = 0; r < rows; ++r) dst[r] = alpha * src[r];
         for (int64_t r = rows; r < kMR; ++r) dst[r] = 0.0;
       }
     } else {
       for (int64_t r = 0; r < rows; ++r) {
         const double* src = a.p + (i0 + r0 + r) * a.ld + p0;
-        for (int64_t k = 0; k < kc; ++k) strip[k * kMR + r] = src[k];
+        for (int64_t k = 0; k < kc; ++k) strip[k * kMR + r] = alpha * src[k];
       }
       for (int64_t r = rows; r < kMR; ++r)
         for (int64_t k = 0; k < kc; ++k) strip[k * kMR + r] = 0.0;
@@ -195,28 +196,29 @@ void MicroKernel(int64_t kc, const double* __restrict__ ap,
 }
 #endif  // HDMM_GEMM_VECTOR_KERNEL
 
-// C (m x n, zero-initialized) += op(A) * op(B), with op given by the operand
-// views. When `lower_only` is set (SYRK callers), row panels entirely above
-// the diagonal are skipped; the caller mirrors the lower triangle afterward.
-void GemmDriver(int64_t m, int64_t n, int64_t k, const Operand& a,
-                const Operand& b, Matrix* c, GemmParallelism par,
-                bool lower_only) {
-  if (m == 0 || n == 0 || k == 0) return;
+// C (m x n row-major view at leading dimension ldc) += alpha * op(A) * op(B),
+// with op given by the operand views. The driver always accumulates; callers
+// wanting overwrite semantics zero C first (the *Into wrappers allocate
+// fresh). When `lower_only` is set (SYRK callers), row panels entirely above
+// the view's diagonal are skipped; Gram callers mirror afterward.
+void GemmDriver(int64_t m, int64_t n, int64_t k, double alpha,
+                const Operand& a, const Operand& b, double* c, int64_t ldc,
+                GemmParallelism par, bool lower_only) {
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
 
   if (m * n * k < kNaiveFlopCutoff) {
     for (int64_t i = 0; i < m; ++i) {
-      double* crow = c->Row(i);
+      double* crow = c + i * ldc;
       const int64_t jmax = lower_only ? std::min(n, i + 1) : n;
       for (int64_t j = 0; j < jmax; ++j) {
         double s = 0.0;
         for (int64_t kk = 0; kk < k; ++kk) s += At(a, i, kk) * At(b, kk, j);
-        crow[j] = s;
+        crow[j] += alpha * s;
       }
     }
     return;
   }
 
-  const int64_t ldc = c->cols();
   std::vector<double> b_buf(
       static_cast<size_t>(((std::min(n, kNC) + kNR - 1) / kNR) * kNR * std::min(k, kKC)));
 
@@ -236,14 +238,14 @@ void GemmDriver(int64_t m, int64_t n, int64_t k, const Operand& a,
           const int64_t mc = std::min(kMC, m - ic);
           // SYRK: skip panels whose rows all lie above the diagonal.
           if (lower_only && ic + mc - 1 < jc) continue;
-          PackA(a, ic, pc, mc, kc, a_buf.data());
+          PackA(a, ic, pc, mc, kc, alpha, a_buf.data());
           for (int64_t js = 0; js < nc; js += kNR) {
             const double* bs = b_buf.data() + (js / kNR) * kNR * kc;
             const int64_t nr = std::min<int64_t>(kNR, nc - js);
             for (int64_t is = 0; is < mc; is += kMR) {
               if (lower_only && ic + is + kMR - 1 < jc + js) continue;
               MicroKernel(kc, a_buf.data() + (is / kMR) * kMR * kc, bs,
-                          c->Row(ic + is) + jc + js, ldc,
+                          c + (ic + is) * ldc + jc + js, ldc,
                           std::min<int64_t>(kMR, mc - is), nr);
             }
           }
@@ -275,8 +277,9 @@ void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c,
   HDMM_CHECK_MSG(a.cols() == b.rows(), "MatMul shape mismatch");
   HDMM_CHECK_MSG(c != &a && c != &b, "MatMulInto output aliases an operand");
   *c = Matrix(a.rows(), b.cols());
-  GemmDriver(a.rows(), b.cols(), a.cols(), {a.data(), a.cols(), false},
-             {b.data(), b.cols(), false}, c, par, /*lower_only=*/false);
+  GemmDriver(a.rows(), b.cols(), a.cols(), 1.0, {a.data(), a.cols(), false},
+             {b.data(), b.cols(), false}, c->data(), c->cols(), par,
+             /*lower_only=*/false);
 }
 
 void MatMulTNInto(const Matrix& a, const Matrix& b, Matrix* c,
@@ -284,8 +287,9 @@ void MatMulTNInto(const Matrix& a, const Matrix& b, Matrix* c,
   HDMM_CHECK_MSG(a.rows() == b.rows(), "MatMulTN shape mismatch");
   HDMM_CHECK_MSG(c != &a && c != &b, "MatMulTNInto output aliases an operand");
   *c = Matrix(a.cols(), b.cols());
-  GemmDriver(a.cols(), b.cols(), a.rows(), {a.data(), a.cols(), true},
-             {b.data(), b.cols(), false}, c, par, /*lower_only=*/false);
+  GemmDriver(a.cols(), b.cols(), a.rows(), 1.0, {a.data(), a.cols(), true},
+             {b.data(), b.cols(), false}, c->data(), c->cols(), par,
+             /*lower_only=*/false);
 }
 
 void MatMulNTInto(const Matrix& a, const Matrix& b, Matrix* c,
@@ -293,23 +297,26 @@ void MatMulNTInto(const Matrix& a, const Matrix& b, Matrix* c,
   HDMM_CHECK_MSG(a.cols() == b.cols(), "MatMulNT shape mismatch");
   HDMM_CHECK_MSG(c != &a && c != &b, "MatMulNTInto output aliases an operand");
   *c = Matrix(a.rows(), b.rows());
-  GemmDriver(a.rows(), b.rows(), a.cols(), {a.data(), a.cols(), false},
-             {b.data(), b.cols(), true}, c, par, /*lower_only=*/false);
+  GemmDriver(a.rows(), b.rows(), a.cols(), 1.0, {a.data(), a.cols(), false},
+             {b.data(), b.cols(), true}, c->data(), c->cols(), par,
+             /*lower_only=*/false);
 }
 
 void GramInto(const Matrix& a, Matrix* out, GemmParallelism par) {
   HDMM_CHECK_MSG(out != &a, "GramInto output aliases the operand");
   *out = Matrix(a.cols(), a.cols());
-  GemmDriver(a.cols(), a.cols(), a.rows(), {a.data(), a.cols(), true},
-             {a.data(), a.cols(), false}, out, par, /*lower_only=*/true);
+  GemmDriver(a.cols(), a.cols(), a.rows(), 1.0, {a.data(), a.cols(), true},
+             {a.data(), a.cols(), false}, out->data(), out->cols(), par,
+             /*lower_only=*/true);
   MirrorLowerToUpper(out);
 }
 
 void GramOuterInto(const Matrix& a, Matrix* out, GemmParallelism par) {
   HDMM_CHECK_MSG(out != &a, "GramOuterInto output aliases the operand");
   *out = Matrix(a.rows(), a.rows());
-  GemmDriver(a.rows(), a.rows(), a.cols(), {a.data(), a.cols(), false},
-             {a.data(), a.cols(), true}, out, par, /*lower_only=*/true);
+  GemmDriver(a.rows(), a.rows(), a.cols(), 1.0, {a.data(), a.cols(), false},
+             {a.data(), a.cols(), true}, out->data(), out->cols(), par,
+             /*lower_only=*/true);
   MirrorLowerToUpper(out);
 }
 
@@ -317,6 +324,14 @@ Matrix GramOuter(const Matrix& a) {
   Matrix out;
   GramOuterInto(a, &out);
   return out;
+}
+
+void GemmViewUpdate(int64_t m, int64_t n, int64_t k, double alpha,
+                    const double* a, int64_t lda, bool a_trans,
+                    const double* b, int64_t ldb, bool b_trans, double* c,
+                    int64_t ldc, bool lower_only, GemmParallelism par) {
+  GemmDriver(m, n, k, alpha, {a, lda, a_trans}, {b, ldb, b_trans}, c, ldc, par,
+             lower_only);
 }
 
 }  // namespace hdmm

@@ -38,6 +38,25 @@ void GramOuterInto(const Matrix& a, Matrix* out,
 /// Gram matrix a a^T returned by value (see GramOuterInto).
 Matrix GramOuter(const Matrix& a);
 
+/// View-level GEMM for the blocked factorization layer: accumulates
+///   C += alpha * op(A) * op(B)
+/// into the m x n row-major view (c, ldc), where op(A) is the m x k view
+/// (a, lda) read transposed when a_trans is set (likewise for B). Unlike the
+/// *Into kernels above the output is NOT resized or zeroed — this is the
+/// primitive behind trailing-matrix updates (Cholesky SYRK panels), TRSM
+/// off-diagonal updates, and blocked WY reflector application, where C is a
+/// submatrix of a larger factor. `lower_only` skips micro-tiles strictly
+/// above the view's own diagonal (SYRK-style). The operands may live in the
+/// same allocation as C (the factorization callers update one panel of a
+/// matrix from another), but the C view's address region must not overlap
+/// either operand's region — the driver writes C while operand panels are
+/// only guaranteed to have been packed before the tiles they feed.
+void GemmViewUpdate(int64_t m, int64_t n, int64_t k, double alpha,
+                    const double* a, int64_t lda, bool a_trans,
+                    const double* b, int64_t ldb, bool b_trans, double* c,
+                    int64_t ldc, bool lower_only,
+                    GemmParallelism par = GemmParallelism::kPooled);
+
 }  // namespace hdmm
 
 #endif  // HDMM_LINALG_GEMM_H_

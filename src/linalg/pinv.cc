@@ -14,14 +14,17 @@ Matrix PsdPseudoInverse(const Matrix& x, double rcond) {
   double max_ev = 0.0;
   for (double v : eig.eigenvalues) max_ev = std::max(max_ev, v);
   double cut = rcond * std::max(max_ev, 1e-300);
-  // X^+ = V diag(1/lambda_i for lambda_i > cut else 0) V^T.
-  Matrix scaled = eig.eigenvectors;  // columns scaled by 1/lambda.
+  // X^+ = V diag(1/lambda_i for lambda_i > cut else 0) V^T. Scaling the
+  // retained columns by lambda^{-1/2} in place turns this into an outer SYRK
+  // of the scaled eigenvector matrix: no second copy of V, half the flops of
+  // a general product, and an exactly symmetric result.
+  Matrix& v = eig.eigenvectors;
   for (int64_t j = 0; j < n; ++j) {
     double ev = eig.eigenvalues[static_cast<size_t>(j)];
-    double inv = (ev > cut) ? 1.0 / ev : 0.0;
-    for (int64_t i = 0; i < n; ++i) scaled(i, j) *= inv;
+    double inv_sqrt = (ev > cut) ? 1.0 / std::sqrt(ev) : 0.0;
+    for (int64_t i = 0; i < n; ++i) v(i, j) *= inv_sqrt;
   }
-  return MatMulNT(scaled, eig.eigenvectors);
+  return GramOuter(v);
 }
 
 Matrix PseudoInverse(const Matrix& a, double rcond) {
@@ -42,18 +45,24 @@ double TracePinvGram(const Matrix& gram_a, const Matrix& gram_w) {
   HDMM_CHECK(gram_a.rows() == gram_w.rows());
   Matrix l;
   if (CholeskyFactor(gram_a, &l)) {
-    double tr = 0.0;
-    for (int64_t j = 0; j < gram_w.cols(); ++j) {
-      Vector col = gram_w.ColVector(j);
-      Vector sol = CholeskySolve(l, col);
-      tr += sol[static_cast<size_t>(j)];
-    }
-    return tr;
+    // One blocked multi-RHS solve against all of G's columns at once, then
+    // read the diagonal — no per-column Vector extraction.
+    Matrix z;
+    CholeskySolveMatrixInto(l, gram_w, &z);
+    return z.Trace();
   }
+  // Singular Gram: pseudo-inverse semantics. tr[P G] = sum_i P(i,:) . G(:,i),
+  // and both operands are symmetric, so the columns of G can be read as rows
+  // (contiguous in the row-major layout).
   Matrix pinv = PsdPseudoInverse(gram_a);
   double tr = 0.0;
-  for (int64_t i = 0; i < pinv.rows(); ++i)
-    for (int64_t j = 0; j < pinv.cols(); ++j) tr += pinv(i, j) * gram_w(j, i);
+  for (int64_t i = 0; i < pinv.rows(); ++i) {
+    const double* prow = pinv.Row(i);
+    const double* grow = gram_w.Row(i);
+    double s = 0.0;
+    for (int64_t j = 0; j < pinv.cols(); ++j) s += prow[j] * grow[j];
+    tr += s;
+  }
   return tr;
 }
 
