@@ -1,0 +1,239 @@
+// Serving-engine benchmarks: the compute-once/serve-many claim in numbers.
+//
+//   plan   cold OPT_HDMM run vs warm Plan() through the strategy cache's
+//          disk tier (simulated restart) and memory tier, on the
+//          census-style example workload
+//   batch  10k box queries answered one dense row at a time (today's
+//          `W x_hat` serving path) vs AnswerBatch over the session's
+//          summed-area table, pool-parallel
+//
+// Emits BENCH_engine.json in the working directory; the CI smoke job parses
+// it and fails the build if the cache ever gets slower than a cold plan.
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "engine/engine.h"
+#include "workload/parser.h"
+
+namespace {
+
+using namespace hdmm;
+
+// The parser-doc census-style example: identity+prefix style products over a
+// sex x age x race schema. --full widens race to the full SF1-ish 128.
+UnionWorkload CensusWorkload(bool full) {
+  const std::string spec = full ? "domain sex=2 age=115 race=128\n"
+                                : "domain sex=2 age=115 race=64\n";
+  return ParseWorkloadOrDie(spec +
+                            "product sex=identity age=prefix\n"
+                            "product age=prefix race=identity\n"
+                            "product sex=identity race=identity\n"
+                            "product age=width(10)\n");
+}
+
+struct PlanTimings {
+  double cold_s = 0.0;
+  double warm_disk_s = 0.0;
+  double warm_mem_s = 0.0;
+};
+
+PlanTimings BenchPlan(const UnionWorkload& w, const std::string& cache_dir) {
+  std::filesystem::remove_all(cache_dir);
+  EngineOptions options;
+  options.optimizer.restarts = 1;
+  options.optimizer.seed = 7;
+  options.cache.disk_dir = cache_dir;
+
+  PlanTimings t;
+  {
+    Engine cold_engine(options);
+    PlanResult cold = cold_engine.Plan(w);
+    if (PlanSource::kOptimized != cold.source) {
+      std::fprintf(stderr, "expected a cold plan, got %s\n",
+                   PlanSourceName(cold.source));
+    }
+    t.cold_s = cold.seconds;
+    std::printf("  cold plan (OPT_HDMM):      %9.3f ms  fingerprint %s\n",
+                1e3 * t.cold_s, cold.fingerprint.Hex().c_str());
+  }
+  {
+    // Fresh engine over the same directory = restart: the plan is a file
+    // read. Best of 5 to measure the steady state, not the page cache warmup.
+    Engine warm_engine(options);
+    for (int rep = 0; rep < 5; ++rep) {
+      warm_engine.cache().ClearMemory();
+      PlanResult warm = warm_engine.Plan(w);
+      if (PlanSource::kDiskCache != warm.source) {
+        std::fprintf(stderr, "expected a disk hit, got %s\n",
+                     PlanSourceName(warm.source));
+      }
+      t.warm_disk_s = rep == 0 ? warm.seconds
+                               : std::min(t.warm_disk_s, warm.seconds);
+    }
+    std::printf("  warm plan (disk cache):    %9.3f ms  (%.0fx)\n",
+                1e3 * t.warm_disk_s, t.cold_s / t.warm_disk_s);
+    for (int rep = 0; rep < 5; ++rep) {
+      PlanResult warm = warm_engine.Plan(w);
+      if (PlanSource::kMemoryCache != warm.source) {
+        std::fprintf(stderr, "expected a memory hit, got %s\n",
+                     PlanSourceName(warm.source));
+      }
+      t.warm_mem_s = rep == 0 ? warm.seconds
+                              : std::min(t.warm_mem_s, warm.seconds);
+    }
+    std::printf("  warm plan (memory cache):  %9.3f ms  (%.0fx)\n",
+                1e3 * t.warm_mem_s, t.cold_s / t.warm_mem_s);
+  }
+  return t;
+}
+
+struct BatchTimings {
+  int64_t num_queries = 0;
+  double one_at_a_time_s = 0.0;
+  double batched_s = 0.0;
+  double max_abs_diff = 0.0;
+};
+
+// Today's serving path for an ad-hoc query: materialize its dense indicator
+// row over the domain and dot it with x_hat — O(N) per query.
+double DenseRowAnswer(const Domain& domain, const Vector& x_hat,
+                      const BoxQuery& q) {
+  const int64_t n = domain.TotalSize();
+  const int d = domain.NumAttributes();
+  double total = 0.0;
+  std::vector<int64_t> coords(static_cast<size_t>(d));
+  for (int64_t cell = 0; cell < n; ++cell) {
+    int64_t rest = cell;
+    bool inside = true;
+    for (int i = d - 1; i >= 0; --i) {
+      coords[static_cast<size_t>(i)] = rest % domain.AttributeSize(i);
+      rest /= domain.AttributeSize(i);
+    }
+    for (int i = 0; i < d; ++i) {
+      const int64_t c = coords[static_cast<size_t>(i)];
+      if (c < q.lo[static_cast<size_t>(i)] || c > q.hi[static_cast<size_t>(i)])
+        inside = false;
+    }
+    if (inside) total += x_hat[static_cast<size_t>(cell)];
+  }
+  return total;
+}
+
+BatchTimings BenchBatch(const Domain& domain, int64_t num_queries) {
+  Rng rng(11);
+  Vector x_hat(static_cast<size_t>(domain.TotalSize()));
+  for (double& v : x_hat) v = rng.Uniform(0.0, 50.0);
+  MeasurementSession session(domain, x_hat, 1.0, nullptr);
+
+  std::vector<BoxQuery> queries;
+  queries.reserve(static_cast<size_t>(num_queries));
+  for (int64_t i = 0; i < num_queries; ++i) {
+    BoxQuery q = FullRangeQuery(domain);
+    for (int a = 0; a < domain.NumAttributes(); ++a) {
+      const double pick = rng.Uniform(0.0, 1.0);
+      const int64_t size = domain.AttributeSize(a);
+      if (pick < 0.4) {  // Point coordinate on this attribute.
+        const int64_t v = static_cast<int64_t>(
+            rng.Uniform(0.0, static_cast<double>(size)));
+        q.lo[static_cast<size_t>(a)] = v;
+        q.hi[static_cast<size_t>(a)] = v;
+      } else if (pick < 0.7) {  // Proper sub-range.
+        int64_t lo = static_cast<int64_t>(
+            rng.Uniform(0.0, static_cast<double>(size)));
+        int64_t hi = static_cast<int64_t>(
+            rng.Uniform(0.0, static_cast<double>(size)));
+        if (lo > hi) std::swap(lo, hi);
+        q.lo[static_cast<size_t>(a)] = lo;
+        q.hi[static_cast<size_t>(a)] = hi;
+      }  // Else: marginalize the attribute out (full range).
+    }
+    queries.push_back(std::move(q));
+  }
+
+  BatchTimings t;
+  t.num_queries = num_queries;
+
+  Vector serial(queries.size(), 0.0);
+  WallTimer timer;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    serial[i] = DenseRowAnswer(domain, x_hat, queries[i]);
+  }
+  t.one_at_a_time_s = timer.Seconds();
+
+  timer.Restart();
+  const Vector batched = session.AnswerBatch(queries);
+  t.batched_s = timer.Seconds();
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    t.max_abs_diff = std::max(t.max_abs_diff,
+                              std::fabs(serial[i] - batched[i]));
+  }
+  std::printf("  one-at-a-time (dense row): %9.3f ms  (%.0f q/s)\n",
+              1e3 * t.one_at_a_time_s,
+              static_cast<double>(num_queries) / t.one_at_a_time_s);
+  std::printf("  AnswerBatch (SAT + pool):  %9.3f ms  (%.0f q/s, %.0fx)\n",
+              1e3 * t.batched_s,
+              static_cast<double>(num_queries) / t.batched_s,
+              t.one_at_a_time_s / t.batched_s);
+  std::printf("  max |diff|: %.3g\n", t.max_abs_diff);
+  return t;
+}
+
+void WriteJson(const PlanTimings& plan, const BatchTimings& batch,
+               const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "could not open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_engine\",\n");
+  std::fprintf(f, "  \"pool_threads\": %d,\n",
+               ThreadPool::Global().num_threads());
+  std::fprintf(f,
+               "  \"plan\": {\"cold_s\": %.6f, \"warm_disk_s\": %.6f, "
+               "\"warm_mem_s\": %.6f, \"warm_disk_speedup\": %.1f, "
+               "\"warm_mem_speedup\": %.1f},\n",
+               plan.cold_s, plan.warm_disk_s, plan.warm_mem_s,
+               plan.cold_s / plan.warm_disk_s, plan.cold_s / plan.warm_mem_s);
+  std::fprintf(f,
+               "  \"batch\": {\"num_queries\": %lld, \"one_at_a_time_s\": "
+               "%.6f, \"batched_s\": %.6f, \"throughput_speedup\": %.1f, "
+               "\"batched_qps\": %.0f, \"max_abs_diff\": %.3g}\n",
+               static_cast<long long>(batch.num_queries),
+               batch.one_at_a_time_s, batch.batched_s,
+               batch.one_at_a_time_s / batch.batched_s,
+               static_cast<double>(batch.num_queries) / batch.batched_s,
+               batch.max_abs_diff);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = hdmm_bench::FullScale(argc, argv);
+  UnionWorkload w = CensusWorkload(full);
+
+  std::printf("=== serving engine: plan latency ===\n");
+  std::printf("(census-style workload, %s domain, N=%lld)\n",
+              w.domain().ToString().c_str(),
+              static_cast<long long>(w.DomainSize()));
+  const PlanTimings plan = BenchPlan(w, "bench_engine_cache");
+
+  const int64_t num_queries = full ? 100000 : 10000;
+  std::printf("\n=== serving engine: batched answering (%lld queries) ===\n",
+              static_cast<long long>(num_queries));
+  const BatchTimings batch = BenchBatch(w.domain(), num_queries);
+
+  WriteJson(plan, batch, "BENCH_engine.json");
+  return 0;
+}

@@ -1,12 +1,17 @@
 #include "core/measure.h"
 
+#include <cmath>
+
 #include "common/check.h"
 
 namespace hdmm {
 
 Vector LaplaceMeasure(const LinearOperator& a, const Vector& x,
                       double sensitivity, double epsilon, Rng* rng) {
-  HDMM_CHECK(epsilon > 0.0 && sensitivity > 0.0);
+  HDMM_CHECK_MSG(std::isfinite(epsilon) && epsilon > 0.0,
+                 "epsilon must be positive and finite");
+  HDMM_CHECK_MSG(std::isfinite(sensitivity) && sensitivity > 0.0,
+                 "sensitivity must be positive and finite");
   Vector y;
   a.Apply(x, &y);
   const double scale = LaplaceScale(sensitivity, epsilon);

@@ -3,6 +3,9 @@
 #ifndef HDMM_CORE_MEASURE_H_
 #define HDMM_CORE_MEASURE_H_
 
+#include <cmath>
+
+#include "common/check.h"
 #include "common/rng.h"
 #include "linalg/linear_operator.h"
 
@@ -10,11 +13,19 @@ namespace hdmm {
 
 /// y = A x + Lap(sensitivity / epsilon)^m. The caller supplies the
 /// sensitivity (||A||_1) since implicit operators cannot always compute it.
+/// Dies unless epsilon and the sensitivity are both positive and finite: a
+/// NaN/inf/zero noise scale silently voids the privacy guarantee, so it is
+/// a contract violation, never a sampled value.
 Vector LaplaceMeasure(const LinearOperator& a, const Vector& x,
                       double sensitivity, double epsilon, Rng* rng);
 
-/// Noise scale used by LaplaceMeasure (sigma_A of Definition 6).
+/// Noise scale used by LaplaceMeasure (sigma_A of Definition 6). Same
+/// positive-and-finite contract as LaplaceMeasure.
 inline double LaplaceScale(double sensitivity, double epsilon) {
+  HDMM_CHECK_MSG(std::isfinite(epsilon) && epsilon > 0.0,
+                 "epsilon must be positive and finite");
+  HDMM_CHECK_MSG(std::isfinite(sensitivity) && sensitivity > 0.0,
+                 "sensitivity must be positive and finite");
   return sensitivity / epsilon;
 }
 

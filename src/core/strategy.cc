@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "core/measure.h"
 #include "linalg/lsmr.h"
 #include "linalg/pinv.h"
 #include "workload/building_blocks.h"
@@ -12,9 +13,11 @@ namespace hdmm {
 // ---------------------------------------------------------------- Strategy
 
 Vector Strategy::Measure(const Vector& x, double epsilon, Rng* rng) const {
-  HDMM_CHECK(epsilon > 0.0);
+  // LaplaceScale validates the contract: epsilon and the sensitivity must
+  // both be positive and finite, else the noise would be NaN/zero and the
+  // privacy guarantee silently void.
+  const double scale = LaplaceScale(Sensitivity(), epsilon);
   Vector answers = Apply(x);
-  const double scale = Sensitivity() / epsilon;
   for (double& v : answers) v += rng->Laplace(scale);
   return answers;
 }

@@ -1,0 +1,112 @@
+#include "engine/accountant.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace hdmm {
+
+namespace {
+// Tolerance for "exactly exhausting" the budget: splitting epsilon_total
+// into k equal parts accumulates k-1 roundings, which must not strand an
+// unusable sliver or refuse the final legitimate charge.
+constexpr double kRelSlack = 1e-12;
+}  // namespace
+
+BudgetAccountant::BudgetAccountant(double total_epsilon,
+                                   const std::string& ledger_path)
+    : total_epsilon_(total_epsilon), ledger_path_(ledger_path) {
+  HDMM_CHECK_MSG(std::isfinite(total_epsilon) && total_epsilon > 0.0,
+                 "total epsilon must be positive and finite");
+  if (!ledger_path_.empty()) {
+    ReplayLedgerFile();
+    ledger_file_ = std::fopen(ledger_path_.c_str(), "a");
+    HDMM_CHECK_MSG(ledger_file_ != nullptr,
+                   "cannot open the budget ledger for appending");
+  }
+}
+
+BudgetAccountant::~BudgetAccountant() {
+  if (ledger_file_ != nullptr) std::fclose(ledger_file_);
+}
+
+// Ledger file format, one line per successful charge:
+//   <epsilon> <dataset...to end of line>
+// The epsilon leads so dataset names may contain spaces. Replay restores the
+// per-dataset running sums; past charges are history, so they are summed
+// without re-checking the ceiling (the configured total may have changed
+// between runs — overspent datasets simply have no remaining budget).
+void BudgetAccountant::ReplayLedgerFile() {
+  std::ifstream in(ledger_path_);
+  if (!in) return;  // No ledger yet: nothing spent.
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string eps_token;
+    fields >> eps_token;
+    char* end = nullptr;
+    const double epsilon = std::strtod(eps_token.c_str(), &end);
+    const bool eps_ok = !eps_token.empty() &&
+                        end == eps_token.c_str() + eps_token.size() &&
+                        std::isfinite(epsilon) && epsilon > 0.0;
+    std::string dataset;
+    std::getline(fields, dataset);
+    const size_t start = dataset.find_first_not_of(' ');
+    HDMM_CHECK_MSG(eps_ok && start != std::string::npos,
+                   "malformed budget ledger line (a corrupt privacy ledger "
+                   "must not be ignored)");
+    dataset.erase(0, start);
+    Ledger& ledger = ledgers_[dataset];
+    ledger.spent += epsilon;
+    ++ledger.charges;
+  }
+}
+
+bool BudgetAccountant::TryCharge(const std::string& dataset, double epsilon) {
+  HDMM_CHECK_MSG(std::isfinite(epsilon) && epsilon > 0.0,
+                 "epsilon must be positive and finite");
+  std::lock_guard<std::mutex> lock(mu_);
+  Ledger& ledger = ledgers_[dataset];
+  if (ledger.spent + epsilon > total_epsilon_ * (1.0 + kRelSlack)) {
+    return false;
+  }
+  if (ledger_file_ != nullptr) {
+    // Durable before spendable: the charge hits the disk ledger before the
+    // caller is told to draw noise, so a crash can only over-record (refuse
+    // budget that was never used), never under-record.
+    std::fprintf(ledger_file_, "%.17g %s\n", epsilon, dataset.c_str());
+    HDMM_CHECK_MSG(std::fflush(ledger_file_) == 0,
+                   "budget ledger write failed; refusing to spend "
+                   "unrecorded budget");
+  }
+  ledger.spent += epsilon;
+  ++ledger.charges;
+  return true;
+}
+
+double BudgetAccountant::Spent(const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ledgers_.find(dataset);
+  return it == ledgers_.end() ? 0.0 : it->second.spent;
+}
+
+double BudgetAccountant::Remaining(const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ledgers_.find(dataset);
+  const double spent = it == ledgers_.end() ? 0.0 : it->second.spent;
+  return spent >= total_epsilon_ ? 0.0 : total_epsilon_ - spent;
+}
+
+int64_t BudgetAccountant::NumCharges(const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ledgers_.find(dataset);
+  return it == ledgers_.end() ? 0 : it->second.charges;
+}
+
+}  // namespace hdmm

@@ -1,0 +1,84 @@
+// Per-dataset privacy-budget ledger with sequential composition. Strategy
+// selection is data-independent and free (Section 7.3 of the paper); only
+// MEASURE spends budget, and under sequential composition the epsilons of
+// successive measurements of the same dataset add. The accountant enforces a
+// hard per-dataset ceiling: a measurement that would push the running sum
+// past the configured total is refused *before* any noise is drawn, so a
+// refused request leaks nothing.
+//
+// The ceiling is only as durable as the ledger. An in-memory ledger resets
+// on restart — each process would get the full budget again — so deployments
+// that persist strategies across restarts must persist the ledger too: pass
+// `ledger_path` and every successful charge is appended and flushed to that
+// file before TryCharge returns, and prior charges are replayed from it on
+// construction. Charges are durable before they are spendable.
+//
+// Scope: one accountant (one process) owns a ledger at a time. The file is
+// replayed at construction only and appended without cross-process locking,
+// so N concurrent processes sharing a ledger could jointly spend up to N
+// times the ceiling. Serialize serving of a dataset through one process;
+// cross-process ledger locking is a ROADMAP item.
+#ifndef HDMM_ENGINE_ACCOUNTANT_H_
+#define HDMM_ENGINE_ACCOUNTANT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hdmm {
+
+class BudgetAccountant {
+ public:
+  /// `total_epsilon` is the per-dataset ceiling; must be positive and
+  /// finite (dies otherwise — an unbounded or non-numeric budget is a
+  /// configuration bug, not a runtime condition). A non-empty `ledger_path`
+  /// makes the ledger durable: existing charges in the file are replayed
+  /// (dying on malformed content — a corrupt privacy ledger must never be
+  /// silently ignored), and new charges are appended write-through.
+  explicit BudgetAccountant(double total_epsilon,
+                            const std::string& ledger_path = "");
+  ~BudgetAccountant();
+
+  BudgetAccountant(const BudgetAccountant&) = delete;
+  BudgetAccountant& operator=(const BudgetAccountant&) = delete;
+
+  /// Attempts to charge `epsilon` against `dataset`'s ledger. Returns true
+  /// and records the charge when spent + epsilon <= total (up to a relative
+  /// tolerance absorbing floating-point accumulation); returns false and
+  /// records nothing when the charge would exceed the budget. Dies on
+  /// epsilon that is not positive and finite: NaN/inf/zero noise scales are
+  /// never a meaningful request.
+  bool TryCharge(const std::string& dataset, double epsilon);
+
+  /// Budget already consumed by `dataset` (0 for unknown datasets).
+  double Spent(const std::string& dataset) const;
+
+  /// total - Spent(dataset), clamped at 0.
+  double Remaining(const std::string& dataset) const;
+
+  /// Number of successful charges against `dataset`.
+  int64_t NumCharges(const std::string& dataset) const;
+
+  double total_epsilon() const { return total_epsilon_; }
+
+ private:
+  struct Ledger {
+    double spent = 0.0;
+    int64_t charges = 0;
+  };
+
+  void ReplayLedgerFile();
+
+  const double total_epsilon_;
+  const std::string ledger_path_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Ledger> ledgers_;
+  std::FILE* ledger_file_ = nullptr;  // Append handle when persistent.
+};
+
+}  // namespace hdmm
+
+#endif  // HDMM_ENGINE_ACCOUNTANT_H_

@@ -1,0 +1,338 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "linalg/cholesky.h"
+
+namespace hdmm {
+
+namespace {
+
+// Resolves an attribute reference (name, or zero-based index for fully
+// unnamed domains) without dying on unknown input — serve-mode queries are
+// user-supplied and must fail softly. Named schemas never accept bare
+// indices: positions silently shift when the schema changes, and a wrong
+// answer is worse than a rejected query.
+bool ResolveAttribute(const Domain& domain, const std::string& ref, int* out) {
+  bool any_named = false;
+  for (int i = 0; i < domain.NumAttributes(); ++i) {
+    if (domain.AttributeName(i).empty()) continue;
+    any_named = true;
+    if (domain.AttributeName(i) == ref) {
+      *out = i;
+      return true;
+    }
+  }
+  if (any_named) return false;
+  char* end = nullptr;
+  const long idx = std::strtol(ref.c_str(), &end, 10);
+  if (!ref.empty() && end == ref.c_str() + ref.size() && idx >= 0 &&
+      idx < domain.NumAttributes()) {
+    *out = static_cast<int>(idx);
+    return true;
+  }
+  return false;
+}
+
+bool ParseBound(const std::string& text, int64_t* lo, int64_t* hi,
+                bool allow_range) {
+  const size_t colon = text.find(':');
+  char* end = nullptr;
+  if (colon == std::string::npos) {
+    *lo = std::strtoll(text.c_str(), &end, 10);
+    if (text.empty() || end != text.c_str() + text.size()) return false;
+    *hi = *lo;
+    return true;
+  }
+  if (!allow_range) return false;
+  const std::string a = text.substr(0, colon);
+  const std::string b = text.substr(colon + 1);
+  *lo = std::strtoll(a.c_str(), &end, 10);
+  if (a.empty() || end != a.c_str() + a.size()) return false;
+  *hi = std::strtoll(b.c_str(), &end, 10);
+  if (b.empty() || end != b.c_str() + b.size()) return false;
+  return true;
+}
+
+}  // namespace
+
+BoxQuery FullRangeQuery(const Domain& domain) {
+  BoxQuery q;
+  const int d = domain.NumAttributes();
+  q.lo.assign(static_cast<size_t>(d), 0);
+  q.hi.resize(static_cast<size_t>(d));
+  for (int i = 0; i < d; ++i) {
+    q.hi[static_cast<size_t>(i)] = domain.AttributeSize(i) - 1;
+  }
+  return q;
+}
+
+bool ParseQueryLine(const std::string& line, const Domain& domain,
+                    BoxQuery* out, std::string* error) {
+  HDMM_CHECK(out != nullptr && error != nullptr);
+  std::istringstream in(line);
+  std::string kind;
+  in >> kind;
+  if (kind != "point" && kind != "marginal" && kind != "range") {
+    *error = "unknown query kind '" + kind +
+             "' (want point | marginal | range)";
+    return false;
+  }
+  const bool allow_range = kind == "range";
+  *out = FullRangeQuery(domain);
+  std::vector<bool> seen(static_cast<size_t>(domain.NumAttributes()), false);
+
+  std::string token;
+  int bound_count = 0;
+  while (in >> token) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      *error = "bad term '" + token + "' (want attr=value)";
+      return false;
+    }
+    const std::string ref = token.substr(0, eq);
+    int attr = -1;
+    if (!ResolveAttribute(domain, ref, &attr)) {
+      *error = "unknown attribute '" + ref + "'";
+      return false;
+    }
+    if (seen[static_cast<size_t>(attr)]) {
+      *error = "attribute '" + ref + "' bound twice";
+      return false;
+    }
+    seen[static_cast<size_t>(attr)] = true;
+    int64_t lo = 0, hi = 0;
+    if (!ParseBound(token.substr(eq + 1), &lo, &hi, allow_range)) {
+      *error = "bad value '" + token.substr(eq + 1) + "'" +
+               (allow_range ? " (want V or LO:HI)" : " (want a single value)");
+      return false;
+    }
+    if (lo < 0 || hi < lo || hi >= domain.AttributeSize(attr)) {
+      *error = "bounds for '" + ref + "' outside [0, " +
+               std::to_string(domain.AttributeSize(attr) - 1) + "]";
+      return false;
+    }
+    out->lo[static_cast<size_t>(attr)] = lo;
+    out->hi[static_cast<size_t>(attr)] = hi;
+    ++bound_count;
+  }
+  if (kind == "point" && bound_count != domain.NumAttributes()) {
+    *error = "point query must fix every attribute (" +
+             std::to_string(bound_count) + " of " +
+             std::to_string(domain.NumAttributes()) + " given)";
+    return false;
+  }
+  if (bound_count == 0 && kind != "range") {
+    *error = "query binds no attributes";
+    return false;
+  }
+  return true;
+}
+
+// --------------------------------------------------------------- session --
+
+MeasurementSession::MeasurementSession(
+    Domain domain, Vector x_hat, double epsilon,
+    std::shared_ptr<const Strategy> strategy)
+    : domain_(std::move(domain)),
+      x_hat_(std::move(x_hat)),
+      epsilon_(epsilon),
+      strategy_(std::move(strategy)) {
+  const int d = domain_.NumAttributes();
+  HDMM_CHECK(static_cast<int64_t>(x_hat_.size()) == domain_.TotalSize());
+  HDMM_CHECK_MSG(d <= 30, "box-query answering supports at most 30 attributes");
+
+  strides_.assign(static_cast<size_t>(d), 1);
+  for (int i = d - 2; i >= 0; --i) {
+    strides_[static_cast<size_t>(i)] =
+        strides_[static_cast<size_t>(i + 1)] * domain_.AttributeSize(i + 1);
+  }
+
+  // Summed-area table: one prefix pass per axis turns
+  // prefix_[t] into sum_{s <= t componentwise} x_hat[s].
+  prefix_ = x_hat_;
+  const int64_t n = static_cast<int64_t>(prefix_.size());
+  for (int a = 0; a < d; ++a) {
+    const int64_t stride = strides_[static_cast<size_t>(a)];
+    const int64_t size = domain_.AttributeSize(a);
+    for (int64_t i = 0; i < n; ++i) {
+      if ((i / stride) % size != 0) prefix_[static_cast<size_t>(i)] +=
+          prefix_[static_cast<size_t>(i - stride)];
+    }
+  }
+}
+
+double MeasurementSession::Answer(const BoxQuery& q) const {
+  const int d = domain_.NumAttributes();
+  HDMM_CHECK_MSG(static_cast<int>(q.lo.size()) == d &&
+                     static_cast<int>(q.hi.size()) == d,
+                 "query arity does not match the domain");
+  for (int i = 0; i < d; ++i) {
+    HDMM_CHECK_MSG(q.lo[static_cast<size_t>(i)] >= 0 &&
+                       q.hi[static_cast<size_t>(i)] >=
+                           q.lo[static_cast<size_t>(i)] &&
+                       q.hi[static_cast<size_t>(i)] < domain_.AttributeSize(i),
+                   "query bounds outside the domain");
+  }
+  // Inclusion-exclusion over the 2^d box corners: corner bit i picks the
+  // (lo_i - 1) face; a corner with any coordinate -1 contributes zero.
+  double total = 0.0;
+  const uint32_t corners = 1u << d;
+  for (uint32_t mask = 0; mask < corners; ++mask) {
+    int64_t index = 0;
+    bool outside = false;
+    for (int i = 0; i < d && !outside; ++i) {
+      const int64_t coord = (mask >> i) & 1u
+                                ? q.lo[static_cast<size_t>(i)] - 1
+                                : q.hi[static_cast<size_t>(i)];
+      if (coord < 0) {
+        outside = true;
+      } else {
+        index += coord * strides_[static_cast<size_t>(i)];
+      }
+    }
+    if (outside) continue;
+    const bool negate = __builtin_popcount(mask) & 1;
+    const double term = prefix_[static_cast<size_t>(index)];
+    total += negate ? -term : term;
+  }
+  return total;
+}
+
+Vector MeasurementSession::AnswerBatch(
+    const std::vector<BoxQuery>& queries) const {
+  Vector answers(queries.size(), 0.0);
+  ThreadPool::Global().ParallelFor(
+      0, static_cast<int64_t>(queries.size()), /*grain=*/64,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          answers[static_cast<size_t>(i)] =
+              Answer(queries[static_cast<size_t>(i)]);
+        }
+      });
+  return answers;
+}
+
+// ---------------------------------------------------------------- engine --
+
+const char* PlanSourceName(PlanSource source) {
+  switch (source) {
+    case PlanSource::kMemoryCache:
+      return "memory-cache";
+    case PlanSource::kDiskCache:
+      return "disk-cache";
+    case PlanSource::kOptimized:
+      return "optimized";
+  }
+  return "unknown";
+}
+
+Engine::Engine(EngineOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache),
+      accountant_(options_.total_epsilon, options_.ledger_path) {}
+
+PlanResult Engine::Plan(const UnionWorkload& w) {
+  WallTimer timer;
+  PlanResult result;
+  result.fingerprint = FingerprintPlan(w, options_.optimizer);
+
+  StrategyCache::Tier tier = StrategyCache::Tier::kMiss;
+  result.strategy = cache_.Get(result.fingerprint, &tier);
+  if (result.strategy != nullptr &&
+      result.strategy->DomainSize() != w.DomainSize()) {
+    // A stale or foreign cache entry (copied cache directory, hand-placed
+    // file, fingerprint collision): a strategy for a different domain can
+    // never serve this plan, so treat it as a miss — the fresh optimization
+    // below overwrites the bad entry.
+    result.strategy = nullptr;
+  }
+  if (result.strategy != nullptr) {
+    result.source = tier == StrategyCache::Tier::kMemory
+                        ? PlanSource::kMemoryCache
+                        : PlanSource::kDiskCache;
+    result.seconds = timer.Seconds();
+    return result;
+  }
+
+  HdmmResult optimized = OptimizeStrategy(w, options_.optimizer);
+  result.strategy = std::shared_ptr<const Strategy>(std::move(
+      optimized.strategy));
+  result.source = PlanSource::kOptimized;
+  // A failed write-through must not be silent: the plan still serves, but
+  // every restart would re-optimize until the directory is fixed.
+  cache_.Put(result.fingerprint, result.strategy, &result.cache_error);
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+Vector Engine::Reconstruct(const Strategy& strategy, const Fingerprint& fp,
+                           const Vector& y) {
+  // Explicit strategies: least squares through the normal equations with a
+  // per-fingerprint Cholesky factor of A^T A, computed once per engine and
+  // reused by every subsequent measurement of the same plan. Structured
+  // strategies (kron/union/marginals) reconstruct through their own
+  // closed-form pseudo-inverses, which are cached lazily on the shared
+  // strategy object the cache hands out — also reused across sessions.
+  const auto* explicit_strategy =
+      dynamic_cast<const ExplicitStrategy*>(&strategy);
+  if (explicit_strategy == nullptr) return strategy.Reconstruct(y);
+
+  std::shared_ptr<const Matrix> chol;
+  {
+    std::lock_guard<std::mutex> lock(recon_mu_);
+    auto it = recon_chol_.find(fp.value);
+    if (it != recon_chol_.end()) chol = it->second;
+  }
+  if (chol == nullptr) {
+    Matrix l;
+    if (!CholeskyFactor(Gram(explicit_strategy->matrix()), &l)) {
+      // Rank-deficient A: fall back to the strategy's own pinv path.
+      return strategy.Reconstruct(y);
+    }
+    auto owned = std::make_shared<const Matrix>(std::move(l));
+    std::lock_guard<std::mutex> lock(recon_mu_);
+    // Keep the factor store bounded by the same capacity as the strategy
+    // LRU: a long-lived engine serving many distinct explicit plans must
+    // not accumulate N^2-sized factors forever. Dropping them all is cheap
+    // to recover from (one re-factorization per live plan).
+    if (recon_chol_.size() >= std::max<size_t>(1, options_.cache.memory_capacity)) {
+      recon_chol_.clear();
+    }
+    chol = recon_chol_.emplace(fp.value, std::move(owned)).first->second;
+  }
+  return CholeskySolve(*chol, MatTVec(explicit_strategy->matrix(), y));
+}
+
+std::unique_ptr<MeasurementSession> Engine::Measure(
+    const UnionWorkload& w, const std::string& dataset_id, const Vector& x,
+    double epsilon, Rng* rng, std::string* error) {
+  HDMM_CHECK(rng != nullptr);
+  HDMM_CHECK_MSG(static_cast<int64_t>(x.size()) == w.DomainSize(),
+                 "data vector length does not match the workload domain");
+
+  PlanResult plan = Plan(w);
+  if (!accountant_.TryCharge(dataset_id, epsilon)) {
+    if (error != nullptr) {
+      std::ostringstream msg;
+      msg << "budget exceeded for dataset '" << dataset_id << "': spent "
+          << accountant_.Spent(dataset_id) << " of "
+          << accountant_.total_epsilon() << ", requested " << epsilon;
+      *error = msg.str();
+    }
+    return nullptr;
+  }
+
+  const Vector y = plan.strategy->Measure(x, epsilon, rng);
+  Vector x_hat = Reconstruct(*plan.strategy, plan.fingerprint, y);
+  return std::make_unique<MeasurementSession>(w.domain(), std::move(x_hat),
+                                              epsilon, plan.strategy);
+}
+
+}  // namespace hdmm

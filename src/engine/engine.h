@@ -1,0 +1,170 @@
+// The serving engine: the library's compute-once/serve-many layer.
+//
+//   Plan        optimize-or-cache — fingerprint the (workload, options) pair,
+//               consult the two-tier StrategyCache, and only fall back to
+//               OPT_HDMM on a genuine miss.
+//   Measure     one budgeted noisy measurement of a dataset: the accountant
+//               charges epsilon under sequential composition (refusing
+//               over-budget requests before any noise is drawn), then the
+//               session reconstructs and holds x_hat for unlimited free
+//               post-processing.
+//   AnswerBatch pool-parallel batched answering of point/range/marginal
+//               queries against the held x_hat. Queries are evaluated as box
+//               sums on a d-dimensional summed-area table of x_hat
+//               (inclusion-exclusion over 2^d corners), so a batch never
+//               densifies a workload matrix and per-query cost is O(2^d)
+//               instead of O(N).
+//
+// Everything downstream of Measure is post-processing of a differentially
+// private release: answering any number of queries from a session consumes
+// no additional budget.
+#ifndef HDMM_ENGINE_ENGINE_H_
+#define HDMM_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/hdmm.h"
+#include "core/strategy.h"
+#include "engine/accountant.h"
+#include "engine/fingerprint.h"
+#include "engine/strategy_cache.h"
+#include "linalg/matrix.h"
+#include "workload/domain.h"
+#include "workload/workload.h"
+
+namespace hdmm {
+
+/// An axis-aligned box query over the domain: the answer is
+/// sum_{lo <= t <= hi} x_hat[t] (bounds inclusive, per attribute). Point
+/// queries fix every attribute (lo == hi everywhere); marginal-cell queries
+/// fix a subset and leave the rest full-range.
+struct BoxQuery {
+  std::vector<int64_t> lo;
+  std::vector<int64_t> hi;
+};
+
+/// A full-range box over every attribute of `domain` (the Total query).
+BoxQuery FullRangeQuery(const Domain& domain);
+
+/// Parses one query line against a domain:
+///
+///   point    attr=V [attr=V ...]     every attribute required
+///   marginal attr=V [attr=V ...]     named attributes fixed, rest summed
+///   range    attr=LO:HI [attr=V ...] named attributes bounded, rest full
+///
+/// Attributes are referenced by name; zero-based indices are accepted only
+/// for fully unnamed domains (on a named schema a bare index is rejected —
+/// silently binding positions would answer the wrong query if the schema
+/// order ever changes). Returns false with a message on malformed input,
+/// unknown attributes, out-of-range values, or (for `point`) missing
+/// attributes.
+bool ParseQueryLine(const std::string& line, const Domain& domain,
+                    BoxQuery* out, std::string* error);
+
+/// One noisy measurement of a dataset and the state needed to answer
+/// queries from it: the reconstructed x_hat and its summed-area table.
+/// Sessions are immutable after construction and safe to share across
+/// threads for answering.
+class MeasurementSession {
+ public:
+  MeasurementSession(Domain domain, Vector x_hat, double epsilon,
+                     std::shared_ptr<const Strategy> strategy);
+
+  const Domain& domain() const { return domain_; }
+  double epsilon() const { return epsilon_; }
+  const Vector& XHat() const { return x_hat_; }
+  const std::shared_ptr<const Strategy>& strategy() const { return strategy_; }
+
+  /// Answers one box query in O(2^d) from the summed-area table.
+  double Answer(const BoxQuery& q) const;
+
+  /// Answers a batch, sharded across the persistent ThreadPool.
+  Vector AnswerBatch(const std::vector<BoxQuery>& queries) const;
+
+ private:
+  Domain domain_;
+  Vector x_hat_;
+  double epsilon_;
+  std::shared_ptr<const Strategy> strategy_;
+  Vector prefix_;                 // Summed-area table of x_hat_.
+  std::vector<int64_t> strides_;  // Row-major strides per attribute.
+};
+
+struct EngineOptions {
+  /// Optimizer configuration; part of the plan fingerprint.
+  HdmmOptions optimizer;
+
+  /// Strategy cache configuration (set cache.disk_dir for persistence).
+  StrategyCacheOptions cache;
+
+  /// Per-dataset epsilon ceiling enforced by the accountant.
+  double total_epsilon = 1.0;
+
+  /// Durable budget ledger file (see BudgetAccountant). Deployments that
+  /// persist strategies across restarts should persist the ledger too —
+  /// otherwise every restart hands out the full budget again.
+  std::string ledger_path;
+};
+
+/// Where a planned strategy came from.
+enum class PlanSource { kMemoryCache, kDiskCache, kOptimized };
+
+const char* PlanSourceName(PlanSource source);
+
+struct PlanResult {
+  std::shared_ptr<const Strategy> strategy;
+  Fingerprint fingerprint;
+  PlanSource source = PlanSource::kOptimized;
+  double seconds = 0.0;  ///< Wall time spent inside Plan.
+  /// Non-empty when a freshly optimized strategy could not be written
+  /// through to the disk tier (the in-memory plan is still valid, but warm
+  /// restarts will re-optimize until the directory is fixed).
+  std::string cache_error;
+};
+
+/// The serving facade. Thread-safe: Plan/Measure may be called concurrently;
+/// sessions returned by Measure are independent.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options);
+
+  /// Optimize-or-cache. On a miss runs OPT_HDMM and write-throughs the
+  /// result; on a hit the optimization is skipped entirely.
+  PlanResult Plan(const UnionWorkload& w);
+
+  /// Plans, charges `epsilon` against `dataset_id`, measures the data vector
+  /// `x`, and reconstructs. Returns nullptr (with *error) when the
+  /// accountant refuses the charge; no noise is drawn in that case.
+  std::unique_ptr<MeasurementSession> Measure(const UnionWorkload& w,
+                                              const std::string& dataset_id,
+                                              const Vector& x, double epsilon,
+                                              Rng* rng,
+                                              std::string* error = nullptr);
+
+  BudgetAccountant& accountant() { return accountant_; }
+  StrategyCache& cache() { return cache_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  /// x_hat from noisy answers, reusing a per-fingerprint Cholesky factor of
+  /// A^T A for explicit strategies (structured strategies reconstruct
+  /// through their own cached pseudo-inverses on the shared object).
+  Vector Reconstruct(const Strategy& strategy, const Fingerprint& fp,
+                     const Vector& y);
+
+  EngineOptions options_;
+  StrategyCache cache_;
+  BudgetAccountant accountant_;
+  std::mutex recon_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<const Matrix>> recon_chol_;
+};
+
+}  // namespace hdmm
+
+#endif  // HDMM_ENGINE_ENGINE_H_

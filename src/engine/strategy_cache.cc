@@ -1,0 +1,116 @@
+#include "engine/strategy_cache.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "core/strategy_io.h"
+
+namespace hdmm {
+
+StrategyCache::StrategyCache(StrategyCacheOptions options)
+    : options_(std::move(options)) {
+  if (options_.memory_capacity == 0) options_.memory_capacity = 1;
+}
+
+std::string StrategyCache::DiskPath(const Fingerprint& fp) const {
+  if (options_.disk_dir.empty()) return "";
+  return options_.disk_dir + "/" + fp.Hex() + ".strategy";
+}
+
+void StrategyCache::Promote(std::list<Entry>::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+void StrategyCache::InsertLocked(uint64_t key,
+                                 std::shared_ptr<const Strategy> strategy) {
+  auto found = index_.find(key);
+  if (found != index_.end()) {
+    found->second->strategy = std::move(strategy);
+    Promote(found->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(strategy)});
+  index_[key] = lru_.begin();
+  while (lru_.size() > options_.memory_capacity) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::shared_ptr<const Strategy> StrategyCache::Get(const Fingerprint& fp,
+                                                   Tier* tier) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(fp.value);
+    if (it != index_.end()) {
+      ++stats_.memory_hits;
+      Promote(it->second);
+      if (tier != nullptr) *tier = Tier::kMemory;
+      return it->second->strategy;
+    }
+  }
+  // Disk tier, outside the lock: parsing a strategy file can be slow and
+  // must not serialize unrelated lookups.
+  const std::string path = DiskPath(fp);
+  if (!path.empty()) {
+    std::string error;
+    std::unique_ptr<Strategy> loaded = LoadStrategyFile(path, &error);
+    if (loaded != nullptr) {
+      std::shared_ptr<const Strategy> shared = std::move(loaded);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.disk_hits;
+      InsertLocked(fp.value, shared);
+      if (tier != nullptr) *tier = Tier::kDisk;
+      return shared;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.misses;
+  if (tier != nullptr) *tier = Tier::kMiss;
+  return nullptr;
+}
+
+bool StrategyCache::Put(const Fingerprint& fp,
+                        std::shared_ptr<const Strategy> strategy,
+                        std::string* error) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    InsertLocked(fp.value, strategy);
+  }
+  const std::string path = DiskPath(fp);
+  if (path.empty()) return true;
+  std::error_code ec;
+  std::filesystem::create_directories(options_.disk_dir, ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = "cannot create cache directory '" + options_.disk_dir +
+               "': " + ec.message();
+    }
+    return false;
+  }
+  std::string io_error;
+  if (!SaveStrategyFile(path, *strategy, &io_error)) {
+    if (error != nullptr) *error = io_error;
+    return false;
+  }
+  return true;
+}
+
+void StrategyCache::ClearMemory() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+StrategyCache::Stats StrategyCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t StrategyCache::MemorySize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace hdmm

@@ -1,0 +1,97 @@
+// Fingerprint-keyed strategy cache: the storage half of the serve-many
+// engine. A warm Plan() is a hash-map lookup (or a file read after a
+// restart) instead of an L-BFGS optimization run — the paper's Section 3.6
+// deployment argument made concrete. Two tiers:
+//
+//   memory  thread-safe LRU of shared_ptr<const Strategy>, bounded capacity
+//   disk    one strategy_io file per fingerprint under a cache directory
+//           (`<dir>/<16-hex>.strategy`), surviving restarts
+//
+// The disk tier is optional (empty directory string disables it). Entries
+// are immutable once inserted: strategies are shared read-only, so a cached
+// strategy's lazily-built pseudo-inverse/factorization state is itself
+// reused by every session that plans the same workload.
+#ifndef HDMM_ENGINE_STRATEGY_CACHE_H_
+#define HDMM_ENGINE_STRATEGY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/strategy.h"
+#include "engine/fingerprint.h"
+
+namespace hdmm {
+
+struct StrategyCacheOptions {
+  /// Maximum in-memory entries; least-recently-used entries are evicted
+  /// beyond it (their disk files, if any, remain).
+  size_t memory_capacity = 32;
+
+  /// Directory for the persistent tier; created on first write. Empty
+  /// disables disk persistence.
+  std::string disk_dir;
+};
+
+class StrategyCache {
+ public:
+  explicit StrategyCache(StrategyCacheOptions options = {});
+
+  StrategyCache(const StrategyCache&) = delete;
+  StrategyCache& operator=(const StrategyCache&) = delete;
+
+  /// Which tier satisfied (or failed) a lookup.
+  enum class Tier { kMemory, kDisk, kMiss };
+
+  /// Looks up a fingerprint: memory first, then the disk tier (a disk hit is
+  /// promoted into memory). Returns nullptr on miss; `tier`, when given,
+  /// reports where the entry was found.
+  std::shared_ptr<const Strategy> Get(const Fingerprint& fp,
+                                      Tier* tier = nullptr);
+
+  /// Inserts (or replaces) the entry and, when the disk tier is enabled,
+  /// writes it through to `<dir>/<hex>.strategy`. Returns false (with
+  /// *error) only on disk-write failure; the memory tier is updated
+  /// regardless.
+  bool Put(const Fingerprint& fp, std::shared_ptr<const Strategy> strategy,
+           std::string* error = nullptr);
+
+  /// Drops every in-memory entry (disk files are untouched).
+  void ClearMemory();
+
+  struct Stats {
+    uint64_t memory_hits = 0;
+    uint64_t disk_hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+  Stats stats() const;
+
+  size_t MemorySize() const;
+
+  /// Disk file backing a fingerprint ("" when the disk tier is disabled).
+  std::string DiskPath(const Fingerprint& fp) const;
+
+ private:
+  struct Entry {
+    uint64_t key;
+    std::shared_ptr<const Strategy> strategy;
+  };
+
+  // Caller must hold mu_.
+  void Promote(std::list<Entry>::iterator it);
+  void InsertLocked(uint64_t key, std::shared_ptr<const Strategy> strategy);
+
+  StrategyCacheOptions options_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // Front = most recently used.
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace hdmm
+
+#endif  // HDMM_ENGINE_STRATEGY_CACHE_H_

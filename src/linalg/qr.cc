@@ -2,53 +2,186 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/check.h"
+#include "linalg/gemm.h"
 
 namespace hdmm {
 
 namespace {
 
-// Compact Householder factorization. On return `a` holds R in its upper
-// triangle and the essential parts of the Householder vectors below the
-// diagonal (v_j has v_j[j] = 1 implicit); `betas` holds the reflector
-// coefficients. Standard Golub & Van Loan algorithm 5.2.1.
-void HouseholderFactor(Matrix* a, Vector* betas) {
+// Panel width for the blocked factorization, and the order below which the
+// scalar path wins (the WY scratch and GEMM dispatch overheads dominate for
+// tiny trailing matrices).
+constexpr int64_t kPanelWidth = 32;
+constexpr int64_t kBlockedCutoff = 64;
+
+// Generates the Householder reflector for column j over rows [j, m) and
+// applies it to columns (j, col_end). Storage convention (shared with the
+// least-squares / determinant paths): R's entry on the diagonal, the
+// essential vector scaled to a unit leading entry below it, and
+// tau_j = 2 v0^2 / ||v||^2 in betas so H_j = I - tau_j v v^T with
+// v = (1, a_{j+1,j}, ...). Standard Golub & Van Loan algorithm 5.2.1.
+void ReflectColumn(Matrix* a, Vector* betas, int64_t j, int64_t col_end) {
+  const int64_t m = a->rows();
+  double sigma = 0.0;
+  for (int64_t i = j; i < m; ++i) sigma += (*a)(i, j) * (*a)(i, j);
+  const double norm = std::sqrt(sigma);
+  if (norm == 0.0) return;  // Zero column: nothing to reflect.
+
+  const double ajj = (*a)(j, j);
+  // Choose the sign that avoids cancellation.
+  const double alpha = ajj >= 0.0 ? -norm : norm;
+  const double v0 = ajj - alpha;
+  // beta = 2 / ||v||^2 with v = (v0, a_{j+1,j}, ..., a_{m-1,j}).
+  const double vnorm2 = sigma - ajj * ajj + v0 * v0;
+  if (vnorm2 == 0.0) return;  // Column already in triangular form.
+  const double tau = 2.0 * v0 * v0 / vnorm2;
+  (*betas)[static_cast<size_t>(j)] = tau;
+
+  // Store the essential vector scaled so its leading entry is 1.
+  (*a)(j, j) = alpha;
+  for (int64_t i = j + 1; i < m; ++i) (*a)(i, j) /= v0;
+
+  // Apply the reflector to columns (j, col_end).
+  for (int64_t k = j + 1; k < col_end; ++k) {
+    double dot = (*a)(j, k);
+    for (int64_t i = j + 1; i < m; ++i) dot += (*a)(i, j) * (*a)(i, k);
+    const double scale = tau * dot;
+    (*a)(j, k) -= scale;
+    for (int64_t i = j + 1; i < m; ++i) (*a)(i, k) -= scale * (*a)(i, j);
+  }
+}
+
+// Compact scalar Householder factorization: R in the upper triangle,
+// essential reflector vectors below the diagonal, taus in `betas`.
+void HouseholderFactorScalar(Matrix* a, Vector* betas) {
+  const int64_t n = a->cols();
+  for (int64_t j = 0; j < n; ++j) ReflectColumn(a, betas, j, n);
+}
+
+// Materializes the unit-lower-trapezoidal reflector panel V (h x nb) for
+// panel columns [j0, j0 + nb), h = m - j0: column jl holds reflector
+// j0 + jl with its implicit unit on local row jl.
+Matrix BuildPanelV(const Matrix& a, int64_t j0, int64_t nb) {
+  const int64_t m = a.rows();
+  const int64_t h = m - j0;
+  Matrix v(h, nb);
+  for (int64_t jl = 0; jl < nb; ++jl) {
+    v(jl, jl) = 1.0;
+    for (int64_t r = jl + 1; r < h; ++r) v(r, jl) = a(j0 + r, j0 + jl);
+  }
+  return v;
+}
+
+// dlarft-style forward columnwise build of the nb x nb upper-triangular T
+// with H_{j0} H_{j0+1} ... H_{j0+nb-1} = I - V T V^T:
+// T(jl,jl) = tau_jl, T(0:jl, jl) = -tau_jl T(0:jl, 0:jl) (V^T v_jl).
+Matrix BuildPanelT(const Matrix& v, const Vector& betas, int64_t j0,
+                   int64_t nb) {
+  const int64_t h = v.rows();
+  Matrix t(nb, nb);
+  Vector vv(static_cast<size_t>(nb), 0.0);
+  for (int64_t jl = 0; jl < nb; ++jl) {
+    const double tau = betas[static_cast<size_t>(j0 + jl)];
+    if (tau == 0.0) continue;  // H = I: zero column keeps the product exact.
+    for (int64_t c = 0; c < jl; ++c) vv[static_cast<size_t>(c)] = 0.0;
+    for (int64_t r = jl; r < h; ++r) {
+      const double* vrow = v.Row(r);
+      const double vr = vrow[jl];
+      for (int64_t c = 0; c < jl; ++c) vv[static_cast<size_t>(c)] += vrow[c] * vr;
+    }
+    for (int64_t rr = 0; rr < jl; ++rr) {
+      double s = 0.0;
+      for (int64_t cc = rr; cc < jl; ++cc) {
+        s += t(rr, cc) * vv[static_cast<size_t>(cc)];
+      }
+      t(rr, jl) = -tau * s;
+    }
+    t(jl, jl) = tau;
+  }
+  return t;
+}
+
+// work := T^T work in place (T upper triangular, so T^T is lower). Row i of
+// the product reads only original rows <= i; descending order leaves those
+// rows untouched until they are themselves computed.
+void ApplyTTranspose(const Matrix& t, Matrix* work) {
+  const int64_t nb = t.rows();
+  const int64_t nc = work->cols();
+  for (int64_t i = nb - 1; i >= 0; --i) {
+    double* wrow = work->Row(i);
+    const double tii = t(i, i);
+    for (int64_t j = 0; j < nc; ++j) wrow[j] *= tii;
+    for (int64_t r = 0; r < i; ++r) {
+      const double coef = t(r, i);
+      if (coef == 0.0) continue;
+      const double* xrow = work->Row(r);
+      for (int64_t j = 0; j < nc; ++j) wrow[j] += coef * xrow[j];
+    }
+  }
+}
+
+// work := T work in place (ascending rows only read not-yet-overwritten
+// rows at or below the current one).
+void ApplyT(const Matrix& t, Matrix* work) {
+  const int64_t nb = t.rows();
+  const int64_t nc = work->cols();
+  for (int64_t i = 0; i < nb; ++i) {
+    double* wrow = work->Row(i);
+    const double tii = t(i, i);
+    for (int64_t j = 0; j < nc; ++j) wrow[j] *= tii;
+    for (int64_t r = i + 1; r < nb; ++r) {
+      const double coef = t(i, r);
+      if (coef == 0.0) continue;
+      const double* xrow = work->Row(r);
+      for (int64_t j = 0; j < nc; ++j) wrow[j] += coef * xrow[j];
+    }
+  }
+}
+
+// Blocked right-looking Householder factorization on the GEMM substrate:
+// each kPanelWidth-column panel is factored with the scalar kernel confined
+// to the panel, aggregated into compact-WY form Q_panel = I - V T V^T, and
+// the trailing columns are updated with two GEMMs
+//   C := Q_panel^T C = C - V (T^T (V^T C))
+// so the O(m n^2) bulk of the factorization runs at GEMM speed instead of
+// one rank-1 update per reflector.
+void HouseholderFactorBlocked(Matrix* a, Vector* betas) {
   const int64_t m = a->rows();
   const int64_t n = a->cols();
-  betas->assign(static_cast<size_t>(n), 0.0);
+  for (int64_t j0 = 0; j0 < n; j0 += kPanelWidth) {
+    const int64_t nb = std::min<int64_t>(kPanelWidth, n - j0);
+    for (int64_t j = j0; j < j0 + nb; ++j) ReflectColumn(a, betas, j, j0 + nb);
 
-  for (int64_t j = 0; j < n; ++j) {
-    // Norm of the trailing part of column j.
-    double sigma = 0.0;
-    for (int64_t i = j; i < m; ++i) sigma += (*a)(i, j) * (*a)(i, j);
-    const double norm = std::sqrt(sigma);
-    if (norm == 0.0) continue;  // Zero column: nothing to reflect.
+    const int64_t ntrail = n - (j0 + nb);
+    if (ntrail <= 0) continue;
+    const int64_t h = m - j0;
+    const Matrix v = BuildPanelV(*a, j0, nb);
+    const Matrix t = BuildPanelT(v, *betas, j0, nb);
 
-    const double ajj = (*a)(j, j);
-    // Choose the sign that avoids cancellation.
-    const double alpha = ajj >= 0.0 ? -norm : norm;
-    const double v0 = ajj - alpha;
-    // beta = 2 / ||v||^2 with v = (v0, a_{j+1,j}, ..., a_{m-1,j}).
-    const double vnorm2 = sigma - ajj * ajj + v0 * v0;
-    if (vnorm2 == 0.0) continue;  // Column already in triangular form.
-    const double beta = 2.0 / vnorm2;
-    (*betas)[static_cast<size_t>(j)] = beta;
+    // W = V^T C over the h x ntrail trailing view C = a[j0.., j0+nb..].
+    double* c = a->Row(j0) + (j0 + nb);
+    Matrix work(nb, ntrail);
+    GemmViewUpdate(nb, ntrail, h, 1.0, v.data(), nb, /*a_trans=*/true, c, n,
+                   /*b_trans=*/false, work.data(), ntrail,
+                   /*lower_only=*/false);
+    ApplyTTranspose(t, &work);
+    GemmViewUpdate(h, ntrail, nb, -1.0, v.data(), nb, /*a_trans=*/false,
+                   work.data(), ntrail, /*b_trans=*/false, c, n,
+                   /*lower_only=*/false);
+  }
+}
 
-    // Store the essential vector scaled so its leading entry is 1.
-    (*a)(j, j) = alpha;
-    for (int64_t i = j + 1; i < m; ++i) (*a)(i, j) /= v0;
-    // Absorb v0 into beta so the stored vector (1, a_{j+1,j}, ...) works.
-    (*betas)[static_cast<size_t>(j)] *= v0 * v0;
-
-    // Apply the reflector to the trailing columns.
-    for (int64_t k = j + 1; k < n; ++k) {
-      double dot = (*a)(j, k);
-      for (int64_t i = j + 1; i < m; ++i) dot += (*a)(i, j) * (*a)(i, k);
-      const double scale = (*betas)[static_cast<size_t>(j)] * dot;
-      (*a)(j, k) -= scale;
-      for (int64_t i = j + 1; i < m; ++i) (*a)(i, k) -= scale * (*a)(i, j);
-    }
+// Compact Householder factorization: scalar for small problems, blocked
+// panels + compact-WY trailing updates beyond kBlockedCutoff columns.
+void HouseholderFactor(Matrix* a, Vector* betas) {
+  betas->assign(static_cast<size_t>(a->cols()), 0.0);
+  if (a->cols() < kBlockedCutoff) {
+    HouseholderFactorScalar(a, betas);
+  } else {
+    HouseholderFactorBlocked(a, betas);
   }
 }
 
@@ -71,6 +204,41 @@ void ApplyQTranspose(const Matrix& factored, const Vector& betas, Vector* b) {
   }
 }
 
+// Thin Q from the compact factorization: start from the first n identity
+// columns and apply the reflector blocks last-to-first through the WY form,
+//   E := Q_panel E = E - V (T (V^T E)),
+// one panel pass over E per block instead of one pass per reflector. As in
+// LAPACK's dorgqr, each block only touches columns >= j0: with last-to-first
+// application a column k < j0 still has all-zero rows below j0 when panel j0
+// is applied, so its update is provably a no-op — skipping those columns
+// halves the back-transform flops.
+Matrix BuildThinQ(const Matrix& factored, const Vector& betas) {
+  const int64_t m = factored.rows();
+  const int64_t n = factored.cols();
+  Matrix q(m, n);
+  for (int64_t k = 0; k < n; ++k) q(k, k) = 1.0;
+
+  const int64_t last_panel = ((n - 1) / kPanelWidth) * kPanelWidth;
+  for (int64_t j0 = last_panel; j0 >= 0; j0 -= kPanelWidth) {
+    const int64_t nb = std::min<int64_t>(kPanelWidth, n - j0);
+    const int64_t h = m - j0;
+    const int64_t ncols = n - j0;
+    const Matrix v = BuildPanelV(factored, j0, nb);
+    const Matrix t = BuildPanelT(v, betas, j0, nb);
+
+    double* c = q.Row(j0) + j0;
+    Matrix work(nb, ncols);
+    GemmViewUpdate(nb, ncols, h, 1.0, v.data(), nb, /*a_trans=*/true, c, n,
+                   /*b_trans=*/false, work.data(), ncols,
+                   /*lower_only=*/false);
+    ApplyT(t, &work);
+    GemmViewUpdate(h, ncols, nb, -1.0, v.data(), nb, /*a_trans=*/false,
+                   work.data(), ncols, /*b_trans=*/false, c, n,
+                   /*lower_only=*/false);
+  }
+  return q;
+}
+
 }  // namespace
 
 Matrix QrResult::Reconstruct() const { return MatMul(q, r); }
@@ -79,7 +247,6 @@ QrResult HouseholderQr(const Matrix& a) {
   HDMM_CHECK_MSG(a.rows() >= a.cols(),
                  "HouseholderQr requires rows >= cols (thin factorization)");
   HDMM_CHECK(a.cols() > 0);
-  const int64_t m = a.rows();
   const int64_t n = a.cols();
 
   Matrix factored = a;
@@ -96,27 +263,10 @@ QrResult HouseholderQr(const Matrix& a) {
     }
   }
 
-  // Build thin Q by applying the reflectors to the first n identity columns:
-  // Q e_k for k < n. Reflectors are applied in reverse order.
-  Matrix q(m, n);
+  Matrix q = BuildThinQ(factored, betas);
   for (int64_t k = 0; k < n; ++k) {
-    Vector col(static_cast<size_t>(m), 0.0);
-    col[static_cast<size_t>(k)] = 1.0;
-    for (int64_t j = n - 1; j >= 0; --j) {
-      const double beta = betas[static_cast<size_t>(j)];
-      if (beta == 0.0) continue;
-      double dot = col[static_cast<size_t>(j)];
-      for (int64_t i = j + 1; i < m; ++i) {
-        dot += factored(i, j) * col[static_cast<size_t>(i)];
-      }
-      const double scale = beta * dot;
-      col[static_cast<size_t>(j)] -= scale;
-      for (int64_t i = j + 1; i < m; ++i) {
-        col[static_cast<size_t>(i)] -= scale * factored(i, j);
-      }
-    }
-    const double sign = flip[static_cast<size_t>(k)] ? -1.0 : 1.0;
-    for (int64_t i = 0; i < m; ++i) q(i, k) = sign * col[static_cast<size_t>(i)];
+    if (!flip[static_cast<size_t>(k)]) continue;
+    for (int64_t i = 0; i < a.rows(); ++i) q(i, k) = -q(i, k);
   }
   return QrResult{std::move(q), std::move(r)};
 }

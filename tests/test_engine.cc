@@ -1,0 +1,584 @@
+#include "engine/engine.h"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/measure.h"
+#include "core/strategy_io.h"
+#include "engine/accountant.h"
+#include "engine/fingerprint.h"
+#include "engine/strategy_cache.h"
+#include "workload/building_blocks.h"
+#include "workload/parser.h"
+
+namespace hdmm {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+UnionWorkload SmallWorkload() {
+  return ParseWorkloadOrDie(
+      "domain sex=2 age=8\n"
+      "product sex=identity age=prefix\n"
+      "product age=identity\n");
+}
+
+// --- Fingerprints ------------------------------------------------------------
+
+TEST(Fingerprint, ProductOrderInsensitive) {
+  UnionWorkload a = ParseWorkloadOrDie(
+      "domain x=4 y=3\nproduct x=identity\nproduct y=prefix\n");
+  UnionWorkload b = ParseWorkloadOrDie(
+      "domain x=4 y=3\nproduct y=prefix\nproduct x=identity\n");
+  EXPECT_EQ(FingerprintWorkload(a).value, FingerprintWorkload(b).value);
+}
+
+TEST(Fingerprint, SensitiveToWeightsFactorsAndDomain) {
+  UnionWorkload base = ParseWorkloadOrDie(
+      "domain x=4 y=3\nproduct x=identity\n");
+  UnionWorkload reweighted = ParseWorkloadOrDie(
+      "domain x=4 y=3\nproduct weight=2.0 x=identity\n");
+  UnionWorkload other_block = ParseWorkloadOrDie(
+      "domain x=4 y=3\nproduct x=prefix\n");
+  UnionWorkload other_domain = ParseWorkloadOrDie(
+      "domain x=4 y=5\nproduct x=identity\n");
+  const uint64_t fp = FingerprintWorkload(base).value;
+  EXPECT_NE(fp, FingerprintWorkload(reweighted).value);
+  EXPECT_NE(fp, FingerprintWorkload(other_block).value);
+  EXPECT_NE(fp, FingerprintWorkload(other_domain).value);
+}
+
+TEST(Fingerprint, IgnoresAttributeNames) {
+  UnionWorkload a = ParseWorkloadOrDie("domain x=4\nproduct x=identity\n");
+  UnionWorkload b = ParseWorkloadOrDie("domain z=4\nproduct z=identity\n");
+  EXPECT_EQ(FingerprintWorkload(a).value, FingerprintWorkload(b).value);
+}
+
+TEST(Fingerprint, PlanDependsOnOptimizerOptions) {
+  UnionWorkload w = SmallWorkload();
+  HdmmOptions base;
+  HdmmOptions more_restarts = base;
+  more_restarts.restarts = base.restarts + 1;
+  HdmmOptions other_seed = base;
+  other_seed.seed = 12345;
+  HdmmOptions no_marginals = base;
+  no_marginals.use_marginals = false;
+  const uint64_t fp = FingerprintPlan(w, base).value;
+  EXPECT_NE(fp, FingerprintPlan(w, more_restarts).value);
+  EXPECT_NE(fp, FingerprintPlan(w, other_seed).value);
+  EXPECT_NE(fp, FingerprintPlan(w, no_marginals).value);
+  EXPECT_EQ(fp, FingerprintPlan(w, HdmmOptions()).value);
+}
+
+TEST(Fingerprint, HexIsStable16Digits) {
+  Fingerprint fp{0x0123456789abcdefULL};
+  EXPECT_EQ(fp.Hex(), "0123456789abcdef");
+  EXPECT_EQ(Fingerprint{0}.Hex(), "0000000000000000");
+}
+
+// --- Strategy cache ----------------------------------------------------------
+
+TEST(StrategyCache, MemoryHitAndMiss) {
+  StrategyCache cache;
+  Fingerprint fp{42};
+  StrategyCache::Tier tier;
+  EXPECT_EQ(cache.Get(fp, &tier), nullptr);
+  EXPECT_EQ(tier, StrategyCache::Tier::kMiss);
+
+  cache.Put(fp, std::make_shared<ExplicitStrategy>(PrefixBlock(4), "p4"));
+  auto hit = cache.Get(fp, &tier);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(tier, StrategyCache::Tier::kMemory);
+  EXPECT_EQ(hit->Name(), "p4");
+  EXPECT_EQ(cache.stats().memory_hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(StrategyCache, LruEviction) {
+  StrategyCacheOptions options;
+  options.memory_capacity = 2;
+  StrategyCache cache(options);
+  cache.Put(Fingerprint{1},
+            std::make_shared<ExplicitStrategy>(PrefixBlock(2), "a"));
+  cache.Put(Fingerprint{2},
+            std::make_shared<ExplicitStrategy>(PrefixBlock(2), "b"));
+  // Touch 1 so 2 becomes the LRU entry, then insert 3.
+  EXPECT_NE(cache.Get(Fingerprint{1}), nullptr);
+  cache.Put(Fingerprint{3},
+            std::make_shared<ExplicitStrategy>(PrefixBlock(2), "c"));
+  EXPECT_EQ(cache.MemorySize(), 2u);
+  EXPECT_NE(cache.Get(Fingerprint{1}), nullptr);
+  EXPECT_NE(cache.Get(Fingerprint{3}), nullptr);
+  EXPECT_EQ(cache.Get(Fingerprint{2}), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(StrategyCache, DiskTierSurvivesRestart) {
+  const std::string dir = FreshDir("cache_restart");
+  Fingerprint fp{7};
+  {
+    StrategyCacheOptions options;
+    options.disk_dir = dir;
+    StrategyCache cache(options);
+    std::string error;
+    ASSERT_TRUE(cache.Put(
+        fp, std::make_shared<ExplicitStrategy>(PrefixBlock(5), "persisted"),
+        &error))
+        << error;
+    EXPECT_TRUE(std::filesystem::exists(cache.DiskPath(fp)));
+  }
+  // A new cache instance (fresh process in real life) finds it on disk.
+  StrategyCacheOptions options;
+  options.disk_dir = dir;
+  StrategyCache cache(options);
+  StrategyCache::Tier tier;
+  auto hit = cache.Get(fp, &tier);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(tier, StrategyCache::Tier::kDisk);
+  EXPECT_EQ(hit->Name(), "persisted");
+  // Promoted into memory: second lookup is a memory hit.
+  EXPECT_NE(cache.Get(fp, &tier), nullptr);
+  EXPECT_EQ(tier, StrategyCache::Tier::kMemory);
+}
+
+TEST(StrategyCache, EvictedEntryReloadsFromDisk) {
+  const std::string dir = FreshDir("cache_evict_reload");
+  StrategyCacheOptions options;
+  options.memory_capacity = 1;
+  options.disk_dir = dir;
+  StrategyCache cache(options);
+  cache.Put(Fingerprint{1},
+            std::make_shared<ExplicitStrategy>(PrefixBlock(3), "one"));
+  cache.Put(Fingerprint{2},
+            std::make_shared<ExplicitStrategy>(PrefixBlock(3), "two"));
+  StrategyCache::Tier tier;
+  auto hit = cache.Get(Fingerprint{1}, &tier);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(tier, StrategyCache::Tier::kDisk);
+  EXPECT_EQ(hit->Name(), "one");
+}
+
+TEST(StrategyCache, AllKindsRoundTripThroughCacheFixedPoint) {
+  // The persistence satellite seen from the cache: every strategy kind the
+  // optimizers produce must come back from the disk tier serializing to the
+  // identical normal form.
+  const std::string dir = FreshDir("cache_kinds");
+  Rng rng(17);
+  std::vector<std::shared_ptr<const Strategy>> strategies;
+  strategies.push_back(std::make_shared<ExplicitStrategy>(
+      Matrix::RandomUniform(5, 4, &rng, 0.0, 1.0), "explicit"));
+  strategies.push_back(std::make_shared<KronStrategy>(
+      std::vector<Matrix>{PrefixBlock(4), IdentityBlock(3)}, "kron"));
+  strategies.push_back(std::make_shared<UnionKronStrategy>(
+      std::vector<std::vector<Matrix>>{{PrefixBlock(4)}, {IdentityBlock(4)}},
+      std::vector<std::vector<int>>{{0}, {1}}, "union-kron"));
+  strategies.push_back(std::make_shared<MarginalsStrategy>(
+      Domain({2, 3}), Vector{0.5, 1.0 / 3.0, 0.0, 1.25}, "marginals"));
+
+  StrategyCacheOptions options;
+  options.disk_dir = dir;
+  options.memory_capacity = 1;  // Forces every Get through the disk tier.
+  StrategyCache cache(options);
+  for (size_t i = 0; i < strategies.size(); ++i) {
+    cache.Put(Fingerprint{i + 1}, strategies[i]);
+  }
+  for (size_t i = 0; i < strategies.size(); ++i) {
+    auto restored = cache.Get(Fingerprint{i + 1});
+    ASSERT_NE(restored, nullptr) << "kind " << i;
+    EXPECT_EQ(SerializeStrategy(*restored), SerializeStrategy(*strategies[i]))
+        << "kind " << i;
+  }
+}
+
+// --- Accountant --------------------------------------------------------------
+
+TEST(Accountant, SequentialCompositionLedger) {
+  BudgetAccountant accountant(1.0);
+  EXPECT_TRUE(accountant.TryCharge("census", 0.25));
+  EXPECT_TRUE(accountant.TryCharge("census", 0.5));
+  EXPECT_NEAR(accountant.Spent("census"), 0.75, 1e-15);
+  EXPECT_NEAR(accountant.Remaining("census"), 0.25, 1e-15);
+  // Over budget: refused, ledger unchanged.
+  EXPECT_FALSE(accountant.TryCharge("census", 0.5));
+  EXPECT_NEAR(accountant.Spent("census"), 0.75, 1e-15);
+  EXPECT_EQ(accountant.NumCharges("census"), 2);
+  // Exactly exhausting the budget is allowed.
+  EXPECT_TRUE(accountant.TryCharge("census", 0.25));
+  EXPECT_FALSE(accountant.TryCharge("census", 1e-9));
+  EXPECT_EQ(accountant.Remaining("census"), 0.0);
+}
+
+TEST(Accountant, DatasetsAreIndependent) {
+  BudgetAccountant accountant(0.5);
+  EXPECT_TRUE(accountant.TryCharge("a", 0.5));
+  EXPECT_FALSE(accountant.TryCharge("a", 0.1));
+  EXPECT_TRUE(accountant.TryCharge("b", 0.5));
+  EXPECT_EQ(accountant.Spent("unknown"), 0.0);
+  EXPECT_NEAR(accountant.Remaining("unknown"), 0.5, 1e-15);
+}
+
+TEST(Accountant, ToleratesFloatingPointSplits) {
+  // 10 equal slices of 1/10 must exactly exhaust a unit budget despite
+  // accumulation rounding.
+  BudgetAccountant accountant(1.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(accountant.TryCharge("d", 0.1)) << "slice " << i;
+  }
+  EXPECT_FALSE(accountant.TryCharge("d", 0.01));
+}
+
+TEST(Accountant, LedgerSurvivesRestart) {
+  const std::string path = FreshDir("ledger_restart") + "/budget.ledger";
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path());
+  {
+    BudgetAccountant accountant(1.0, path);
+    EXPECT_TRUE(accountant.TryCharge("census data.csv", 0.6));
+    EXPECT_TRUE(accountant.TryCharge("other", 0.25));
+  }
+  // A fresh accountant (new process in real life) replays the ledger: the
+  // ceiling holds across restarts instead of resetting to the full budget.
+  BudgetAccountant restarted(1.0, path);
+  EXPECT_NEAR(restarted.Spent("census data.csv"), 0.6, 1e-15);
+  EXPECT_EQ(restarted.NumCharges("census data.csv"), 1);
+  EXPECT_FALSE(restarted.TryCharge("census data.csv", 0.5));
+  EXPECT_TRUE(restarted.TryCharge("census data.csv", 0.4));
+  BudgetAccountant third(1.0, path);
+  EXPECT_EQ(third.Remaining("census data.csv"), 0.0);
+  EXPECT_NEAR(third.Spent("other"), 0.25, 1e-15);
+}
+
+TEST(AccountantDeath, DiesOnCorruptLedger) {
+  const std::string path = FreshDir("ledger_corrupt") + "/budget.ledger";
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path());
+  {
+    std::ofstream out(path);
+    out << "not-a-number census.csv\n";
+  }
+  EXPECT_DEATH(BudgetAccountant(1.0, path), "malformed budget ledger");
+}
+
+TEST(AccountantDeath, RejectsInvalidEpsilon) {
+  BudgetAccountant accountant(1.0);
+  EXPECT_DEATH(accountant.TryCharge("d", 0.0), "positive and finite");
+  EXPECT_DEATH(accountant.TryCharge("d", -0.5), "positive and finite");
+  EXPECT_DEATH(accountant.TryCharge("d", std::nan("")), "positive and finite");
+  EXPECT_DEATH(
+      accountant.TryCharge("d", std::numeric_limits<double>::infinity()),
+      "positive and finite");
+}
+
+TEST(AccountantDeath, RejectsInvalidTotal) {
+  EXPECT_DEATH(BudgetAccountant(0.0), "positive and finite");
+  EXPECT_DEATH(BudgetAccountant(std::numeric_limits<double>::infinity()),
+               "positive and finite");
+}
+
+// --- Laplace measurement validation ------------------------------------------
+
+TEST(MeasureDeath, RejectsNonFiniteEpsilonAndSensitivity) {
+  ExplicitStrategy s(IdentityBlock(4), "id");
+  Vector x{1.0, 2.0, 3.0, 4.0};
+  Rng rng(1);
+  EXPECT_DEATH(s.Measure(x, 0.0, &rng), "epsilon");
+  EXPECT_DEATH(s.Measure(x, std::nan(""), &rng), "epsilon");
+  EXPECT_DEATH(s.Measure(x, std::numeric_limits<double>::infinity(), &rng),
+               "epsilon");
+  EXPECT_DEATH(LaplaceScale(1.0, -1.0), "epsilon");
+  EXPECT_DEATH(LaplaceScale(0.0, 1.0), "sensitivity");
+  EXPECT_DEATH(LaplaceScale(std::nan(""), 1.0), "sensitivity");
+  EXPECT_EQ(LaplaceScale(2.0, 0.5), 4.0);
+}
+
+// --- Queries and sessions ----------------------------------------------------
+
+TEST(Queries, ParseQueryLineForms) {
+  Domain d({"sex", "age"}, {2, 8});
+  BoxQuery q;
+  std::string error;
+
+  ASSERT_TRUE(ParseQueryLine("point sex=1 age=3", d, &q, &error)) << error;
+  EXPECT_EQ(q.lo, (std::vector<int64_t>{1, 3}));
+  EXPECT_EQ(q.hi, (std::vector<int64_t>{1, 3}));
+
+  ASSERT_TRUE(ParseQueryLine("marginal sex=0", d, &q, &error)) << error;
+  EXPECT_EQ(q.lo, (std::vector<int64_t>{0, 0}));
+  EXPECT_EQ(q.hi, (std::vector<int64_t>{0, 7}));
+
+  ASSERT_TRUE(ParseQueryLine("range age=2:5", d, &q, &error)) << error;
+  EXPECT_EQ(q.lo, (std::vector<int64_t>{0, 2}));
+  EXPECT_EQ(q.hi, (std::vector<int64_t>{1, 5}));
+
+  // Unnamed domains accept zero-based attribute indices...
+  Domain unnamed({2, 8});
+  ASSERT_TRUE(ParseQueryLine("range 1=2:5", unnamed, &q, &error)) << error;
+  EXPECT_EQ(q.lo, (std::vector<int64_t>{0, 2}));
+  // ...but named schemas reject bare indices: positions silently shift when
+  // the schema changes, and a wrong answer is worse than a rejected query.
+  EXPECT_FALSE(ParseQueryLine("range 1=2:5", d, &q, &error));
+  EXPECT_NE(error.find("unknown attribute"), std::string::npos);
+}
+
+TEST(Queries, ParseQueryLineRejections) {
+  Domain d({"sex", "age"}, {2, 8});
+  BoxQuery q;
+  std::string error;
+  EXPECT_FALSE(ParseQueryLine("point sex=1", d, &q, &error));
+  EXPECT_NE(error.find("every attribute"), std::string::npos);
+  EXPECT_FALSE(ParseQueryLine("marginal height=1", d, &q, &error));
+  EXPECT_NE(error.find("unknown attribute"), std::string::npos);
+  EXPECT_FALSE(ParseQueryLine("marginal age=9", d, &q, &error));
+  EXPECT_NE(error.find("outside"), std::string::npos);
+  EXPECT_FALSE(ParseQueryLine("marginal age=2:5", d, &q, &error));
+  EXPECT_NE(error.find("single value"), std::string::npos);
+  EXPECT_FALSE(ParseQueryLine("sum age=1", d, &q, &error));
+  EXPECT_NE(error.find("unknown query kind"), std::string::npos);
+  EXPECT_FALSE(ParseQueryLine("marginal age=1 age=2", d, &q, &error));
+  EXPECT_NE(error.find("twice"), std::string::npos);
+  EXPECT_FALSE(ParseQueryLine("marginal", d, &q, &error));
+  EXPECT_NE(error.find("binds no attributes"), std::string::npos);
+}
+
+// Brute-force box sum for cross-checking the summed-area table.
+double BruteForceBox(const Domain& d, const Vector& x, const BoxQuery& q) {
+  double total = 0.0;
+  for (int64_t i = 0; i < d.TotalSize(); ++i) {
+    const std::vector<int64_t> coords = d.Unflatten(i);
+    bool inside = true;
+    for (size_t a = 0; a < coords.size(); ++a) {
+      if (coords[a] < q.lo[a] || coords[a] > q.hi[a]) inside = false;
+    }
+    if (inside) total += x[static_cast<size_t>(i)];
+  }
+  return total;
+}
+
+TEST(Session, AnswersMatchBruteForce) {
+  Domain d({3, 4, 5});
+  Rng rng(23);
+  Vector x(static_cast<size_t>(d.TotalSize()));
+  for (double& v : x) v = rng.Uniform(-1.0, 3.0);
+  MeasurementSession session(d, x, 1.0, nullptr);
+
+  Rng qrng(29);
+  for (int trial = 0; trial < 200; ++trial) {
+    BoxQuery q = FullRangeQuery(d);
+    for (int a = 0; a < d.NumAttributes(); ++a) {
+      const int64_t n = d.AttributeSize(a);
+      int64_t lo = static_cast<int64_t>(qrng.Uniform(0.0, double(n)));
+      int64_t hi = static_cast<int64_t>(qrng.Uniform(0.0, double(n)));
+      if (lo > hi) std::swap(lo, hi);
+      q.lo[static_cast<size_t>(a)] = lo;
+      q.hi[static_cast<size_t>(a)] = hi;
+    }
+    EXPECT_NEAR(session.Answer(q), BruteForceBox(d, x, q), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(Session, BatchMatchesSingleAnswers) {
+  Domain d({4, 6});
+  Rng rng(31);
+  Vector x(static_cast<size_t>(d.TotalSize()));
+  for (double& v : x) v = rng.Uniform(0.0, 10.0);
+  MeasurementSession session(d, x, 0.5, nullptr);
+
+  std::vector<BoxQuery> queries;
+  for (int64_t a = 0; a < 4; ++a) {
+    for (int64_t b = 0; b < 6; ++b) {
+      queries.push_back(BoxQuery{{a, 0}, {a, b}});
+    }
+  }
+  const Vector batch = session.AnswerBatch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batch[i], session.Answer(queries[i])) << "query " << i;
+  }
+}
+
+// --- Engine ------------------------------------------------------------------
+
+EngineOptions FastEngineOptions(const std::string& cache_dir = "") {
+  EngineOptions options;
+  options.optimizer.restarts = 1;
+  options.optimizer.seed = 5;
+  options.cache.disk_dir = cache_dir;
+  options.total_epsilon = 1.0;
+  return options;
+}
+
+TEST(Engine, PlanCachesAcrossCallsAndRestarts) {
+  const std::string dir = FreshDir("engine_plan");
+  UnionWorkload w = SmallWorkload();
+
+  Engine engine(FastEngineOptions(dir));
+  PlanResult cold = engine.Plan(w);
+  ASSERT_NE(cold.strategy, nullptr);
+  EXPECT_EQ(cold.source, PlanSource::kOptimized);
+
+  PlanResult warm = engine.Plan(w);
+  EXPECT_EQ(warm.source, PlanSource::kMemoryCache);
+  EXPECT_EQ(warm.strategy.get(), cold.strategy.get());
+  EXPECT_EQ(warm.fingerprint.value, cold.fingerprint.value);
+
+  // A second engine over the same directory plans from disk.
+  Engine restarted(FastEngineOptions(dir));
+  PlanResult from_disk = restarted.Plan(w);
+  EXPECT_EQ(from_disk.source, PlanSource::kDiskCache);
+  EXPECT_EQ(SerializeStrategy(*from_disk.strategy),
+            SerializeStrategy(*cold.strategy));
+}
+
+TEST(Engine, PlanTreatsWrongDomainCacheEntryAsMiss) {
+  // A stale or foreign cache entry (copied directory, hand-placed file)
+  // whose domain does not match must be re-optimized over, not served — and
+  // certainly not allowed to abort Measure deep inside Strategy::Apply.
+  UnionWorkload w = SmallWorkload();
+  EngineOptions options = FastEngineOptions();
+  Engine engine(options);
+  const Fingerprint fp = FingerprintPlan(w, options.optimizer);
+  engine.cache().Put(fp, std::make_shared<ExplicitStrategy>(
+                             PrefixBlock(3), "foreign"));  // Domain 3 != 16.
+  PlanResult plan = engine.Plan(w);
+  ASSERT_NE(plan.strategy, nullptr);
+  EXPECT_EQ(plan.source, PlanSource::kOptimized);
+  EXPECT_EQ(plan.strategy->DomainSize(), w.DomainSize());
+  // The bad entry was overwritten: the next plan is a healthy cache hit.
+  PlanResult again = engine.Plan(w);
+  EXPECT_EQ(again.source, PlanSource::kMemoryCache);
+  EXPECT_EQ(again.strategy->DomainSize(), w.DomainSize());
+}
+
+TEST(Engine, PlanSurfacesDiskWriteFailure) {
+  EngineOptions options = FastEngineOptions();
+  // A file where the cache directory should be: create_directories fails.
+  const std::string bogus = ::testing::TempDir() + "/engine_not_a_dir";
+  std::filesystem::remove_all(bogus);
+  { std::ofstream out(bogus); out << "occupied"; }
+  options.cache.disk_dir = bogus + "/cache";
+  Engine engine(options);
+  PlanResult plan = engine.Plan(SmallWorkload());
+  ASSERT_NE(plan.strategy, nullptr);  // The plan itself still serves.
+  EXPECT_EQ(plan.source, PlanSource::kOptimized);
+  EXPECT_FALSE(plan.cache_error.empty());
+}
+
+TEST(Engine, BudgetLedgerPersistsAcrossEngines) {
+  const std::string dir = FreshDir("engine_ledger");
+  std::filesystem::create_directories(dir);
+  EngineOptions options = FastEngineOptions(dir);
+  options.ledger_path = dir + "/budget.ledger";
+  UnionWorkload w = SmallWorkload();
+  Vector x(static_cast<size_t>(w.DomainSize()), 1.0);
+  std::string error;
+  {
+    Engine engine(options);
+    Rng rng(51);
+    ASSERT_NE(engine.Measure(w, "d.csv", x, 0.8, &rng, &error), nullptr)
+        << error;
+  }
+  Engine restarted(options);
+  EXPECT_NEAR(restarted.accountant().Spent("d.csv"), 0.8, 1e-15);
+  Rng rng(52);
+  EXPECT_EQ(restarted.Measure(w, "d.csv", x, 0.5, &rng, &error), nullptr);
+  EXPECT_NE(error.find("budget exceeded"), std::string::npos);
+}
+
+TEST(Engine, MeasureChargesAndRefuses) {
+  UnionWorkload w = SmallWorkload();
+  Engine engine(FastEngineOptions());
+  Vector x(static_cast<size_t>(w.DomainSize()), 2.0);
+  Rng rng(41);
+
+  std::string error;
+  auto first = engine.Measure(w, "census", x, 0.7, &rng, &error);
+  ASSERT_NE(first, nullptr) << error;
+  EXPECT_NEAR(engine.accountant().Spent("census"), 0.7, 1e-15);
+
+  auto refused = engine.Measure(w, "census", x, 0.5, &rng, &error);
+  EXPECT_EQ(refused, nullptr);
+  EXPECT_NE(error.find("budget exceeded"), std::string::npos);
+  EXPECT_NEAR(engine.accountant().Spent("census"), 0.7, 1e-15);
+
+  auto second = engine.Measure(w, "census", x, 0.3, &rng, &error);
+  ASSERT_NE(second, nullptr) << error;
+  EXPECT_EQ(engine.accountant().Remaining("census"), 0.0);
+}
+
+TEST(Engine, SessionAnswersApproximateTruthAtHighEpsilon) {
+  // With epsilon large the noise is negligible, so session answers must be
+  // close to the true box sums — this checks the whole path: plan, measure,
+  // reconstruct, summed-area table, batched answering.
+  UnionWorkload w = SmallWorkload();
+  EngineOptions options = FastEngineOptions();
+  options.total_epsilon = 2e6;
+  Engine engine(options);
+  Rng rng(43);
+  Vector x(static_cast<size_t>(w.DomainSize()));
+  for (double& v : x) v = std::floor(rng.Uniform(0.0, 20.0));
+
+  std::string error;
+  auto session = engine.Measure(w, "d", x, 1e6, &rng, &error);
+  ASSERT_NE(session, nullptr) << error;
+
+  std::vector<BoxQuery> queries;
+  std::string parse_error;
+  BoxQuery q;
+  ASSERT_TRUE(ParseQueryLine("point sex=1 age=3", w.domain(), &q,
+                             &parse_error));
+  queries.push_back(q);
+  ASSERT_TRUE(ParseQueryLine("marginal sex=0", w.domain(), &q, &parse_error));
+  queries.push_back(q);
+  ASSERT_TRUE(ParseQueryLine("range age=2:6", w.domain(), &q, &parse_error));
+  queries.push_back(q);
+
+  const Vector answers = session->AnswerBatch(queries);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_NEAR(answers[i], BruteForceBox(w.domain(), x, queries[i]), 0.05)
+        << "query " << i;
+  }
+}
+
+TEST(Engine, ExplicitStrategyReconstructionReusesCholesky) {
+  // An explicit-strategy plan goes through the engine's normal-equations
+  // path; answers must match the strategy's own pinv reconstruction.
+  UnionWorkload w = ParseWorkloadOrDie("domain x=6\nproduct x=prefix\n");
+  EngineOptions options = FastEngineOptions();
+  options.total_epsilon = 4e6;
+  Engine engine(options);
+
+  // Seed the cache with an explicit strategy under this plan's fingerprint
+  // so Plan() returns it.
+  const Fingerprint fp = FingerprintPlan(w, options.optimizer);
+  auto explicit_strategy =
+      std::make_shared<ExplicitStrategy>(PrefixBlock(6), "explicit-prefix");
+  engine.cache().Put(fp, explicit_strategy);
+
+  Rng rng(47);
+  Vector x{5.0, 3.0, 8.0, 1.0, 0.0, 2.0};
+  std::string error;
+  auto s1 = engine.Measure(w, "d", x, 1e6, &rng, &error);
+  ASSERT_NE(s1, nullptr) << error;
+  auto s2 = engine.Measure(w, "d", x, 1e6, &rng, &error);  // Reuses factor.
+  ASSERT_NE(s2, nullptr) << error;
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(s1->XHat()[i], x[i], 1e-3);
+    EXPECT_NEAR(s2->XHat()[i], x[i], 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace hdmm

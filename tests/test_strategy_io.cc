@@ -145,6 +145,113 @@ TEST(StrategyIo, ExactDoubleFidelity) {
   EXPECT_EQ(k->factors()[0].MaxAbsDiff(original.factors()[0]), 0.0);
 }
 
+// --- Fixed-point fuzzing -----------------------------------------------------
+// serialize(parse(serialize(s))) == serialize(s) for randomized strategies of
+// every kind: one parse/serialize round must already be the normal form, so
+// cached strategies never drift however many times they bounce through the
+// serving engine's disk tier.
+
+Matrix FuzzMatrix(Rng* rng, int64_t max_rows, int64_t max_cols) {
+  const int64_t rows = 1 + static_cast<int64_t>(rng->Uniform(0.0, 1.0) *
+                                                static_cast<double>(max_rows));
+  const int64_t cols = 1 + static_cast<int64_t>(rng->Uniform(0.0, 1.0) *
+                                                static_cast<double>(max_cols));
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    // Mix exactly-representable and irrational-looking values, plus sparse
+    // zeros, so both integer and %.17g serialization paths are exercised.
+    const double pick = rng->Uniform(0.0, 1.0);
+    if (pick < 0.25) {
+      m.data()[i] = std::floor(rng->Uniform(-4.0, 5.0));
+    } else if (pick < 0.4) {
+      m.data()[i] = 0.0;
+    } else {
+      m.data()[i] = rng->Uniform(-1.0, 1.0) / 3.0;
+    }
+  }
+  return m;
+}
+
+void ExpectSerializationFixedPoint(const Strategy& s) {
+  const std::string first = SerializeStrategy(s);
+  std::string error;
+  auto reparsed = ParseStrategy(first, &error);
+  ASSERT_NE(reparsed, nullptr) << error;
+  EXPECT_EQ(SerializeStrategy(*reparsed), first);
+}
+
+TEST(StrategyIoFixedPoint, ExplicitFuzz) {
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    Rng rng(1000 + seed);
+    ExplicitStrategy s(FuzzMatrix(&rng, 8, 8),
+                       "fuzz-explicit-" + std::to_string(seed));
+    ExpectSerializationFixedPoint(s);
+  }
+}
+
+TEST(StrategyIoFixedPoint, KronFuzz) {
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    Rng rng(2000 + seed);
+    std::vector<Matrix> factors;
+    const int d = 1 + static_cast<int>(rng.Uniform(0.0, 3.0));
+    for (int i = 0; i < d; ++i) factors.push_back(FuzzMatrix(&rng, 6, 5));
+    KronStrategy s(std::move(factors), "fuzz-kron-" + std::to_string(seed));
+    ExpectSerializationFixedPoint(s);
+  }
+}
+
+TEST(StrategyIoFixedPoint, UnionKronFuzz) {
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    Rng rng(3000 + seed);
+    const int nparts = 1 + static_cast<int>(rng.Uniform(0.0, 3.0));
+    const int d = 1 + static_cast<int>(rng.Uniform(0.0, 2.0));
+    // All parts must agree on the per-attribute domain sizes.
+    std::vector<int64_t> sizes;
+    for (int i = 0; i < d; ++i) {
+      sizes.push_back(2 + static_cast<int64_t>(rng.Uniform(0.0, 4.0)));
+    }
+    std::vector<std::vector<Matrix>> parts;
+    std::vector<std::vector<int>> covers;
+    for (int p = 0; p < nparts; ++p) {
+      std::vector<Matrix> factors;
+      for (int i = 0; i < d; ++i) {
+        Matrix f = FuzzMatrix(&rng, 5, 1);
+        factors.push_back(Matrix(f.rows(), sizes[static_cast<size_t>(i)]));
+        for (int64_t r = 0; r < f.rows(); ++r) {
+          for (int64_t c = 0; c < sizes[static_cast<size_t>(i)]; ++c) {
+            factors.back()(r, c) = rng.Uniform(-1.0, 1.0);
+          }
+        }
+      }
+      parts.push_back(std::move(factors));
+      covers.push_back({p});
+    }
+    UnionKronStrategy s(std::move(parts), std::move(covers),
+                        "fuzz-union-" + std::to_string(seed));
+    ExpectSerializationFixedPoint(s);
+  }
+}
+
+TEST(StrategyIoFixedPoint, MarginalsFuzz) {
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    Rng rng(4000 + seed);
+    const int d = 1 + static_cast<int>(rng.Uniform(0.0, 3.0));
+    std::vector<int64_t> sizes;
+    for (int i = 0; i < d; ++i) {
+      sizes.push_back(2 + static_cast<int64_t>(rng.Uniform(0.0, 3.0)));
+    }
+    Vector theta(size_t{1} << d);
+    for (double& v : theta) {
+      v = rng.Uniform(0.0, 1.0) < 0.3 ? 0.0 : rng.Uniform(0.01, 2.0);
+    }
+    // Keep at least one positive weight so the strategy is well formed.
+    theta.back() = 1.0 / 7.0;
+    MarginalsStrategy s(Domain(std::move(sizes)), theta,
+                        "fuzz-marginals-" + std::to_string(seed));
+    ExpectSerializationFixedPoint(s);
+  }
+}
+
 struct BadStrategyText {
   const char* text;
   const char* message_fragment;

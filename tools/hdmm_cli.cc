@@ -12,7 +12,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
@@ -23,6 +25,7 @@
 #include "core/strategy_io.h"
 #include "core/svd_bound.h"
 #include "data/csv.h"
+#include "engine/engine.h"
 #include "workload/building_blocks.h"
 #include "workload/parser.h"
 #include "workload/sql.h"
@@ -41,10 +44,18 @@ int Usage() {
       "                       [--seed S] [--truth] [--strategy FILE]\n"
       "  hdmm_cli convert-sql --domain \"a=2,b=10,...\" --sql FILE\n"
       "  hdmm_cli show        --workload FILE\n"
+      "  hdmm_cli serve       --workload FILE --data FILE [--budget E]\n"
+      "                       [--cache-dir DIR] [--ledger FILE] [--seed S]\n"
+      "                       [--opt-seed S] [--restarts N]\n"
       "\n"
       "Optimize once, reuse forever: `optimize --save-strategy s.hdmm`\n"
       "persists the selected strategy; `run --strategy s.hdmm` skips the\n"
-      "optimization (strategy selection is data-independent, Section 7.3).\n");
+      "optimization (strategy selection is data-independent, Section 7.3).\n"
+      "`serve` reads commands from stdin and answers from a measurement\n"
+      "session: measure EPS | point a=V ... | range a=LO:HI ... |\n"
+      "marginal a=V ... | budget | quit. The accountant enforces the\n"
+      "--budget ceiling under sequential composition; with --cache-dir the\n"
+      "spend ledger persists there across restarts (or at --ledger FILE).\n");
   return 2;
 }
 
@@ -138,13 +149,17 @@ void PrintWorkloadSummary(const UnionWorkload& w) {
                static_cast<long long>(w.ExplicitStorageDoubles()));
 }
 
-HdmmResult OptimizeFromFlags(const UnionWorkload& w, const Flags& flags) {
+HdmmOptions OptionsFromFlags(const Flags& flags) {
   HdmmOptions options;
   options.restarts = static_cast<int>(
       std::strtol(flags.Get("restarts", "3").c_str(), nullptr, 10));
   options.seed = static_cast<uint64_t>(
       std::strtoll(flags.Get("seed", "0").c_str(), nullptr, 10));
-  return OptimizeStrategy(w, options);
+  return options;
+}
+
+HdmmResult OptimizeFromFlags(const UnionWorkload& w, const Flags& flags) {
+  return OptimizeStrategy(w, OptionsFromFlags(flags));
 }
 
 int CmdOptimize(const Flags& flags) {
@@ -154,6 +169,8 @@ int CmdOptimize(const Flags& flags) {
 
   const double epsilon = std::strtod(flags.Get("epsilon", "1.0").c_str(),
                                      nullptr);
+  std::printf("plan fingerprint: %s\n",
+              FingerprintPlan(w, OptionsFromFlags(flags)).Hex().c_str());
   HdmmResult result = OptimizeFromFlags(w, flags);
   std::printf("\nchosen operator: %s\n", result.chosen_operator.c_str());
   std::printf("strategy queries: %lld, sensitivity %.6f\n",
@@ -226,7 +243,10 @@ int CmdRun(const Flags& flags) {
                w.domain().ToString().c_str());
 
   // Either reuse a saved strategy (optimize-once workflow) or select one
-  // now; neither path touches the data.
+  // now; neither path touches the data. Either way, report the fingerprint
+  // the serving engine's strategy cache would key this plan under.
+  std::fprintf(stderr, "plan fingerprint: %s\n",
+               FingerprintPlan(w, OptionsFromFlags(flags)).Hex().c_str());
   std::unique_ptr<Strategy> strategy;
   if (flags.Has("strategy")) {
     std::string error;
@@ -281,6 +301,150 @@ int CmdRun(const Flags& flags) {
     for (size_t i = 0; i < answers.size(); ++i) {
       std::printf("%zu,%.4f\n", i, answers[i]);
     }
+  }
+  return 0;
+}
+
+// serve: one long-lived process per dataset release. Planning goes through
+// the engine's strategy cache (so a warm start answers from disk instead of
+// re-running OPT_HDMM), measurements are budgeted by the accountant, and
+// queries are answered from the current measurement session's x_hat — pure
+// post-processing, no further budget.
+int CmdServe(const Flags& flags) {
+  UnionWorkload w;
+  if (!LoadWorkloadFlag(flags, &w)) return 1;
+  const std::string data_path = flags.Get("data");
+  if (data_path.empty()) {
+    std::fprintf(stderr, "missing --data FILE\n");
+    return 1;
+  }
+  Dataset dataset(w.domain());
+  std::string error;
+  if (!LoadCsvDataset(data_path, w.domain(), &dataset, &error)) {
+    std::fprintf(stderr, "%s: %s\n", data_path.c_str(), error.c_str());
+    return 1;
+  }
+
+  EngineOptions engine_options;
+  engine_options.optimizer = OptionsFromFlags(flags);
+  // --seed steers the *noise* draw only. The optimizer seed is part of the
+  // plan fingerprint, so folding the noise seed into it would invalidate
+  // the strategy cache on every reseeded restart; use --opt-seed to
+  // deliberately re-optimize with different random restarts.
+  engine_options.optimizer.seed = static_cast<uint64_t>(
+      std::strtoll(flags.Get("opt-seed", "0").c_str(), nullptr, 10));
+  engine_options.total_epsilon =
+      std::strtod(flags.Get("budget", "1.0").c_str(), nullptr);
+  if (!(engine_options.total_epsilon > 0.0)) {
+    std::fprintf(stderr, "--budget must be positive\n");
+    return 1;
+  }
+  engine_options.cache.disk_dir = flags.Get("cache-dir");
+  // The budget ceiling must survive restarts whenever the strategies do:
+  // with a cache directory the ledger defaults to living next to the
+  // strategies (override with --ledger; an explicit --ledger works without
+  // a cache directory too).
+  engine_options.ledger_path = flags.Get("ledger");
+  if (engine_options.ledger_path.empty() &&
+      !engine_options.cache.disk_dir.empty()) {
+    engine_options.ledger_path =
+        engine_options.cache.disk_dir + "/budget.ledger";
+  }
+  if (!engine_options.cache.disk_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(engine_options.cache.disk_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create --cache-dir '%s': %s\n",
+                   engine_options.cache.disk_dir.c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+  }
+  Engine engine(engine_options);
+
+  const Vector x = dataset.ToDataVector();
+  Rng rng(static_cast<uint64_t>(
+      std::strtoll(flags.Get("seed", "0").c_str(), nullptr, 10)));
+
+  // The ledger keys on the dataset id: canonicalize the path so
+  // `data.csv`, `./data.csv`, and an absolute spelling of the same file
+  // share one budget instead of each getting a fresh ceiling.
+  std::error_code canon_ec;
+  std::string dataset_id =
+      std::filesystem::weakly_canonical(data_path, canon_ec).string();
+  if (canon_ec || dataset_id.empty()) dataset_id = data_path;
+
+  std::printf("serving %s over %s (N=%lld, budget epsilon=%g)\n",
+              flags.Get("workload").c_str(), w.domain().ToString().c_str(),
+              static_cast<long long>(w.DomainSize()),
+              engine.accountant().total_epsilon());
+  std::printf("dataset id: %s\n", dataset_id.c_str());
+
+  // Prewarm: plan before the first measure so startup reports whether this
+  // release hits the cache, and so disk-tier problems surface immediately
+  // instead of as a silent cold plan on every restart.
+  PlanResult plan = engine.Plan(w);
+  std::printf("plan fingerprint: %s (%s, %.1f ms)\n",
+              plan.fingerprint.Hex().c_str(), PlanSourceName(plan.source),
+              1e3 * plan.seconds);
+  if (!plan.cache_error.empty()) {
+    std::fprintf(stderr, "warning: strategy not persisted: %s\n",
+                 plan.cache_error.c_str());
+  }
+  std::fflush(stdout);
+
+  std::unique_ptr<MeasurementSession> session;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    // Strip comments and whitespace-only lines so sessions can be scripted.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream in(line);
+    std::string command;
+    if (!(in >> command)) continue;
+
+    if (command == "quit" || command == "exit") break;
+
+    if (command == "budget") {
+      std::printf("budget spent=%g remaining=%g total=%g\n",
+                  engine.accountant().Spent(dataset_id),
+                  engine.accountant().Remaining(dataset_id),
+                  engine.accountant().total_epsilon());
+    } else if (command == "measure") {
+      double epsilon = 0.0;
+      if (!(in >> epsilon) || !(epsilon > 0.0) || !std::isfinite(epsilon)) {
+        std::printf("error measure needs a positive finite epsilon\n");
+      } else {
+        std::string why;
+        auto next = engine.Measure(w, dataset_id, x, epsilon, &rng, &why);
+        if (next == nullptr) {
+          std::printf("error %s\n", why.c_str());
+        } else {
+          session = std::move(next);
+          std::printf("ok measured epsilon=%g spent=%g remaining=%g\n",
+                      epsilon, engine.accountant().Spent(dataset_id),
+                      engine.accountant().Remaining(dataset_id));
+        }
+      }
+    } else if (command == "point" || command == "range" ||
+               command == "marginal") {
+      if (session == nullptr) {
+        std::printf("error no measurement session (run `measure EPS` first)\n");
+      } else {
+        BoxQuery q;
+        std::string why;
+        if (!ParseQueryLine(line, w.domain(), &q, &why)) {
+          std::printf("error %s\n", why.c_str());
+        } else {
+          std::printf("answer %.4f\n", session->Answer(q));
+        }
+      }
+    } else {
+      std::printf("error unknown command '%s' (measure | point | range | "
+                  "marginal | budget | quit)\n",
+                  command.c_str());
+    }
+    std::fflush(stdout);
   }
   return 0;
 }
@@ -359,6 +523,7 @@ int main(int argc, char** argv) {
 
   if (command == "optimize") return CmdOptimize(flags);
   if (command == "run") return CmdRun(flags);
+  if (command == "serve") return CmdServe(flags);
   if (command == "convert-sql") return CmdConvertSql(flags);
   if (command == "show") return CmdShow(flags);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
