@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "core/error.h"
+#include "core/gaussian.h"
 #include "linalg/kron.h"
 #include "linalg/lsmr.h"
 #include "linalg/pinv.h"
@@ -63,6 +64,15 @@ double ImplicitStackedStrategy::Sensitivity() const {
   double s = 0.0;
   for (const auto& factors : parts_) s += KronSensitivity(factors);
   return s;
+}
+
+double ImplicitStackedStrategy::L2Sensitivity() const {
+  double sq = 0.0;
+  for (const auto& factors : parts_) {
+    const double part = KronL2Sensitivity(factors);
+    sq += part * part;
+  }
+  return std::sqrt(sq);
 }
 
 Vector ImplicitStackedStrategy::Apply(const Vector& x) const {

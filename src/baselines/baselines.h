@@ -43,6 +43,9 @@ class ImplicitStackedStrategy : public Strategy {
   int64_t DomainSize() const override;
   int64_t NumQueries() const override;
   double Sensitivity() const override;
+  /// Same stacked-column upper bound as UnionKronStrategy: sqrt of the sum
+  /// of squared part L2 sensitivities.
+  double L2Sensitivity() const override;
   Vector Apply(const Vector& x) const override;
   Vector Reconstruct(const Vector& y) const override;
   double SquaredError(const UnionWorkload& w) const override;

@@ -25,7 +25,57 @@ double KronL2Sensitivity(const std::vector<Matrix>& factors) {
 double GaussianNoiseScale(double l2_sensitivity, double epsilon,
                           double delta) {
   HDMM_CHECK(epsilon > 0.0 && delta > 0.0 && delta < 1.0);
+  // The classic sqrt(2 ln(1.25/delta)) analysis only proves (eps, delta)-DP
+  // for eps < 1; at eps >= 1 the formula under-noises and the guarantee is
+  // silently void. Large-epsilon callers must calibrate through zCDP:
+  // sigma = GaussianSigmaFromRho(sens, RhoFromEpsilonDelta(eps, delta)).
+  HDMM_CHECK_MSG(epsilon < 1.0,
+                 "classic Gaussian calibration is invalid for epsilon >= 1; "
+                 "use the zCDP path (GaussianSigmaFromRho / "
+                 "RhoFromEpsilonDelta)");
   return l2_sensitivity * std::sqrt(2.0 * std::log(1.25 / delta)) / epsilon;
+}
+
+double GaussianSigmaFromRho(double l2_sensitivity, double rho) {
+  HDMM_CHECK_MSG(std::isfinite(l2_sensitivity) && l2_sensitivity > 0.0,
+                 "L2 sensitivity must be positive and finite");
+  HDMM_CHECK_MSG(std::isfinite(rho) && rho > 0.0,
+                 "rho must be positive and finite");
+  return l2_sensitivity / std::sqrt(2.0 * rho);
+}
+
+double RhoFromGaussianSigma(double l2_sensitivity, double sigma) {
+  HDMM_CHECK_MSG(std::isfinite(l2_sensitivity) && l2_sensitivity > 0.0,
+                 "L2 sensitivity must be positive and finite");
+  HDMM_CHECK_MSG(std::isfinite(sigma) && sigma > 0.0,
+                 "sigma must be positive and finite");
+  return l2_sensitivity * l2_sensitivity / (2.0 * sigma * sigma);
+}
+
+double RhoToEpsilon(double rho, double delta) {
+  HDMM_CHECK_MSG(std::isfinite(rho) && rho >= 0.0,
+                 "rho must be non-negative and finite");
+  HDMM_CHECK_MSG(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+  if (rho == 0.0) return 0.0;
+  return rho + 2.0 * std::sqrt(rho * std::log(1.0 / delta));
+}
+
+double RhoFromEpsilonDelta(double epsilon, double delta) {
+  HDMM_CHECK_MSG(std::isfinite(epsilon) && epsilon > 0.0,
+                 "epsilon must be positive and finite");
+  HDMM_CHECK_MSG(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+  // Solve rho + 2 sqrt(rho L) = eps for rho with L = ln(1/delta): quadratic
+  // in s = sqrt(rho), s^2 + 2 s sqrt(L) - eps = 0, positive root
+  // s = sqrt(L + eps) - sqrt(L).
+  const double l = std::log(1.0 / delta);
+  const double s = std::sqrt(l + epsilon) - std::sqrt(l);
+  return s * s;
+}
+
+double PureDpToRho(double epsilon) {
+  HDMM_CHECK_MSG(std::isfinite(epsilon) && epsilon > 0.0,
+                 "epsilon must be positive and finite");
+  return 0.5 * epsilon * epsilon;
 }
 
 Vector MeasureGaussian(const Strategy& strategy, const Vector& x,

@@ -1,8 +1,21 @@
-// Approximate-DP ((epsilon, delta)) measurement via the Gaussian mechanism.
+// Approximate-DP measurement via the Gaussian mechanism, in two calibrations.
 // Section 3.5 of the paper notes the HDMM machinery "also appl[ies] to a
 // version of MM satisfying approximate differential privacy (delta > 0)":
 // the only changes are L2 (not L1) sensitivity and Gaussian (not Laplace)
 // noise; selection, measurement, and reconstruction are otherwise identical.
+//
+// Two sound ways to set sigma:
+//
+//   classic   sigma = sens * sqrt(2 ln(1.25/delta)) / eps, valid ONLY for
+//             eps < 1 (Dwork & Roth, Thm A.1 — the tail bound underlying the
+//             constant 1.25 fails at eps >= 1, where the formula yields a
+//             sigma that does NOT deliver (eps, delta)-DP).
+//   zCDP      sigma = sens / sqrt(2 rho) gives rho-zCDP exactly, for any
+//             rho > 0 (Bun & Steinke, Prop 1.6). rho-zCDP implies
+//             (rho + 2 sqrt(rho ln(1/delta)), delta)-DP for every delta
+//             (Prop 1.3), composes additively, and is the regime the HDMM
+//             journal version (McKenna et al. 2021) accounts Gaussian
+//             measurements in. This is the path the serving engine uses.
 #ifndef HDMM_CORE_GAUSSIAN_H_
 #define HDMM_CORE_GAUSSIAN_H_
 
@@ -20,12 +33,40 @@ double L2Sensitivity(const Matrix& a);
 /// the sensitivity is the product of the factor sensitivities.
 double KronL2Sensitivity(const std::vector<Matrix>& factors);
 
-/// Classic Gaussian-mechanism noise scale sigma for (epsilon, delta)-DP
-/// (epsilon <= 1 regime): sigma = sens * sqrt(2 ln(1.25/delta)) / epsilon.
+/// Classic Gaussian-mechanism noise scale sigma for (epsilon, delta)-DP:
+/// sigma = sens * sqrt(2 ln(1.25/delta)) / epsilon. Dies unless
+/// 0 < epsilon < 1 — the classic analysis is invalid at epsilon >= 1, where
+/// this formula silently under-noises; large-epsilon callers must go through
+/// the zCDP calibration (GaussianSigmaFromRho with rho = RhoFromEpsilonDelta).
 double GaussianNoiseScale(double l2_sensitivity, double epsilon, double delta);
 
-/// MEASURE under (epsilon, delta)-DP: y = A x + N(0, sigma^2)^m. The caller
-/// supplies the L2 sensitivity of the strategy.
+// --- zCDP calibration and Bun-Steinke conversions ---------------------------
+
+/// Noise scale delivering rho-zCDP: sigma = sens / sqrt(2 rho)
+/// (Bun & Steinke, Prop 1.6). Valid for every rho > 0.
+double GaussianSigmaFromRho(double l2_sensitivity, double rho);
+
+/// The zCDP cost of a Gaussian release at a given sigma:
+/// rho = sens^2 / (2 sigma^2). Inverse of GaussianSigmaFromRho.
+double RhoFromGaussianSigma(double l2_sensitivity, double sigma);
+
+/// rho-zCDP implies (eps, delta)-DP with eps = rho + 2 sqrt(rho ln(1/delta))
+/// (Bun & Steinke, Prop 1.3). Used to report a zCDP ledger in (eps, delta).
+double RhoToEpsilon(double rho, double delta);
+
+/// Largest rho whose Bun-Steinke (eps, delta) guarantee stays within the
+/// given eps: the exact inverse of RhoToEpsilon in rho, i.e.
+/// rho = (sqrt(ln(1/delta) + eps) - sqrt(ln(1/delta)))^2.
+double RhoFromEpsilonDelta(double epsilon, double delta);
+
+/// Pure eps-DP implies (eps^2/2)-zCDP (Bun & Steinke, Prop 1.4): the cost of
+/// accounting a Laplace measurement inside a zCDP ledger.
+double PureDpToRho(double epsilon);
+
+/// MEASURE under (epsilon, delta)-DP with the classic calibration:
+/// y = A x + N(0, sigma^2)^m. The caller supplies the L2 sensitivity of the
+/// strategy. Same epsilon < 1 restriction as GaussianNoiseScale; prefer
+/// Strategy::MeasureGaussian (zCDP) in new code.
 Vector MeasureGaussian(const Strategy& strategy, const Vector& x,
                        double l2_sensitivity, double epsilon, double delta,
                        Rng* rng);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "core/gaussian.h"
 #include "core/measure.h"
 #include "linalg/lsmr.h"
 #include "linalg/pinv.h"
@@ -19,6 +20,17 @@ Vector Strategy::Measure(const Vector& x, double epsilon, Rng* rng) const {
   const double scale = LaplaceScale(Sensitivity(), epsilon);
   Vector answers = Apply(x);
   for (double& v : answers) v += rng->Laplace(scale);
+  return answers;
+}
+
+Vector Strategy::MeasureGaussian(const Vector& x, double rho,
+                                 Rng* rng) const {
+  // GaussianSigmaFromRho validates the contract: rho and the L2 sensitivity
+  // must both be positive and finite, else the noise would be NaN/zero and
+  // the zCDP guarantee silently void.
+  const double sigma = GaussianSigmaFromRho(L2Sensitivity(), rho);
+  Vector answers = Apply(x);
+  for (double& v : answers) v += sigma * rng->Gaussian();
   return answers;
 }
 
@@ -39,6 +51,10 @@ ExplicitStrategy::ExplicitStrategy(Matrix a, std::string name)
     : a_(std::move(a)), name_(std::move(name)) {}
 
 double ExplicitStrategy::Sensitivity() const { return a_.MaxAbsColSum(); }
+
+double ExplicitStrategy::L2Sensitivity() const {
+  return hdmm::L2Sensitivity(a_);
+}
 
 Vector ExplicitStrategy::Apply(const Vector& x) const { return MatVec(a_, x); }
 
@@ -81,6 +97,10 @@ int64_t KronStrategy::NumQueries() const {
 }
 
 double KronStrategy::Sensitivity() const { return KronSensitivity(factors_); }
+
+double KronStrategy::L2Sensitivity() const {
+  return KronL2Sensitivity(factors_);
+}
 
 Vector KronStrategy::Apply(const Vector& x) const {
   return KronMatVec(factors_, x);
@@ -143,6 +163,20 @@ double UnionKronStrategy::Sensitivity() const {
   double s = 0.0;
   for (const auto& factors : parts_) s += KronSensitivity(factors);
   return s;
+}
+
+double UnionKronStrategy::L2Sensitivity() const {
+  // Columns of the stack concatenate the parts' columns, so squared norms
+  // add per column; bounding each part's contribution by its own max column
+  // norm gives max_j ||col_j||^2 <= sum_k max_j ||col_j of part k||^2. An
+  // upper bound — sound to calibrate against, exact when the parts attain
+  // their maxima in the same column (e.g. uniform-column-norm blocks).
+  double sq = 0.0;
+  for (const auto& factors : parts_) {
+    const double part = KronL2Sensitivity(factors);
+    sq += part * part;
+  }
+  return std::sqrt(sq);
 }
 
 Vector UnionKronStrategy::Apply(const Vector& x) const {
@@ -222,6 +256,15 @@ double MarginalsStrategy::Sensitivity() const {
   double s = 0.0;
   for (double t : theta_) s += std::fabs(t);
   return s;
+}
+
+double MarginalsStrategy::L2Sensitivity() const {
+  // One record lands in exactly one cell of every active marginal, with
+  // coefficient theta_a — every column of M(theta) has norm
+  // sqrt(sum_a theta_a^2) exactly.
+  double sq = 0.0;
+  for (double t : theta_) sq += t * t;
+  return std::sqrt(sq);
 }
 
 Vector MarginalsStrategy::Apply(const Vector& x) const {

@@ -34,6 +34,12 @@ class Strategy {
   /// Sensitivity ||A||_1 (maximum absolute column sum).
   virtual double Sensitivity() const = 0;
 
+  /// L2 sensitivity ||A||_2 (maximum column Euclidean norm), the quantity
+  /// Gaussian noise is calibrated to. Implementations may return a sound
+  /// upper bound where the exact maximum has no closed form (union-kron);
+  /// calibrating to an upper bound only adds noise, never loses privacy.
+  virtual double L2Sensitivity() const = 0;
+
   /// Noiseless strategy query answers a = A x.
   virtual Vector Apply(const Vector& x) const = 0;
 
@@ -45,6 +51,11 @@ class Strategy {
 
   /// The MEASURE step (Definition 6): y = A x + Lap(||A||_1 / epsilon)^m.
   Vector Measure(const Vector& x, double epsilon, Rng* rng) const;
+
+  /// The MEASURE step under rho-zCDP: y = A x + N(0, sigma^2)^m with
+  /// sigma = L2Sensitivity() / sqrt(2 rho) (Bun-Steinke Prop 1.6). Same
+  /// positive-and-finite contract on rho as Measure has on epsilon.
+  Vector MeasureGaussian(const Vector& x, double rho, Rng* rng) const;
 
   /// Err(W, A) = (2/eps^2) * SquaredError(W) (Definition 7).
   double TotalSquaredError(const UnionWorkload& w, double epsilon) const;
@@ -62,6 +73,7 @@ class ExplicitStrategy : public Strategy {
   int64_t DomainSize() const override { return a_.cols(); }
   int64_t NumQueries() const override { return a_.rows(); }
   double Sensitivity() const override;
+  double L2Sensitivity() const override;
   Vector Apply(const Vector& x) const override;
   Vector Reconstruct(const Vector& y) const override;
   double SquaredError(const UnionWorkload& w) const override;
@@ -87,6 +99,9 @@ class KronStrategy : public Strategy {
   int64_t DomainSize() const override;
   int64_t NumQueries() const override;
   double Sensitivity() const override;
+  /// Product of factor L2 sensitivities (exact; Kronecker columns are
+  /// Kronecker products of columns).
+  double L2Sensitivity() const override;
   Vector Apply(const Vector& x) const override;
   /// (A_1 x ... x A_d)^+ = A_1^+ x ... x A_d^+ (Section 4.4) applied via
   /// the Kronecker mat-vec algorithm.
@@ -120,6 +135,10 @@ class UnionKronStrategy : public Strategy {
   /// Exact for parts with uniform column sums (true of p-Identity blocks):
   /// sum of part sensitivities.
   double Sensitivity() const override;
+  /// Upper bound sqrt(sum of squared part L2 sensitivities): stacked columns
+  /// concatenate, so the squared column norms add; bounding each part by its
+  /// max column gives a sound (possibly loose) stack bound.
+  double L2Sensitivity() const override;
   Vector Apply(const Vector& x) const override;
   /// No closed-form pseudo-inverse exists (Section 7.2): solves the least
   /// squares problem with LSMR on the implicit stacked operator.
@@ -150,6 +169,10 @@ class MarginalsStrategy : public Strategy {
   int64_t NumQueries() const override;
   /// Every domain cell is counted once per active marginal: sum theta_a.
   double Sensitivity() const override;
+  /// Every domain cell is counted exactly once per active marginal with
+  /// coefficient theta_a, so every column norm is sqrt(sum theta_a^2)
+  /// (exact).
+  double L2Sensitivity() const override;
   Vector Apply(const Vector& x) const override;
   /// M^+ y = (M^T M)^+ M^T y with (M^T M)^{-1} = G(v) from the closed
   /// marginals algebra (Section 7.2 / Appendix A.4).
@@ -159,9 +182,13 @@ class MarginalsStrategy : public Strategy {
   const Vector& theta() const { return theta_; }
   const Domain& domain() const { return domain_; }
 
- private:
-  /// Masks with non-negligible weight, in ascending order.
+  /// Masks with non-negligible weight, in ascending order — the order in
+  /// which Apply/Measure concatenate the per-marginal answer tables, so
+  /// callers (e.g. marginal-table measurement sessions) can split y back
+  /// into tables.
   std::vector<uint32_t> ActiveMasks() const;
+
+ private:
   std::vector<Matrix> MarginalFactors(uint32_t mask) const;
 
   Domain domain_;

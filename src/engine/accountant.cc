@@ -1,93 +1,320 @@
 #include "engine/accountant.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "common/check.h"
+#include "core/gaussian.h"
 
 namespace hdmm {
 
 namespace {
-// Tolerance for "exactly exhausting" the budget: splitting epsilon_total
-// into k equal parts accumulates k-1 roundings, which must not strand an
-// unusable sliver or refuse the final legitimate charge.
+
+// Tolerance for "exactly exhausting" the budget: splitting the total into k
+// equal parts accumulates k-1 roundings, which must not strand an unusable
+// sliver or refuse the final legitimate charge.
 constexpr double kRelSlack = 1e-12;
+
+constexpr char kLedgerHeaderV2[] = "hdmm-budget-ledger v2";
+
+// One replayed ledger record, in mechanism-native units (epsilon for
+// laplace, rho for gaussian).
+struct LedgerRecord {
+  Mechanism mechanism = Mechanism::kLaplace;
+  double value = 0.0;
+  double delta = 0.0;
+  std::string dataset;
+};
+
+bool ParseStrictDouble(const std::string& token, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  return !token.empty() && end == token.c_str() + token.size();
+}
+
+// Parses one record line of either format. v1: `<epsilon> <dataset...>`.
+// v2: `<mechanism> <value> <delta> <dataset...>`.
+bool ParseRecordLine(const std::string& line, bool v2, LedgerRecord* out) {
+  std::istringstream fields(line);
+  std::string token;
+  if (v2) {
+    if (!(fields >> token) || !ParseMechanismName(token, &out->mechanism))
+      return false;
+  } else {
+    out->mechanism = Mechanism::kLaplace;
+  }
+  if (!(fields >> token) || !ParseStrictDouble(token, &out->value) ||
+      !std::isfinite(out->value) || out->value <= 0.0) {
+    return false;
+  }
+  if (v2) {
+    if (!(fields >> token) || !ParseStrictDouble(token, &out->delta) ||
+        !std::isfinite(out->delta) || out->delta < 0.0 || out->delta >= 1.0) {
+      return false;
+    }
+  } else {
+    out->delta = 0.0;
+  }
+  std::getline(fields, out->dataset);
+  const size_t start = out->dataset.find_first_not_of(' ');
+  if (start == std::string::npos) return false;
+  out->dataset.erase(0, start);
+  return true;
+}
+
+void FormatRecord(std::FILE* file, const LedgerRecord& record) {
+  std::fprintf(file, "%s %.17g %.17g %s\n", MechanismName(record.mechanism),
+               record.value, record.delta, record.dataset.c_str());
+}
+
+// Flush userspace buffers AND the kernel page cache: fflush alone leaves the
+// record in memory, where a power loss silently un-spends recorded budget.
+void FlushAndSyncOrDie(std::FILE* file) {
+  HDMM_CHECK_MSG(std::fflush(file) == 0,
+                 "budget ledger write failed; refusing to spend unrecorded "
+                 "budget");
+  HDMM_CHECK_MSG(::fsync(::fileno(file)) == 0,
+                 "budget ledger fsync failed; refusing to spend unrecorded "
+                 "budget");
+}
+
+// Best-effort directory sync so a rename is itself durable.
+void SyncParentDir(const std::string& path) {
+  const std::string dir =
+      std::filesystem::path(path).parent_path().string();
+  const int fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
 }  // namespace
+
+BudgetAccountant::BudgetAccountant(BudgetAccountantOptions options)
+    : options_(std::move(options)) {
+  if (options_.regime == BudgetRegime::kPureDp) {
+    HDMM_CHECK_MSG(
+        std::isfinite(options_.total_epsilon) && options_.total_epsilon > 0.0,
+        "total epsilon must be positive and finite");
+    total_budget_ = options_.total_epsilon;
+  } else {
+    HDMM_CHECK_MSG(options_.delta > 0.0 && options_.delta < 1.0,
+                   "zcdp regime needs a reporting delta in (0, 1)");
+    if (options_.total_rho > 0.0) {
+      HDMM_CHECK_MSG(std::isfinite(options_.total_rho),
+                     "total rho must be positive and finite");
+      total_budget_ = options_.total_rho;
+    } else {
+      HDMM_CHECK_MSG(std::isfinite(options_.total_epsilon) &&
+                         options_.total_epsilon > 0.0,
+                     "total epsilon must be positive and finite");
+      total_budget_ =
+          RhoFromEpsilonDelta(options_.total_epsilon, options_.delta);
+    }
+  }
+  if (!options_.ledger_path.empty()) LoadLedger();
+}
 
 BudgetAccountant::BudgetAccountant(double total_epsilon,
                                    const std::string& ledger_path)
-    : total_epsilon_(total_epsilon), ledger_path_(ledger_path) {
-  HDMM_CHECK_MSG(std::isfinite(total_epsilon) && total_epsilon > 0.0,
-                 "total epsilon must be positive and finite");
-  if (!ledger_path_.empty()) {
-    ReplayLedgerFile();
-    ledger_file_ = std::fopen(ledger_path_.c_str(), "a");
-    HDMM_CHECK_MSG(ledger_file_ != nullptr,
-                   "cannot open the budget ledger for appending");
-  }
-}
+    : BudgetAccountant([&] {
+        BudgetAccountantOptions options;
+        options.regime = BudgetRegime::kPureDp;
+        options.total_epsilon = total_epsilon;
+        options.ledger_path = ledger_path;
+        return options;
+      }()) {}
 
 BudgetAccountant::~BudgetAccountant() {
   if (ledger_file_ != nullptr) std::fclose(ledger_file_);
+  if (lock_fd_ >= 0) ::close(lock_fd_);  // Releases the flock.
 }
 
-// Ledger file format, one line per successful charge:
-//   <epsilon> <dataset...to end of line>
-// The epsilon leads so dataset names may contain spaces. Replay restores the
-// per-dataset running sums; past charges are history, so they are summed
-// without re-checking the ceiling (the configured total may have changed
-// between runs — overspent datasets simply have no remaining budget).
-void BudgetAccountant::ReplayLedgerFile() {
-  std::ifstream in(ledger_path_);
-  if (!in) return;  // No ledger yet: nothing spent.
-  std::string line;
-  int line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty()) continue;
-    std::istringstream fields(line);
-    std::string eps_token;
-    fields >> eps_token;
-    char* end = nullptr;
-    const double epsilon = std::strtod(eps_token.c_str(), &end);
-    const bool eps_ok = !eps_token.empty() &&
-                        end == eps_token.c_str() + eps_token.size() &&
-                        std::isfinite(epsilon) && epsilon > 0.0;
-    std::string dataset;
-    std::getline(fields, dataset);
-    const size_t start = dataset.find_first_not_of(' ');
-    HDMM_CHECK_MSG(eps_ok && start != std::string::npos,
-                   "malformed budget ledger line (a corrupt privacy ledger "
-                   "must not be ignored)");
-    dataset.erase(0, start);
-    Ledger& ledger = ledgers_[dataset];
-    ledger.spent += epsilon;
+// Replays the ledger (v1 or v2), migrates it to canonical v2 via an atomic
+// tmp + rename, and leaves an fsync-backed append handle open. Past charges
+// are history: they are summed without re-checking the ceiling (the
+// configured total may have changed between runs — overspent datasets simply
+// have no remaining budget).
+void BudgetAccountant::LoadLedger() {
+  // Cross-process exclusion first: two accountants replaying one ledger
+  // would each see the pre-existing spend only, and could jointly spend up
+  // to twice the ceiling. The lock lives on a sidecar file because the
+  // ledger itself is atomically replaced below (a lock on a renamed-over
+  // inode would no longer exclude anyone).
+  const std::string lock_path = options_.ledger_path + ".lock";
+  lock_fd_ = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  HDMM_CHECK_MSG(lock_fd_ >= 0, "cannot open the budget ledger lock file");
+  HDMM_CHECK_MSG(::flock(lock_fd_, LOCK_EX | LOCK_NB) == 0,
+                 "budget ledger is locked by another accountant; two "
+                 "processes sharing a ledger could jointly double-spend the "
+                 "budget, so serving of a dataset must go through one "
+                 "process");
+
+  std::vector<LedgerRecord> records;
+  std::ifstream in(options_.ledger_path, std::ios::binary);
+  if (in) {
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string content = buffer.str();
+    in.close();
+
+    const bool ends_with_newline =
+        !content.empty() && content.back() == '\n';
+    std::istringstream lines(content);
+    std::string line;
+    std::vector<std::string> raw;
+    while (std::getline(lines, line)) raw.push_back(line);
+
+    size_t first = 0;
+    bool v2 = false;
+    if (!raw.empty() && raw[0] == kLedgerHeaderV2) {
+      v2 = true;
+      first = 1;
+    }
+    for (size_t i = first; i < raw.size(); ++i) {
+      if (raw[i].empty() ||
+          raw[i].find_first_not_of(" \t\r") == std::string::npos) {
+        continue;
+      }
+      LedgerRecord record;
+      if (!ParseRecordLine(raw[i], v2, &record)) {
+        // A malformed FINAL line with no trailing newline is the signature
+        // of a crash mid-append. By the durable-before-spendable protocol
+        // the charge it describes was never acted on (TryCharge only
+        // returns after the full record is on disk), so dropping it cannot
+        // under-record; the canonical rewrite below truncates it away.
+        if (i + 1 == raw.size() && !ends_with_newline) break;
+        HDMM_CHECK_MSG(false,
+                       "malformed budget ledger line (a corrupt privacy "
+                       "ledger must not be ignored)");
+      }
+      records.push_back(std::move(record));
+    }
+  }
+
+  // Apply the replayed history in regime units. A record the regime cannot
+  // express (Gaussian history under a pure-dp accountant) is a configuration
+  // error, not a runtime condition: it must abort, or the Gaussian spend
+  // would silently vanish from the ledger.
+  for (const LedgerRecord& record : records) {
+    PrivacyCharge charge;
+    charge.mechanism = record.mechanism;
+    (record.mechanism == Mechanism::kLaplace ? charge.epsilon : charge.rho) =
+        record.value;
+    double cost = 0.0;
+    std::string why;
+    HDMM_CHECK_MSG(RegimeCost(charge, &cost, &why),
+                   "budget ledger contains charges this accounting regime "
+                   "cannot express (Gaussian history needs the zcdp regime)");
+    Ledger& ledger = ledgers_[record.dataset];
+    ledger.spent += cost;
     ++ledger.charges;
   }
+
+  // Canonical v2 rewrite: migrates v1 files, truncates torn tails, and
+  // guarantees the append handle below always starts at a record boundary.
+  const std::string tmp_path = options_.ledger_path + ".tmp";
+  std::FILE* tmp = std::fopen(tmp_path.c_str(), "w");
+  HDMM_CHECK_MSG(tmp != nullptr,
+                 "cannot write the migrated budget ledger");
+  std::fprintf(tmp, "%s\n", kLedgerHeaderV2);
+  for (const LedgerRecord& record : records) FormatRecord(tmp, record);
+  FlushAndSyncOrDie(tmp);
+  std::fclose(tmp);
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, options_.ledger_path, ec);
+  HDMM_CHECK_MSG(!ec, "cannot atomically replace the budget ledger");
+  SyncParentDir(options_.ledger_path);
+
+  ledger_file_ = std::fopen(options_.ledger_path.c_str(), "a");
+  HDMM_CHECK_MSG(ledger_file_ != nullptr,
+                 "cannot open the budget ledger for appending");
 }
 
-bool BudgetAccountant::TryCharge(const std::string& dataset, double epsilon) {
-  HDMM_CHECK_MSG(std::isfinite(epsilon) && epsilon > 0.0,
-                 "epsilon must be positive and finite");
+bool BudgetAccountant::RegimeCost(const PrivacyCharge& charge, double* cost,
+                                  std::string* why) const {
+  if (charge.mechanism == Mechanism::kLaplace) {
+    HDMM_CHECK_MSG(std::isfinite(charge.epsilon) && charge.epsilon > 0.0,
+                   "epsilon must be positive and finite");
+    *cost = options_.regime == BudgetRegime::kPureDp
+                ? charge.epsilon
+                : PureDpToRho(charge.epsilon);
+    return true;
+  }
+  HDMM_CHECK_MSG(std::isfinite(charge.rho) && charge.rho > 0.0,
+                 "rho must be positive and finite");
+  if (options_.regime == BudgetRegime::kPureDp) {
+    // A Gaussian release satisfies no finite pure epsilon; pretending
+    // otherwise (e.g. charging its reported epsilon) would not compose
+    // soundly. Refuse instead of approximating.
+    if (why != nullptr) {
+      *why = "a Gaussian (zCDP) charge cannot be accounted in the pure-dp "
+             "regime; configure the zcdp regime";
+    }
+    return false;
+  }
+  *cost = charge.rho;
+  return true;
+}
+
+bool BudgetAccountant::TryCharge(const std::string& dataset,
+                                 const PrivacyCharge& charge,
+                                 std::string* why) {
+  double cost = 0.0;
+  if (!RegimeCost(charge, &cost, why)) return false;
   std::lock_guard<std::mutex> lock(mu_);
   Ledger& ledger = ledgers_[dataset];
-  if (ledger.spent + epsilon > total_epsilon_ * (1.0 + kRelSlack)) {
+  if (ledger.spent + cost > total_budget_ * (1.0 + kRelSlack)) {
+    if (why != nullptr) {
+      std::ostringstream msg;
+      msg << "budget exceeded: spent " << ledger.spent << " of "
+          << total_budget_ << " " << BudgetRegimeName(options_.regime)
+          << " budget, charge costs " << cost;
+      *why = msg.str();
+    }
     return false;
   }
   if (ledger_file_ != nullptr) {
-    // Durable before spendable: the charge hits the disk ledger before the
-    // caller is told to draw noise, so a crash can only over-record (refuse
-    // budget that was never used), never under-record.
-    std::fprintf(ledger_file_, "%.17g %s\n", epsilon, dataset.c_str());
-    HDMM_CHECK_MSG(std::fflush(ledger_file_) == 0,
-                   "budget ledger write failed; refusing to spend "
-                   "unrecorded budget");
+    // Durable before spendable: the record reaches the disk ledger (through
+    // the page cache — fsync, not just fflush) before the caller is told to
+    // draw noise, so a crash can only over-record (refuse budget that was
+    // never used), never under-record.
+    AppendRecordLocked(charge, dataset);
   }
-  ledger.spent += epsilon;
+  ledger.spent += cost;
   ++ledger.charges;
   return true;
+}
+
+bool BudgetAccountant::TryCharge(const std::string& dataset, double epsilon) {
+  return TryCharge(dataset, PrivacyCharge::Laplace(epsilon));
+}
+
+void BudgetAccountant::AppendRecordLocked(const PrivacyCharge& charge,
+                                          const std::string& dataset) {
+  LedgerRecord record;
+  record.mechanism = charge.mechanism;
+  if (charge.mechanism == Mechanism::kLaplace) {
+    record.value = charge.epsilon;
+    record.delta = 0.0;
+  } else {
+    record.value = charge.rho;
+    record.delta = options_.delta;
+  }
+  record.dataset = dataset;
+  FormatRecord(ledger_file_, record);
+  FlushAndSyncOrDie(ledger_file_);
 }
 
 double BudgetAccountant::Spent(const std::string& dataset) const {
@@ -100,13 +327,28 @@ double BudgetAccountant::Remaining(const std::string& dataset) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = ledgers_.find(dataset);
   const double spent = it == ledgers_.end() ? 0.0 : it->second.spent;
-  return spent >= total_epsilon_ ? 0.0 : total_epsilon_ - spent;
+  return spent >= total_budget_ ? 0.0 : total_budget_ - spent;
 }
 
 int64_t BudgetAccountant::NumCharges(const std::string& dataset) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = ledgers_.find(dataset);
   return it == ledgers_.end() ? 0 : it->second.charges;
+}
+
+double BudgetAccountant::TotalBudget() const { return total_budget_; }
+
+double BudgetAccountant::total_epsilon() const {
+  return options_.regime == BudgetRegime::kPureDp
+             ? options_.total_epsilon
+             : RhoToEpsilon(total_budget_, options_.delta);
+}
+
+double BudgetAccountant::ReportedEpsilon(const std::string& dataset) const {
+  const double spent = Spent(dataset);
+  return options_.regime == BudgetRegime::kPureDp
+             ? spent
+             : RhoToEpsilon(spent, options_.delta);
 }
 
 }  // namespace hdmm

@@ -1,23 +1,43 @@
-// Per-dataset privacy-budget ledger with sequential composition. Strategy
-// selection is data-independent and free (Section 7.3 of the paper); only
-// MEASURE spends budget, and under sequential composition the epsilons of
-// successive measurements of the same dataset add. The accountant enforces a
-// hard per-dataset ceiling: a measurement that would push the running sum
-// past the configured total is refused *before* any noise is drawn, so a
-// refused request leaks nothing.
+// Per-dataset privacy-budget ledger. Strategy selection is data-independent
+// and free (Section 7.3 of the paper); only MEASURE spends budget. The
+// accountant enforces a hard per-dataset ceiling: a measurement that would
+// push the running spend past the configured total is refused *before* any
+// noise is drawn, so a refused request leaks nothing.
 //
-// The ceiling is only as durable as the ledger. An in-memory ledger resets
-// on restart — each process would get the full budget again — so deployments
-// that persist strategies across restarts must persist the ledger too: pass
-// `ledger_path` and every successful charge is appended and flushed to that
-// file before TryCharge returns, and prior charges are replayed from it on
-// construction. Charges are durable before they are spendable.
+// Two composition regimes (see engine/privacy.h):
 //
-// Scope: one accountant (one process) owns a ledger at a time. The file is
-// replayed at construction only and appended without cross-process locking,
-// so N concurrent processes sharing a ledger could jointly spend up to N
-// times the ceiling. Serialize serving of a dataset through one process;
-// cross-process ledger locking is a ROADMAP item.
+//   pure-dp  Laplace only; epsilons add. zCDP charges are refused (a
+//            Gaussian release has no finite pure-eps cost).
+//   zcdp     rho adds (Bun-Steinke): Gaussian charges cost their rho,
+//            Laplace charges cost eps^2/2 (Prop 1.4). The running rho is
+//            reported as (eps, delta)-DP via eps = rho + 2 sqrt(rho ln(1/d))
+//            (Prop 1.3) at the accountant's configured reporting delta.
+//
+// Durability: the ceiling is only as durable as the ledger. With a
+// `ledger_path` every successful charge is appended, flushed, AND fsync'd to
+// disk before TryCharge returns — charges are durable before they are
+// spendable, so a crash can only over-record (refuse budget that was never
+// used), never under-record. Prior charges are replayed at construction.
+//
+// Ledger format v2 (versioned; one record per line after the header):
+//
+//   hdmm-budget-ledger v2
+//   <mechanism> <epsilon-or-rho> <delta> <dataset...to end of line>
+//
+// where <mechanism> is `laplace` (value = epsilon, delta = 0) or `gaussian`
+// (value = rho, delta = the reporting delta at charge time). Headerless v1
+// files (`<epsilon> <dataset>` per line, pure-eps charges) replay cleanly
+// and are migrated to v2 in place (atomic tmp + rename) at construction. A
+// torn final record without a trailing newline — the signature of a crash
+// mid-append, whose charge was by construction never acted on — is dropped
+// and truncated away; any other malformed content aborts, because a corrupt
+// privacy ledger must never be silently ignored.
+//
+// Cross-process exclusion: the accountant takes a `flock` on
+// `<ledger_path>.lock` for its whole lifetime and dies if another process
+// (or another accountant in this process) already holds it — two serving
+// processes replaying one ledger could otherwise jointly spend up to twice
+// the ceiling. Serialize serving of a dataset through one accountant.
 #ifndef HDMM_ENGINE_ACCOUNTANT_H_
 #define HDMM_ENGINE_ACCOUNTANT_H_
 
@@ -28,16 +48,40 @@
 #include <unordered_map>
 #include <vector>
 
+#include "engine/privacy.h"
+
 namespace hdmm {
+
+struct BudgetAccountantOptions {
+  /// Composition regime; fixes the currency of the ceiling and of
+  /// Spent/Remaining (epsilon for kPureDp, rho for kZCdp).
+  BudgetRegime regime = BudgetRegime::kPureDp;
+
+  /// Per-dataset ceiling in pure-dp regime. Must be positive and finite
+  /// when regime == kPureDp.
+  double total_epsilon = 1.0;
+
+  /// Per-dataset ceiling in zcdp regime. When 0 (and regime == kZCdp) it is
+  /// derived from (total_epsilon, delta) via the Bun-Steinke inverse, i.e.
+  /// the largest rho whose reported epsilon stays within total_epsilon.
+  double total_rho = 0.0;
+
+  /// Reporting delta for the zcdp regime's rho -> (eps, delta) conversion.
+  double delta = 1e-9;
+
+  /// Durable ledger file; empty keeps the ledger in memory only (resets on
+  /// restart — each process would get the full budget again).
+  std::string ledger_path;
+};
 
 class BudgetAccountant {
  public:
-  /// `total_epsilon` is the per-dataset ceiling; must be positive and
-  /// finite (dies otherwise — an unbounded or non-numeric budget is a
-  /// configuration bug, not a runtime condition). A non-empty `ledger_path`
-  /// makes the ledger durable: existing charges in the file are replayed
-  /// (dying on malformed content — a corrupt privacy ledger must never be
-  /// silently ignored), and new charges are appended write-through.
+  /// Dies on non-positive / non-finite ceilings, on a malformed ledger, or
+  /// when another accountant holds the ledger lock.
+  explicit BudgetAccountant(BudgetAccountantOptions options);
+
+  /// Pure-dp convenience constructor (the pre-zCDP interface): epsilon
+  /// ceiling, sequential composition, optional durable ledger.
   explicit BudgetAccountant(double total_epsilon,
                             const std::string& ledger_path = "");
   ~BudgetAccountant();
@@ -45,38 +89,66 @@ class BudgetAccountant {
   BudgetAccountant(const BudgetAccountant&) = delete;
   BudgetAccountant& operator=(const BudgetAccountant&) = delete;
 
-  /// Attempts to charge `epsilon` against `dataset`'s ledger. Returns true
-  /// and records the charge when spent + epsilon <= total (up to a relative
-  /// tolerance absorbing floating-point accumulation); returns false and
-  /// records nothing when the charge would exceed the budget. Dies on
-  /// epsilon that is not positive and finite: NaN/inf/zero noise scales are
-  /// never a meaningful request.
+  /// Attempts to charge `charge` against `dataset`'s ledger. Returns true
+  /// and durably records the charge when the regime cost fits under the
+  /// ceiling (up to a relative tolerance absorbing floating-point
+  /// accumulation); returns false — recording nothing and, when `why` is
+  /// given, explaining — when the charge would exceed the budget or cannot
+  /// be soundly expressed in this regime (a zCDP charge against a pure-dp
+  /// accountant). Dies on costs that are not positive and finite: NaN/inf/
+  /// zero noise scales are never a meaningful request.
+  bool TryCharge(const std::string& dataset, const PrivacyCharge& charge,
+                 std::string* why = nullptr);
+
+  /// Laplace shorthand: TryCharge(dataset, PrivacyCharge::Laplace(epsilon)).
   bool TryCharge(const std::string& dataset, double epsilon);
 
-  /// Budget already consumed by `dataset` (0 for unknown datasets).
+  /// Budget already consumed by `dataset` in regime units (epsilon for
+  /// pure-dp, rho for zcdp); 0 for unknown datasets.
   double Spent(const std::string& dataset) const;
 
-  /// total - Spent(dataset), clamped at 0.
+  /// TotalBudget() - Spent(dataset), clamped at 0.
   double Remaining(const std::string& dataset) const;
 
   /// Number of successful charges against `dataset`.
   int64_t NumCharges(const std::string& dataset) const;
 
-  double total_epsilon() const { return total_epsilon_; }
+  /// The per-dataset ceiling in regime units (== total_epsilon() for
+  /// pure-dp, == the rho ceiling for zcdp).
+  double TotalBudget() const;
+
+  /// The ceiling as an epsilon: the configured total for pure-dp, the
+  /// Bun-Steinke (eps, delta) report of the rho ceiling for zcdp.
+  double total_epsilon() const;
+
+  /// The (eps, delta)-DP guarantee currently delivered for `dataset`: the
+  /// spent epsilon for pure-dp (delta = 0), RhoToEpsilon(spent, delta) for
+  /// zcdp.
+  double ReportedEpsilon(const std::string& dataset) const;
+
+  BudgetRegime regime() const { return options_.regime; }
+  double delta() const { return options_.delta; }
 
  private:
   struct Ledger {
-    double spent = 0.0;
+    double spent = 0.0;  // Regime units: epsilon (pure-dp) or rho (zcdp).
     int64_t charges = 0;
   };
 
-  void ReplayLedgerFile();
+  /// The charge's cost in regime units, or a refusal (false + *why).
+  bool RegimeCost(const PrivacyCharge& charge, double* cost,
+                  std::string* why) const;
 
-  const double total_epsilon_;
-  const std::string ledger_path_;
+  void LoadLedger();
+  void AppendRecordLocked(const PrivacyCharge& charge,
+                          const std::string& dataset);
+
+  BudgetAccountantOptions options_;
+  double total_budget_ = 0.0;  // Ceiling in regime units.
   mutable std::mutex mu_;
   std::unordered_map<std::string, Ledger> ledgers_;
   std::FILE* ledger_file_ = nullptr;  // Append handle when persistent.
+  int lock_fd_ = -1;                  // flock'd <ledger_path>.lock handle.
 };
 
 }  // namespace hdmm

@@ -140,22 +140,87 @@ bool ParseQueryLine(const std::string& line, const Domain& domain,
 MeasurementSession::MeasurementSession(
     Domain domain, Vector x_hat, double epsilon,
     std::shared_ptr<const Strategy> strategy)
-    : domain_(std::move(domain)),
-      x_hat_(std::move(x_hat)),
-      epsilon_(epsilon),
-      strategy_(std::move(strategy)) {
-  const int d = domain_.NumAttributes();
-  HDMM_CHECK(static_cast<int64_t>(x_hat_.size()) == domain_.TotalSize());
-  HDMM_CHECK_MSG(d <= 30, "box-query answering supports at most 30 attributes");
+    : MeasurementSession(std::move(domain), std::move(x_hat),
+                         PrivacyCharge::Laplace(epsilon),
+                         std::move(strategy)) {}
 
+MeasurementSession::MeasurementSession(
+    Domain domain, Vector x_hat, PrivacyCharge charge,
+    std::shared_ptr<const Strategy> strategy)
+    : domain_(std::move(domain)),
+      charge_(charge),
+      strategy_(std::move(strategy)) {
+  HDMM_CHECK(static_cast<int64_t>(x_hat.size()) == domain_.TotalSize());
+  InitStrides();
+  x_hat_ = std::move(x_hat);
+  // Eager sessions materialize the summed-area table up front: the x_hat is
+  // already paid for, and Answer must stay lock-free in the common case.
+  BuildPrefixFromXHat();
+  materialized_.store(true, std::memory_order_release);
+}
+
+MeasurementSession::MeasurementSession(
+    Domain domain, std::shared_ptr<const MarginalsStrategy> strategy,
+    Vector y, PrivacyCharge charge)
+    : domain_(std::move(domain)), charge_(charge), strategy_(strategy) {
+  HDMM_CHECK(strategy != nullptr);
+  InitStrides();
+  BuildMarginalTables(*strategy, y);
+  y_ = std::move(y);
+}
+
+void MeasurementSession::InitStrides() {
+  const int d = domain_.NumAttributes();
+  HDMM_CHECK_MSG(d <= 30, "box-query answering supports at most 30 attributes");
   strides_.assign(static_cast<size_t>(d), 1);
   for (int i = d - 2; i >= 0; --i) {
     strides_[static_cast<size_t>(i)] =
         strides_[static_cast<size_t>(i + 1)] * domain_.AttributeSize(i + 1);
   }
+}
 
-  // Summed-area table: one prefix pass per axis turns
-  // prefix_[t] into sum_{s <= t componentwise} x_hat[s].
+// Splits the raw measurement vector back into per-mask tables (Apply
+// concatenates them in ActiveMasks order, each laid out row-major over the
+// kept attributes) and unscales by theta so each table is the unbiased DP
+// estimate of its marginal.
+void MeasurementSession::BuildMarginalTables(const MarginalsStrategy& strategy,
+                                             const Vector& y) {
+  const Vector& theta = strategy.theta();
+  size_t offset = 0;
+  for (uint32_t mask : strategy.ActiveMasks()) {
+    MeasuredMarginal table;
+    table.mask = mask;
+    int64_t cells = 1;
+    for (int i = 0; i < domain_.NumAttributes(); ++i) {
+      if ((mask >> i) & 1u) {
+        table.attrs.push_back(i);
+        cells *= domain_.AttributeSize(i);
+      }
+    }
+    table.strides.assign(table.attrs.size(), 1);
+    for (int i = static_cast<int>(table.attrs.size()) - 2; i >= 0; --i) {
+      table.strides[static_cast<size_t>(i)] =
+          table.strides[static_cast<size_t>(i + 1)] *
+          domain_.AttributeSize(table.attrs[static_cast<size_t>(i + 1)]);
+    }
+    const double weight = theta[mask];
+    HDMM_CHECK_MSG(weight > 0.0, "active marginal with non-positive weight");
+    table.values.resize(static_cast<size_t>(cells));
+    HDMM_CHECK(offset + table.values.size() <= y.size());
+    for (int64_t i = 0; i < cells; ++i) {
+      table.values[static_cast<size_t>(i)] =
+          y[offset + static_cast<size_t>(i)] / weight;
+    }
+    offset += table.values.size();
+    marginal_tables_.push_back(std::move(table));
+  }
+  HDMM_CHECK(offset == y.size());
+}
+
+// Summed-area table of x_hat_: one prefix pass per axis turns prefix_[t]
+// into sum_{s <= t componentwise} x_hat[s].
+void MeasurementSession::BuildPrefixFromXHat() const {
+  const int d = domain_.NumAttributes();
   prefix_ = x_hat_;
   const int64_t n = static_cast<int64_t>(prefix_.size());
   for (int a = 0; a < d; ++a) {
@@ -166,6 +231,99 @@ MeasurementSession::MeasurementSession(
           prefix_[static_cast<size_t>(i - stride)];
     }
   }
+}
+
+const Vector& MeasurementSession::Prefix() const {
+  // Double-checked: the release store below publishes the fully built
+  // prefix_, so once the acquire load sees true every reader is lock-free —
+  // pool workers answering a batch must not serialize on the mutex.
+  if (!materialized_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(lazy_mu_);
+    if (!materialized_.load(std::memory_order_relaxed)) {
+      // First uncovered query on a marginals-measured session: reconstruct
+      // x_hat through the strategy's closed-form pseudo-inverse, then build
+      // the summed-area table. Post-processing only — no budget involved.
+      x_hat_ = strategy_->Reconstruct(y_);
+      HDMM_CHECK(static_cast<int64_t>(x_hat_.size()) == domain_.TotalSize());
+      BuildPrefixFromXHat();
+      // The raw measurement is dead weight from here on: covered queries
+      // read marginal_tables_, everything else reads prefix_.
+      y_.clear();
+      y_.shrink_to_fit();
+      materialized_.store(true, std::memory_order_release);
+    }
+  }
+  return prefix_;
+}
+
+const Vector& MeasurementSession::XHat() const {
+  Prefix();  // Materializes x_hat_ as a side effect.
+  return x_hat_;
+}
+
+const MeasuredMarginal* MeasurementSession::CoveringTable(
+    const BoxQuery& q) const {
+  if (marginal_tables_.empty()) return nullptr;
+  const int d = domain_.NumAttributes();
+  uint32_t constrained = 0;
+  for (int i = 0; i < d; ++i) {
+    if (q.lo[static_cast<size_t>(i)] != 0 ||
+        q.hi[static_cast<size_t>(i)] != domain_.AttributeSize(i) - 1) {
+      constrained |= 1u << i;
+    }
+  }
+  const MeasuredMarginal* best = nullptr;
+  int64_t best_cells = 0;
+  for (const MeasuredMarginal& table : marginal_tables_) {
+    if ((constrained & ~table.mask) != 0) continue;  // Not covered.
+    int64_t cells = 1;
+    for (int attr : table.attrs) {
+      cells *= q.hi[static_cast<size_t>(attr)] -
+               q.lo[static_cast<size_t>(attr)] + 1;
+    }
+    if (best == nullptr || cells < best_cells) {
+      best = &table;
+      best_cells = cells;
+    }
+  }
+  return best;
+}
+
+bool MeasurementSession::CoveredByMarginal(const BoxQuery& q) const {
+  return CoveringTable(q) != nullptr;
+}
+
+// Sums the table over the query's sub-box (odometer over the kept
+// attributes). Cost is the number of covered marginal cells — independent of
+// the full domain size, which is the point of serving from marginal tables.
+double MeasurementSession::AnswerFromTable(const MeasuredMarginal& table,
+                                           const BoxQuery& q) const {
+  const size_t k = table.attrs.size();
+  std::vector<int64_t> coord(k);
+  int64_t index = 0;
+  for (size_t i = 0; i < k; ++i) {
+    coord[i] = q.lo[static_cast<size_t>(table.attrs[i])];
+    index += coord[i] * table.strides[i];
+  }
+  double total = 0.0;
+  while (true) {
+    total += table.values[static_cast<size_t>(index)];
+    size_t axis = k;
+    while (axis > 0) {
+      const size_t i = axis - 1;
+      const int attr = table.attrs[i];
+      if (coord[i] < q.hi[static_cast<size_t>(attr)]) {
+        ++coord[i];
+        index += table.strides[i];
+        break;
+      }
+      index -= (coord[i] - q.lo[static_cast<size_t>(attr)]) * table.strides[i];
+      coord[i] = q.lo[static_cast<size_t>(attr)];
+      --axis;
+    }
+    if (axis == 0) break;
+  }
+  return total;
 }
 
 double MeasurementSession::Answer(const BoxQuery& q) const {
@@ -180,8 +338,16 @@ double MeasurementSession::Answer(const BoxQuery& q) const {
                        q.hi[static_cast<size_t>(i)] < domain_.AttributeSize(i),
                    "query bounds outside the domain");
   }
+
+  // Marginals-measured sessions answer covered queries straight from the
+  // smallest covering measured table — no full-domain reconstruction.
+  if (const MeasuredMarginal* table = CoveringTable(q)) {
+    return AnswerFromTable(*table, q);
+  }
+
   // Inclusion-exclusion over the 2^d box corners: corner bit i picks the
   // (lo_i - 1) face; a corner with any coordinate -1 contributes zero.
+  const Vector& prefix = Prefix();
   double total = 0.0;
   const uint32_t corners = 1u << d;
   for (uint32_t mask = 0; mask < corners; ++mask) {
@@ -199,7 +365,7 @@ double MeasurementSession::Answer(const BoxQuery& q) const {
     }
     if (outside) continue;
     const bool negate = __builtin_popcount(mask) & 1;
-    const double term = prefix_[static_cast<size_t>(index)];
+    const double term = prefix[static_cast<size_t>(index)];
     total += negate ? -term : term;
   }
   return total;
@@ -207,6 +373,18 @@ double MeasurementSession::Answer(const BoxQuery& q) const {
 
 Vector MeasurementSession::AnswerBatch(
     const std::vector<BoxQuery>& queries) const {
+  // Materialize the summed-area table up front when any query will need it,
+  // so reconstruction cost is paid once before the parallel region instead
+  // of stalling the first worker to hit an uncovered query. Skipped when
+  // already materialized (then Answer is lock-free throughout).
+  if (!materialized_.load(std::memory_order_acquire)) {
+    for (const BoxQuery& q : queries) {
+      if (!CoveredByMarginal(q)) {
+        Prefix();
+        break;
+      }
+    }
+  }
   Vector answers(queries.size(), 0.0);
   ThreadPool::Global().ParallelFor(
       0, static_cast<int64_t>(queries.size()), /*grain=*/64,
@@ -233,10 +411,38 @@ const char* PlanSourceName(PlanSource source) {
   return "unknown";
 }
 
+MeasureRequest MeasureRequest::Laplace(double epsilon) {
+  MeasureRequest request;
+  request.mechanism = Mechanism::kLaplace;
+  request.epsilon = epsilon;
+  return request;
+}
+
+MeasureRequest MeasureRequest::Gaussian(double rho) {
+  MeasureRequest request;
+  request.mechanism = Mechanism::kGaussian;
+  request.rho = rho;
+  return request;
+}
+
+namespace {
+
+BudgetAccountantOptions AccountantOptions(const EngineOptions& options) {
+  BudgetAccountantOptions accountant;
+  accountant.regime = options.regime;
+  accountant.total_epsilon = options.total_epsilon;
+  accountant.total_rho = options.total_rho;
+  accountant.delta = options.delta;
+  accountant.ledger_path = options.ledger_path;
+  return accountant;
+}
+
+}  // namespace
+
 Engine::Engine(EngineOptions options)
     : options_(std::move(options)),
       cache_(options_.cache),
-      accountant_(options_.total_epsilon, options_.ledger_path) {}
+      accountant_(AccountantOptions(options_)) {}
 
 PlanResult Engine::Plan(const UnionWorkload& w) {
   WallTimer timer;
@@ -312,27 +518,48 @@ Vector Engine::Reconstruct(const Strategy& strategy, const Fingerprint& fp,
 
 std::unique_ptr<MeasurementSession> Engine::Measure(
     const UnionWorkload& w, const std::string& dataset_id, const Vector& x,
-    double epsilon, Rng* rng, std::string* error) {
+    const MeasureRequest& request, Rng* rng, std::string* error) {
   HDMM_CHECK(rng != nullptr);
   HDMM_CHECK_MSG(static_cast<int64_t>(x.size()) == w.DomainSize(),
                  "data vector length does not match the workload domain");
 
+  const PrivacyCharge charge =
+      request.mechanism == Mechanism::kLaplace
+          ? PrivacyCharge::Laplace(request.epsilon)
+          : PrivacyCharge::Gaussian(request.rho);
+
   PlanResult plan = Plan(w);
-  if (!accountant_.TryCharge(dataset_id, epsilon)) {
+  std::string why;
+  if (!accountant_.TryCharge(dataset_id, charge, &why)) {
     if (error != nullptr) {
-      std::ostringstream msg;
-      msg << "budget exceeded for dataset '" << dataset_id << "': spent "
-          << accountant_.Spent(dataset_id) << " of "
-          << accountant_.total_epsilon() << ", requested " << epsilon;
-      *error = msg.str();
+      *error = "dataset '" + dataset_id + "': " + why;
     }
     return nullptr;
   }
 
-  const Vector y = plan.strategy->Measure(x, epsilon, rng);
+  Vector y = request.mechanism == Mechanism::kLaplace
+                 ? plan.strategy->Measure(x, request.epsilon, rng)
+                 : plan.strategy->MeasureGaussian(x, request.rho, rng);
+
+  // Marginals plans serve covered queries straight from the measured
+  // marginal tables; x_hat reconstruction is deferred until an uncovered
+  // query arrives.
+  if (auto marginals =
+          std::dynamic_pointer_cast<const MarginalsStrategy>(plan.strategy)) {
+    return std::make_unique<MeasurementSession>(w.domain(), marginals,
+                                                std::move(y), charge);
+  }
+
   Vector x_hat = Reconstruct(*plan.strategy, plan.fingerprint, y);
   return std::make_unique<MeasurementSession>(w.domain(), std::move(x_hat),
-                                              epsilon, plan.strategy);
+                                              charge, plan.strategy);
+}
+
+std::unique_ptr<MeasurementSession> Engine::Measure(
+    const UnionWorkload& w, const std::string& dataset_id, const Vector& x,
+    double epsilon, Rng* rng, std::string* error) {
+  return Measure(w, dataset_id, x, MeasureRequest::Laplace(epsilon), rng,
+                 error);
 }
 
 }  // namespace hdmm

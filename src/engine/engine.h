@@ -4,16 +4,18 @@
 //               consult the two-tier StrategyCache, and only fall back to
 //               OPT_HDMM on a genuine miss.
 //   Measure     one budgeted noisy measurement of a dataset: the accountant
-//               charges epsilon under sequential composition (refusing
-//               over-budget requests before any noise is drawn), then the
-//               session reconstructs and holds x_hat for unlimited free
-//               post-processing.
+//               charges the measurement's privacy cost (epsilon under pure-dp
+//               sequential composition, rho under zCDP — refusing over-budget
+//               requests before any noise is drawn), then the session holds
+//               the release for unlimited free post-processing.
 //   AnswerBatch pool-parallel batched answering of point/range/marginal
-//               queries against the held x_hat. Queries are evaluated as box
-//               sums on a d-dimensional summed-area table of x_hat
-//               (inclusion-exclusion over 2^d corners), so a batch never
-//               densifies a workload matrix and per-query cost is O(2^d)
-//               instead of O(N).
+//               queries. Sessions measured with a marginals strategy answer
+//               covered queries directly from the measured marginal tables
+//               (no full-domain reconstruction needed); everything else — and
+//               uncovered queries — goes through a d-dimensional summed-area
+//               table of x_hat (inclusion-exclusion over 2^d corners), built
+//               lazily on first use, so a batch never densifies a workload
+//               matrix and per-query cost is O(2^d) instead of O(N).
 //
 // Everything downstream of Measure is post-processing of a differentially
 // private release: answering any number of queries from a session consumes
@@ -21,6 +23,7 @@
 #ifndef HDMM_ENGINE_ENGINE_H_
 #define HDMM_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -33,6 +36,7 @@
 #include "core/strategy.h"
 #include "engine/accountant.h"
 #include "engine/fingerprint.h"
+#include "engine/privacy.h"
 #include "engine/strategy_cache.h"
 #include "linalg/matrix.h"
 #include "workload/domain.h"
@@ -67,33 +71,99 @@ BoxQuery FullRangeQuery(const Domain& domain);
 bool ParseQueryLine(const std::string& line, const Domain& domain,
                     BoxQuery* out, std::string* error);
 
+/// One measured (noisy, theta-unscaled) marginal table: the unbiased DP
+/// estimate of the marginal over `mask`'s attributes, laid out row-major
+/// over the kept attributes in ascending attribute order.
+struct MeasuredMarginal {
+  uint32_t mask = 0;
+  std::vector<int> attrs;        ///< Kept attributes, ascending.
+  std::vector<int64_t> strides;  ///< Per kept attribute, within the table.
+  Vector values;                 ///< Product of kept sizes entries.
+};
+
 /// One noisy measurement of a dataset and the state needed to answer
-/// queries from it: the reconstructed x_hat and its summed-area table.
-/// Sessions are immutable after construction and safe to share across
-/// threads for answering.
+/// queries from it. Two shapes:
+///
+///   - generic: holds the reconstructed x_hat (and its summed-area table).
+///   - marginals-measured: holds the measured marginal tables; box queries
+///     whose constrained attributes are covered by an active marginal are
+///     answered by summing the (smallest covering) table directly, and the
+///     full x_hat + summed-area table is only reconstructed — lazily, once,
+///     thread-safely — if an uncovered query arrives.
+///
+/// Sessions are safe to share across threads for answering.
 class MeasurementSession {
  public:
+  /// Generic session over an already-reconstructed x_hat (Laplace charge).
   MeasurementSession(Domain domain, Vector x_hat, double epsilon,
                      std::shared_ptr<const Strategy> strategy);
 
+  /// Generic session with an explicit privacy charge.
+  MeasurementSession(Domain domain, Vector x_hat, PrivacyCharge charge,
+                     std::shared_ptr<const Strategy> strategy);
+
+  /// Marginals-measured session: `y` is the strategy's raw measurement
+  /// vector (theta-weighted marginal tables concatenated in ActiveMasks
+  /// order); x_hat reconstruction is deferred until an uncovered query
+  /// needs it.
+  MeasurementSession(Domain domain,
+                     std::shared_ptr<const MarginalsStrategy> strategy,
+                     Vector y, PrivacyCharge charge);
+
   const Domain& domain() const { return domain_; }
-  double epsilon() const { return epsilon_; }
-  const Vector& XHat() const { return x_hat_; }
+  Mechanism mechanism() const { return charge_.mechanism; }
+  /// Pure-dp cost of this measurement (0 for Gaussian measurements).
+  double epsilon() const { return charge_.epsilon; }
+  /// zCDP cost of this measurement (0 for Laplace measurements).
+  double rho() const { return charge_.rho; }
   const std::shared_ptr<const Strategy>& strategy() const { return strategy_; }
 
-  /// Answers one box query in O(2^d) from the summed-area table.
+  /// The reconstructed data vector; triggers (and caches) reconstruction on
+  /// a marginals-measured session.
+  const Vector& XHat() const;
+
+  /// The measured marginal tables (empty for generic sessions).
+  const std::vector<MeasuredMarginal>& marginal_tables() const {
+    return marginal_tables_;
+  }
+
+  /// Answers one box query: from the smallest covering measured marginal
+  /// when one exists, else in O(2^d) from the summed-area table.
   double Answer(const BoxQuery& q) const;
 
   /// Answers a batch, sharded across the persistent ThreadPool.
   Vector AnswerBatch(const std::vector<BoxQuery>& queries) const;
 
+  /// True when `q` would be answered from a measured marginal table.
+  bool CoveredByMarginal(const BoxQuery& q) const;
+
  private:
+  void InitStrides();
+  void BuildMarginalTables(const MarginalsStrategy& strategy,
+                           const Vector& y);
+  /// Builds prefix_ (the summed-area table) from x_hat_. Caller must hold
+  /// lazy_mu_ or be the constructor.
+  void BuildPrefixFromXHat() const;
+  /// The covering table with the fewest cells to sum, or nullptr.
+  const MeasuredMarginal* CoveringTable(const BoxQuery& q) const;
+  double AnswerFromTable(const MeasuredMarginal& table,
+                         const BoxQuery& q) const;
+  /// x_hat + summed-area table, building both on first use (marginals
+  /// sessions defer this until an uncovered query arrives). Lock-free once
+  /// materialized.
+  const Vector& Prefix() const;
+
   Domain domain_;
-  Vector x_hat_;
-  double epsilon_;
+  PrivacyCharge charge_;
   std::shared_ptr<const Strategy> strategy_;
-  Vector prefix_;                 // Summed-area table of x_hat_.
   std::vector<int64_t> strides_;  // Row-major strides per attribute.
+  std::vector<MeasuredMarginal> marginal_tables_;
+
+  mutable Vector y_;  // Raw measurement; released once x_hat materializes.
+  mutable std::mutex lazy_mu_;
+  mutable std::atomic<bool> materialized_{false};
+  mutable Vector x_hat_;
+  mutable Vector prefix_;  // Summed-area table of x_hat_.
 };
 
 struct EngineOptions {
@@ -103,8 +173,21 @@ struct EngineOptions {
   /// Strategy cache configuration (set cache.disk_dir for persistence).
   StrategyCacheOptions cache;
 
-  /// Per-dataset epsilon ceiling enforced by the accountant.
+  /// Accounting regime: pure-dp (Laplace only, epsilons add) or zcdp
+  /// (rho adds; Gaussian costs rho, Laplace costs eps^2/2).
+  BudgetRegime regime = BudgetRegime::kPureDp;
+
+  /// Per-dataset epsilon ceiling. Under zcdp (with total_rho == 0) this is
+  /// converted to the largest rho whose Bun-Steinke report stays within
+  /// (total_epsilon, delta).
   double total_epsilon = 1.0;
+
+  /// Direct per-dataset rho ceiling for the zcdp regime; 0 derives it from
+  /// (total_epsilon, delta).
+  double total_rho = 0.0;
+
+  /// Reporting delta for the zcdp regime.
+  double delta = 1e-9;
 
   /// Durable budget ledger file (see BudgetAccountant). Deployments that
   /// persist strategies across restarts should persist the ledger too —
@@ -128,6 +211,16 @@ struct PlanResult {
   std::string cache_error;
 };
 
+/// One measurement request: which mechanism, at what cost.
+struct MeasureRequest {
+  Mechanism mechanism = Mechanism::kLaplace;
+  double epsilon = 0.0;  ///< Laplace budget; required for kLaplace.
+  double rho = 0.0;      ///< zCDP budget; required for kGaussian.
+
+  static MeasureRequest Laplace(double epsilon);
+  static MeasureRequest Gaussian(double rho);
+};
+
 /// The serving facade. Thread-safe: Plan/Measure may be called concurrently;
 /// sessions returned by Measure are independent.
 class Engine {
@@ -138,9 +231,20 @@ class Engine {
   /// result; on a hit the optimization is skipped entirely.
   PlanResult Plan(const UnionWorkload& w);
 
-  /// Plans, charges `epsilon` against `dataset_id`, measures the data vector
-  /// `x`, and reconstructs. Returns nullptr (with *error) when the
-  /// accountant refuses the charge; no noise is drawn in that case.
+  /// Plans, charges the request's cost against `dataset_id`, measures the
+  /// data vector `x` with the requested mechanism, and builds a session
+  /// (marginal-table-backed when the plan is a marginals strategy measured
+  /// under Gaussian/Laplace noise; x_hat-backed otherwise). Returns nullptr
+  /// (with *error) when the accountant refuses the charge; no noise is
+  /// drawn in that case.
+  std::unique_ptr<MeasurementSession> Measure(const UnionWorkload& w,
+                                              const std::string& dataset_id,
+                                              const Vector& x,
+                                              const MeasureRequest& request,
+                                              Rng* rng,
+                                              std::string* error = nullptr);
+
+  /// Laplace shorthand (the pre-zCDP interface).
   std::unique_ptr<MeasurementSession> Measure(const UnionWorkload& w,
                                               const std::string& dataset_id,
                                               const Vector& x, double epsilon,

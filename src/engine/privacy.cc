@@ -1,0 +1,59 @@
+#include "engine/privacy.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hdmm {
+
+const char* MechanismName(Mechanism mechanism) {
+  switch (mechanism) {
+    case Mechanism::kLaplace:
+      return "laplace";
+    case Mechanism::kGaussian:
+      return "gaussian";
+  }
+  return "unknown";
+}
+
+bool ParseMechanismName(const std::string& name, Mechanism* out) {
+  if (name == "laplace") {
+    *out = Mechanism::kLaplace;
+    return true;
+  }
+  if (name == "gaussian") {
+    *out = Mechanism::kGaussian;
+    return true;
+  }
+  return false;
+}
+
+const char* BudgetRegimeName(BudgetRegime regime) {
+  switch (regime) {
+    case BudgetRegime::kPureDp:
+      return "pure-dp";
+    case BudgetRegime::kZCdp:
+      return "zcdp";
+  }
+  return "unknown";
+}
+
+PrivacyCharge PrivacyCharge::Laplace(double epsilon) {
+  HDMM_CHECK_MSG(std::isfinite(epsilon) && epsilon > 0.0,
+                 "epsilon must be positive and finite");
+  PrivacyCharge charge;
+  charge.mechanism = Mechanism::kLaplace;
+  charge.epsilon = epsilon;
+  return charge;
+}
+
+PrivacyCharge PrivacyCharge::Gaussian(double rho) {
+  HDMM_CHECK_MSG(std::isfinite(rho) && rho > 0.0,
+                 "rho must be positive and finite");
+  PrivacyCharge charge;
+  charge.mechanism = Mechanism::kGaussian;
+  charge.rho = rho;
+  return charge;
+}
+
+}  // namespace hdmm

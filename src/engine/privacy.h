@@ -1,0 +1,57 @@
+// Privacy-budget vocabulary for the serving engine: which mechanism a
+// measurement used and what it costs in the accountant's composition regime.
+//
+// Two regimes are supported (Bun & Steinke, "Concentrated Differential
+// Privacy: Simplifications, Extensions, and Lower Bounds"):
+//
+//   pure-eps   Laplace measurements only; epsilons add (basic sequential
+//              composition). A Gaussian measurement has no finite pure-eps
+//              cost, so zCDP charges are refused, never approximated.
+//   rho-zCDP   rho adds across measurements of one dataset. A Gaussian
+//              release at sigma = sens / sqrt(2 rho) costs exactly rho
+//              (Prop 1.6); a Laplace release at budget eps costs
+//              eps^2 / 2 (Prop 1.4, pure DP => zCDP). The running rho is
+//              reported as (eps, delta)-DP through Prop 1.3,
+//              eps = rho + 2 sqrt(rho ln(1/delta)) — the accounting used by
+//              the HDMM journal version (McKenna et al. 2021).
+#ifndef HDMM_ENGINE_PRIVACY_H_
+#define HDMM_ENGINE_PRIVACY_H_
+
+#include <string>
+
+namespace hdmm {
+
+/// Which noise mechanism a measurement (or ledger record) used.
+enum class Mechanism { kLaplace, kGaussian };
+
+const char* MechanismName(Mechanism mechanism);
+
+/// Parses "laplace" / "gaussian"; returns false on anything else.
+bool ParseMechanismName(const std::string& name, Mechanism* out);
+
+/// How a BudgetAccountant composes charges.
+enum class BudgetRegime { kPureDp, kZCdp };
+
+const char* BudgetRegimeName(BudgetRegime regime);
+
+/// One measurement's privacy cost, in the units native to its mechanism:
+/// epsilon for Laplace, rho for Gaussian. The accountant converts to its
+/// regime's composition currency (and refuses costs it cannot soundly
+/// express — there is no finite pure-eps cost for a Gaussian release).
+struct PrivacyCharge {
+  Mechanism mechanism = Mechanism::kLaplace;
+  double epsilon = 0.0;  ///< Pure-DP cost; meaningful for kLaplace.
+  double rho = 0.0;      ///< zCDP cost; meaningful for kGaussian.
+
+  /// A Laplace measurement at budget `epsilon`. Dies unless epsilon is
+  /// positive and finite.
+  static PrivacyCharge Laplace(double epsilon);
+
+  /// A Gaussian measurement at zCDP cost `rho`. Dies unless rho is positive
+  /// and finite.
+  static PrivacyCharge Gaussian(double rho);
+};
+
+}  // namespace hdmm
+
+#endif  // HDMM_ENGINE_PRIVACY_H_

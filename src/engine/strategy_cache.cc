@@ -1,5 +1,8 @@
 #include "engine/strategy_cache.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <filesystem>
 #include <utility>
 
@@ -89,9 +92,29 @@ bool StrategyCache::Put(const Fingerprint& fp,
     }
     return false;
   }
+  // Write-then-rename so the disk tier never exposes a torn file: a crashed
+  // or concurrent writer can leave at most a stale `.tmp` sibling, never a
+  // partial `<hex>.strategy` for a concurrent Get (or the next restart) to
+  // parse. The tmp name carries a per-writer tag so two concurrent Puts
+  // (same process or not) never interleave writes into one tmp file; both
+  // write complete files and rename(2) within one directory atomically
+  // installs one of them.
+  static std::atomic<uint64_t> put_counter{0};
+  const std::string tmp_path =
+      path + "." + std::to_string(::getpid()) + "-" +
+      std::to_string(put_counter.fetch_add(1)) + ".tmp";
   std::string io_error;
-  if (!SaveStrategyFile(path, *strategy, &io_error)) {
+  if (!SaveStrategyFile(tmp_path, *strategy, &io_error)) {
+    std::filesystem::remove(tmp_path, ec);  // Best effort: no torn residue.
     if (error != nullptr) *error = io_error;
+    return false;
+  }
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_path, ec);
+    if (error != nullptr) {
+      *error = "cannot move strategy file into place at '" + path + "'";
+    }
     return false;
   }
   return true;

@@ -53,9 +53,10 @@ class StrategyCache {
                                       Tier* tier = nullptr);
 
   /// Inserts (or replaces) the entry and, when the disk tier is enabled,
-  /// writes it through to `<dir>/<hex>.strategy`. Returns false (with
-  /// *error) only on disk-write failure; the memory tier is updated
-  /// regardless.
+  /// writes it through to `<dir>/<hex>.strategy` atomically (unique tmp
+  /// file + rename), so a crashed or concurrent writer can never leave a
+  /// partial strategy file for Get to parse. Returns false (with *error)
+  /// only on disk-write failure; the memory tier is updated regardless.
   bool Put(const Fingerprint& fp, std::shared_ptr<const Strategy> strategy,
            std::string* error = nullptr);
 

@@ -5,16 +5,19 @@
 #include <fstream>
 #include <limits>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "core/gaussian.h"
 #include "core/measure.h"
 #include "core/strategy_io.h"
 #include "engine/accountant.h"
 #include "engine/fingerprint.h"
+#include "engine/privacy.h"
 #include "engine/strategy_cache.h"
 #include "workload/building_blocks.h"
 #include "workload/parser.h"
@@ -202,6 +205,51 @@ TEST(StrategyCache, AllKindsRoundTripThroughCacheFixedPoint) {
   }
 }
 
+TEST(StrategyCache, PutIsAtomicOnDisk) {
+  const std::string dir = FreshDir("cache_atomic");
+  StrategyCacheOptions options;
+  options.disk_dir = dir;
+  StrategyCache cache(options);
+  const Fingerprint fp{11};
+  std::string error;
+  ASSERT_TRUE(cache.Put(
+      fp, std::make_shared<ExplicitStrategy>(PrefixBlock(4), "atomic"),
+      &error))
+      << error;
+  // The write went through a tmp file + rename: the final file exists and
+  // no tmp residue is left behind.
+  EXPECT_TRUE(std::filesystem::exists(cache.DiskPath(fp)));
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().extension(), ".strategy") << entry.path();
+  }
+}
+
+TEST(StrategyCache, TornStrategyFileFromCrashedWriterIsInvisible) {
+  // Simulates a writer that crashed mid-Put under the tmp+rename protocol:
+  // the tmp file holds a torn prefix, the final path was never created.
+  // Get must miss cleanly (and a fresh Put must succeed) — the scenario the
+  // non-atomic write could not survive.
+  const std::string dir = FreshDir("cache_torn");
+  std::filesystem::create_directories(dir);
+  StrategyCacheOptions options;
+  options.disk_dir = dir;
+  StrategyCache cache(options);
+  const Fingerprint fp{12};
+  {
+    std::ofstream torn(cache.DiskPath(fp) + ".1234-0.tmp");
+    torn << "hdmm-strategy v1\nkind expl";  // Torn mid-write.
+  }
+  StrategyCache::Tier tier;
+  EXPECT_EQ(cache.Get(fp, &tier), nullptr);
+  EXPECT_EQ(tier, StrategyCache::Tier::kMiss);
+  ASSERT_TRUE(cache.Put(
+      fp, std::make_shared<ExplicitStrategy>(PrefixBlock(4), "fresh")));
+  cache.ClearMemory();
+  auto hit = cache.Get(fp, &tier);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->Name(), "fresh");
+}
+
 // --- Accountant --------------------------------------------------------------
 
 TEST(Accountant, SequentialCompositionLedger) {
@@ -250,11 +298,14 @@ TEST(Accountant, LedgerSurvivesRestart) {
   }
   // A fresh accountant (new process in real life) replays the ledger: the
   // ceiling holds across restarts instead of resetting to the full budget.
-  BudgetAccountant restarted(1.0, path);
-  EXPECT_NEAR(restarted.Spent("census data.csv"), 0.6, 1e-15);
-  EXPECT_EQ(restarted.NumCharges("census data.csv"), 1);
-  EXPECT_FALSE(restarted.TryCharge("census data.csv", 0.5));
-  EXPECT_TRUE(restarted.TryCharge("census data.csv", 0.4));
+  // Scoped — the flock admits one live accountant per ledger at a time.
+  {
+    BudgetAccountant restarted(1.0, path);
+    EXPECT_NEAR(restarted.Spent("census data.csv"), 0.6, 1e-15);
+    EXPECT_EQ(restarted.NumCharges("census data.csv"), 1);
+    EXPECT_FALSE(restarted.TryCharge("census data.csv", 0.5));
+    EXPECT_TRUE(restarted.TryCharge("census data.csv", 0.4));
+  }
   BudgetAccountant third(1.0, path);
   EXPECT_EQ(third.Remaining("census data.csv"), 0.0);
   EXPECT_NEAR(third.Spent("other"), 0.25, 1e-15);
@@ -285,6 +336,215 @@ TEST(AccountantDeath, RejectsInvalidTotal) {
   EXPECT_DEATH(BudgetAccountant(0.0), "positive and finite");
   EXPECT_DEATH(BudgetAccountant(std::numeric_limits<double>::infinity()),
                "positive and finite");
+}
+
+// --- zCDP accounting ---------------------------------------------------------
+
+BudgetAccountantOptions ZCdpOptions(double total_rho,
+                                    const std::string& ledger_path = "") {
+  BudgetAccountantOptions options;
+  options.regime = BudgetRegime::kZCdp;
+  options.total_rho = total_rho;
+  options.delta = 1e-6;
+  options.ledger_path = ledger_path;
+  return options;
+}
+
+TEST(AccountantZCdp, ComposesRhoAdditively) {
+  // k charges of rho/k must exactly exhaust the budget; charge k+1 refused.
+  const int k = 8;
+  const double total_rho = 0.5;
+  BudgetAccountant accountant(ZCdpOptions(total_rho));
+  for (int i = 0; i < k; ++i) {
+    EXPECT_TRUE(accountant.TryCharge(
+        "census", PrivacyCharge::Gaussian(total_rho / k)))
+        << "charge " << i;
+  }
+  EXPECT_NEAR(accountant.Spent("census"), total_rho, 1e-12);
+  std::string why;
+  EXPECT_FALSE(accountant.TryCharge(
+      "census", PrivacyCharge::Gaussian(total_rho / k), &why));
+  EXPECT_NE(why.find("budget exceeded"), std::string::npos);
+  EXPECT_EQ(accountant.NumCharges("census"), k);
+}
+
+TEST(AccountantZCdp, ReportsBunSteinkeEpsilon) {
+  BudgetAccountant accountant(ZCdpOptions(1.0));
+  EXPECT_TRUE(accountant.TryCharge("d", PrivacyCharge::Gaussian(0.25)));
+  // eps = rho + 2 sqrt(rho ln(1/delta)), the Bun-Steinke closed form.
+  const double expected = 0.25 + 2.0 * std::sqrt(0.25 * std::log(1e6));
+  EXPECT_NEAR(accountant.ReportedEpsilon("d"), expected, 1e-12);
+  EXPECT_NEAR(accountant.ReportedEpsilon("unknown"), 0.0, 1e-15);
+  EXPECT_NEAR(accountant.total_epsilon(), RhoToEpsilon(1.0, 1e-6), 1e-12);
+}
+
+TEST(AccountantZCdp, LaplaceChargesCostEpsilonSquaredOverTwo) {
+  // Pure eps-DP => (eps^2/2)-zCDP: a Laplace measurement is accountable in
+  // the zCDP regime, at quadratic cost.
+  BudgetAccountant accountant(ZCdpOptions(1.0));
+  EXPECT_TRUE(accountant.TryCharge("d", PrivacyCharge::Laplace(1.0)));
+  EXPECT_NEAR(accountant.Spent("d"), 0.5, 1e-15);
+  EXPECT_TRUE(accountant.TryCharge("d", 0.5));  // Shorthand overload.
+  EXPECT_NEAR(accountant.Spent("d"), 0.625, 1e-15);
+}
+
+TEST(AccountantZCdp, CeilingDerivedFromEpsilonDelta) {
+  // total_rho == 0: the rho ceiling is the Bun-Steinke inverse of
+  // (total_epsilon, delta) — spending it all reports exactly total_epsilon.
+  BudgetAccountantOptions options;
+  options.regime = BudgetRegime::kZCdp;
+  options.total_epsilon = 2.0;
+  options.delta = 1e-9;
+  BudgetAccountant accountant(options);
+  EXPECT_NEAR(accountant.TotalBudget(), RhoFromEpsilonDelta(2.0, 1e-9),
+              1e-15);
+  EXPECT_TRUE(accountant.TryCharge(
+      "d", PrivacyCharge::Gaussian(accountant.TotalBudget())));
+  EXPECT_NEAR(accountant.ReportedEpsilon("d"), 2.0, 1e-9);
+  EXPECT_FALSE(accountant.TryCharge("d", PrivacyCharge::Gaussian(1e-6)));
+}
+
+TEST(AccountantZCdp, PureRegimeRefusesGaussianCharges) {
+  // A Gaussian release has no finite pure-eps cost: the pure regime must
+  // refuse (softly — a serve-mode request must not abort the process), not
+  // approximate.
+  BudgetAccountant accountant(1.0);
+  std::string why;
+  EXPECT_FALSE(accountant.TryCharge("d", PrivacyCharge::Gaussian(0.1), &why));
+  EXPECT_NE(why.find("zcdp"), std::string::npos);
+  EXPECT_EQ(accountant.Spent("d"), 0.0);
+  EXPECT_EQ(accountant.NumCharges("d"), 0);
+}
+
+// --- Ledger v2: durability, migration, locking -------------------------------
+
+std::string LedgerPathIn(const std::string& name) {
+  const std::string dir = FreshDir(name);
+  std::filesystem::create_directories(dir);
+  return dir + "/budget.ledger";
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(AccountantLedger, V2RecordsMechanismAndRoundTrips) {
+  const std::string path = LedgerPathIn("ledger_v2");
+  {
+    BudgetAccountant accountant(ZCdpOptions(1.0, path));
+    EXPECT_TRUE(accountant.TryCharge("census data.csv",
+                                     PrivacyCharge::Gaussian(0.25)));
+    EXPECT_TRUE(accountant.TryCharge("census data.csv",
+                                     PrivacyCharge::Laplace(0.5)));
+  }
+  const std::string content = ReadFile(path);
+  EXPECT_EQ(content.rfind("hdmm-budget-ledger v2\n", 0), 0u) << content;
+  EXPECT_NE(content.find("gaussian 0.25"), std::string::npos) << content;
+  EXPECT_NE(content.find("laplace 0.5"), std::string::npos) << content;
+
+  BudgetAccountant restarted(ZCdpOptions(1.0, path));
+  EXPECT_NEAR(restarted.Spent("census data.csv"), 0.25 + 0.125, 1e-15);
+  EXPECT_EQ(restarted.NumCharges("census data.csv"), 2);
+}
+
+TEST(AccountantLedger, V1LedgerReplaysAndMigratesToV2) {
+  const std::string path = LedgerPathIn("ledger_v1_migrate");
+  {
+    std::ofstream out(path);
+    out << "0.25 census data.csv\n0.5 census data.csv\n0.1 other\n";
+  }
+  // The v2 reader replays headerless v1 content as pure-eps charges...
+  BudgetAccountant accountant(1.0, path);
+  EXPECT_NEAR(accountant.Spent("census data.csv"), 0.75, 1e-15);
+  EXPECT_EQ(accountant.NumCharges("census data.csv"), 2);
+  EXPECT_NEAR(accountant.Spent("other"), 0.1, 1e-15);
+  // ...and migrates the file to v2 in place.
+  const std::string content = ReadFile(path);
+  EXPECT_EQ(content.rfind("hdmm-budget-ledger v2\n", 0), 0u) << content;
+  EXPECT_NE(content.find("laplace 0.25 0 census data.csv"),
+            std::string::npos)
+      << content;
+  EXPECT_TRUE(accountant.TryCharge("census data.csv", 0.25));
+  EXPECT_FALSE(accountant.TryCharge("census data.csv", 0.01));
+}
+
+TEST(AccountantLedger, TruncatedFinalLineIsCrashReplaySafe) {
+  // A torn final record without a trailing newline is the signature of a
+  // crash mid-append; by durable-before-spendable its charge was never
+  // acted on, so replay drops it — and only it — and truncates the tail so
+  // subsequent appends land on a record boundary.
+  const std::string path = LedgerPathIn("ledger_torn");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "hdmm-budget-ledger v2\n"
+        << "laplace 0.25 0 census.csv\n"
+        << "gaussian 0.125 1e-";  // Torn mid-write: no newline.
+  }
+  {
+    BudgetAccountant accountant(ZCdpOptions(1.0, path));
+    EXPECT_NEAR(accountant.Spent("census.csv"), 0.03125, 1e-15);  // eps^2/2.
+    EXPECT_EQ(accountant.NumCharges("census.csv"), 1);
+    EXPECT_TRUE(accountant.TryCharge("census.csv",
+                                     PrivacyCharge::Gaussian(0.25)));
+    const std::string content = ReadFile(path);
+    EXPECT_EQ(content.find("1e-"), std::string::npos) << content;
+  }
+
+  BudgetAccountant restarted(ZCdpOptions(1.0, path));
+  EXPECT_NEAR(restarted.Spent("census.csv"), 0.28125, 1e-12);
+  EXPECT_EQ(restarted.NumCharges("census.csv"), 2);
+}
+
+TEST(AccountantLedgerDeath, InteriorCorruptionStillDies) {
+  // The torn-tail tolerance must not soften interior corruption: a
+  // malformed line *followed by* valid records (or with its newline intact)
+  // is not a crash artifact and must abort.
+  const std::string path = LedgerPathIn("ledger_interior_corrupt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "hdmm-budget-ledger v2\n"
+        << "garbage not-a-record\n"
+        << "laplace 0.25 0 census.csv\n";
+  }
+  EXPECT_DEATH(BudgetAccountant(1.0, path), "malformed budget ledger");
+}
+
+TEST(AccountantLedgerDeath, GaussianHistoryNeedsZCdpRegime) {
+  // Replaying Gaussian charges under a pure-eps accountant would silently
+  // drop spend from the ledger — a configuration error that must abort.
+  const std::string path = LedgerPathIn("ledger_regime_mismatch");
+  {
+    BudgetAccountant accountant(ZCdpOptions(1.0, path));
+    EXPECT_TRUE(accountant.TryCharge("d", PrivacyCharge::Gaussian(0.25)));
+  }
+  EXPECT_DEATH(BudgetAccountant(1.0, path), "zcdp");
+}
+
+TEST(AccountantLedgerDeath, FlockExcludesSecondAccountant) {
+  // Two accountants replaying one ledger would each see only the
+  // pre-existing spend and could jointly spend up to twice the ceiling; the
+  // flock makes the second one die instead of double-spending.
+  const std::string path = LedgerPathIn("ledger_flock");
+  BudgetAccountant first(1.0, path);
+  EXPECT_TRUE(first.TryCharge("census", 0.6));
+  EXPECT_DEATH(BudgetAccountant(1.0, path), "locked by another");
+  // The budget stays jointly bounded: only the lock holder can spend.
+  EXPECT_TRUE(first.TryCharge("census", 0.4));
+  EXPECT_FALSE(first.TryCharge("census", 0.1));
+}
+
+TEST(AccountantLedger, FlockReleasedOnDestruction) {
+  const std::string path = LedgerPathIn("ledger_flock_release");
+  {
+    BudgetAccountant first(1.0, path);
+    EXPECT_TRUE(first.TryCharge("census", 0.6));
+  }
+  BudgetAccountant second(1.0, path);  // Lock released: no death.
+  EXPECT_NEAR(second.Spent("census"), 0.6, 1e-15);
+  EXPECT_FALSE(second.TryCharge("census", 0.5));
 }
 
 // --- Laplace measurement validation ------------------------------------------
@@ -578,6 +838,222 @@ TEST(Engine, ExplicitStrategyReconstructionReusesCholesky) {
     EXPECT_NEAR(s1->XHat()[i], x[i], 1e-3);
     EXPECT_NEAR(s2->XHat()[i], x[i], 1e-3);
   }
+}
+
+// --- Gaussian measurement and marginal-table sessions ------------------------
+
+EngineOptions ZCdpEngineOptions(double total_rho) {
+  EngineOptions options;
+  options.optimizer.restarts = 1;
+  options.optimizer.seed = 5;
+  options.regime = BudgetRegime::kZCdp;
+  options.total_rho = total_rho;
+  options.delta = 1e-6;
+  return options;
+}
+
+TEST(Engine, GaussianMeasureChargesRhoAndRefusesOverBudget) {
+  UnionWorkload w = SmallWorkload();
+  Engine engine(ZCdpEngineOptions(1.0));
+  Vector x(static_cast<size_t>(w.DomainSize()), 2.0);
+  Rng rng(61);
+
+  std::string error;
+  auto first = engine.Measure(w, "census", x, MeasureRequest::Gaussian(0.7),
+                              &rng, &error);
+  ASSERT_NE(first, nullptr) << error;
+  EXPECT_EQ(first->mechanism(), Mechanism::kGaussian);
+  EXPECT_EQ(first->rho(), 0.7);
+  EXPECT_NEAR(engine.accountant().Spent("census"), 0.7, 1e-15);
+
+  auto refused = engine.Measure(w, "census", x, MeasureRequest::Gaussian(0.5),
+                                &rng, &error);
+  EXPECT_EQ(refused, nullptr);
+  EXPECT_NE(error.find("budget exceeded"), std::string::npos);
+  EXPECT_NEAR(engine.accountant().Spent("census"), 0.7, 1e-15);
+
+  auto second = engine.Measure(w, "census", x, MeasureRequest::Gaussian(0.3),
+                               &rng, &error);
+  ASSERT_NE(second, nullptr) << error;
+  EXPECT_EQ(engine.accountant().Remaining("census"), 0.0);
+}
+
+TEST(Engine, GaussianMeasureRefusedInPureRegimeWithoutNoise) {
+  UnionWorkload w = SmallWorkload();
+  Engine engine(FastEngineOptions());  // Pure-dp regime.
+  Vector x(static_cast<size_t>(w.DomainSize()), 1.0);
+  Rng rng(62);
+  std::string error;
+  auto refused = engine.Measure(w, "d", x, MeasureRequest::Gaussian(0.5),
+                                &rng, &error);
+  EXPECT_EQ(refused, nullptr);
+  EXPECT_NE(error.find("zcdp"), std::string::npos);
+  EXPECT_EQ(engine.accountant().Spent("d"), 0.0);
+}
+
+TEST(Engine, GaussianSessionAnswersApproximateTruthAtHighRho) {
+  // End-to-end zCDP path: plan, rho-charge, Gaussian measure, reconstruct,
+  // answer. At huge rho the noise is negligible.
+  UnionWorkload w = SmallWorkload();
+  Engine engine(ZCdpEngineOptions(2e12));
+  Rng rng(63);
+  Vector x(static_cast<size_t>(w.DomainSize()));
+  for (double& v : x) v = std::floor(rng.Uniform(0.0, 20.0));
+
+  std::string error;
+  auto session = engine.Measure(w, "d", x, MeasureRequest::Gaussian(1e12),
+                                &rng, &error);
+  ASSERT_NE(session, nullptr) << error;
+
+  std::vector<BoxQuery> queries;
+  std::string parse_error;
+  BoxQuery q;
+  ASSERT_TRUE(ParseQueryLine("point sex=1 age=3", w.domain(), &q,
+                             &parse_error));
+  queries.push_back(q);
+  ASSERT_TRUE(ParseQueryLine("marginal sex=0", w.domain(), &q, &parse_error));
+  queries.push_back(q);
+  ASSERT_TRUE(ParseQueryLine("range age=2:6", w.domain(), &q, &parse_error));
+  queries.push_back(q);
+
+  const Vector answers = session->AnswerBatch(queries);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_NEAR(answers[i], BruteForceBox(w.domain(), x, queries[i]), 0.05)
+        << "query " << i;
+  }
+}
+
+// A marginals strategy over both attributes plus each one-way marginal, so
+// marginal queries are covered by measured tables.
+std::shared_ptr<const MarginalsStrategy> TwoAttributeMarginals(
+    const Domain& domain) {
+  Vector theta(4, 0.0);
+  theta[1] = 1.0;  // attr 0 marginal.
+  theta[2] = 1.0;  // attr 1 marginal.
+  theta[3] = 1.0;  // Two-way (full) table.
+  return std::make_shared<MarginalsStrategy>(domain, theta, "marginals");
+}
+
+TEST(Engine, MarginalsSessionServesMarginalsFromMeasuredTables) {
+  UnionWorkload w = SmallWorkload();
+  EngineOptions options = ZCdpEngineOptions(4e12);
+  Engine engine(options);
+  // Pin the plan to a marginals strategy so Measure builds a
+  // marginal-table session.
+  const Fingerprint fp = FingerprintPlan(w, options.optimizer);
+  engine.cache().Put(fp, TwoAttributeMarginals(w.domain()));
+
+  Rng rng(67);
+  Vector x(static_cast<size_t>(w.DomainSize()));
+  for (double& v : x) v = std::floor(rng.Uniform(0.0, 30.0));
+  std::string error;
+  auto session = engine.Measure(w, "d", x, MeasureRequest::Gaussian(1e12),
+                                &rng, &error);
+  ASSERT_NE(session, nullptr) << error;
+  ASSERT_EQ(session->marginal_tables().size(), 3u);
+
+  // Marginal queries are covered by the measured tables and answered from
+  // them directly — within noise tolerance of the truth.
+  std::string parse_error;
+  BoxQuery q;
+  ASSERT_TRUE(ParseQueryLine("marginal sex=1", w.domain(), &q, &parse_error));
+  EXPECT_TRUE(session->CoveredByMarginal(q));
+  EXPECT_NEAR(session->Answer(q), BruteForceBox(w.domain(), x, q), 0.05);
+
+  ASSERT_TRUE(ParseQueryLine("marginal age=5", w.domain(), &q, &parse_error));
+  EXPECT_TRUE(session->CoveredByMarginal(q));
+  EXPECT_NEAR(session->Answer(q), BruteForceBox(w.domain(), x, q), 0.05);
+
+  ASSERT_TRUE(ParseQueryLine("point sex=0 age=2", w.domain(), &q,
+                             &parse_error));
+  EXPECT_TRUE(session->CoveredByMarginal(q));
+  EXPECT_NEAR(session->Answer(q), BruteForceBox(w.domain(), x, q), 0.05);
+
+  // Range queries over a strict sub-range are covered too (the covering
+  // table is summed over the sub-box).
+  ASSERT_TRUE(ParseQueryLine("range age=2:6", w.domain(), &q, &parse_error));
+  EXPECT_NEAR(session->Answer(q), BruteForceBox(w.domain(), x, q), 0.1);
+}
+
+TEST(Engine, MarginalsSessionLazilyMaterializesXHat) {
+  // A marginals session defers full-domain reconstruction; XHat() (or an
+  // uncovered query) triggers it lazily, and the materialized x_hat agrees
+  // with the truth at negligible noise. Queries keep working afterwards.
+  UnionWorkload w = SmallWorkload();
+  EngineOptions options = ZCdpEngineOptions(4e12);
+  Engine engine(options);
+  const Fingerprint fp = FingerprintPlan(w, options.optimizer);
+  engine.cache().Put(fp, TwoAttributeMarginals(w.domain()));
+
+  Rng rng(71);
+  Vector x(static_cast<size_t>(w.DomainSize()));
+  for (double& v : x) v = std::floor(rng.Uniform(0.0, 30.0));
+  std::string error;
+  auto session = engine.Measure(w, "d", x, MeasureRequest::Gaussian(1e12),
+                                &rng, &error);
+  ASSERT_NE(session, nullptr) << error;
+
+  const Vector& x_hat = session->XHat();
+  ASSERT_EQ(x_hat.size(), x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x_hat[i], x[i], 0.05) << "cell " << i;
+  }
+  std::string parse_error;
+  BoxQuery q;
+  ASSERT_TRUE(ParseQueryLine("marginal age=3", w.domain(), &q, &parse_error));
+  EXPECT_NEAR(session->Answer(q), BruteForceBox(w.domain(), x, q), 0.05);
+}
+
+TEST(Session, UncoveredQueryFallsBackToSummedAreaTable) {
+  // A session whose measured marginals do not cover a query must fall back
+  // to the summed-area path. Built directly (no engine) with a one-way-only
+  // strategy: the point query constrains both attributes and is uncovered —
+  // coverage detection is what routes it away from the tables.
+  Domain d({"a", "b"}, {2, 3});
+  Vector theta(4, 0.0);
+  theta[1] = 1.0;  // attr a marginal.
+  theta[2] = 1.0;  // attr b marginal.
+  auto one_way = std::make_shared<MarginalsStrategy>(d, theta, "one-way");
+  Vector x{3.0, 1.0, 4.0, 1.0, 5.0, 9.0};
+  const Vector y = one_way->Apply(x);  // Noiseless: tables are exact.
+  MeasurementSession session(d, one_way, y, PrivacyCharge::Gaussian(1.0));
+  ASSERT_EQ(session.marginal_tables().size(), 2u);
+
+  BoxQuery covered;
+  std::string parse_error;
+  ASSERT_TRUE(ParseQueryLine("marginal a=1", d, &covered, &parse_error));
+  EXPECT_TRUE(session.CoveredByMarginal(covered));
+  EXPECT_NEAR(session.Answer(covered), 1.0 + 5.0 + 9.0, 1e-9);
+
+  BoxQuery uncovered;
+  ASSERT_TRUE(ParseQueryLine("point a=1 b=2", d, &uncovered, &parse_error));
+  EXPECT_FALSE(session.CoveredByMarginal(uncovered));
+}
+
+TEST(Engine, ZCdpLedgerPersistsGaussianChargesAcrossEngines) {
+  const std::string dir = FreshDir("engine_zcdp_ledger");
+  std::filesystem::create_directories(dir);
+  EngineOptions options = ZCdpEngineOptions(1.0);
+  options.cache.disk_dir = dir;
+  options.ledger_path = dir + "/budget.ledger";
+  UnionWorkload w = SmallWorkload();
+  Vector x(static_cast<size_t>(w.DomainSize()), 1.0);
+  std::string error;
+  {
+    Engine engine(options);
+    Rng rng(73);
+    ASSERT_NE(engine.Measure(w, "d.csv", x, MeasureRequest::Gaussian(0.8),
+                             &rng, &error),
+              nullptr)
+        << error;
+  }
+  Engine restarted(options);
+  EXPECT_NEAR(restarted.accountant().Spent("d.csv"), 0.8, 1e-15);
+  Rng rng(74);
+  EXPECT_EQ(restarted.Measure(w, "d.csv", x, MeasureRequest::Gaussian(0.5),
+                              &rng, &error),
+            nullptr);
+  EXPECT_NE(error.find("budget exceeded"), std::string::npos);
 }
 
 }  // namespace

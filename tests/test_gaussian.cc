@@ -1,5 +1,7 @@
 #include "core/gaussian.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "linalg/kron.h"
@@ -34,7 +36,7 @@ TEST(Gaussian, MeasureCalibration) {
   KronStrategy id({IdentityBlock(4)});
   Rng rng(2);
   Vector x = {10.0, 20.0, 30.0, 40.0};
-  const double eps = 1.0, delta = 1e-6;
+  const double eps = 0.9, delta = 1e-6;
   const double sigma = GaussianNoiseScale(1.0, eps, delta);
   double sum_sq = 0.0;
   const int trials = 3000;
@@ -50,9 +52,82 @@ TEST(Gaussian, MeasureCalibration) {
 }
 
 TEST(Gaussian, TotalErrorScalesWithTrace) {
-  double e1 = GaussianTotalSquaredError(10.0, 1.0, 1.0, 1e-6);
-  double e2 = GaussianTotalSquaredError(20.0, 1.0, 1.0, 1e-6);
+  double e1 = GaussianTotalSquaredError(10.0, 1.0, 0.5, 1e-6);
+  double e2 = GaussianTotalSquaredError(20.0, 1.0, 0.5, 1e-6);
   EXPECT_NEAR(e2, 2.0 * e1, 1e-9);
+}
+
+TEST(GaussianDeath, ClassicCalibrationRejectsEpsilonAtLeastOne) {
+  // Regression for the silent under-noising bug: the classic
+  // sqrt(2 ln(1.25/delta)) analysis is only valid for epsilon < 1. Exactly
+  // epsilon = 1 is the boundary case that used to slip through.
+  EXPECT_DEATH(GaussianNoiseScale(1.0, 1.0, 1e-6), "invalid for epsilon");
+  EXPECT_DEATH(GaussianNoiseScale(1.0, 4.0, 1e-6), "invalid for epsilon");
+  EXPECT_GT(GaussianNoiseScale(1.0, 0.999, 1e-6), 0.0);
+}
+
+TEST(Gaussian, ZCdpSigmaFormulaAndInverse) {
+  // sigma = sens / sqrt(2 rho), exact for every rho > 0 — including the
+  // large-budget regime the classic calibration cannot express.
+  EXPECT_DOUBLE_EQ(GaussianSigmaFromRho(2.0, 0.5), 2.0);
+  EXPECT_NEAR(GaussianSigmaFromRho(1.0, 8.0), 0.25, 1e-15);
+  for (double rho : {0.01, 0.5, 2.0, 50.0}) {
+    EXPECT_NEAR(RhoFromGaussianSigma(3.0, GaussianSigmaFromRho(3.0, rho)),
+                rho, 1e-12 * rho);
+  }
+}
+
+TEST(Gaussian, BunSteinkeConversionClosedForm) {
+  // rho-zCDP => (rho + 2 sqrt(rho ln(1/delta)), delta)-DP (Prop 1.3).
+  const double rho = 0.5, delta = 1e-6;
+  EXPECT_NEAR(RhoToEpsilon(rho, delta),
+              rho + 2.0 * std::sqrt(rho * std::log(1e6)), 1e-12);
+  EXPECT_EQ(RhoToEpsilon(0.0, delta), 0.0);
+  // Pure eps-DP => (eps^2/2)-zCDP (Prop 1.4).
+  EXPECT_DOUBLE_EQ(PureDpToRho(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(PureDpToRho(0.5), 0.125);
+}
+
+TEST(Gaussian, RhoFromEpsilonDeltaInvertsRhoToEpsilon) {
+  for (double eps : {0.1, 1.0, 3.0, 10.0}) {
+    for (double delta : {1e-9, 1e-6, 1e-3}) {
+      const double rho = RhoFromEpsilonDelta(eps, delta);
+      EXPECT_GT(rho, 0.0);
+      EXPECT_NEAR(RhoToEpsilon(rho, delta), eps, 1e-9 * eps)
+          << "eps=" << eps << " delta=" << delta;
+    }
+  }
+}
+
+TEST(Gaussian, StrategyMeasureGaussianCalibration) {
+  // Strategy::MeasureGaussian draws N(0, sigma^2) with
+  // sigma = L2Sensitivity() / sqrt(2 rho).
+  KronStrategy id({IdentityBlock(4)});
+  Rng rng(7);
+  Vector x = {10.0, 20.0, 30.0, 40.0};
+  const double rho = 0.125;
+  const double sigma = GaussianSigmaFromRho(id.L2Sensitivity(), rho);
+  EXPECT_DOUBLE_EQ(sigma, 2.0);  // sens 1, sqrt(2 * 0.125) = 0.5.
+  double sum_sq = 0.0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    Vector y = id.MeasureGaussian(x, rho, &rng);
+    for (size_t i = 0; i < 4; ++i) {
+      double noise = y[i] - x[i];
+      sum_sq += noise * noise;
+    }
+  }
+  double var = sum_sq / (4 * trials);
+  EXPECT_NEAR(var, sigma * sigma, 0.1 * sigma * sigma);
+}
+
+TEST(GaussianDeath, ZCdpRejectsInvalidRho) {
+  KronStrategy id({IdentityBlock(4)});
+  Vector x = {1.0, 2.0, 3.0, 4.0};
+  Rng rng(9);
+  EXPECT_DEATH(id.MeasureGaussian(x, 0.0, &rng), "rho");
+  EXPECT_DEATH(id.MeasureGaussian(x, std::nan(""), &rng), "rho");
+  EXPECT_DEATH(GaussianSigmaFromRho(0.0, 1.0), "sensitivity");
 }
 
 TEST(Gaussian, L2AdvantageOverL1ForDenseStrategies) {

@@ -68,6 +68,72 @@ TEST(Privacy, MarginalsSensitivityMatchesDefinition) {
   EXPECT_NEAR(s.Sensitivity(), BruteForceSensitivity(VStack(blocks)), 1e-10);
 }
 
+// True L2 sensitivity by definition: max_j ||A e_j||_2 over all cells j —
+// the quantity Gaussian noise is calibrated to.
+double BruteForceL2Sensitivity(const Matrix& a) {
+  double best = 0.0;
+  for (int64_t j = 0; j < a.cols(); ++j) {
+    double col = 0.0;
+    for (int64_t i = 0; i < a.rows(); ++i) col += a(i, j) * a(i, j);
+    best = std::max(best, col);
+  }
+  return std::sqrt(best);
+}
+
+TEST(Privacy, ExplicitL2SensitivityMatchesDefinition) {
+  Rng rng(11);
+  for (int trial = 0; trial < 8; ++trial) {
+    Matrix a = Matrix::RandomUniform(rng.UniformInt(2, 8),
+                                     rng.UniformInt(2, 8), &rng, -1.0, 1.0);
+    ExplicitStrategy s(a);
+    EXPECT_NEAR(s.L2Sensitivity(), BruteForceL2Sensitivity(a), 1e-12);
+  }
+}
+
+TEST(Privacy, KronL2SensitivityMatchesDefinition) {
+  Rng rng(12);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<Matrix> factors = {
+        Matrix::RandomUniform(rng.UniformInt(1, 4), rng.UniformInt(2, 4),
+                              &rng, -1.0, 1.0),
+        Matrix::RandomUniform(rng.UniformInt(1, 4), rng.UniformInt(2, 4),
+                              &rng, -1.0, 1.0)};
+    KronStrategy s(factors);
+    EXPECT_NEAR(s.L2Sensitivity(),
+                BruteForceL2Sensitivity(KronExplicit(factors)), 1e-10);
+  }
+}
+
+TEST(Privacy, MarginalsL2SensitivityMatchesDefinition) {
+  Domain d({3, 4});
+  Rng rng(13);
+  Vector theta(4);
+  for (double& v : theta) v = rng.Uniform(0.1, 2.0);
+  MarginalsStrategy s(d, theta);
+  std::vector<Matrix> blocks;
+  for (uint32_t m = 0; m < 4; ++m) {
+    blocks.push_back(MarginalProduct(d, m, theta[m]).Explicit());
+  }
+  EXPECT_NEAR(s.L2Sensitivity(), BruteForceL2Sensitivity(VStack(blocks)),
+              1e-10);
+}
+
+TEST(Privacy, UnionKronL2SensitivityDominatesDefinition) {
+  // The stacked upper bound must never under-report — Gaussian noise
+  // calibrated below the true L2 sensitivity would void the zCDP guarantee.
+  Rng rng(14);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<Matrix> part_a = {Matrix::RandomUniform(
+        rng.UniformInt(2, 4), 4, &rng, -1.0, 1.0)};
+    std::vector<Matrix> part_b = {Matrix::RandomUniform(
+        rng.UniformInt(2, 4), 4, &rng, -1.0, 1.0)};
+    UnionKronStrategy s({part_a, part_b}, {{0}, {1}}, "u");
+    Matrix stacked = VStack({part_a[0], part_b[0]});
+    EXPECT_GE(s.L2Sensitivity() + 1e-12, BruteForceL2Sensitivity(stacked))
+        << "trial " << trial;
+  }
+}
+
 TEST(Privacy, UnionKronSensitivityDominatesDefinition) {
   // The union strategy's sensitivity must never under-report (that would
   // break the DP guarantee); for uniform-column-sum parts it is exact.

@@ -45,17 +45,24 @@ int Usage() {
       "  hdmm_cli convert-sql --domain \"a=2,b=10,...\" --sql FILE\n"
       "  hdmm_cli show        --workload FILE\n"
       "  hdmm_cli serve       --workload FILE --data FILE [--budget E]\n"
-      "                       [--cache-dir DIR] [--ledger FILE] [--seed S]\n"
-      "                       [--opt-seed S] [--restarts N]\n"
+      "                       [--regime pure|zcdp] [--budget-rho R]\n"
+      "                       [--delta D] [--cache-dir DIR] [--ledger FILE]\n"
+      "                       [--seed S] [--opt-seed S] [--restarts N]\n"
       "\n"
       "Optimize once, reuse forever: `optimize --save-strategy s.hdmm`\n"
       "persists the selected strategy; `run --strategy s.hdmm` skips the\n"
       "optimization (strategy selection is data-independent, Section 7.3).\n"
       "`serve` reads commands from stdin and answers from a measurement\n"
-      "session: measure EPS | point a=V ... | range a=LO:HI ... |\n"
-      "marginal a=V ... | budget | quit. The accountant enforces the\n"
-      "--budget ceiling under sequential composition; with --cache-dir the\n"
-      "spend ledger persists there across restarts (or at --ledger FILE).\n");
+      "session: measure EPS | gaussian RHO | point a=V ... |\n"
+      "range a=LO:HI ... | marginal a=V ... | budget | quit. The accountant\n"
+      "enforces the budget ceiling: --regime pure composes epsilons\n"
+      "sequentially (Laplace only); --regime zcdp composes rho additively\n"
+      "(Bun-Steinke) so `gaussian RHO` measurements are accountable too, and\n"
+      "reports the spend as (epsilon, --delta)-DP. The ceiling is --budget\n"
+      "epsilon (converted to rho under zcdp) or --budget-rho directly. With\n"
+      "--cache-dir the spend ledger persists there across restarts (or at\n"
+      "--ledger FILE), fsync-backed and flock-protected against concurrent\n"
+      "serving processes.\n");
   return 2;
 }
 
@@ -333,11 +340,38 @@ int CmdServe(const Flags& flags) {
   // deliberately re-optimize with different random restarts.
   engine_options.optimizer.seed = static_cast<uint64_t>(
       std::strtoll(flags.Get("opt-seed", "0").c_str(), nullptr, 10));
+  // Accounting regime: pure-eps sequential composition (Laplace only) or
+  // rho-zCDP additive composition (Laplace at eps^2/2, Gaussian at rho).
+  const std::string regime = flags.Get("regime", "pure");
+  if (regime == "zcdp") {
+    engine_options.regime = BudgetRegime::kZCdp;
+  } else if (regime != "pure") {
+    std::fprintf(stderr, "--regime must be pure or zcdp\n");
+    return 1;
+  }
   engine_options.total_epsilon =
       std::strtod(flags.Get("budget", "1.0").c_str(), nullptr);
   if (!(engine_options.total_epsilon > 0.0)) {
     std::fprintf(stderr, "--budget must be positive\n");
     return 1;
+  }
+  engine_options.delta =
+      std::strtod(flags.Get("delta", "1e-9").c_str(), nullptr);
+  if (!(engine_options.delta > 0.0 && engine_options.delta < 1.0)) {
+    std::fprintf(stderr, "--delta must be in (0, 1)\n");
+    return 1;
+  }
+  if (flags.Has("budget-rho")) {
+    if (engine_options.regime != BudgetRegime::kZCdp) {
+      std::fprintf(stderr, "--budget-rho needs --regime zcdp\n");
+      return 1;
+    }
+    engine_options.total_rho =
+        std::strtod(flags.Get("budget-rho").c_str(), nullptr);
+    if (!(engine_options.total_rho > 0.0)) {
+      std::fprintf(stderr, "--budget-rho must be positive\n");
+      return 1;
+    }
   }
   engine_options.cache.disk_dir = flags.Get("cache-dir");
   // The budget ceiling must survive restarts whenever the strategies do:
@@ -374,10 +408,20 @@ int CmdServe(const Flags& flags) {
       std::filesystem::weakly_canonical(data_path, canon_ec).string();
   if (canon_ec || dataset_id.empty()) dataset_id = data_path;
 
-  std::printf("serving %s over %s (N=%lld, budget epsilon=%g)\n",
-              flags.Get("workload").c_str(), w.domain().ToString().c_str(),
-              static_cast<long long>(w.DomainSize()),
-              engine.accountant().total_epsilon());
+  if (engine.accountant().regime() == BudgetRegime::kZCdp) {
+    std::printf(
+        "serving %s over %s (N=%lld, zcdp budget rho=%g ~ epsilon=%g at "
+        "delta=%g)\n",
+        flags.Get("workload").c_str(), w.domain().ToString().c_str(),
+        static_cast<long long>(w.DomainSize()),
+        engine.accountant().TotalBudget(), engine.accountant().total_epsilon(),
+        engine.accountant().delta());
+  } else {
+    std::printf("serving %s over %s (N=%lld, budget epsilon=%g)\n",
+                flags.Get("workload").c_str(), w.domain().ToString().c_str(),
+                static_cast<long long>(w.DomainSize()),
+                engine.accountant().total_epsilon());
+  }
   std::printf("dataset id: %s\n", dataset_id.c_str());
 
   // Prewarm: plan before the first measure so startup reports whether this
@@ -406,23 +450,42 @@ int CmdServe(const Flags& flags) {
     if (command == "quit" || command == "exit") break;
 
     if (command == "budget") {
-      std::printf("budget spent=%g remaining=%g total=%g\n",
-                  engine.accountant().Spent(dataset_id),
-                  engine.accountant().Remaining(dataset_id),
-                  engine.accountant().total_epsilon());
-    } else if (command == "measure") {
-      double epsilon = 0.0;
-      if (!(in >> epsilon) || !(epsilon > 0.0) || !std::isfinite(epsilon)) {
-        std::printf("error measure needs a positive finite epsilon\n");
+      if (engine.accountant().regime() == BudgetRegime::kZCdp) {
+        std::printf(
+            "budget regime=zcdp spent_rho=%g remaining_rho=%g total_rho=%g "
+            "reported_epsilon=%g delta=%g\n",
+            engine.accountant().Spent(dataset_id),
+            engine.accountant().Remaining(dataset_id),
+            engine.accountant().TotalBudget(),
+            engine.accountant().ReportedEpsilon(dataset_id),
+            engine.accountant().delta());
       } else {
+        std::printf("budget spent=%g remaining=%g total=%g\n",
+                    engine.accountant().Spent(dataset_id),
+                    engine.accountant().Remaining(dataset_id),
+                    engine.accountant().total_epsilon());
+      }
+    } else if (command == "measure" || command == "gaussian") {
+      // measure EPS -> Laplace; gaussian RHO -> Gaussian under zCDP. The
+      // accountant decides whether the regime can express the charge.
+      const bool is_gaussian = command == "gaussian";
+      double amount = 0.0;
+      if (!(in >> amount) || !(amount > 0.0) || !std::isfinite(amount)) {
+        std::printf("error %s needs a positive finite %s\n", command.c_str(),
+                    is_gaussian ? "rho" : "epsilon");
+      } else {
+        const MeasureRequest request = is_gaussian
+                                           ? MeasureRequest::Gaussian(amount)
+                                           : MeasureRequest::Laplace(amount);
         std::string why;
-        auto next = engine.Measure(w, dataset_id, x, epsilon, &rng, &why);
+        auto next = engine.Measure(w, dataset_id, x, request, &rng, &why);
         if (next == nullptr) {
           std::printf("error %s\n", why.c_str());
         } else {
           session = std::move(next);
-          std::printf("ok measured epsilon=%g spent=%g remaining=%g\n",
-                      epsilon, engine.accountant().Spent(dataset_id),
+          std::printf("ok measured %s=%g spent=%g remaining=%g\n",
+                      is_gaussian ? "rho" : "epsilon", amount,
+                      engine.accountant().Spent(dataset_id),
                       engine.accountant().Remaining(dataset_id));
         }
       }
@@ -440,8 +503,8 @@ int CmdServe(const Flags& flags) {
         }
       }
     } else {
-      std::printf("error unknown command '%s' (measure | point | range | "
-                  "marginal | budget | quit)\n",
+      std::printf("error unknown command '%s' (measure | gaussian | point | "
+                  "range | marginal | budget | quit)\n",
                   command.c_str());
     }
     std::fflush(stdout);
