@@ -1,0 +1,52 @@
+// 64-bit FNV-1a content hashing, shared by the serving layer's plan
+// fingerprints (engine/fingerprint) and the optimizer layer's Gram-cache
+// keys (core/gram_cache). Fast, dependency-free, and stable across
+// platforms; callers tolerate the 64-bit collision odds (a collision can
+// only alias two keys, never corrupt a stored value), so a cryptographic
+// hash is not needed.
+#ifndef HDMM_COMMON_HASH_H_
+#define HDMM_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace hdmm {
+
+/// Incremental FNV-1a hasher over raw bytes with typed convenience feeds.
+class Fnv1aHasher {
+ public:
+  static constexpr uint64_t kOffset = 1469598103934665603ULL;
+  static constexpr uint64_t kPrime = 1099511628211ULL;
+
+  void Bytes(const void* data, size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      state_ ^= p[i];
+      state_ *= kPrime;
+    }
+  }
+
+  void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void I32(int v) { I64(v); }
+  void Bool(bool v) { U64(v ? 1 : 0); }
+
+  /// Doubles are hashed by bit pattern with -0.0 canonicalized to 0.0 so the
+  /// two representations of zero (which are numerically interchangeable
+  /// everywhere in the library) cannot split a cache.
+  void F64(double v) {
+    if (v == 0.0) v = 0.0;  // Collapses -0.0.
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+
+  uint64_t Digest() const { return state_; }
+
+ private:
+  uint64_t state_ = kOffset;
+};
+
+}  // namespace hdmm
+
+#endif  // HDMM_COMMON_HASH_H_

@@ -4,6 +4,27 @@
 #include <cmath>
 
 namespace hdmm {
+namespace {
+
+// SplitMix64 finalizer (Steele, Lea & Flood): a full-avalanche mix used to
+// derive well-separated child seeds from correlated inputs like
+// (seed, epoch, stream) triples.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Rng Rng::Fork(uint64_t stream) {
+  ++fork_epoch_;
+  uint64_t h = SplitMix64(seed_);
+  h = SplitMix64(h ^ fork_epoch_);
+  h = SplitMix64(h ^ stream);
+  return Rng(h);
+}
 
 double Rng::Uniform() {
   return std::uniform_real_distribution<double>(0.0, 1.0)(gen_);

@@ -14,7 +14,17 @@ namespace hdmm {
 /// passed in by the caller so experiments are reproducible.
 class Rng {
  public:
-  explicit Rng(uint64_t seed = 0) : gen_(seed) {}
+  explicit Rng(uint64_t seed = 0) : seed_(seed), gen_(seed) {}
+
+  /// Forks an independent child stream, SplitMix64-style: the child's seed
+  /// is derived from the parent's *original* seed, a per-parent fork
+  /// counter, and the caller-supplied stream id — never from how far the
+  /// parent's own sequence has advanced. Parallel restarts that each draw
+  /// from a fork therefore see the same streams no matter which thread runs
+  /// them (or in what order), which is what makes optimizer results
+  /// bit-identical at any thread count. Successive Fork calls on the same
+  /// parent yield distinct streams even for equal `stream` ids.
+  Rng Fork(uint64_t stream);
 
   /// Uniform double in [0, 1).
   double Uniform();
@@ -44,6 +54,8 @@ class Rng {
   std::mt19937_64& engine() { return gen_; }
 
  private:
+  uint64_t seed_;
+  uint64_t fork_epoch_ = 0;  ///< Number of Fork calls made on this instance.
   std::mt19937_64 gen_;
 };
 

@@ -11,10 +11,24 @@ namespace {
 
 thread_local bool tls_in_pool_task = false;
 
+// SetGlobalThreads request and a created-flag guarding against requests that
+// arrive after the (unresizable) global pool already exists.
+std::atomic<int> g_requested_threads{0};
+std::atomic<bool> g_global_created{false};
+
+// Test-only override routing optimizer restart fan-out to a custom pool.
+std::atomic<ThreadPool*> g_restart_pool_override{nullptr};
+
 int GlobalThreadCount() {
-  if (const char* env = std::getenv("HDMM_NUM_THREADS")) {
-    int n = std::atoi(env);
-    if (n >= 1) return n;
+  const int requested = g_requested_threads.load(std::memory_order_acquire);
+  if (requested >= 1) return requested;
+  // HDMM_THREADS is the documented knob (mirrors the CLI's --threads);
+  // HDMM_NUM_THREADS is kept as the original spelling.
+  for (const char* name : {"HDMM_THREADS", "HDMM_NUM_THREADS"}) {
+    if (const char* env = std::getenv(name)) {
+      int n = std::atoi(env);
+      if (n >= 1) return n;
+    }
   }
   unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
@@ -53,8 +67,29 @@ bool ThreadPool::InWorker() { return tls_in_pool_task; }
 ThreadPool& ThreadPool::Global() {
   // Leaked on purpose: workers may still be parked in ParallelFor epilogues
   // when static destructors run, and the pool must outlive all of them.
-  static ThreadPool* pool = new ThreadPool(GlobalThreadCount() - 1);
+  static ThreadPool* pool = [] {
+    g_global_created.store(true, std::memory_order_release);
+    return new ThreadPool(GlobalThreadCount() - 1);
+  }();
   return *pool;
+}
+
+void ThreadPool::SetGlobalThreads(int n) {
+  HDMM_CHECK_MSG(n >= 1, "SetGlobalThreads needs n >= 1");
+  HDMM_CHECK_MSG(!g_global_created.load(std::memory_order_acquire),
+                 "SetGlobalThreads must run before the global pool is first "
+                 "used (the pool is created once and never resized)");
+  g_requested_threads.store(n, std::memory_order_release);
+}
+
+ThreadPool& RestartPool() {
+  ThreadPool* override_pool =
+      g_restart_pool_override.load(std::memory_order_acquire);
+  return override_pool != nullptr ? *override_pool : ThreadPool::Global();
+}
+
+void SetRestartPoolForTest(ThreadPool* pool) {
+  g_restart_pool_override.store(pool, std::memory_order_release);
 }
 
 void ThreadPool::Push(Task task) {

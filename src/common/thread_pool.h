@@ -50,10 +50,17 @@ class ThreadPool {
   /// True when called from inside a pool task (used to serialize nesting).
   static bool InWorker();
 
-  /// Process-wide shared pool. Sized from the HDMM_NUM_THREADS environment
-  /// variable when set (total thread count, caller included), otherwise from
+  /// Process-wide shared pool. Sized, in priority order, from
+  /// SetGlobalThreads, the HDMM_THREADS / HDMM_NUM_THREADS environment
+  /// variables (total thread count, caller included), or
   /// std::thread::hardware_concurrency(). Never destroyed.
   static ThreadPool& Global();
+
+  /// Pins the global pool's total thread count (callers of Global() see
+  /// `num_threads() == n`). Must be called before the first Global() use —
+  /// the pool is created once and never resized; dies otherwise. This is
+  /// the hook behind `hdmm_cli --threads N`.
+  static void SetGlobalThreads(int n);
 
  private:
   struct TaskGroup;
@@ -79,6 +86,16 @@ class ThreadPool {
   std::mutex sleep_mutex_;
   std::condition_variable sleep_cv_;
 };
+
+/// The pool optimizer restart fan-out runs on: ThreadPool::Global() unless a
+/// test override is installed. The indirection exists so the planner
+/// determinism tests can run the same optimization on pools of different
+/// widths within one process and compare results bit-for-bit.
+ThreadPool& RestartPool();
+
+/// Installs (or, with nullptr, removes) a restart-pool override. Test-only;
+/// not synchronized against concurrent optimizer calls.
+void SetRestartPoolForTest(ThreadPool* pool);
 
 }  // namespace hdmm
 

@@ -2,8 +2,10 @@
 
 #include <limits>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "workload/building_blocks.h"
 
 namespace hdmm {
@@ -30,55 +32,84 @@ HdmmResult OptimizeStrategy(const UnionWorkload& w,
   best.squared_error = best.strategy->SquaredError(w);
   best.chosen_operator = "identity";
 
+  // One job per (restart, operator) cell of Algorithm 2's grid. Jobs are
+  // enumerated restart-major in the operator order kron, union, marginals —
+  // the same order the old sequential loop considered candidates in — and
+  // each owns an independent stream forked from the seed Rng on this thread,
+  // so the grid (and the selection below) is a pure function of the options,
+  // never of the thread count.
+  enum Op { kKron, kUnion, kMarginals };
+  struct Job {
+    Op op;
+    Rng rng;
+    std::unique_ptr<Strategy> strategy;
+    double error = std::numeric_limits<double>::infinity();
+  };
+  const bool run_union =
+      options.use_union &&
+      PartitionBySignature(w, options.union_opts.max_groups).size() > 1;
+  const bool run_marginals =
+      options.use_marginals && d <= options.max_marginals_dims;
+  std::vector<Job> jobs;
+  for (int restart = 0; restart < std::max(1, options.restarts); ++restart) {
+    if (options.use_kron)
+      jobs.push_back({kKron, rng.Fork(jobs.size()), nullptr, 0.0});
+    // With a single signature group OPT_+ degenerates to OPT_x; skip it.
+    if (run_union)
+      jobs.push_back({kUnion, rng.Fork(jobs.size()), nullptr, 0.0});
+    if (run_marginals)
+      jobs.push_back({kMarginals, rng.Fork(jobs.size()), nullptr, 0.0});
+  }
+
   // Candidates are always compared through the strategy's own closed-form
   // SquaredError rather than the optimizer's internal objective value, so
   // HdmmResult::squared_error is guaranteed to describe the strategy that is
   // actually returned (the optimizers' fast-path objectives can disagree
   // with the built strategy at extreme parameters; see
-  // docs/pidentity_gradient.md).
-  auto consider = [&](std::unique_ptr<Strategy> s, const std::string& op) {
-    const double err = s->SquaredError(w);
-    if (err < best.squared_error) {
-      best.strategy = std::move(s);
-      best.squared_error = err;
-      best.chosen_operator = op;
-    }
-  };
-
-  for (int restart = 0; restart < std::max(1, options.restarts); ++restart) {
-    if (options.use_kron) {
-      OptKronResult res = OptKron(w, options.kron, &rng);
-      auto strat = std::make_unique<KronStrategy>(KronStrategyFactors(res),
-                                                  "opt-kron");
-      consider(std::move(strat), "kron");
-    }
-    if (options.use_union) {
-      std::vector<std::vector<int>> groups =
-          PartitionBySignature(w, options.union_opts.max_groups);
-      // With a single signature group OPT_+ degenerates to OPT_x; skip it.
-      if (groups.size() > 1) {
-        OptUnionResult res = OptUnion(w, options.union_opts, &rng);
-        std::vector<std::vector<Matrix>> parts;
-        for (size_t g = 0; g < res.group_thetas.size(); ++g) {
-          OptKronResult tmp;
-          tmp.thetas = res.group_thetas[g];
-          std::vector<Matrix> factors = KronStrategyFactors(tmp);
-          // Fold the group's budget fraction into the strategy: scaling one
-          // factor by lambda_g makes the stacked sensitivity sum to 1 and
-          // the closed-form error match OptUnion's bookkeeping.
-          factors[0].ScaleInPlace(res.budget_split[g]);
-          parts.push_back(std::move(factors));
+  // docs/pidentity_gradient.md). The error is computed inside the job so it
+  // overlaps with other restarts.
+  RestartPool().ParallelFor(
+      0, static_cast<int64_t>(jobs.size()), /*grain=*/1,
+      [&](int64_t j0, int64_t j1) {
+        for (int64_t ji = j0; ji < j1; ++ji) {
+          Job& job = jobs[static_cast<size_t>(ji)];
+          if (job.op == kKron) {
+            OptKronResult res = OptKron(w, options.kron, &job.rng);
+            job.strategy = std::make_unique<KronStrategy>(
+                KronStrategyFactors(res), "opt-kron");
+          } else if (job.op == kUnion) {
+            OptUnionResult res = OptUnion(w, options.union_opts, &job.rng);
+            std::vector<std::vector<Matrix>> parts;
+            for (size_t g = 0; g < res.group_thetas.size(); ++g) {
+              OptKronResult tmp;
+              tmp.thetas = res.group_thetas[g];
+              std::vector<Matrix> factors = KronStrategyFactors(tmp);
+              // Fold the group's budget fraction into the strategy: scaling
+              // one factor by lambda_g makes the stacked sensitivity sum to
+              // 1 and the closed-form error match OptUnion's bookkeeping.
+              factors[0].ScaleInPlace(res.budget_split[g]);
+              parts.push_back(std::move(factors));
+            }
+            job.strategy = std::make_unique<UnionKronStrategy>(
+                std::move(parts), res.group_products, "opt-union");
+          } else {
+            OptMarginalsResult res = OptMarginals(w, options.marginals,
+                                                  &job.rng);
+            job.strategy = std::make_unique<MarginalsStrategy>(
+                w.domain(), res.theta, "opt-marginals");
+          }
+          job.error = job.strategy->SquaredError(w);
         }
-        auto strat = std::make_unique<UnionKronStrategy>(
-            std::move(parts), res.group_products, "opt-union");
-        consider(std::move(strat), "union");
-      }
-    }
-    if (options.use_marginals && d <= options.max_marginals_dims) {
-      OptMarginalsResult res = OptMarginals(w, options.marginals, &rng);
-      auto strat = std::make_unique<MarginalsStrategy>(
-          w.domain(), res.theta, "opt-marginals");
-      consider(std::move(strat), "marginals");
+      });
+
+  // Deterministic selection in job order: strict improvement only, so the
+  // earliest (lowest restart, operator-order) candidate wins ties.
+  static const char* kOpNames[] = {"kron", "union", "marginals"};
+  for (Job& job : jobs) {
+    if (job.error < best.squared_error) {
+      best.strategy = std::move(job.strategy);
+      best.squared_error = job.error;
+      best.chosen_operator = kOpNames[job.op];
     }
   }
   return best;

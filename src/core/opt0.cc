@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace hdmm {
 
@@ -34,9 +36,9 @@ int DefaultP(const Matrix& workload_factor) {
 }
 
 Opt0Result Opt0WarmStart(const Matrix& gram, const Matrix& theta0,
-                         const LbfgsbOptions& lbfgs) {
+                         const LbfgsbOptions& lbfgs, GemmParallelism par) {
   const int p = static_cast<int>(theta0.rows());
-  PIdentityObjective objective(gram, p);
+  PIdentityObjective objective(gram, p, par);
   ObjectiveFn fn = [&objective](const Vector& x, Vector* grad) {
     return objective.Eval(x, grad);
   };
@@ -55,18 +57,49 @@ Opt0Result Opt0(const Matrix& gram, const Opt0Options& options, Rng* rng) {
   HDMM_CHECK(gram.rows() == gram.cols());
   const int64_t n = gram.rows();
   const int p = options.p > 0 ? options.p : DefaultPFromSize(n);
+  const int restarts = std::max(1, options.restarts);
 
-  Opt0Result best;
-  best.error = std::numeric_limits<double>::infinity();
-  for (int r = 0; r < std::max(1, options.restarts); ++r) {
+  // Every restart draws its starting point from its own forked stream,
+  // derived on the calling thread in restart order — so the set of starting
+  // points (and hence the selected strategy) is a pure function of the seed,
+  // not of the thread count or scheduling.
+  std::vector<Matrix> theta0s;
+  theta0s.reserve(static_cast<size_t>(restarts));
+  for (int r = 0; r < restarts; ++r) {
     // Cycle the initialization scale across restarts: the Theta = 0 basin
     // (the identity strategy, always a strict local minimum) captures some
     // scales on some workloads, and varying the scale escapes it.
     const double scale = options.init_hi / static_cast<double>(int64_t{1} << (r % 3));
-    Matrix theta0 =
-        Matrix::RandomUniform(p, n, rng, options.init_lo, scale);
-    Opt0Result res = Opt0WarmStart(gram, theta0, options.lbfgs);
-    if (res.error < best.error) best = std::move(res);
+    Rng child = rng->Fork(static_cast<uint64_t>(r));
+    theta0s.push_back(
+        Matrix::RandomUniform(p, n, &child, options.init_lo, scale));
+  }
+
+  // Fan the restarts out over the pool. Each restart runs its whole L-BFGS-B
+  // trajectory serially inside one task (kSerial kernels: the inner loop is
+  // allocation-free and the pool's width goes to restart-level parallelism);
+  // a lone restart keeps pooled kernels so single-restart plans still use
+  // the machine.
+  const GemmParallelism par =
+      restarts > 1 ? GemmParallelism::kSerial : GemmParallelism::kPooled;
+  std::vector<Opt0Result> results(static_cast<size_t>(restarts));
+  RestartPool().ParallelFor(0, restarts, /*grain=*/1, [&](int64_t r0,
+                                                          int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      results[static_cast<size_t>(r)] =
+          Opt0WarmStart(gram, theta0s[static_cast<size_t>(r)], options.lbfgs,
+                        par);
+    }
+  });
+
+  // Deterministic selection: restart 0 is kept unconditionally (so the
+  // result always carries a valid parameterization even if every error came
+  // out non-finite), later restarts only replace it on a strict improvement
+  // — the lowest restart index wins ties at any thread count.
+  Opt0Result best = std::move(results[0]);
+  for (int r = 1; r < restarts; ++r) {
+    if (results[static_cast<size_t>(r)].error < best.error)
+      best = std::move(results[static_cast<size_t>(r)]);
   }
   return best;
 }

@@ -31,12 +31,21 @@ struct Opt0Result {
 /// Runs OPT_0 on the Gram matrix G = W^T W of an explicit workload. Taking
 /// the Gram rather than W itself allows closed-form Grams for structured
 /// workloads (e.g., AllRange) that are too large to materialize.
+///
+/// Restarts fan out in parallel over the shared pool, each on an
+/// independent stream forked from `rng` (Rng::Fork), with the lowest
+/// restart index winning error ties — the selected strategy is bit-identical
+/// at any thread count. Restart 0 is kept unconditionally so the result
+/// carries a valid Theta even when every restart evaluates non-finite.
 Opt0Result Opt0(const Matrix& gram, const Opt0Options& options, Rng* rng);
 
 /// Warm-started single run from an existing parameter matrix (used by the
-/// block-cyclic union optimization, Problem 3).
+/// block-cyclic union optimization, Problem 3). `par` selects the compute
+/// kernels of the inner objective: callers that already run warm starts in
+/// parallel (restart fan-out) pass kSerial.
 Opt0Result Opt0WarmStart(const Matrix& gram, const Matrix& theta0,
-                         const LbfgsbOptions& lbfgs);
+                         const LbfgsbOptions& lbfgs,
+                         GemmParallelism par = GemmParallelism::kPooled);
 
 /// The paper's default p for a workload factor: 1 if every query row is
 /// either a point query or the total (strategies richer than [I; T] don't

@@ -2,8 +2,13 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <unordered_map>
+#include <vector>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
+#include "core/gram_cache.h"
 
 namespace hdmm {
 
@@ -23,36 +28,34 @@ OptKronResult OptKron(const UnionWorkload& w, const OptKronOptions& options,
   HDMM_CHECK(k >= 1);
 
   // Per-product, per-attribute Gram matrices (Section 6.2 notes (W^T W)_i^(j)
-  // can be precomputed), deduplicated on factor identity: products that share
-  // an identical factor for attribute i (the common case — unions are usually
-  // built from a small set of per-attribute building blocks) share one Gram,
-  // one trace entry in the t table, and one term in the surrogate sum.
+  // can be precomputed), deduplicated on the GramCache content fingerprint:
+  // products that share an identical factor for attribute i (the common case
+  // — unions are usually built from a small set of per-attribute building
+  // blocks) share one Gram, one trace entry in the t table, and one term in
+  // the surrogate sum. The Grams themselves come from the process-wide
+  // GramCache, so they also survive across restarts and across optimizer
+  // calls (serve-mode plans re-planning similar workloads pay nothing).
   // unique_grams[i][u] is the Gram pool for attribute i; gram_id[j][i] maps
   // product j into it.
-  std::vector<std::vector<Matrix>> unique_grams(static_cast<size_t>(d));
+  std::vector<std::vector<std::shared_ptr<const Matrix>>> unique_grams(
+      static_cast<size_t>(d));
   std::vector<std::vector<int>> gram_id(static_cast<size_t>(k),
                                         std::vector<int>(static_cast<size_t>(d)));
   for (int i = 0; i < d; ++i) {
-    std::vector<const Matrix*> seen;  // factor behind unique_grams[i][u]
+    std::unordered_map<uint64_t, int> by_key;  // fingerprint -> pool index
     for (int j = 0; j < k; ++j) {
       const Matrix& f =
           w.products()[static_cast<size_t>(j)].factors[static_cast<size_t>(i)];
-      int id = -1;
-      for (size_t u = 0; u < seen.size(); ++u) {
-        const Matrix& g = *seen[u];
-        if (g.rows() == f.rows() && g.cols() == f.cols() &&
-            g.storage() == f.storage()) {
-          id = static_cast<int>(u);
-          break;
-        }
-      }
-      if (id < 0) {
-        id = static_cast<int>(seen.size());
-        seen.push_back(&f);
+      const uint64_t key = GramCache::FactorKey(f);
+      auto it = by_key.find(key);
+      if (it == by_key.end()) {
+        it = by_key.emplace(key, static_cast<int>(
+                                     unique_grams[static_cast<size_t>(i)].size()))
+                 .first;
         unique_grams[static_cast<size_t>(i)].push_back(
-            w.products()[static_cast<size_t>(j)].FactorGram(i));
+            GramCache::Global().FactorGram(f));
       }
-      gram_id[static_cast<size_t>(j)][static_cast<size_t>(i)] = id;
+      gram_id[static_cast<size_t>(j)][static_cast<size_t>(i)] = it->second;
     }
   }
 
@@ -63,18 +66,34 @@ OptKronResult OptKron(const UnionWorkload& w, const OptKronOptions& options,
                                     : options.p[static_cast<size_t>(i)];
   }
 
-  OptKronResult best;
-  best.error = std::numeric_limits<double>::infinity();
+  const int restarts = std::max(1, options.restarts);
+  // Restart-level parallelism: each restart runs its whole block-cyclic
+  // optimization in one pool task on an independent forked stream (see
+  // Opt0 for the determinism contract). With several restarts in flight the
+  // inner objectives use serial kernels — allocation-free and contention-free.
+  const GemmParallelism par =
+      restarts > 1 ? GemmParallelism::kSerial : GemmParallelism::kPooled;
+  std::vector<Rng> streams;
+  streams.reserve(static_cast<size_t>(restarts));
+  for (int r = 0; r < restarts; ++r)
+    streams.push_back(rng->Fork(static_cast<uint64_t>(r)));
 
-  for (int restart = 0; restart < std::max(1, options.restarts); ++restart) {
-    // Random initialization of each attribute's parameters.
+  struct RestartResult {
     std::vector<Matrix> thetas;
+    double error = std::numeric_limits<double>::infinity();
+  };
+  std::vector<RestartResult> results(static_cast<size_t>(restarts));
+
+  auto run_restart = [&](int restart, Rng* stream) {
+    RestartResult out;
+    // Random initialization of each attribute's parameters.
+    std::vector<Matrix>& thetas = out.thetas;
     thetas.reserve(static_cast<size_t>(d));
     // Initialization scale cycles across restarts (see Opt0).
     const double scale = 0.5 / static_cast<double>(int64_t{1} << (restart % 3));
     for (int i = 0; i < d; ++i) {
       thetas.push_back(Matrix::RandomUniform(
-          p[static_cast<size_t>(i)], w.domain().AttributeSize(i), rng, 0.0,
+          p[static_cast<size_t>(i)], w.domain().AttributeSize(i), stream, 0.0,
           scale));
     }
     // tu[i][u] = tr[(A_i^T A_i)^{-1} G_i^(u)], evaluated once per *unique*
@@ -86,7 +105,7 @@ OptKronResult OptKron(const UnionWorkload& w, const OptKronOptions& options,
       tu[static_cast<size_t>(i)].resize(pool.size());
       for (size_t u = 0; u < pool.size(); ++u)
         tu[static_cast<size_t>(i)][u] = PIdentityObjective::TraceWithGram(
-            thetas[static_cast<size_t>(i)], pool[u]);
+            thetas[static_cast<size_t>(i)], *pool[u]);
     };
     for (int i = 0; i < d; ++i) refresh_traces(i);
     auto t = [&](int j, int i) {
@@ -131,9 +150,9 @@ OptKronResult OptKron(const UnionWorkload& w, const OptKronOptions& options,
         }
         Matrix surrogate = Matrix::Zeros(ni, ni);
         for (size_t u = 0; u < pool.size(); ++u)
-          surrogate.AddInPlace(pool[u], coeff[u]);
+          surrogate.AddInPlace(*pool[u], coeff[u]);
         Opt0Result res = Opt0WarmStart(
-            surrogate, thetas[static_cast<size_t>(i)], options.lbfgs);
+            surrogate, thetas[static_cast<size_t>(i)], options.lbfgs, par);
         thetas[static_cast<size_t>(i)] = std::move(res.theta);
         refresh_traces(i);
       }
@@ -144,12 +163,29 @@ OptKronResult OptKron(const UnionWorkload& w, const OptKronOptions& options,
       }
       err = new_err;
     }
+    out.error = err;
+    return out;
+  };
 
-    // Keep the first restart unconditionally so the result always carries a
-    // valid parameterization even if every objective came out non-finite.
-    if (restart == 0 || err < best.error) {
-      best.error = err;
-      best.thetas = std::move(thetas);
+  RestartPool().ParallelFor(0, restarts, /*grain=*/1, [&](int64_t r0,
+                                                          int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      results[static_cast<size_t>(r)] = run_restart(
+          static_cast<int>(r), &streams[static_cast<size_t>(r)]);
+    }
+  });
+
+  // Keep the first restart unconditionally so the result always carries a
+  // valid parameterization even if every objective came out non-finite;
+  // later restarts replace it only on a strict improvement (lowest index
+  // wins ties, independent of thread count).
+  OptKronResult best;
+  best.error = results[0].error;
+  best.thetas = std::move(results[0].thetas);
+  for (int r = 1; r < restarts; ++r) {
+    if (results[static_cast<size_t>(r)].error < best.error) {
+      best.error = results[static_cast<size_t>(r)].error;
+      best.thetas = std::move(results[static_cast<size_t>(r)].thetas);
     }
   }
   return best;

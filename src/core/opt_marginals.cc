@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include <vector>
+
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "linalg/lu.h"
@@ -176,7 +178,13 @@ OptMarginalsResult OptMarginals(const UnionWorkload& w,
     workload_mask_weight[mask] += 1.0;
   }
 
-  for (int r = 0; r < std::max(1, options.restarts); ++r) {
+  // Starting points are derived on the calling thread, in restart order,
+  // from forked streams — a pure function of the seed, so the fan-out below
+  // selects the same strategy at any thread count (lowest restart index
+  // wins ties).
+  const int restarts = std::max(1, options.restarts);
+  std::vector<Vector> theta0s(static_cast<size_t>(restarts));
+  for (int r = 0; r < restarts; ++r) {
     Vector theta0(masks);
     if (r == 0 && options.workload_aware_init) {
       // Workload-aware start: weight the workload's own marginals, tiny
@@ -185,13 +193,26 @@ OptMarginalsResult OptMarginals(const UnionWorkload& w,
         theta0[a] = workload_mask_weight[a] > 0.0 ? 1.0 : 0.01;
       }
     } else {
+      Rng child = rng->Fork(static_cast<uint64_t>(r));
       const double scale = 1.0 / static_cast<double>(int64_t{1} << (r % 3));
       for (uint32_t a = 0; a < masks; ++a)
-        theta0[a] = rng->Uniform(0.0, scale);
+        theta0[a] = child.Uniform(0.0, scale);
     }
     theta0[masks - 1] = std::max(theta0[masks - 1], 0.1);
-    LbfgsbResult res =
-        MinimizeLbfgsb(fn, std::move(theta0), lower, upper, options.lbfgs);
+    theta0s[static_cast<size_t>(r)] = std::move(theta0);
+  }
+
+  std::vector<LbfgsbResult> results(static_cast<size_t>(restarts));
+  RestartPool().ParallelFor(0, restarts, /*grain=*/1, [&](int64_t r0,
+                                                          int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      results[static_cast<size_t>(r)] =
+          MinimizeLbfgsb(fn, std::move(theta0s[static_cast<size_t>(r)]), lower,
+                         upper, options.lbfgs);
+    }
+  });
+  for (int r = 0; r < restarts; ++r) {
+    LbfgsbResult& res = results[static_cast<size_t>(r)];
     if (res.f < best.error) {
       best.error = res.f;
       best.theta = std::move(res.x);

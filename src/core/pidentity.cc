@@ -1,5 +1,6 @@
 #include "core/pidentity.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -51,6 +52,33 @@ Matrix ScaledCopy(const Matrix& m, const Vector& scale, int axis) {
   return out;
 }
 
+// Workspace variants of ScaledCopy: write src * diag(scale) (or
+// diag(scale) * src) into a reusable destination without allocating once the
+// destination has the right shape.
+void EnsureShape(Matrix* m, int64_t rows, int64_t cols) {
+  if (m->rows() != rows || m->cols() != cols) *m = Matrix(rows, cols);
+}
+
+void ScaleColumnsInto(const Matrix& src, const Vector& scale, Matrix* dst) {
+  EnsureShape(dst, src.rows(), src.cols());
+  for (int64_t i = 0; i < src.rows(); ++i) {
+    const double* in = src.Row(i);
+    double* out = dst->Row(i);
+    for (int64_t j = 0; j < src.cols(); ++j)
+      out[j] = in[j] * scale[static_cast<size_t>(j)];
+  }
+}
+
+void ScaleRowsInto(const Matrix& src, const Vector& scale, Matrix* dst) {
+  EnsureShape(dst, src.rows(), src.cols());
+  for (int64_t i = 0; i < src.rows(); ++i) {
+    const double s = scale[static_cast<size_t>(i)];
+    const double* in = src.Row(i);
+    double* out = dst->Row(i);
+    for (int64_t j = 0; j < src.cols(); ++j) out[j] = s * in[j];
+  }
+}
+
 // Trust floor for the Woodbury fast path, as a fraction of term1 (the
 // positive part of the cancelling subtraction). The subtraction's noise is
 // governed by the capacitance solve: with condition number kappa(M) the
@@ -65,25 +93,35 @@ constexpr double kFastPathTrustFloor = 1e-7;
 
 }  // namespace
 
-PIdentityObjective::PIdentityObjective(Matrix gram, int p)
-    : gram_(std::move(gram)), p_(p) {
+PIdentityObjective::PIdentityObjective(Matrix gram, int p, GemmParallelism par)
+    : gram_(std::move(gram)), p_(p), par_(par) {
   HDMM_CHECK(gram_.rows() == gram_.cols());
   HDMM_CHECK(p_ >= 1);
+  gram_diag_.resize(static_cast<size_t>(gram_.rows()));
+  for (int64_t j = 0; j < gram_.rows(); ++j)
+    gram_diag_[static_cast<size_t>(j)] = gram_(j, j);
 }
 
-double PIdentityObjective::Eval(const Vector& theta_flat,
-                                Vector* grad_flat) const {
+double PIdentityObjective::Eval(const Vector& theta_flat, Vector* grad_flat) {
   const int64_t n = gram_.rows();
   HDMM_CHECK(static_cast<int64_t>(theta_flat.size()) == p_ * n);
-  Matrix theta(p_, n, theta_flat);
+  EnsureShape(&theta_, p_, n);
+  std::copy(theta_flat.begin(), theta_flat.end(), theta_.data());
 
-  const Vector s = ColumnScales(theta);            // s_j = 1/d_j
-  Vector d(s.size());
-  for (size_t j = 0; j < s.size(); ++j) d[j] = 1.0 / s[j];
+  // s_j = 1/d_j, computed into the hoisted workspace vectors.
+  s_.assign(static_cast<size_t>(n), 1.0);
+  for (int64_t i = 0; i < p_; ++i) {
+    const double* row = theta_.Row(i);
+    for (int64_t j = 0; j < n; ++j) s_[static_cast<size_t>(j)] += row[j];
+  }
+  d_.resize(s_.size());
+  for (size_t j = 0; j < s_.size(); ++j) d_[j] = 1.0 / s_[j];
 
-  Matrix m = Capacitance(theta);                   // I_p + Theta Theta^T
-  Matrix l;
-  if (!CholeskyFactor(m, &l)) {
+  // Capacitance M = I_p + Theta Theta^T; exact symmetry from the SYRK
+  // mirror, which the Cholesky below relies on.
+  GramOuterInto(theta_, &m_, par_);
+  for (int64_t i = 0; i < p_; ++i) m_(i, i) += 1.0;
+  if (!CholeskyFactor(m_, &l_)) {
     // Numerically indefinite capacitance: treat as an infeasible point.
     if (grad_flat != nullptr) grad_flat->assign(theta_flat.size(), 0.0);
     return std::numeric_limits<double>::infinity();
@@ -91,17 +129,18 @@ double PIdentityObjective::Eval(const Vector& theta_flat,
 
   // --- Objective: tr[X^{-1} G] with X^{-1} = S (I - Theta^T M^{-1} Theta) S,
   //     S = diag(s). (Appendix A.3.)
-  // term1 = sum_j s_j^2 G_jj.
+  // term1 = sum_j s_j^2 G_jj (diag(G) hoisted at construction).
   double term1 = 0.0;
-  for (int64_t j = 0; j < n; ++j)
-    term1 += s[static_cast<size_t>(j)] * s[static_cast<size_t>(j)] * gram_(j, j);
+  for (int64_t j = 0; j < n; ++j) {
+    const double sj = s_[static_cast<size_t>(j)];
+    term1 += sj * sj * gram_diag_[static_cast<size_t>(j)];
+  }
   // T1 = Theta * S, B = T1 * G, Spp = B * T1^T; term2 = tr[M^{-1} Spp].
-  Matrix t1 = ScaledCopy(theta, s, /*axis=*/1);
-  Matrix b = MatMul(t1, gram_);
-  Matrix spp = MatMulNT(b, t1);
-  Matrix z;
-  CholeskySolveMatrixInto(l, spp, &z);
-  double objective = term1 - z.Trace();
+  ScaleColumnsInto(theta_, s_, &t1_);
+  MatMulInto(t1_, gram_, &b_, par_);
+  MatMulNTInto(b_, t1_, &spp_, par_);
+  CholeskySolveMatrixInto(l_, spp_, &z_);
+  double objective = term1 - z_.Trace();
   // The exact objective is strictly positive and bounded by term1 (since
   // X^{-1} is dominated by D^{-2}); the subtraction's noise scales with the
   // capacitance solve's conditioning (see kFastPathTrustFloor). Values at or
@@ -121,49 +160,65 @@ double PIdentityObjective::Eval(const Vector& theta_flat,
   // r_j = Z_jj + sum_i Theta_ij (Theta Z)_ij.
   //
   // K = X^{-1} G = S(G1 - Theta^T M^{-1} (Theta G1)) with G1 = S G.
-  Matrix g1 = ScaledCopy(gram_, s, /*axis=*/0);
-  Matrix u = MatMul(theta, g1);
-  Matrix v;
-  CholeskySolveMatrixInto(l, u, &v);
-  Matrix k = MatMulTN(theta, v);       // Theta^T (M^{-1} Theta G1)
-  k.ScaleInPlace(-1.0);
-  k.AddInPlace(g1, 1.0);
-  k = ScaledCopy(k, s, /*axis=*/0);    // K = S (G1 - ...)
-
-  // Y = K X^{-1} = (K1 - (K1 Theta^T) M^{-1} Theta) S, K1 = K S.
-  Matrix k1 = ScaledCopy(k, s, /*axis=*/1);
-  Matrix pmat = MatMulNT(k1, theta);   // N x p
-  Matrix qt;
-  CholeskySolveMatrixInto(l, pmat.Transposed(), &qt);
-  Matrix q = qt.Transposed();          // N x p
-  Matrix r_term = MatMul(q, theta);    // N x N
-  Matrix y = k1;
-  y.AddInPlace(r_term, -1.0);
-  y = ScaledCopy(y, s, /*axis=*/1);
-
-  // ThetaTilde = Theta D.
-  Matrix theta_tilde = ScaledCopy(theta, d, /*axis=*/1);
-  Matrix ty = MatMul(theta_tilde, y);            // p x N
-  Matrix grad1 = ScaledCopy(ty, d, /*axis=*/1);  // ThetaTilde Y D
-  grad1.ScaleInPlace(-2.0);
-
-  // Z = D Y D; r_j = Z_jj + sum_i Theta_ij (Theta Z)_ij.
-  Matrix zmat = ScaledCopy(ScaledCopy(y, d, 0), d, 1);
-  Matrix tz = MatMul(theta, zmat);               // p x N
-  Vector r(static_cast<size_t>(n), 0.0);
-  for (int64_t j = 0; j < n; ++j) {
-    double acc = zmat(j, j);
-    for (int64_t i = 0; i < p_; ++i) acc += theta(i, j) * tz(i, j);
-    r[static_cast<size_t>(j)] = acc;
+  ScaleRowsInto(gram_, s_, &g1_);
+  MatMulInto(theta_, g1_, &u_, par_);
+  CholeskySolveMatrixInto(l_, u_, &v_);
+  MatMulTNInto(theta_, v_, &k_, par_);  // Theta^T (M^{-1} Theta G1)
+  // K = S (G1 - ...), fused subtract-and-row-scale over the workspace.
+  for (int64_t i = 0; i < n; ++i) {
+    const double si = s_[static_cast<size_t>(i)];
+    const double* g1row = g1_.Row(i);
+    double* krow = k_.Row(i);
+    for (int64_t j = 0; j < n; ++j) krow[j] = si * (g1row[j] - krow[j]);
   }
 
-  grad_flat->assign(static_cast<size_t>(p_ * n), 0.0);
+  // Y = K X^{-1} = (K1 - (K1 Theta^T) M^{-1} Theta) S, K1 = K S. The middle
+  // solve runs row-wise (CholeskySolveRowsInto) against the N x p operand
+  // directly — no Transposed() copies on either side of it.
+  ScaleColumnsInto(k_, s_, &k1_);
+  MatMulNTInto(k1_, theta_, &pmat_, par_);           // N x p
+  CholeskySolveRowsInto(l_, pmat_, &pmat_, par_);    // Q = (K1 Theta^T) M^{-1}
+  MatMulInto(pmat_, theta_, &rterm_, par_);          // N x N
+  // Y = (K1 - rterm) S, built in place over K1.
+  for (int64_t i = 0; i < n; ++i) {
+    double* yrow = k1_.Row(i);
+    const double* rrow = rterm_.Row(i);
+    for (int64_t j = 0; j < n; ++j)
+      yrow[j] = (yrow[j] - rrow[j]) * s_[static_cast<size_t>(j)];
+  }
+
+  // ThetaTilde = Theta D (reusing the T1 workspace).
+  ScaleColumnsInto(theta_, d_, &t1_);
+  MatMulInto(t1_, k1_, &b_, par_);  // ThetaTilde Y, p x N (reuses B).
+  // grad1 = -2 ThetaTilde Y D, folded in place.
   for (int64_t i = 0; i < p_; ++i) {
-    const double* g1row = grad1.Row(i);
+    double* row = b_.Row(i);
+    for (int64_t j = 0; j < n; ++j)
+      row[j] = -2.0 * (row[j] * d_[static_cast<size_t>(j)]);
+  }
+
+  // Z = D Y D, built in place over Y; r_j = Z_jj + sum_i Theta_ij (Theta Z)_ij.
+  for (int64_t i = 0; i < n; ++i) {
+    const double di = d_[static_cast<size_t>(i)];
+    double* zrow = k1_.Row(i);
+    for (int64_t j = 0; j < n; ++j)
+      zrow[j] = di * zrow[j] * d_[static_cast<size_t>(j)];
+  }
+  MatMulInto(theta_, k1_, &u_, par_);  // Theta Z, p x N (reuses U).
+  r_.assign(static_cast<size_t>(n), 0.0);
+  for (int64_t j = 0; j < n; ++j) {
+    double acc = k1_(j, j);
+    for (int64_t i = 0; i < p_; ++i) acc += theta_(i, j) * u_(i, j);
+    r_[static_cast<size_t>(j)] = acc;
+  }
+
+  grad_flat->resize(static_cast<size_t>(p_ * n));
+  for (int64_t i = 0; i < p_; ++i) {
+    const double* g1row = b_.Row(i);
     double* out = grad_flat->data() + i * n;
     for (int64_t j = 0; j < n; ++j) {
       out[j] = g1row[j] +
-               2.0 * r[static_cast<size_t>(j)] * d[static_cast<size_t>(j)];
+               2.0 * r_[static_cast<size_t>(j)] * d_[static_cast<size_t>(j)];
     }
   }
   return objective;

@@ -9,17 +9,29 @@
 #ifndef HDMM_CORE_PIDENTITY_H_
 #define HDMM_CORE_PIDENTITY_H_
 
+#include "linalg/gemm.h"
 #include "linalg/matrix.h"
 
 namespace hdmm {
 
 /// Expected-error objective for p-Identity strategies against a fixed
-/// workload Gram matrix G = W^T W. Stateless between calls except for the
-/// cached Gram; thread-compatible for concurrent Eval on distinct instances.
+/// workload Gram matrix G = W^T W.
+///
+/// Eval is the L-BFGS-B inner loop of OPT_0 and is invoked hundreds of times
+/// per restart, so the instance owns a reusable workspace: every temporary
+/// the evaluation needs is sized once and recycled, and after the first call
+/// an Eval touches the heap zero times (with kSerial kernels; see
+/// docs/performance.md, "Planner throughput"). Consequently instances are
+/// NOT safe for concurrent Eval — each parallel restart owns its own
+/// objective, which is exactly how OPT_0 fans out.
 class PIdentityObjective {
  public:
   /// `gram` is W^T W (N x N, symmetric PSD); `p` the number of extra rows.
-  PIdentityObjective(Matrix gram, int p);
+  /// `par` selects pooled or serial compute kernels: restarts that already
+  /// run in parallel pass kSerial so the inner loop stays allocation-free
+  /// and off the shared pool.
+  PIdentityObjective(Matrix gram, int p,
+                     GemmParallelism par = GemmParallelism::kPooled);
 
   int64_t n() const { return gram_.rows(); }
   int p() const { return p_; }
@@ -28,7 +40,7 @@ class PIdentityObjective {
   /// Evaluates C(A(Theta)) and, if grad != nullptr, dC/dTheta.
   /// `theta` is the p x N parameter matrix flattened row-major; the gradient
   /// uses the same layout. Both run in O(p N^2) time (Theorem 4).
-  double Eval(const Vector& theta_flat, Vector* grad_flat) const;
+  double Eval(const Vector& theta_flat, Vector* grad_flat);
 
   /// Builds the explicit (N+p) x N strategy matrix A(Theta).
   static Matrix BuildStrategy(const Matrix& theta);
@@ -43,7 +55,29 @@ class PIdentityObjective {
 
  private:
   Matrix gram_;
+  Vector gram_diag_;  ///< Hoisted diag(G): read every Eval, never changes.
   int p_;
+  GemmParallelism par_;
+
+  // Reusable per-objective workspace (sized lazily on the first Eval).
+  // Names follow the derivation in docs/pidentity_gradient.md.
+  Matrix theta_;   // p x N parameter matrix (copied in from theta_flat).
+  Matrix m_;       // Capacitance I_p + Theta Theta^T, then its space.
+  Matrix l_;       // Cholesky factor of the capacitance.
+  Matrix t1_;      // Theta S, later ThetaTilde = Theta D.
+  Matrix b_;       // T1 G, later ThetaTilde Y (the -2 .. gradient term).
+  Matrix spp_;     // B T1^T (p x p).
+  Matrix z_;       // M^{-1} Spp.
+  Matrix g1_;      // S G.
+  Matrix u_;       // Theta G1, later Theta Z.
+  Matrix v_;       // M^{-1} U.
+  Matrix k_;       // X^{-1} G.
+  Matrix k1_;      // K S, then Y, then Z (built up in place).
+  Matrix pmat_;    // K1 Theta^T (N x p), solved in place into Q.
+  Matrix rterm_;   // Q Theta.
+  Vector s_;       // Column scales s_j = 1 + sum_i Theta_ij.
+  Vector d_;       // 1 / s.
+  Vector r_;       // Gradient row statistic.
 };
 
 }  // namespace hdmm

@@ -131,7 +131,7 @@ double KronStrategy::SquaredError(const UnionWorkload& w) const {
     double term = prod.weight * prod.weight;
     for (size_t i = 0; i < factors_.size(); ++i) {
       term *= TracePinvGram(factor_grams[i],
-                            prod.FactorGram(static_cast<int>(i)));
+                            *prod.FactorGramShared(static_cast<int>(i)));
     }
     total += term;
   }
@@ -203,7 +203,8 @@ double UnionKronStrategy::SquaredError(const UnionWorkload& w) const {
       const ProductWorkload& prod = w.products()[static_cast<size_t>(j)];
       double term = prod.weight * prod.weight;
       for (size_t i = 0; i < grams.size(); ++i) {
-        term *= TracePinvGram(grams[i], prod.FactorGram(static_cast<int>(i)));
+        term *= TracePinvGram(grams[i],
+                              *prod.FactorGramShared(static_cast<int>(i)));
       }
       total += term;
     }

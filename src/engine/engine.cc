@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/gram_cache.h"
 #include "linalg/cholesky.h"
 
 namespace hdmm {
@@ -467,7 +468,11 @@ PlanResult Engine::Plan(const UnionWorkload& w) {
     return result;
   }
 
+  const GramCache::Stats gram_before = GramCache::Global().stats();
   HdmmResult optimized = OptimizeStrategy(w, options_.optimizer);
+  const GramCache::Stats gram_after = GramCache::Global().stats();
+  result.gram_cache_hits = gram_after.hits - gram_before.hits;
+  result.gram_cache_misses = gram_after.misses - gram_before.misses;
   result.strategy = std::shared_ptr<const Strategy>(std::move(
       optimized.strategy));
   result.source = PlanSource::kOptimized;

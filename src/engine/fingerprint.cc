@@ -1,47 +1,16 @@
 #include "engine/fingerprint.h"
 
-#include <cstring>
+#include "common/hash.h"
 
 namespace hdmm {
 namespace {
 
-// 64-bit FNV-1a. Fast, dependency-free, and stable across platforms; the
-// cache tolerates collisions (a collision only ever causes a wrong strategy
-// to be *validated* against the workload by callers that check support, or a
-// stale disk file to be overwritten), so a cryptographic hash is not needed.
-constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr uint64_t kFnvPrime = 1099511628211ULL;
-
-class Hasher {
- public:
-  void Bytes(const void* data, size_t n) {
-    const unsigned char* p = static_cast<const unsigned char*>(data);
-    for (size_t i = 0; i < n; ++i) {
-      state_ ^= p[i];
-      state_ *= kFnvPrime;
-    }
-  }
-
-  void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
-  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
-  void I32(int v) { I64(v); }
-  void Bool(bool v) { U64(v ? 1 : 0); }
-
-  /// Doubles are hashed by bit pattern with -0.0 canonicalized to 0.0 so the
-  /// two representations of zero (which are numerically interchangeable
-  /// everywhere in the library) cannot split the cache.
-  void F64(double v) {
-    if (v == 0.0) v = 0.0;  // Collapses -0.0.
-    uint64_t bits;
-    std::memcpy(&bits, &v, sizeof(bits));
-    U64(bits);
-  }
-
-  uint64_t Digest() const { return state_; }
-
- private:
-  uint64_t state_ = kFnvOffset;
-};
+// 64-bit FNV-1a via the shared hasher (common/hash.h — the same hashing the
+// GramCache keys factors with). The cache tolerates collisions (a collision
+// only ever causes a wrong strategy to be *validated* against the workload
+// by callers that check support, or a stale disk file to be overwritten), so
+// a cryptographic hash is not needed.
+using Hasher = Fnv1aHasher;
 
 uint64_t HashProduct(const ProductWorkload& p) {
   Hasher h;

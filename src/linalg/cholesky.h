@@ -11,6 +11,7 @@
 #ifndef HDMM_LINALG_CHOLESKY_H_
 #define HDMM_LINALG_CHOLESKY_H_
 
+#include "linalg/gemm.h"
 #include "linalg/matrix.h"
 
 namespace hdmm {
@@ -43,6 +44,16 @@ void CholeskySolveMatrixInto(const Matrix& l, const Matrix& b, Matrix* out);
 /// Solves X Y = B for SPD X given its Cholesky factor L (value-returning
 /// wrapper over CholeskySolveMatrixInto).
 Matrix CholeskySolveMatrix(const Matrix& l, const Matrix& b);
+
+/// Transposed-RHS solve: computes Y = B X^{-1} (equivalently, solves
+/// X Y^T = B^T) for SPD X = L L^T, where each ROW of the row-major B is one
+/// right-hand side. Rows are solved independently (forward then backward
+/// substitution against L), so nothing is ever transposed — this replaces
+/// the two quadratically-sized Transposed() copies the p-Identity gradient
+/// used to materialize around CholeskySolveMatrixInto. Supports out == &b
+/// (in-place); with kSerial the call is allocation-free.
+void CholeskySolveRowsInto(const Matrix& l, const Matrix& b, Matrix* out,
+                           GemmParallelism par = GemmParallelism::kPooled);
 
 /// Inverse of an SPD matrix via Cholesky. Dies if not SPD.
 Matrix SpdInverse(const Matrix& x);

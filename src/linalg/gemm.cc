@@ -219,7 +219,76 @@ void GemmDriver(int64_t m, int64_t n, int64_t k, double alpha,
     return;
   }
 
-  std::vector<double> b_buf(
+  // Thin-operand fast paths. The optimizer layer is dominated by products
+  // with one dimension of order p ~ n/16 (rank-p updates like Theta^T V,
+  // p-row strips like Theta * G): for those the BLIS packing pipeline below
+  // moves more bytes than the arithmetic is worth, so stream straight off
+  // the operands instead — in-order k accumulation, one output row per
+  // thread, so results are independent of the thread count like the blocked
+  // path's.
+  constexpr int64_t kThinDim = 16;
+  if (!lower_only && !b.trans && (k <= kThinDim || m <= kThinDim)) {
+    // Row-axpy form: C[i, :] += sum_k alpha A(i, k) * B(k, :), every inner
+    // update a contiguous SIMD axpy over a row of B.
+    auto rows = [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        double* crow = c + i * ldc;
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const double aik = alpha * At(a, i, kk);
+          if (aik == 0.0) continue;
+          const double* brow = b.p + kk * b.ld;
+          for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+        }
+      }
+    };
+    const int64_t grain =
+        std::max<int64_t>(1, kNaiveFlopCutoff / std::max<int64_t>(1, n * k));
+    if (par == GemmParallelism::kPooled) {
+      ThreadPool::Global().ParallelFor(0, m, grain, rows);
+    } else {
+      rows(0, m);
+    }
+    return;
+  }
+  if (!lower_only && b.trans && !a.trans && n <= kThinDim) {
+    // Row-dot form (the NT shape K1 Theta^T): C[i, j] += alpha <A[i, :],
+    // B^T[j, :]>, both operand rows contiguous.
+    auto rows = [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        const double* arow = a.p + i * a.ld;
+        double* crow = c + i * ldc;
+        for (int64_t j = 0; j < n; ++j) {
+          const double* bcol = b.p + j * b.ld;
+          double s = 0.0;
+          for (int64_t kk = 0; kk < k; ++kk) s += arow[kk] * bcol[kk];
+          crow[j] += alpha * s;
+        }
+      }
+    };
+    const int64_t grain =
+        std::max<int64_t>(1, kNaiveFlopCutoff / std::max<int64_t>(1, n * k));
+    if (par == GemmParallelism::kPooled) {
+      ThreadPool::Global().ParallelFor(0, m, grain, rows);
+    } else {
+      rows(0, m);
+    }
+    return;
+  }
+
+  // B panel scratch. When the pooled path may spawn tasks, the calling
+  // thread helps drain *unrelated* queued tasks while it waits — and such a
+  // task can itself run a GEMM on this thread, which would clobber a
+  // thread-local panel under this call's readers. So only the configurations
+  // with no stealing window (serial kernels, or any call made from inside a
+  // pool task, where ParallelFor degrades to an inline call) reuse the
+  // thread-local buffer; they are exactly the optimizer inner loops that
+  // need allocation-free evaluation.
+  const bool may_steal =
+      par == GemmParallelism::kPooled && !ThreadPool::InWorker();
+  thread_local std::vector<double> tls_b_buf;
+  std::vector<double> local_b_buf;
+  std::vector<double>& b_buf = may_steal ? local_b_buf : tls_b_buf;
+  b_buf.resize(
       static_cast<size_t>(((std::min(n, kNC) + kNR - 1) / kNR) * kNR * std::min(k, kKC)));
 
   for (int64_t jc = 0; jc < n; jc += kNC) {
@@ -276,7 +345,7 @@ void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c,
                 GemmParallelism par) {
   HDMM_CHECK_MSG(a.cols() == b.rows(), "MatMul shape mismatch");
   HDMM_CHECK_MSG(c != &a && c != &b, "MatMulInto output aliases an operand");
-  *c = Matrix(a.rows(), b.cols());
+  c->ResizeZeroed(a.rows(), b.cols());
   GemmDriver(a.rows(), b.cols(), a.cols(), 1.0, {a.data(), a.cols(), false},
              {b.data(), b.cols(), false}, c->data(), c->cols(), par,
              /*lower_only=*/false);
@@ -286,7 +355,7 @@ void MatMulTNInto(const Matrix& a, const Matrix& b, Matrix* c,
                   GemmParallelism par) {
   HDMM_CHECK_MSG(a.rows() == b.rows(), "MatMulTN shape mismatch");
   HDMM_CHECK_MSG(c != &a && c != &b, "MatMulTNInto output aliases an operand");
-  *c = Matrix(a.cols(), b.cols());
+  c->ResizeZeroed(a.cols(), b.cols());
   GemmDriver(a.cols(), b.cols(), a.rows(), 1.0, {a.data(), a.cols(), true},
              {b.data(), b.cols(), false}, c->data(), c->cols(), par,
              /*lower_only=*/false);
@@ -296,7 +365,7 @@ void MatMulNTInto(const Matrix& a, const Matrix& b, Matrix* c,
                   GemmParallelism par) {
   HDMM_CHECK_MSG(a.cols() == b.cols(), "MatMulNT shape mismatch");
   HDMM_CHECK_MSG(c != &a && c != &b, "MatMulNTInto output aliases an operand");
-  *c = Matrix(a.rows(), b.rows());
+  c->ResizeZeroed(a.rows(), b.rows());
   GemmDriver(a.rows(), b.rows(), a.cols(), 1.0, {a.data(), a.cols(), false},
              {b.data(), b.cols(), true}, c->data(), c->cols(), par,
              /*lower_only=*/false);
@@ -304,7 +373,7 @@ void MatMulNTInto(const Matrix& a, const Matrix& b, Matrix* c,
 
 void GramInto(const Matrix& a, Matrix* out, GemmParallelism par) {
   HDMM_CHECK_MSG(out != &a, "GramInto output aliases the operand");
-  *out = Matrix(a.cols(), a.cols());
+  out->ResizeZeroed(a.cols(), a.cols());
   GemmDriver(a.cols(), a.cols(), a.rows(), 1.0, {a.data(), a.cols(), true},
              {a.data(), a.cols(), false}, out->data(), out->cols(), par,
              /*lower_only=*/true);
@@ -313,7 +382,7 @@ void GramInto(const Matrix& a, Matrix* out, GemmParallelism par) {
 
 void GramOuterInto(const Matrix& a, Matrix* out, GemmParallelism par) {
   HDMM_CHECK_MSG(out != &a, "GramOuterInto output aliases the operand");
-  *out = Matrix(a.rows(), a.rows());
+  out->ResizeZeroed(a.rows(), a.rows());
   GemmDriver(a.rows(), a.rows(), a.cols(), 1.0, {a.data(), a.cols(), false},
              {a.data(), a.cols(), true}, out->data(), out->cols(), par,
              /*lower_only=*/true);

@@ -73,6 +73,17 @@ class Matrix {
   const double* data() const { return data_.data(); }
   const std::vector<double>& storage() const { return data_; }
 
+  /// Reshapes to rows x cols and zero-fills, reusing the existing heap
+  /// allocation whenever the new element count fits its capacity. This is
+  /// the workspace-reuse fast path under the *Into kernels: repeated
+  /// same-shape calls (optimizer inner loops) touch the heap zero times.
+  void ResizeZeroed(int64_t rows, int64_t cols) {
+    const size_t n = CheckedSize(rows, cols);
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(n, 0.0);
+  }
+
   /// Transposed copy.
   Matrix Transposed() const;
 

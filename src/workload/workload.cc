@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "core/gram_cache.h"
 
 namespace hdmm {
 
@@ -26,7 +27,11 @@ Matrix ProductWorkload::Explicit() const {
 }
 
 Matrix ProductWorkload::FactorGram(int i) const {
-  return Gram(factors[static_cast<size_t>(i)]);
+  return *FactorGramShared(i);
+}
+
+std::shared_ptr<const Matrix> ProductWorkload::FactorGramShared(int i) const {
+  return GramCache::Global().FactorGram(factors[static_cast<size_t>(i)]);
 }
 
 int64_t ProductWorkload::ImplicitStorageDoubles() const {

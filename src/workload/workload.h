@@ -30,8 +30,14 @@ struct ProductWorkload {
   /// Explicit (small-domain) expansion: weight * (W_1 x ... x W_d).
   Matrix Explicit() const;
 
-  /// Gram matrix of factor i: W_i^T W_i.
+  /// Gram matrix of factor i: W_i^T W_i. Served from the process-wide
+  /// GramCache (content-keyed, closed-form aware), so repeated calls across
+  /// restarts and plan invocations do not recompute the SYRK; this overload
+  /// copies the cached Gram into the returned value.
   Matrix FactorGram(int i) const;
+
+  /// Copy-free variant: the shared immutable cached Gram of factor i.
+  std::shared_ptr<const Matrix> FactorGramShared(int i) const;
 
   /// Number of doubles stored by the implicit representation.
   int64_t ImplicitStorageDoubles() const;

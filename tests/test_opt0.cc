@@ -1,5 +1,8 @@
 #include "core/opt0.h"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "workload/building_blocks.h"
@@ -82,6 +85,26 @@ TEST(Opt0, DefaultPConvention) {
   EXPECT_EQ(DefaultP(PrefixBlock(64)), 4);
   EXPECT_EQ(DefaultPFromSize(64), 4);
   EXPECT_EQ(DefaultPFromSize(8), 1);
+}
+
+TEST(Opt0, KeepsFirstRestartWhenAllNonFinite) {
+  // A poisoned Gram makes every restart's error non-finite. The result must
+  // still carry restart 0's full-sized parameterization (mirroring OptKron's
+  // keep-restart-0 behavior) instead of an empty Theta.
+  const int64_t n = 8;
+  Matrix g(n, n);
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < n; ++j)
+      g(i, j) = std::numeric_limits<double>::quiet_NaN();
+  Rng rng(6);
+  Opt0Options opts;
+  opts.p = 2;
+  opts.restarts = 3;
+  opts.lbfgs.max_iterations = 3;
+  Opt0Result res = Opt0(g, opts, &rng);
+  EXPECT_EQ(res.theta.rows(), 2);
+  EXPECT_EQ(res.theta.cols(), n);
+  EXPECT_FALSE(std::isfinite(res.error));
 }
 
 TEST(Opt0, ThetaIsNonNegative) {

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/diagnostics.h"
 #include "core/hdmm.h"
 #include "core/strategy_io.h"
@@ -37,7 +38,7 @@ using namespace hdmm;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage:\n"
+      "usage: hdmm_cli COMMAND [--threads N] ...\n"
       "  hdmm_cli optimize    --workload FILE [--restarts N] [--seed S]\n"
       "                       [--epsilon E] [--save-strategy FILE]\n"
       "  hdmm_cli run         --workload FILE --data FILE --epsilon E\n"
@@ -62,7 +63,12 @@ int Usage() {
       "epsilon (converted to rho under zcdp) or --budget-rho directly. With\n"
       "--cache-dir the spend ledger persists there across restarts (or at\n"
       "--ledger FILE), fsync-backed and flock-protected against concurrent\n"
-      "serving processes.\n");
+      "serving processes.\n"
+      "\n"
+      "--threads N (any command) pins the shared pool's total thread count\n"
+      "(planning stays bit-identical at any value for a fixed seed); the\n"
+      "HDMM_THREADS environment variable is the equivalent knob for the\n"
+      "bench binaries.\n");
   return 2;
 }
 
@@ -583,6 +589,20 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   Flags flags;
   if (!ParseFlags(argc, argv, 2, &flags)) return Usage();
+
+  // --threads N (all commands): pin the shared pool before any library code
+  // can lazily create it at the hardware default. Planning results are
+  // bit-identical at any thread count for a fixed seed, so this is purely a
+  // throughput/isolation knob.
+  if (flags.Has("threads")) {
+    char* end = nullptr;
+    const long n = std::strtol(flags.Get("threads").c_str(), &end, 10);
+    if (*end != '\0' || n < 1) {
+      std::fprintf(stderr, "--threads must be a positive integer\n");
+      return 2;
+    }
+    ThreadPool::SetGlobalThreads(static_cast<int>(n));
+  }
 
   if (command == "optimize") return CmdOptimize(flags);
   if (command == "run") return CmdRun(flags);
