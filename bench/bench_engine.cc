@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -92,6 +93,78 @@ PlanTimings BenchPlan(const UnionWorkload& w, const std::string& cache_dir) {
     std::printf("  warm plan (memory cache):  %9.3f ms  (%.0fx)\n",
                 1e3 * t.warm_mem_s, t.cold_s / t.warm_mem_s);
   }
+  return t;
+}
+
+struct FailpointTimings {
+  double disabled_check_ns = 0.0;  ///< Registry empty: the fast path.
+  double armed_other_check_ns = 0.0;  ///< Some *other* point armed.
+  double warm_mem_armed_s = 0.0;  ///< Warm-mem Plan with an off-point armed.
+  double overhead_pct_bound = 0.0;  ///< Computed worst-case on a warm Plan.
+};
+
+// The robustness tier's standing cost: every environmental code path now
+// carries HDMM_FAILPOINT sites, which must be free when nothing is armed.
+// Measures the per-check cost with the registry empty (one relaxed atomic
+// load + a predicted-untaken branch) and with an unrelated point armed (the
+// slow path: a registry lookup that misses), then bounds the worst-case
+// overhead on a warm in-memory Plan assuming a generous per-plan site count.
+FailpointTimings BenchFailpoints(const UnionWorkload& w,
+                                 const std::string& cache_dir,
+                                 double warm_mem_baseline_s) {
+  constexpr int64_t kIters = 50'000'000;
+  FailpointTimings t;
+  int64_t fired = 0;
+
+  WallTimer timer;
+  for (int64_t i = 0; i < kIters; ++i) {
+    if (HDMM_FAILPOINT("bench.engine.probe")) ++fired;
+  }
+  t.disabled_check_ns = timer.Seconds() * 1e9 / static_cast<double>(kIters);
+
+  Failpoints::Activate("bench.engine.other", "off");
+  timer.Restart();
+  for (int64_t i = 0; i < kIters; ++i) {
+    if (HDMM_FAILPOINT("bench.engine.probe")) ++fired;
+  }
+  t.armed_other_check_ns =
+      timer.Seconds() * 1e9 / static_cast<double>(kIters);
+
+  {
+    // Warm-mem Plan with the registry non-empty: the realistic "operator
+    // left a failpoint armed" regime. Best of 5, same as the baseline arm.
+    EngineOptions options;
+    options.optimizer.restarts = 1;
+    options.optimizer.seed = 7;
+    options.cache.disk_dir = cache_dir;
+    Engine engine(options);
+    engine.Plan(w);  // Promote disk -> memory once.
+    for (int rep = 0; rep < 5; ++rep) {
+      PlanResult warm = engine.Plan(w);
+      t.warm_mem_armed_s = rep == 0 ? warm.seconds
+                                    : std::min(t.warm_mem_armed_s,
+                                               warm.seconds);
+    }
+  }
+  Failpoints::Deactivate("bench.engine.other");
+
+  // Worst-case bound, deterministic by construction: even if a warm Plan
+  // crossed 64 disabled sites (it crosses far fewer), the added latency is
+  // 64 * disabled_check_ns.
+  constexpr double kGenerousSitesPerPlan = 64.0;
+  t.overhead_pct_bound = 100.0 * kGenerousSitesPerPlan *
+                         (t.disabled_check_ns * 1e-9) / warm_mem_baseline_s;
+
+  std::printf("  disabled check:            %9.3f ns  (registry empty)\n",
+              t.disabled_check_ns);
+  std::printf("  disabled check, armed reg: %9.3f ns  (other point armed)\n",
+              t.armed_other_check_ns);
+  std::printf("  warm plan, armed registry: %9.3f ms  (baseline %.3f ms)\n",
+              1e3 * t.warm_mem_armed_s, 1e3 * warm_mem_baseline_s);
+  std::printf("  warm-plan overhead bound:  %9.4f %%  (64 sites assumed)\n",
+              t.overhead_pct_bound);
+  if (fired != 0) std::printf("  (impossible: probe fired %lld)\n",
+                              static_cast<long long>(fired));
   return t;
 }
 
@@ -187,8 +260,8 @@ BatchTimings BenchBatch(const Domain& domain, int64_t num_queries) {
   return t;
 }
 
-void WriteJson(const PlanTimings& plan, const BatchTimings& batch,
-               const char* path) {
+void WriteJson(const PlanTimings& plan, const FailpointTimings& fp,
+               const BatchTimings& batch, const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "could not open %s for writing\n", path);
@@ -203,6 +276,12 @@ void WriteJson(const PlanTimings& plan, const BatchTimings& batch,
                "\"warm_mem_speedup\": %.1f},\n",
                plan.cold_s, plan.warm_disk_s, plan.warm_mem_s,
                plan.cold_s / plan.warm_disk_s, plan.cold_s / plan.warm_mem_s);
+  std::fprintf(f,
+               "  \"failpoints\": {\"disabled_check_ns\": %.4f, "
+               "\"armed_other_check_ns\": %.4f, \"warm_mem_armed_s\": %.6f, "
+               "\"overhead_pct_bound\": %.6f},\n",
+               fp.disabled_check_ns, fp.armed_other_check_ns,
+               fp.warm_mem_armed_s, fp.overhead_pct_bound);
   std::fprintf(f,
                "  \"batch\": {\"num_queries\": %lld, \"one_at_a_time_s\": "
                "%.6f, \"batched_s\": %.6f, \"throughput_speedup\": %.1f, "
@@ -229,11 +308,15 @@ int main(int argc, char** argv) {
               static_cast<long long>(w.DomainSize()));
   const PlanTimings plan = BenchPlan(w, "bench_engine_cache");
 
+  std::printf("\n=== serving engine: failpoint overhead ===\n");
+  const FailpointTimings fp =
+      BenchFailpoints(w, "bench_engine_cache", plan.warm_mem_s);
+
   const int64_t num_queries = full ? 100000 : 10000;
   std::printf("\n=== serving engine: batched answering (%lld queries) ===\n",
               static_cast<long long>(num_queries));
   const BatchTimings batch = BenchBatch(w.domain(), num_queries);
 
-  WriteJson(plan, batch, "BENCH_engine.json");
+  WriteJson(plan, fp, batch, "BENCH_engine.json");
   return 0;
 }

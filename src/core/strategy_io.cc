@@ -3,11 +3,13 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <vector>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 
 namespace hdmm {
 namespace {
@@ -63,10 +65,14 @@ struct LineReader {
 bool ParseMatrixLine(const std::string& line, const std::string& tag,
                      Matrix* out, std::string* why) {
   std::istringstream in(line);
-  std::string word, shape, payload;
+  std::string word, shape, payload, extra;
   in >> word >> shape >> payload;
   if (word != tag) {
     *why = "expected '" + tag + "' line";
+    return false;
+  }
+  if (in >> extra) {
+    *why = "trailing garbage '" + extra + "' after matrix payload";
     return false;
   }
   const size_t x = shape.find('x');
@@ -74,18 +80,32 @@ bool ParseMatrixLine(const std::string& line, const std::string& tag,
     *why = "bad shape '" + shape + "'";
     return false;
   }
-  const int64_t rows = std::strtoll(shape.c_str(), nullptr, 10);
-  const int64_t cols = std::strtoll(shape.c_str() + x + 1, nullptr, 10);
-  if (rows <= 0 || cols <= 0) {
+  // Strict shape parse: both numbers fully consumed, positive, and small
+  // enough that rows * cols cannot overflow — a corrupt shape must become a
+  // parse error here, never a giant allocation or UB downstream.
+  char* end = nullptr;
+  const int64_t rows = std::strtoll(shape.c_str(), &end, 10);
+  if (end != shape.c_str() + x) {
+    *why = "bad shape '" + shape + "'";
+    return false;
+  }
+  const int64_t cols = std::strtoll(shape.c_str() + x + 1, &end, 10);
+  if (end != shape.c_str() + shape.size()) {
+    *why = "bad shape '" + shape + "'";
+    return false;
+  }
+  constexpr int64_t kMaxDim = int64_t{1} << 31;
+  if (rows <= 0 || cols <= 0 || rows > kMaxDim || cols > kMaxDim) {
     *why = "bad shape '" + shape + "'";
     return false;
   }
   std::vector<double> data;
-  data.reserve(static_cast<size_t>(rows * cols));
+  // Reserve from the payload's actual size, not the claimed shape: memory
+  // stays bounded by the bytes we were actually handed.
+  data.reserve(payload.size() / 2 + 1);
   std::string token;
   std::istringstream values(payload);
   while (std::getline(values, token, ',')) {
-    char* end = nullptr;
     const double v = std::strtod(token.c_str(), &end);
     if (token.empty() || end != token.c_str() + token.size()) {
       *why = "bad entry '" + token + "'";
@@ -93,7 +113,8 @@ bool ParseMatrixLine(const std::string& line, const std::string& tag,
     }
     data.push_back(v);
   }
-  if (static_cast<int64_t>(data.size()) != rows * cols) {
+  if (rows > static_cast<int64_t>(data.size()) ||
+      static_cast<int64_t>(data.size()) != rows * cols) {
     *why = "entry count does not match shape";
     return false;
   }
@@ -131,6 +152,10 @@ std::unique_ptr<Strategy> ParseExplicit(LineReader* reader,
   std::string why;
   if (!ParseMatrixLine(reader->line, "matrix", &m, &why)) {
     *error = reader->Error(why);
+    return nullptr;
+  }
+  if (reader->Next()) {
+    *error = reader->Error("trailing garbage after 'matrix' line");
     return nullptr;
   }
   return std::make_unique<ExplicitStrategy>(std::move(m), name);
@@ -178,7 +203,16 @@ std::unique_ptr<Strategy> ParseUnionKron(LineReader* reader,
         *error = reader->Error(why);
         return nullptr;
       }
-      for (int64_t id : ids) covers.back().push_back(static_cast<int>(id));
+      for (int64_t id : ids) {
+        // Product ids index into the serving workload: a negative or absurd
+        // id is corruption, and letting it through would trip a contract
+        // check (abort) at first expected-error evaluation.
+        if (id < 0 || id > (int64_t{1} << 31)) {
+          *error = reader->Error("bad product id in 'covers' line");
+          return nullptr;
+        }
+        covers.back().push_back(static_cast<int>(id));
+      }
       continue;
     }
     Matrix m;
@@ -197,6 +231,22 @@ std::unique_ptr<Strategy> ParseUnionKron(LineReader* reader,
     if (p.empty()) {
       *error = "union-kron part has no factors";
       return nullptr;
+    }
+  }
+  // Every part must cover the same domain, factor by factor. Truncated or
+  // spliced input that drops a factor from a later part would otherwise
+  // construct a strategy whose parts disagree on the domain size and trip a
+  // contract check (abort) inside the stacked measurement operator.
+  for (size_t p = 1; p < parts.size(); ++p) {
+    if (parts[p].size() != parts[0].size()) {
+      *error = "union-kron parts disagree on factor count";
+      return nullptr;
+    }
+    for (size_t i = 0; i < parts[p].size(); ++i) {
+      if (parts[p][i].cols() != parts[0][i].cols()) {
+        *error = "union-kron parts disagree on domain sizes";
+        return nullptr;
+      }
     }
   }
   return std::make_unique<UnionKronStrategy>(std::move(parts),
@@ -220,6 +270,19 @@ std::unique_ptr<Strategy> ParseMarginals(LineReader* reader,
     *error = reader->Error("empty domain");
     return nullptr;
   }
+  // Corruption guards: the MarginalsStrategy constructor's contracts
+  // (positive sizes, 2^d masks, a nonempty active set) must be established
+  // here — a bad cache file has to surface as a parse error, not an abort.
+  if (sizes.size() > 30) {
+    *error = reader->Error("marginals domain has more than 30 attributes");
+    return nullptr;
+  }
+  for (int64_t size : sizes) {
+    if (size < 1) {
+      *error = reader->Error("non-positive attribute size in 'domain' line");
+      return nullptr;
+    }
+  }
   if (!reader->Next()) {
     *error = reader->Error("missing 'theta' line");
     return nullptr;
@@ -234,10 +297,30 @@ std::unique_ptr<Strategy> ParseMarginals(LineReader* reader,
   Vector theta;
   double v;
   while (in >> v) theta.push_back(v);
+  if (in.fail() && !in.eof()) {
+    *error = reader->Error("bad weight in 'theta' line");
+    return nullptr;
+  }
   const size_t expected = size_t{1} << sizes.size();
   if (theta.size() != expected) {
     *error = reader->Error("theta needs exactly 2^d = " +
                            std::to_string(expected) + " weights");
+    return nullptr;
+  }
+  bool any_active = false;
+  for (double w : theta) {
+    if (!std::isfinite(w) || w < 0.0) {
+      *error = reader->Error("theta weights must be finite and non-negative");
+      return nullptr;
+    }
+    if (w > 1e-12) any_active = true;
+  }
+  if (!any_active) {
+    *error = reader->Error("marginals strategy with all-zero weights");
+    return nullptr;
+  }
+  if (reader->Next()) {
+    *error = reader->Error("trailing garbage after 'theta' line");
     return nullptr;
   }
   return std::make_unique<MarginalsStrategy>(Domain(std::move(sizes)),
@@ -337,14 +420,42 @@ bool SaveStrategyFile(const std::string& path, const Strategy& strategy,
 
 std::unique_ptr<Strategy> LoadStrategyFile(const std::string& path,
                                            std::string* error) {
-  std::ifstream in(path);
-  if (!in) {
-    *error = "cannot open '" + path + "'";
+  std::unique_ptr<Strategy> strategy;
+  const Status status = LoadStrategyFileOr(path, &strategy);
+  if (!status.ok()) {
+    *error = status.message();
     return nullptr;
+  }
+  return strategy;
+}
+
+Status LoadStrategyFileOr(const std::string& path,
+                          std::unique_ptr<Strategy>* out) {
+  HDMM_CHECK(out != nullptr);
+  out->reset();
+  if (HDMM_FAILPOINT("strategy_io.load.io_error")) {
+    return Status::IoError("injected: strategy_io.load.io_error at '" + path +
+                           "'");
+  }
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) {
+    return Status::NotFound("cannot open '" + path + "': no such file");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "'");
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return ParseStrategy(buffer.str(), error);
+  if (in.bad()) {
+    return Status::IoError("read from '" + path + "' failed");
+  }
+  std::string error;
+  *out = ParseStrategy(buffer.str(), &error);
+  if (*out == nullptr) {
+    return Status::Corruption("'" + path + "': " + error);
+  }
+  return Status::Ok();
 }
 
 }  // namespace hdmm

@@ -21,6 +21,7 @@
 #include <memory>
 #include <string>
 
+#include "common/status.h"
 #include "core/strategy.h"
 
 namespace hdmm {
@@ -30,7 +31,9 @@ namespace hdmm {
 std::string SerializeStrategy(const Strategy& strategy);
 
 /// Parses the persistence format. Returns nullptr and fills *error with a
-/// line-numbered message on malformed input.
+/// line-numbered message on malformed input. Malformed input of any shape —
+/// truncated header, wrong magic, short payloads, trailing garbage — is an
+/// environmental condition, never an abort.
 std::unique_ptr<Strategy> ParseStrategy(const std::string& text,
                                         std::string* error);
 
@@ -41,6 +44,17 @@ bool SaveStrategyFile(const std::string& path, const Strategy& strategy,
 /// ParseStrategy from a file.
 std::unique_ptr<Strategy> LoadStrategyFile(const std::string& path,
                                            std::string* error);
+
+/// Status-returning load, distinguishing the conditions callers react to
+/// differently:
+///
+///   kNotFound     the file does not exist (a plain cache miss)
+///   kIoError      it exists but cannot be read (permissions, bad media)
+///   kCorruption   it reads but does not parse (quarantine candidate)
+///
+/// Failpoint: `strategy_io.load.io_error` injects kIoError.
+Status LoadStrategyFileOr(const std::string& path,
+                          std::unique_ptr<Strategy>* out);
 
 }  // namespace hdmm
 

@@ -5,15 +5,19 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "core/gaussian.h"
 
 namespace hdmm {
@@ -72,9 +76,17 @@ bool ParseRecordLine(const std::string& line, bool v2, LedgerRecord* out) {
   return true;
 }
 
+std::string FormatRecordString(const LedgerRecord& record) {
+  char numbers[128];
+  std::snprintf(numbers, sizeof(numbers), " %.17g %.17g ", record.value,
+                record.delta);
+  return std::string(MechanismName(record.mechanism)) + numbers +
+         record.dataset + "\n";
+}
+
 void FormatRecord(std::FILE* file, const LedgerRecord& record) {
-  std::fprintf(file, "%s %.17g %.17g %s\n", MechanismName(record.mechanism),
-               record.value, record.delta, record.dataset.c_str());
+  const std::string text = FormatRecordString(record);
+  std::fwrite(text.data(), 1, text.size(), file);
 }
 
 // Flush userspace buffers AND the kernel page cache: fflush alone leaves the
@@ -155,11 +167,31 @@ void BudgetAccountant::LoadLedger() {
   const std::string lock_path = options_.ledger_path + ".lock";
   lock_fd_ = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
   HDMM_CHECK_MSG(lock_fd_ >= 0, "cannot open the budget ledger lock file");
-  HDMM_CHECK_MSG(::flock(lock_fd_, LOCK_EX | LOCK_NB) == 0,
-                 "budget ledger is locked by another accountant; two "
-                 "processes sharing a ledger could jointly double-spend the "
-                 "budget, so serving of a dataset must go through one "
-                 "process");
+  // A held lock is usually transient — a restarting predecessor releasing
+  // its flock, or a sibling test process — so retry with exponential backoff
+  // (1ms doubling to 100ms) until the configured deadline before treating it
+  // as the genuinely fatal two-servers-one-ledger configuration.
+  // Failpoint `accountant.flock.busy` makes an attempt see a held lock.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(std::max(0, options_.lock_timeout_ms));
+  int backoff_ms = 1;
+  bool locked = false;
+  while (true) {
+    const bool injected_busy = HDMM_FAILPOINT("accountant.flock.busy");
+    if (!injected_busy && ::flock(lock_fd_, LOCK_EX | LOCK_NB) == 0) {
+      locked = true;
+      break;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, 100);
+  }
+  HDMM_CHECK_MSG(locked,
+                 "budget ledger is locked by another accountant (still held "
+                 "after the lock timeout); two processes sharing a ledger "
+                 "could jointly double-spend the budget, so serving of a "
+                 "dataset must go through one process");
 
   std::vector<LedgerRecord> records;
   std::ifstream in(options_.ledger_path, std::ios::binary);
@@ -174,7 +206,13 @@ void BudgetAccountant::LoadLedger() {
     std::istringstream lines(content);
     std::string line;
     std::vector<std::string> raw;
-    while (std::getline(lines, line)) raw.push_back(line);
+    std::vector<size_t> offsets;  // Byte offset of each line's first byte.
+    size_t next_offset = 0;
+    while (std::getline(lines, line)) {
+      raw.push_back(line);
+      offsets.push_back(next_offset);
+      next_offset += line.size() + 1;
+    }
 
     size_t first = 0;
     bool v2 = false;
@@ -195,9 +233,26 @@ void BudgetAccountant::LoadLedger() {
         // returns after the full record is on disk), so dropping it cannot
         // under-record; the canonical rewrite below truncates it away.
         if (i + 1 == raw.size() && !ends_with_newline) break;
-        HDMM_CHECK_MSG(false,
-                       "malformed budget ledger line (a corrupt privacy "
-                       "ledger must not be ignored)");
+        // Interior corruption is unrecoverable — silently skipping records
+        // would un-spend budget — but the abort should leave the operator
+        // everything: which line, which byte, and the bytes themselves
+        // (the copy survives whatever fix is applied to the live ledger).
+        const std::string copy_path = options_.ledger_path + ".corrupt";
+        std::error_code copy_ec;
+        std::filesystem::copy_file(
+            options_.ledger_path, copy_path,
+            std::filesystem::copy_options::overwrite_existing, copy_ec);
+        std::ostringstream diagnostic;
+        diagnostic << "malformed budget ledger line " << (i + 1)
+                   << " (byte offset " << offsets[i] << "): '" << raw[i]
+                   << "'; ";
+        if (copy_ec) {
+          diagnostic << "failed to copy the ledger to '" << copy_path << "'; ";
+        } else {
+          diagnostic << "ledger copied to '" << copy_path << "'; ";
+        }
+        diagnostic << "a corrupt privacy ledger must not be ignored";
+        HDMM_CHECK_MSG(false, diagnostic.str().c_str());
       }
       records.push_back(std::move(record));
     }
@@ -268,41 +323,59 @@ bool BudgetAccountant::RegimeCost(const PrivacyCharge& charge, double* cost,
   return true;
 }
 
-bool BudgetAccountant::TryCharge(const std::string& dataset,
-                                 const PrivacyCharge& charge,
-                                 std::string* why) {
+Status BudgetAccountant::Charge(const std::string& dataset,
+                                const PrivacyCharge& charge) {
   double cost = 0.0;
-  if (!RegimeCost(charge, &cost, why)) return false;
+  std::string why;
+  if (!RegimeCost(charge, &cost, &why)) {
+    return Status::FailedPrecondition(why);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   Ledger& ledger = ledgers_[dataset];
   if (ledger.spent + cost > total_budget_ * (1.0 + kRelSlack)) {
-    if (why != nullptr) {
-      std::ostringstream msg;
-      msg << "budget exceeded: spent " << ledger.spent << " of "
-          << total_budget_ << " " << BudgetRegimeName(options_.regime)
-          << " budget, charge costs " << cost;
-      *why = msg.str();
-    }
-    return false;
+    std::ostringstream msg;
+    msg << "budget exceeded: spent " << ledger.spent << " of "
+        << total_budget_ << " " << BudgetRegimeName(options_.regime)
+        << " budget, charge costs " << cost;
+    return Status::OverBudget(msg.str());
   }
   if (ledger_file_ != nullptr) {
     // Durable before spendable: the record reaches the disk ledger (through
     // the page cache — fsync, not just fflush) before the caller is told to
     // draw noise, so a crash can only over-record (refuse budget that was
-    // never used), never under-record.
-    AppendRecordLocked(charge, dataset);
+    // never used), never under-record. An append failure refuses the charge
+    // without updating the in-memory ledger.
+    HDMM_RETURN_IF_ERROR(AppendRecordLocked(charge, dataset));
   }
   ledger.spent += cost;
   ++ledger.charges;
-  return true;
+  return Status::Ok();
+}
+
+bool BudgetAccountant::TryCharge(const std::string& dataset,
+                                 const PrivacyCharge& charge,
+                                 std::string* why) {
+  const Status status = Charge(dataset, charge);
+  if (status.ok()) return true;
+  if (why != nullptr) *why = status.message();
+  return false;
 }
 
 bool BudgetAccountant::TryCharge(const std::string& dataset, double epsilon) {
   return TryCharge(dataset, PrivacyCharge::Laplace(epsilon));
 }
 
-void BudgetAccountant::AppendRecordLocked(const PrivacyCharge& charge,
-                                          const std::string& dataset) {
+HDMM_REGISTER_CRASH_SITE("accountant.append.before");
+HDMM_REGISTER_CRASH_SITE("accountant.append.torn");
+HDMM_REGISTER_CRASH_SITE("accountant.append.after_sync");
+
+Status BudgetAccountant::AppendRecordLocked(const PrivacyCharge& charge,
+                                            const std::string& dataset) {
+  if (wedged_) {
+    return Status::IoError(
+        "budget ledger is wedged after a failed append rollback; refusing "
+        "further durable charges (restart to replay the ledger)");
+  }
   LedgerRecord record;
   record.mechanism = charge.mechanism;
   if (charge.mechanism == Mechanism::kLaplace) {
@@ -313,8 +386,58 @@ void BudgetAccountant::AppendRecordLocked(const PrivacyCharge& charge,
     record.delta = options_.delta;
   }
   record.dataset = dataset;
-  FormatRecord(ledger_file_, record);
-  FlushAndSyncOrDie(ledger_file_);
+  if (HDMM_FAILPOINT("accountant.append.before")) {
+    // Crash before any byte of the record exists: recovery must replay
+    // exactly the previously-acked charges.
+    Failpoints::CrashNow();
+  }
+  // Record the pre-append boundary so a failed write can be truncated away
+  // instead of leaving torn bytes for the next append to extend. With the
+  // flock held this process is the only writer, so SEEK_END is that
+  // boundary.
+  std::fseek(ledger_file_, 0, SEEK_END);
+  const long boundary = std::ftell(ledger_file_);
+  if (HDMM_FAILPOINT("accountant.append.torn")) {
+    // Crash with half the record durably on disk — the torn-final-line case
+    // LoadLedger's replay must drop. The charge was never acked, so the
+    // dropped record cannot under-count spend.
+    const std::string text = FormatRecordString(record);
+    std::fwrite(text.data(), 1, text.size() / 2, ledger_file_);
+    std::fflush(ledger_file_);
+    ::fsync(::fileno(ledger_file_));
+    Failpoints::CrashNow();
+  }
+  bool failed = HDMM_FAILPOINT("accountant.append.io_error");
+  if (!failed) {
+    FormatRecord(ledger_file_, record);
+    failed = std::fflush(ledger_file_) != 0 ||
+             ::fsync(::fileno(ledger_file_)) != 0;
+  }
+  if (failed) {
+    // Roll the file back to the record boundary. Every direction here is
+    // privacy-safe: rollback restores the acked prefix exactly; a failed
+    // rollback wedges the accountant so no append can ever land after torn
+    // bytes; and the refused charge draws no noise either way.
+    std::clearerr(ledger_file_);
+    const bool rolled_back =
+        boundary >= 0 && ::ftruncate(::fileno(ledger_file_), boundary) == 0 &&
+        std::fseek(ledger_file_, 0, SEEK_END) == 0;
+    if (!rolled_back) {
+      wedged_ = true;
+      return Status::IoError(
+          "budget ledger append failed and rollback failed; ledger wedged, "
+          "refusing further durable charges");
+    }
+    return Status::IoError(
+        "budget ledger append failed; charge refused and not recorded");
+  }
+  if (HDMM_FAILPOINT("accountant.append.after_sync")) {
+    // Crash after the record is durable but before the caller learns the
+    // charge succeeded: recovery may see one more charge than was acked —
+    // over-recording, the safe direction.
+    Failpoints::CrashNow();
+  }
+  return Status::Ok();
 }
 
 double BudgetAccountant::Spent(const std::string& dataset) const {

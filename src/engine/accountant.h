@@ -31,13 +31,18 @@
 // torn final record without a trailing newline — the signature of a crash
 // mid-append, whose charge was by construction never acted on — is dropped
 // and truncated away; any other malformed content aborts, because a corrupt
-// privacy ledger must never be silently ignored.
+// privacy ledger must never be silently ignored. That abort names the
+// offending line number and byte offset and first copies the ledger to
+// `<ledger_path>.corrupt`, so the evidence survives the operator's fix.
 //
 // Cross-process exclusion: the accountant takes a `flock` on
-// `<ledger_path>.lock` for its whole lifetime and dies if another process
-// (or another accountant in this process) already holds it — two serving
-// processes replaying one ledger could otherwise jointly spend up to twice
-// the ceiling. Serialize serving of a dataset through one accountant.
+// `<ledger_path>.lock` for its whole lifetime — two serving processes
+// replaying one ledger could otherwise jointly spend up to twice the
+// ceiling. A held lock is retried with bounded exponential backoff until
+// `lock_timeout_ms` elapses (restart orchestration routinely overlaps the
+// old process's shutdown with the new one's startup); only after the
+// deadline does construction die. Serialize steady-state serving of a
+// dataset through one accountant.
 #ifndef HDMM_ENGINE_ACCOUNTANT_H_
 #define HDMM_ENGINE_ACCOUNTANT_H_
 
@@ -48,6 +53,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "engine/privacy.h"
 
 namespace hdmm {
@@ -72,6 +78,11 @@ struct BudgetAccountantOptions {
   /// Durable ledger file; empty keeps the ledger in memory only (resets on
   /// restart — each process would get the full budget again).
   std::string ledger_path;
+
+  /// How long construction keeps retrying a held ledger lock (exponential
+  /// backoff, 1ms doubling to a 100ms cap) before dying. 0 means a single
+  /// attempt — the pre-backoff fail-fast behavior.
+  int lock_timeout_ms = 2000;
 };
 
 class BudgetAccountant {
@@ -89,14 +100,33 @@ class BudgetAccountant {
   BudgetAccountant(const BudgetAccountant&) = delete;
   BudgetAccountant& operator=(const BudgetAccountant&) = delete;
 
-  /// Attempts to charge `charge` against `dataset`'s ledger. Returns true
-  /// and durably records the charge when the regime cost fits under the
-  /// ceiling (up to a relative tolerance absorbing floating-point
-  /// accumulation); returns false — recording nothing and, when `why` is
-  /// given, explaining — when the charge would exceed the budget or cannot
-  /// be soundly expressed in this regime (a zCDP charge against a pure-dp
-  /// accountant). Dies on costs that are not positive and finite: NaN/inf/
-  /// zero noise scales are never a meaningful request.
+  /// Attempts to charge `charge` against `dataset`'s ledger, durably
+  /// recording it when the regime cost fits under the ceiling (up to a
+  /// relative tolerance absorbing floating-point accumulation). Non-OK
+  /// returns record nothing:
+  ///
+  ///   kOverBudget          the charge would exceed the ceiling
+  ///   kFailedPrecondition  the regime cannot soundly express the charge
+  ///                        (a zCDP charge against a pure-dp accountant)
+  ///   kIoError             the durable append failed (see below)
+  ///
+  /// Dies on costs that are not positive and finite: NaN/inf/zero noise
+  /// scales are never a meaningful request, so that stays a contract.
+  ///
+  /// An append failure rolls the ledger file back to the pre-append record
+  /// boundary and refuses the charge — the caller must not draw noise. If
+  /// even the rollback fails the accountant wedges: every later durable
+  /// charge is refused with kIoError, because appending after a torn record
+  /// would corrupt the ledger. Failure never under-records spend.
+  ///
+  /// Failpoints: `accountant.append.io_error` injects an append failure;
+  /// crash sites `accountant.append.before`, `accountant.append.torn`
+  /// (half the record reaches disk), and `accountant.append.after_sync`
+  /// SIGKILL mid-charge.
+  Status Charge(const std::string& dataset, const PrivacyCharge& charge);
+
+  /// Bool-shaped wrapper over Charge(): true on OK, otherwise false with
+  /// the status message in *why.
   bool TryCharge(const std::string& dataset, const PrivacyCharge& charge,
                  std::string* why = nullptr);
 
@@ -140,8 +170,8 @@ class BudgetAccountant {
                   std::string* why) const;
 
   void LoadLedger();
-  void AppendRecordLocked(const PrivacyCharge& charge,
-                          const std::string& dataset);
+  Status AppendRecordLocked(const PrivacyCharge& charge,
+                            const std::string& dataset);
 
   BudgetAccountantOptions options_;
   double total_budget_ = 0.0;  // Ceiling in regime units.
@@ -149,6 +179,7 @@ class BudgetAccountant {
   std::unordered_map<std::string, Ledger> ledgers_;
   std::FILE* ledger_file_ = nullptr;  // Append handle when persistent.
   int lock_fd_ = -1;                  // flock'd <ledger_path>.lock handle.
+  bool wedged_ = false;  // Append rollback failed; durable charges refused.
 };
 
 }  // namespace hdmm

@@ -478,7 +478,8 @@ PlanResult Engine::Plan(const UnionWorkload& w) {
   result.source = PlanSource::kOptimized;
   // A failed write-through must not be silent: the plan still serves, but
   // every restart would re-optimize until the directory is fixed.
-  cache_.Put(result.fingerprint, result.strategy, &result.cache_error);
+  const Status put_status = cache_.Put(result.fingerprint, result.strategy);
+  if (!put_status.ok()) result.cache_error = put_status.ToString();
   result.seconds = timer.Seconds();
   return result;
 }
@@ -521,9 +522,9 @@ Vector Engine::Reconstruct(const Strategy& strategy, const Fingerprint& fp,
   return CholeskySolve(*chol, MatTVec(explicit_strategy->matrix(), y));
 }
 
-std::unique_ptr<MeasurementSession> Engine::Measure(
+StatusOr<std::unique_ptr<MeasurementSession>> Engine::MeasureOr(
     const UnionWorkload& w, const std::string& dataset_id, const Vector& x,
-    const MeasureRequest& request, Rng* rng, std::string* error) {
+    const MeasureRequest& request, Rng* rng) {
   HDMM_CHECK(rng != nullptr);
   HDMM_CHECK_MSG(static_cast<int64_t>(x.size()) == w.DomainSize(),
                  "data vector length does not match the workload domain");
@@ -534,12 +535,9 @@ std::unique_ptr<MeasurementSession> Engine::Measure(
           : PrivacyCharge::Gaussian(request.rho);
 
   PlanResult plan = Plan(w);
-  std::string why;
-  if (!accountant_.TryCharge(dataset_id, charge, &why)) {
-    if (error != nullptr) {
-      *error = "dataset '" + dataset_id + "': " + why;
-    }
-    return nullptr;
+  const Status charged = accountant_.Charge(dataset_id, charge);
+  if (!charged.ok()) {
+    return charged.Annotated("dataset '" + dataset_id + "'");
   }
 
   Vector y = request.mechanism == Mechanism::kLaplace
@@ -558,6 +556,18 @@ std::unique_ptr<MeasurementSession> Engine::Measure(
   Vector x_hat = Reconstruct(*plan.strategy, plan.fingerprint, y);
   return std::make_unique<MeasurementSession>(w.domain(), std::move(x_hat),
                                               charge, plan.strategy);
+}
+
+std::unique_ptr<MeasurementSession> Engine::Measure(
+    const UnionWorkload& w, const std::string& dataset_id, const Vector& x,
+    const MeasureRequest& request, Rng* rng, std::string* error) {
+  StatusOr<std::unique_ptr<MeasurementSession>> session =
+      MeasureOr(w, dataset_id, x, request, rng);
+  if (!session.ok()) {
+    if (error != nullptr) *error = session.status().message();
+    return nullptr;
+  }
+  return std::move(session).value();
 }
 
 std::unique_ptr<MeasurementSession> Engine::Measure(

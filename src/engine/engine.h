@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "core/hdmm.h"
 #include "core/strategy.h"
 #include "engine/accountant.h"
@@ -244,9 +245,18 @@ class Engine {
   /// Plans, charges the request's cost against `dataset_id`, measures the
   /// data vector `x` with the requested mechanism, and builds a session
   /// (marginal-table-backed when the plan is a marginals strategy measured
-  /// under Gaussian/Laplace noise; x_hat-backed otherwise). Returns nullptr
-  /// (with *error) when the accountant refuses the charge; no noise is
-  /// drawn in that case.
+  /// under Gaussian/Laplace noise; x_hat-backed otherwise). A non-OK
+  /// status carries the accountant's refusal — kOverBudget, the regime
+  /// mismatch as kFailedPrecondition, or a ledger-append kIoError; no
+  /// noise is drawn in any refused case, and the engine (its cache,
+  /// accountant, and any previously measured sessions) remains fully
+  /// serviceable afterwards.
+  StatusOr<std::unique_ptr<MeasurementSession>> MeasureOr(
+      const UnionWorkload& w, const std::string& dataset_id, const Vector& x,
+      const MeasureRequest& request, Rng* rng);
+
+  /// Pointer-shaped wrapper over MeasureOr: nullptr (with *error holding
+  /// the status message) on refusal.
   std::unique_ptr<MeasurementSession> Measure(const UnionWorkload& w,
                                               const std::string& dataset_id,
                                               const Vector& x,

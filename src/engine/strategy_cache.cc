@@ -3,9 +3,11 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdio>
 #include <filesystem>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "core/strategy_io.h"
 
 namespace hdmm {
@@ -57,15 +59,28 @@ std::shared_ptr<const Strategy> StrategyCache::Get(const Fingerprint& fp,
   // must not serialize unrelated lookups.
   const std::string path = DiskPath(fp);
   if (!path.empty()) {
-    std::string error;
-    std::unique_ptr<Strategy> loaded = LoadStrategyFile(path, &error);
-    if (loaded != nullptr) {
+    std::unique_ptr<Strategy> loaded;
+    const Status status = LoadStrategyFileOr(path, &loaded);
+    if (status.ok()) {
       std::shared_ptr<const Strategy> shared = std::move(loaded);
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.disk_hits;
       InsertLocked(fp.value, shared);
       if (tier != nullptr) *tier = Tier::kDisk;
       return shared;
+    }
+    if (status.code() == StatusCode::kCorruption) {
+      // Quarantine, don't delete: the bad bytes are the postmortem evidence,
+      // and moving them aside means the miss below replans and rewrites a
+      // good file instead of tripping over the same corruption forever.
+      std::error_code ec;
+      std::filesystem::rename(path, path + ".corrupt", ec);
+      if (ec) std::filesystem::remove(path, ec);  // Last resort: unpoison.
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.corrupt_quarantined;
+    } else if (status.code() != StatusCode::kNotFound) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.disk_read_errors;
     }
   }
   std::lock_guard<std::mutex> lock(mu_);
@@ -74,23 +89,42 @@ std::shared_ptr<const Strategy> StrategyCache::Get(const Fingerprint& fp,
   return nullptr;
 }
 
-bool StrategyCache::Put(const Fingerprint& fp,
-                        std::shared_ptr<const Strategy> strategy,
-                        std::string* error) {
+HDMM_REGISTER_CRASH_SITE("strategy_cache.put.torn_tmp");
+HDMM_REGISTER_CRASH_SITE("strategy_cache.put.tmp_synced");
+HDMM_REGISTER_CRASH_SITE("strategy_cache.put.after_rename");
+
+Status StrategyCache::Put(const Fingerprint& fp,
+                          std::shared_ptr<const Strategy> strategy) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     InsertLocked(fp.value, strategy);
   }
   const std::string path = DiskPath(fp);
-  if (path.empty()) return true;
+  if (path.empty()) return Status::Ok();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (disk_writes_disabled_) return Status::Ok();
+  }
+  auto disk_failed = [this](Status status) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.disk_write_failures;
+    if (++consecutive_disk_failures_ >= kDiskFailureLimit) {
+      // The disk tier is hurting, not helping: stop retrying on every Plan
+      // and serve from memory only. Reads keep working, so entries written
+      // before the disk went bad are still honored.
+      disk_writes_disabled_ = true;
+    }
+    return status;
+  };
+  if (HDMM_FAILPOINT("strategy_cache.put.io_error")) {
+    return disk_failed(Status::IoError("injected: strategy_cache.put.io_error"));
+  }
   std::error_code ec;
   std::filesystem::create_directories(options_.disk_dir, ec);
   if (ec) {
-    if (error != nullptr) {
-      *error = "cannot create cache directory '" + options_.disk_dir +
-               "': " + ec.message();
-    }
-    return false;
+    return disk_failed(Status::IoError("cannot create cache directory '" +
+                                       options_.disk_dir +
+                                       "': " + ec.message()));
   }
   // Write-then-rename so the disk tier never exposes a torn file: a crashed
   // or concurrent writer can leave at most a stale `.tmp` sibling, never a
@@ -103,21 +137,49 @@ bool StrategyCache::Put(const Fingerprint& fp,
   const std::string tmp_path =
       path + "." + std::to_string(::getpid()) + "-" +
       std::to_string(put_counter.fetch_add(1)) + ".tmp";
+  if (HDMM_FAILPOINT("strategy_cache.put.torn_tmp")) {
+    // Simulate dying mid-write: half the serialization reaches the tmp file
+    // and the process is gone. Recovery must see no `<hex>.strategy` at all.
+    const std::string text = SerializeStrategy(*strategy);
+    std::FILE* f = std::fopen(tmp_path.c_str(), "w");
+    if (f != nullptr) {
+      std::fwrite(text.data(), 1, text.size() / 2, f);
+      std::fflush(f);
+      ::fsync(fileno(f));
+    }
+    Failpoints::CrashNow();
+  }
   std::string io_error;
   if (!SaveStrategyFile(tmp_path, *strategy, &io_error)) {
     std::filesystem::remove(tmp_path, ec);  // Best effort: no torn residue.
-    if (error != nullptr) *error = io_error;
-    return false;
+    return disk_failed(Status::IoError(io_error));
+  }
+  if (HDMM_FAILPOINT("strategy_cache.put.tmp_synced")) {
+    // Complete tmp file on disk, crash before rename: recovery sees a stale
+    // `.tmp` sibling and no installed entry — a clean miss.
+    Failpoints::CrashNow();
   }
   std::filesystem::rename(tmp_path, path, ec);
   if (ec) {
     std::filesystem::remove(tmp_path, ec);
-    if (error != nullptr) {
-      *error = "cannot move strategy file into place at '" + path + "'";
-    }
-    return false;
+    return disk_failed(
+        Status::IoError("cannot move strategy file into place at '" + path +
+                        "'"));
   }
-  return true;
+  if (HDMM_FAILPOINT("strategy_cache.put.after_rename")) {
+    // Crash after the atomic install: recovery must parse a complete file.
+    Failpoints::CrashNow();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    consecutive_disk_failures_ = 0;
+  }
+  return Status::Ok();
+}
+
+bool StrategyCache::DiskWriteDegraded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disk_writes_disabled_;
 }
 
 void StrategyCache::ClearMemory() {

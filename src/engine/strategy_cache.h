@@ -11,6 +11,12 @@
 // are immutable once inserted: strategies are shared read-only, so a cached
 // strategy's lazily-built pseudo-inverse/factorization state is itself
 // reused by every session that plans the same workload.
+//
+// The disk tier treats the filesystem as untrusted: a corrupt or truncated
+// `.strategy` file is quarantined (renamed to `<path>.corrupt`) and treated
+// as a miss, so one bad file costs one replan instead of poisoning every
+// restart; repeated disk-write failures degrade the cache to memory-only
+// rather than failing every Plan.
 #ifndef HDMM_ENGINE_STRATEGY_CACHE_H_
 #define HDMM_ENGINE_STRATEGY_CACHE_H_
 
@@ -21,6 +27,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/status.h"
 #include "core/strategy.h"
 #include "engine/fingerprint.h"
 
@@ -49,16 +56,38 @@ class StrategyCache {
   /// Looks up a fingerprint: memory first, then the disk tier (a disk hit is
   /// promoted into memory). Returns nullptr on miss; `tier`, when given,
   /// reports where the entry was found.
+  ///
+  /// A disk file that exists but fails to parse is QUARANTINED: renamed to
+  /// `<path>.corrupt` (preserving the evidence for postmortem), counted in
+  /// stats().corrupt_quarantined, and reported as a miss so the caller
+  /// replans and overwrites it. An unreadable file (I/O error) is counted
+  /// and reported as a miss without touching the file.
   std::shared_ptr<const Strategy> Get(const Fingerprint& fp,
                                       Tier* tier = nullptr);
 
   /// Inserts (or replaces) the entry and, when the disk tier is enabled,
   /// writes it through to `<dir>/<hex>.strategy` atomically (unique tmp
   /// file + rename), so a crashed or concurrent writer can never leave a
-  /// partial strategy file for Get to parse. Returns false (with *error)
-  /// only on disk-write failure; the memory tier is updated regardless.
-  bool Put(const Fingerprint& fp, std::shared_ptr<const Strategy> strategy,
-           std::string* error = nullptr);
+  /// partial strategy file for Get to parse. The memory tier is updated
+  /// regardless of the disk outcome; a non-OK return (kIoError) means only
+  /// the disk write failed.
+  ///
+  /// After kDiskFailureLimit consecutive disk-write failures the cache
+  /// degrades to memory-only: further Puts skip the disk tier and return OK
+  /// (reads still hit existing disk files). A successful disk write before
+  /// the limit resets the counter.
+  ///
+  /// Failpoints: `strategy_cache.put.io_error` injects a disk-write
+  /// failure; crash sites `strategy_cache.put.torn_tmp` (partial tmp file),
+  /// `strategy_cache.put.tmp_synced` (complete tmp, no rename), and
+  /// `strategy_cache.put.after_rename` SIGKILL mid-write.
+  Status Put(const Fingerprint& fp, std::shared_ptr<const Strategy> strategy);
+
+  /// Consecutive disk-write failures before Put stops touching the disk.
+  static constexpr int kDiskFailureLimit = 3;
+
+  /// True once Put has given up on the disk tier (see kDiskFailureLimit).
+  bool DiskWriteDegraded() const;
 
   /// Drops every in-memory entry (disk files are untouched).
   void ClearMemory();
@@ -68,6 +97,9 @@ class StrategyCache {
     uint64_t disk_hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
+    uint64_t corrupt_quarantined = 0;  // Disk files renamed to .corrupt.
+    uint64_t disk_read_errors = 0;     // Unreadable (not corrupt) files.
+    uint64_t disk_write_failures = 0;  // Failed disk-tier Puts.
   };
   Stats stats() const;
 
@@ -91,6 +123,8 @@ class StrategyCache {
   std::list<Entry> lru_;  // Front = most recently used.
   std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
   Stats stats_;
+  int consecutive_disk_failures_ = 0;
+  bool disk_writes_disabled_ = false;
 };
 
 }  // namespace hdmm

@@ -1,0 +1,39 @@
+// Fork/kill crash-consistency harness. A test describes a child body that
+// exercises a durable-state code path (ledger appends, cache writes) and
+// acks each unit of work the moment the *caller* learns it succeeded; the
+// harness arms a failpoint spec in the child, lets a crash site SIGKILL it
+// mid-operation, and reports how many acks escaped before death. The test
+// then re-opens the durable state in the parent and asserts the recovery
+// invariants against the ack count.
+//
+// The ack pipe is the "client's view": anything acked was observably
+// committed before the crash, so recovery must preserve at least that much;
+// anything in flight at the kill may legitimately be present or absent,
+// depending on which side of the durability point the crash landed.
+#ifndef HDMM_TESTS_CRASH_HARNESS_H_
+#define HDMM_TESTS_CRASH_HARNESS_H_
+
+#include <functional>
+#include <string>
+
+namespace hdmm {
+
+struct CrashResult {
+  bool forked = false;        ///< The harness itself worked.
+  bool sigkilled = false;     ///< Child died by SIGKILL (a crash site fired).
+  bool exited_clean = false;  ///< Child ran to completion (no site fired).
+  int raw_status = 0;         ///< waitpid status, for diagnostics.
+  int acked = 0;              ///< Work units acked before death.
+};
+
+/// Forks, activates `failpoint_spec` (HDMM_FAILPOINTS grammar) in the
+/// child, and runs `body(ack)` there; `ack()` reports one completed work
+/// unit to the parent. The child _exit(0)s if the body returns. Blocks
+/// until the child is gone.
+CrashResult RunCrashChild(
+    const std::string& failpoint_spec,
+    const std::function<void(const std::function<void()>& ack)>& body);
+
+}  // namespace hdmm
+
+#endif  // HDMM_TESTS_CRASH_HARNESS_H_

@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include <atomic>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -7,6 +8,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -135,11 +137,9 @@ TEST(StrategyCache, DiskTierSurvivesRestart) {
     StrategyCacheOptions options;
     options.disk_dir = dir;
     StrategyCache cache(options);
-    std::string error;
-    ASSERT_TRUE(cache.Put(
-        fp, std::make_shared<ExplicitStrategy>(PrefixBlock(5), "persisted"),
-        &error))
-        << error;
+    const Status put = cache.Put(
+        fp, std::make_shared<ExplicitStrategy>(PrefixBlock(5), "persisted"));
+    ASSERT_TRUE(put.ok()) << put.ToString();
     EXPECT_TRUE(std::filesystem::exists(cache.DiskPath(fp)));
   }
   // A new cache instance (fresh process in real life) finds it on disk.
@@ -211,11 +211,9 @@ TEST(StrategyCache, PutIsAtomicOnDisk) {
   options.disk_dir = dir;
   StrategyCache cache(options);
   const Fingerprint fp{11};
-  std::string error;
-  ASSERT_TRUE(cache.Put(
-      fp, std::make_shared<ExplicitStrategy>(PrefixBlock(4), "atomic"),
-      &error))
-      << error;
+  const Status put = cache.Put(
+      fp, std::make_shared<ExplicitStrategy>(PrefixBlock(4), "atomic"));
+  ASSERT_TRUE(put.ok()) << put.ToString();
   // The write went through a tmp file + rename: the final file exists and
   // no tmp residue is left behind.
   EXPECT_TRUE(std::filesystem::exists(cache.DiskPath(fp)));
@@ -243,11 +241,92 @@ TEST(StrategyCache, TornStrategyFileFromCrashedWriterIsInvisible) {
   EXPECT_EQ(cache.Get(fp, &tier), nullptr);
   EXPECT_EQ(tier, StrategyCache::Tier::kMiss);
   ASSERT_TRUE(cache.Put(
-      fp, std::make_shared<ExplicitStrategy>(PrefixBlock(4), "fresh")));
+      fp, std::make_shared<ExplicitStrategy>(PrefixBlock(4), "fresh")).ok());
   cache.ClearMemory();
   auto hit = cache.Get(fp, &tier);
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->Name(), "fresh");
+}
+
+TEST(StrategyCache, CorruptDiskFileIsQuarantinedNotFatal) {
+  // A corrupt cache file (bit rot, a concurrent writer from a buggy build)
+  // must read as a miss, move aside so it cannot poison later lookups, and
+  // leave the slot writable.
+  const std::string dir = FreshDir("cache_quarantine");
+  std::filesystem::create_directories(dir);
+  StrategyCacheOptions options;
+  options.disk_dir = dir;
+  StrategyCache cache(options);
+  const Fingerprint fp{13};
+  {
+    std::ofstream garbage(cache.DiskPath(fp));
+    garbage << "hdmm-strategy v1\nkind alien\nname zap\n";
+  }
+  StrategyCache::Tier tier;
+  EXPECT_EQ(cache.Get(fp, &tier), nullptr);
+  EXPECT_EQ(tier, StrategyCache::Tier::kMiss);
+  EXPECT_EQ(cache.stats().corrupt_quarantined, 1u);
+  EXPECT_FALSE(std::filesystem::exists(cache.DiskPath(fp)));
+  EXPECT_TRUE(std::filesystem::exists(cache.DiskPath(fp) + ".corrupt"));
+  // The quarantine is once per file: the next Get is a plain miss.
+  EXPECT_EQ(cache.Get(fp, &tier), nullptr);
+  EXPECT_EQ(cache.stats().corrupt_quarantined, 1u);
+  // And the slot recovers through a normal replan+Put.
+  ASSERT_TRUE(cache.Put(
+      fp, std::make_shared<ExplicitStrategy>(PrefixBlock(4), "replanned"))
+          .ok());
+  cache.ClearMemory();
+  auto hit = cache.Get(fp, &tier);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->Name(), "replanned");
+}
+
+TEST(StrategyCache, ConcurrentGetPutEvictStress) {
+  // Hammers one small cache from several threads mixing Put, memory/disk
+  // Get, and ClearMemory. The assertions are modest (never a wrong
+  // strategy back for a fingerprint); the real payoff is under
+  // -DHDMM_SANITIZE=thread, where any lock-discipline regression in the
+  // LRU/disk promotion paths trips the sanitizer.
+  const std::string dir = FreshDir("cache_stress");
+  StrategyCacheOptions options;
+  options.memory_capacity = 4;  // Small: forces constant eviction churn.
+  options.disk_dir = dir;
+  StrategyCache cache(options);
+  constexpr int kFingerprints = 8;
+  constexpr int kThreads = 6;
+  constexpr int kItersPerThread = 200;
+
+  std::atomic<int> wrong_strategy{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &wrong_strategy, t] {
+      Rng rng(static_cast<uint64_t>(7000 + t));
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const auto id = static_cast<size_t>(
+            rng.Uniform(0.0, static_cast<double>(kFingerprints)));
+        const Fingerprint fp{100 + id};
+        const double action = rng.Uniform(0.0, 1.0);
+        if (action < 0.3) {
+          const Status put = cache.Put(
+              fp, std::make_shared<ExplicitStrategy>(
+                      PrefixBlock(3), "fp-" + std::to_string(id)));
+          if (!put.ok()) ++wrong_strategy;
+        } else if (action < 0.95) {
+          auto hit = cache.Get(fp);
+          if (hit != nullptr && hit->Name() != "fp-" + std::to_string(id)) {
+            ++wrong_strategy;
+          }
+        } else {
+          cache.ClearMemory();
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(wrong_strategy.load(), 0);
+  EXPECT_EQ(cache.stats().corrupt_quarantined, 0u);
+  EXPECT_EQ(cache.stats().disk_read_errors, 0u);
+  EXPECT_FALSE(cache.DiskWriteDegraded());
 }
 
 // --- Accountant --------------------------------------------------------------
@@ -530,7 +609,13 @@ TEST(AccountantLedgerDeath, FlockExcludesSecondAccountant) {
   const std::string path = LedgerPathIn("ledger_flock");
   BudgetAccountant first(1.0, path);
   EXPECT_TRUE(first.TryCharge("census", 0.6));
-  EXPECT_DEATH(BudgetAccountant(1.0, path), "locked by another");
+  // Short lock timeout: the lock is held for the whole test, so the default
+  // backoff window would only slow the death down.
+  BudgetAccountantOptions contended;
+  contended.total_epsilon = 1.0;
+  contended.ledger_path = path;
+  contended.lock_timeout_ms = 50;
+  EXPECT_DEATH(BudgetAccountant{contended}, "locked by another");
   // The budget stays jointly bounded: only the lock holder can spend.
   EXPECT_TRUE(first.TryCharge("census", 0.4));
   EXPECT_FALSE(first.TryCharge("census", 0.1));

@@ -1,6 +1,9 @@
 #include "core/strategy_io.h"
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -297,6 +300,109 @@ TEST(StrategyIo, LoadMissingFile) {
   std::string error;
   EXPECT_EQ(LoadStrategyFile("/nonexistent.hdmm", &error), nullptr);
   EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+// ------------------------------------------------- malformed-input corpus --
+//
+// The corpus is the fuzz generators' own output, mutated: every valid
+// serialization the library can produce is truncated, byte-flipped, and
+// extended with garbage. The contract under test is narrow but absolute —
+// ParseStrategy either returns a strategy or returns nullptr with a
+// non-empty error; corrupt input must never reach an aborting constructor
+// contract.
+std::vector<std::string> FuzzCorpus() {
+  std::vector<std::string> corpus;
+  Rng rng(9000);
+  corpus.push_back(SerializeStrategy(
+      ExplicitStrategy(FuzzMatrix(&rng, 6, 6), "corpus-explicit")));
+  corpus.push_back(SerializeStrategy(KronStrategy(
+      std::vector<Matrix>{FuzzMatrix(&rng, 5, 4), FuzzMatrix(&rng, 4, 3)},
+      "corpus-kron")));
+  corpus.push_back(SerializeStrategy(UnionKronStrategy(
+      std::vector<std::vector<Matrix>>{{PrefixBlock(4), IdentityBlock(3)},
+                                       {TotalBlock(4), PrefixBlock(3)}},
+      std::vector<std::vector<int>>{{0}, {1}}, "corpus-union")));
+  corpus.push_back(SerializeStrategy(MarginalsStrategy(
+      Domain({2, 3, 2}), Vector{0.5, 0.0, 1.0, 0.25, 0.0, 0.75, 0.125, 1.5},
+      "corpus-marginals")));
+  return corpus;
+}
+
+// Parse must not abort; on rejection it must say why.
+void ExpectParseIsTotal(const std::string& text, const char* what) {
+  std::string error;
+  auto parsed = ParseStrategy(text, &error);
+  if (parsed == nullptr) {
+    EXPECT_FALSE(error.empty()) << what << ": rejected without a message";
+  }
+}
+
+TEST(StrategyIoCorpus, TruncationAtEveryByteNeverAborts) {
+  for (const std::string& good : FuzzCorpus()) {
+    std::string error;
+    ASSERT_NE(ParseStrategy(good, &error), nullptr) << error;
+    for (size_t cut = 0; cut < good.size(); ++cut) {
+      ExpectParseIsTotal(good.substr(0, cut), "truncation");
+    }
+  }
+}
+
+TEST(StrategyIoCorpus, WrongMagicIsRejectedUpFront) {
+  for (std::string text : FuzzCorpus()) {
+    text[0] ^= 0x20;  // "hdmm" -> "Hdmm"
+    std::string error;
+    EXPECT_EQ(ParseStrategy(text, &error), nullptr);
+    EXPECT_NE(error.find("header"), std::string::npos) << error;
+  }
+}
+
+TEST(StrategyIoCorpus, ByteFlipsNeverAbort) {
+  Rng rng(9100);
+  for (const std::string& good : FuzzCorpus()) {
+    for (int trial = 0; trial < 200; ++trial) {
+      std::string mutant = good;
+      const size_t pos = static_cast<size_t>(
+          rng.Uniform(0.0, static_cast<double>(mutant.size())));
+      mutant[pos] = static_cast<char>(rng.Uniform(1.0, 127.0));
+      ExpectParseIsTotal(mutant, "byte flip");
+    }
+  }
+}
+
+TEST(StrategyIoCorpus, TrailingGarbageIsRejectedNotAbsorbed) {
+  for (const std::string& good : FuzzCorpus()) {
+    std::string error;
+    EXPECT_EQ(ParseStrategy(good + "spurious trailing line\n", &error),
+              nullptr)
+        << "garbage after a complete strategy must not parse";
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(StrategyIoCorpus, LoadStatusClassifiesTheFailure) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "strategy_io_corpus";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  std::unique_ptr<Strategy> out;
+  EXPECT_EQ(LoadStrategyFileOr((dir / "absent.hdmm").string(), &out).code(),
+            StatusCode::kNotFound);
+
+  const fs::path corrupt = dir / "corrupt.hdmm";
+  std::ofstream(corrupt) << "hdmm-strategy v1\nkind kron\nname x\n";
+  const Status status = LoadStrategyFileOr(corrupt.string(), &out);
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_NE(status.message().find("no factors"), std::string::npos)
+      << status.ToString();
+
+  const fs::path good = dir / "good.hdmm";
+  std::ofstream(good) << FuzzCorpus().front();
+  const Status loaded = LoadStrategyFileOr(good.string(), &out);
+  ASSERT_TRUE(loaded.ok()) << loaded.ToString();
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->Name(), "corpus-explicit");
 }
 
 }  // namespace

@@ -443,9 +443,22 @@ int CmdServe(const Flags& flags) {
   }
   std::fflush(stdout);
 
+  // Serve-loop contract: a malformed line gets a one-line `error: ...`
+  // reply and the loop continues. The session may hold a measurement whose
+  // budget is already spent — tearing it down over a typo would waste an
+  // unrecoverable release.
+  constexpr size_t kMaxLineBytes = 4096;
   std::unique_ptr<MeasurementSession> session;
   std::string line;
   while (std::getline(std::cin, line)) {
+    // CRLF-tolerant: Windows clients and piped here-docs send \r\n.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.size() > kMaxLineBytes) {
+      std::printf("error: line too long (%zu bytes, max %zu)\n", line.size(),
+                  kMaxLineBytes);
+      std::fflush(stdout);
+      continue;
+    }
     // Strip comments and whitespace-only lines so sessions can be scripted.
     const size_t hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
@@ -475,20 +488,31 @@ int CmdServe(const Flags& flags) {
       // measure EPS -> Laplace; gaussian RHO -> Gaussian under zCDP. The
       // accountant decides whether the regime can express the charge.
       const bool is_gaussian = command == "gaussian";
+      // Strict numeric parse: `measure 1.5x` or `measure 1 2` is a malformed
+      // request, not a request for 1.5 — iostream's lax "parse a prefix"
+      // behavior would silently spend budget on a typo.
+      std::string amount_token;
+      std::string extra;
+      char* end = nullptr;
       double amount = 0.0;
-      if (!(in >> amount) || !(amount > 0.0) || !std::isfinite(amount)) {
-        std::printf("error %s needs a positive finite %s\n", command.c_str(),
-                    is_gaussian ? "rho" : "epsilon");
+      bool well_formed = static_cast<bool>(in >> amount_token) &&
+                         !static_cast<bool>(in >> extra);
+      if (well_formed) {
+        amount = std::strtod(amount_token.c_str(), &end);
+        well_formed = end == amount_token.c_str() + amount_token.size();
+      }
+      if (!well_formed || !(amount > 0.0) || !std::isfinite(amount)) {
+        std::printf("error: %s needs exactly one positive finite %s\n",
+                    command.c_str(), is_gaussian ? "rho" : "epsilon");
       } else {
         const MeasureRequest request = is_gaussian
                                            ? MeasureRequest::Gaussian(amount)
                                            : MeasureRequest::Laplace(amount);
-        std::string why;
-        auto next = engine.Measure(w, dataset_id, x, request, &rng, &why);
-        if (next == nullptr) {
-          std::printf("error %s\n", why.c_str());
+        auto next = engine.MeasureOr(w, dataset_id, x, request, &rng);
+        if (!next.ok()) {
+          std::printf("error: %s\n", next.status().ToString().c_str());
         } else {
-          session = std::move(next);
+          session = std::move(next).value();
           std::printf("ok measured %s=%g spent=%g remaining=%g\n",
                       is_gaussian ? "rho" : "epsilon", amount,
                       engine.accountant().Spent(dataset_id),
@@ -498,18 +522,19 @@ int CmdServe(const Flags& flags) {
     } else if (command == "point" || command == "range" ||
                command == "marginal") {
       if (session == nullptr) {
-        std::printf("error no measurement session (run `measure EPS` first)\n");
+        std::printf(
+            "error: no measurement session (run `measure EPS` first)\n");
       } else {
         BoxQuery q;
         std::string why;
         if (!ParseQueryLine(line, w.domain(), &q, &why)) {
-          std::printf("error %s\n", why.c_str());
+          std::printf("error: %s\n", why.c_str());
         } else {
           std::printf("answer %.4f\n", session->Answer(q));
         }
       }
     } else {
-      std::printf("error unknown command '%s' (measure | gaussian | point | "
+      std::printf("error: unknown command '%s' (measure | gaussian | point | "
                   "range | marginal | budget | quit)\n",
                   command.c_str());
     }
