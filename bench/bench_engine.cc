@@ -267,9 +267,7 @@ void WriteJson(const PlanTimings& plan, const FailpointTimings& fp,
     std::fprintf(stderr, "could not open %s for writing\n", path);
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"bench_engine\",\n");
-  std::fprintf(f, "  \"pool_threads\": %d,\n",
-               ThreadPool::Global().num_threads());
+  hdmm_bench::WriteJsonHeader(f, "bench_engine");
   std::fprintf(f,
                "  \"plan\": {\"cold_s\": %.6f, \"warm_disk_s\": %.6f, "
                "\"warm_mem_s\": %.6f, \"warm_disk_speedup\": %.1f, "

@@ -226,9 +226,7 @@ void WriteJson(const std::vector<FactorRow>& rows, const char* path) {
     std::fprintf(stderr, "could not open %s for writing\n", path);
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"bench_factor\",\n");
-  std::fprintf(f, "  \"pool_threads\": %d,\n",
-               ThreadPool::Global().num_threads());
+  hdmm_bench::WriteJsonHeader(f, "bench_factor");
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const FactorRow& r = rows[i];

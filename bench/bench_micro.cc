@@ -7,6 +7,7 @@
 // objective (Theorem 4), Cholesky solves, and LSMR iterations.
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <thread>
@@ -113,6 +114,16 @@ struct MatmulRow {
   double seed_naive_s, blocked_s, blocked_pool_s;
 };
 
+// One arm of the pooled-GEMM thread-scaling sweep: wall time on a private
+// pool of `threads` total threads, plus whether the product matched the
+// 1-thread arm bit for bit (the decomposition is pool-width invariant, so
+// anything but `true` is a kernel bug).
+struct ScalePoint {
+  int threads;
+  double seconds;
+  bool identical;
+};
+
 void BenchMatmulSection(bool full, std::vector<MatmulRow>* rows) {
   hdmm_bench::Banner("GEMM / Gram kernel comparison",
                      "seed naive kernels vs blocked SYRK/GEMM substrate");
@@ -165,14 +176,66 @@ void BenchMatmulSection(bool full, std::vector<MatmulRow>* rows) {
   }
 }
 
-void WriteJson(const std::vector<MatmulRow>& rows, const char* path) {
+// Pooled 1024^3 GEMM across private pools of 1/2/4/8 total threads (caller
+// included), installed via SetComputePool so every arm runs in this process.
+// On a 1-core host the arms oversubscribe the core and the curve is flat —
+// the JSON's host_cores field lets validators tell that apart from a real
+// scaling regression.
+void BenchThreadScalingSection(std::vector<ScalePoint>* points) {
+  hdmm_bench::Banner("GEMM thread scaling",
+                     "pooled 1024^3 on private 1/2/4/8-thread pools");
+  const int64_t n = 1024;
+  Rng rng(7);
+  Matrix a = Matrix::RandomUniform(n, n, &rng, -1.0, 1.0);
+  Matrix b = Matrix::RandomUniform(n, n, &rng, -1.0, 1.0);
+  Matrix ref;
+  MatMulInto(a, b, &ref, GemmParallelism::kSerial);
+  hdmm_bench::PrintHeader("threads", {"pool(s)", "speedup", "eff", "bits"},
+                          12);
+  double base_s = 0.0;
+  for (int t : {1, 2, 4, 8}) {
+    ThreadPool pool(t - 1);
+    SetComputePool(&pool);
+    Matrix out;
+    ScalePoint pt{t, 0.0, false};
+    pt.seconds =
+        TimeBest([&] { MatMulInto(a, b, &out, GemmParallelism::kPooled); });
+    SetComputePool(nullptr);
+    pt.identical = out.rows() == ref.rows() && out.cols() == ref.cols() &&
+                   std::memcmp(out.data(), ref.data(),
+                               sizeof(double) * static_cast<size_t>(
+                                                    out.rows() * out.cols())) ==
+                       0;
+    if (t == 1) base_s = pt.seconds;
+    const double speedup = base_s / pt.seconds;
+    std::printf("%-28d%12.4f%12.2f%12.2f%12s\n", t, pt.seconds, speedup,
+                speedup / t, pt.identical ? "same" : "DIFFER");
+    points->push_back(pt);
+  }
+}
+
+void WriteJson(const std::vector<MatmulRow>& rows,
+               const std::vector<ScalePoint>& points, const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "could not open %s for writing\n", path);
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"bench_micro/matmul\",\n");
-  std::fprintf(f, "  \"pool_threads\": %d,\n", ThreadPool::Global().num_threads());
+  hdmm_bench::WriteJsonHeader(f, "bench_micro/matmul");
+  std::fprintf(f, "  \"thread_scaling\": [\n");
+  const double base_s = points.empty() ? 1.0 : points.front().seconds;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const ScalePoint& p = points[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"seconds\": %.6f, "
+                 "\"speedup_vs_1\": %.3f, \"efficiency\": %.3f, "
+                 "\"bitwise_identical\": %s}%s\n",
+                 p.threads, p.seconds, base_s / p.seconds,
+                 base_s / p.seconds / p.threads,
+                 p.identical ? "true" : "false",
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const MatmulRow& r = rows[i];
@@ -253,8 +316,10 @@ void BenchSolversSection() {
 int main(int argc, char** argv) {
   const bool full = hdmm_bench::FullScale(argc, argv);
   std::vector<MatmulRow> rows;
+  std::vector<ScalePoint> points;
   BenchMatmulSection(full, &rows);
-  WriteJson(rows, "BENCH_matmul.json");
+  BenchThreadScalingSection(&points);
+  WriteJson(rows, points, "BENCH_matmul.json");
   BenchKronSection();
   BenchPIdentitySection();
   BenchSolversSection();

@@ -13,9 +13,10 @@
 //   plan     full OPT_HDMM cold plan on the bench_engine census workload,
 //            with GramCache hit/miss/closed-form counts, plus a second
 //            plan over the warm Gram cache (cross-call reuse).
-//   scaling  cold-plan wall time vs restart count at the current pool width
-//            (restarts fan out in parallel; the strategy selected is
-//            bit-identical at any thread count).
+//   scaling  cold-plan wall time vs restart count on private pools of
+//            1/2/4 total threads (restarts fan out in parallel), with a
+//            content hash of the 8-restart winner per arm proving the
+//            selected strategy is bit-identical at every thread count.
 //
 // Emits BENCH_planner.json; the planner-smoke CI job parses it and fails
 // the build if the speedup regresses below 2x or the inner loop allocates.
@@ -29,6 +30,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/hash.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -531,35 +533,73 @@ struct ScalePoint {
   double seconds = 0.0;
 };
 
-std::vector<ScalePoint> BenchRestartScaling(const UnionWorkload& w) {
+// One thread arm of the restart-scaling sweep: every restart count timed on
+// a private pool of `threads` total threads, plus a content hash of the
+// 8-restart winner proving selection is bit-identical across arms.
+struct ThreadArm {
+  int threads = 0;
+  uint64_t selection_hash = 0;
   std::vector<ScalePoint> points;
-  for (int restarts : {1, 2, 4, 8}) {
-    HdmmOptions options;
-    options.restarts = restarts;
-    options.seed = 7;
-    WallTimer timer;
-    OptimizeStrategy(w, options);
-    ScalePoint pt;
-    pt.restarts = restarts;
-    pt.seconds = timer.Seconds();
-    points.push_back(pt);
-    std::printf("  restarts=%d: %8.1f ms  (%.1f ms/restart)\n", restarts,
-                1e3 * pt.seconds, 1e3 * pt.seconds / restarts);
+};
+
+// Content hash of the selected strategy: operator name, its error, and the
+// strategy applied to a fixed non-uniform vector (exercises every matrix
+// entry). Equal digests across pool widths mean the *same bits* were
+// selected, not merely the same operator family.
+uint64_t SelectionHash(const UnionWorkload& w, const HdmmResult& res) {
+  Fnv1aHasher h;
+  h.Bytes(res.chosen_operator.data(), res.chosen_operator.size());
+  h.F64(res.squared_error);
+  Vector x(static_cast<size_t>(w.DomainSize()));
+  for (size_t i = 0; i < x.size(); ++i)
+    x[i] = 1.0 + 0.25 * static_cast<double>(i % 11);
+  for (double v : res.strategy->Apply(x)) h.F64(v);
+  return h.Digest();
+}
+
+std::vector<ThreadArm> BenchRestartScaling(const UnionWorkload& w) {
+  std::vector<ThreadArm> arms;
+  for (int threads : {1, 2, 4}) {
+    // The arm's pool carries both the restart fan-out and the dense kernels
+    // under it, exactly as a process started with HDMM_THREADS=t would run.
+    ThreadPool pool(threads - 1);
+    SetRestartPoolForTest(&pool);
+    SetComputePool(&pool);
+    ThreadArm arm;
+    arm.threads = threads;
+    for (int restarts : {1, 2, 4, 8}) {
+      HdmmOptions options;
+      options.restarts = restarts;
+      options.seed = 7;
+      WallTimer timer;
+      HdmmResult res = OptimizeStrategy(w, options);
+      ScalePoint pt;
+      pt.restarts = restarts;
+      pt.seconds = timer.Seconds();
+      arm.points.push_back(pt);
+      if (restarts == 8) arm.selection_hash = SelectionHash(w, res);
+      std::printf("  threads=%d restarts=%d: %8.1f ms  (%.1f ms/restart)\n",
+                  threads, restarts, 1e3 * pt.seconds,
+                  1e3 * pt.seconds / restarts);
+    }
+    SetComputePool(nullptr);
+    SetRestartPoolForTest(nullptr);
+    std::printf("  threads=%d selection hash: %016llx\n", threads,
+                static_cast<unsigned long long>(arm.selection_hash));
+    arms.push_back(std::move(arm));
   }
-  return points;
+  return arms;
 }
 
 void WriteJson(const EvalRace& race, double allocs_per_eval,
-               const PlanTimings& plan, const std::vector<ScalePoint>& scaling,
+               const PlanTimings& plan, const std::vector<ThreadArm>& scaling,
                const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "could not open %s for writing\n", path);
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"bench_planner\",\n");
-  std::fprintf(f, "  \"pool_threads\": %d,\n",
-               ThreadPool::Global().num_threads());
+  hdmm_bench::WriteJsonHeader(f, "bench_planner");
   std::fprintf(f,
                "  \"eval\": {\"n\": %lld, \"p\": %d, \"legacy_s\": %.6f, "
                "\"new_s\": %.6f, \"legacy_evals\": %d, \"new_evals\": %d, "
@@ -592,12 +632,22 @@ void WriteJson(const EvalRace& race, double allocs_per_eval,
                static_cast<unsigned long long>(plan.cold_stats.hits),
                static_cast<unsigned long long>(plan.cold_stats.closed_form),
                plan.warm_stats.HitRate());
-  std::fprintf(f, "  \"restart_scaling\": [");
+  std::fprintf(f, "  \"restart_scaling\": [\n");
   for (size_t i = 0; i < scaling.size(); ++i) {
-    std::fprintf(f, "%s{\"restarts\": %d, \"seconds\": %.6f}",
-                 i == 0 ? "" : ", ", scaling[i].restarts, scaling[i].seconds);
+    const ThreadArm& arm = scaling[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"selection_hash\": \"%016llx\", "
+                 "\"points\": [",
+                 arm.threads,
+                 static_cast<unsigned long long>(arm.selection_hash));
+    for (size_t j = 0; j < arm.points.size(); ++j) {
+      std::fprintf(f, "%s{\"restarts\": %d, \"seconds\": %.6f}",
+                   j == 0 ? "" : ", ", arm.points[j].restarts,
+                   arm.points[j].seconds);
+    }
+    std::fprintf(f, "]}%s\n", i + 1 < scaling.size() ? "," : "");
   }
-  std::fprintf(f, "]\n}\n");
+  std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", path);
 }
@@ -621,8 +671,8 @@ int main(int argc, char** argv) {
   const PlanTimings plan = BenchColdPlan(w);
 
   std::printf("\n=== planner: restart scaling (deterministic parallel "
-              "restarts) ===\n");
-  const std::vector<ScalePoint> scaling = BenchRestartScaling(w);
+              "restarts, private 1/2/4-thread pools) ===\n");
+  const std::vector<ThreadArm> scaling = BenchRestartScaling(w);
 
   WriteJson(race, allocs, plan, scaling, "BENCH_planner.json");
   return 0;

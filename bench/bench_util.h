@@ -7,7 +7,11 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "common/thread_pool.h"
+#include "linalg/gemm.h"
 
 namespace hdmm_bench {
 
@@ -50,6 +54,26 @@ inline void PrintHeader(const std::string& label,
   std::printf("%-28s", label.c_str());
   for (const auto& c : columns) std::printf("%*s", width, c.c_str());
   std::printf("\n");
+}
+
+/// Opens a BENCH_*.json object and writes the shared header fields every
+/// bench records: the default pool width, the host's core count (so
+/// validators can tell a 1-core box from a real multi-core run), the
+/// dispatched GEMM ISA tier, and its cache-tuned blocking constants. The
+/// caller finishes the object (results arrays + closing brace).
+inline void WriteJsonHeader(std::FILE* f, const std::string& bench) {
+  const hdmm::GemmBlocking bl = hdmm::ActiveGemmBlocking();
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench.c_str());
+  std::fprintf(f, "  \"pool_threads\": %d,\n",
+               hdmm::ThreadPool::Global().num_threads());
+  std::fprintf(f, "  \"host_cores\": %u,\n", hw == 0 ? 1u : hw);
+  std::fprintf(f, "  \"isa\": \"%s\",\n", hdmm::GemmIsaName());
+  std::fprintf(f,
+               "  \"blocking\": {\"mr\": %d, \"nr\": %d, \"mc\": %lld, "
+               "\"kc\": %lld, \"nc\": %lld},\n",
+               bl.mr, bl.nr, static_cast<long long>(bl.mc),
+               static_cast<long long>(bl.kc), static_cast<long long>(bl.nc));
 }
 
 }  // namespace hdmm_bench

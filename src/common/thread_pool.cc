@@ -19,6 +19,9 @@ std::atomic<bool> g_global_created{false};
 // Test-only override routing optimizer restart fan-out to a custom pool.
 std::atomic<ThreadPool*> g_restart_pool_override{nullptr};
 
+// Bench/test override routing the dense compute kernels to a custom pool.
+std::atomic<ThreadPool*> g_compute_pool_override{nullptr};
+
 int GlobalThreadCount() {
   const int requested = g_requested_threads.load(std::memory_order_acquire);
   if (requested >= 1) return requested;
@@ -80,6 +83,16 @@ void ThreadPool::SetGlobalThreads(int n) {
                  "SetGlobalThreads must run before the global pool is first "
                  "used (the pool is created once and never resized)");
   g_requested_threads.store(n, std::memory_order_release);
+}
+
+ThreadPool& ComputePool() {
+  ThreadPool* override_pool =
+      g_compute_pool_override.load(std::memory_order_acquire);
+  return override_pool != nullptr ? *override_pool : ThreadPool::Global();
+}
+
+void SetComputePool(ThreadPool* pool) {
+  g_compute_pool_override.store(pool, std::memory_order_release);
 }
 
 ThreadPool& RestartPool() {

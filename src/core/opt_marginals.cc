@@ -136,7 +136,7 @@ OptMarginalsResult OptMarginals(const UnionWorkload& w,
       grad->assign(masks, 0.0);
       // O(masks^2) double loop — the cost wall for high-d marginal domains.
       // Rows (gradient entries) are independent; fan out over the pool.
-      ThreadPool::Global().ParallelFor(
+      ComputePool().ParallelFor(
           0, masks, /*grain=*/64, [&](int64_t a0, int64_t a1) {
             for (int64_t ai = a0; ai < a1; ++ai) {
               const uint32_t a = static_cast<uint32_t>(ai);

@@ -135,6 +135,11 @@ BudgetAccountant::BudgetAccountant(BudgetAccountantOptions options)
           RhoFromEpsilonDelta(options_.total_epsilon, options_.delta);
     }
   }
+  for (const auto& [dataset, ceiling] : options_.dataset_ceilings) {
+    HDMM_CHECK_MSG(std::isfinite(ceiling) && ceiling > 0.0,
+                   "per-dataset budget ceilings must be positive and finite");
+    (void)dataset;
+  }
   if (!options_.ledger_path.empty()) LoadLedger();
 }
 
@@ -330,12 +335,13 @@ Status BudgetAccountant::Charge(const std::string& dataset,
   if (!RegimeCost(charge, &cost, &why)) {
     return Status::FailedPrecondition(why);
   }
+  const double ceiling = CeilingFor(dataset);
   std::lock_guard<std::mutex> lock(mu_);
   Ledger& ledger = ledgers_[dataset];
-  if (ledger.spent + cost > total_budget_ * (1.0 + kRelSlack)) {
+  if (ledger.spent + cost > ceiling * (1.0 + kRelSlack)) {
     std::ostringstream msg;
-    msg << "budget exceeded: spent " << ledger.spent << " of "
-        << total_budget_ << " " << BudgetRegimeName(options_.regime)
+    msg << "budget exceeded: spent " << ledger.spent << " of " << ceiling
+        << " " << BudgetRegimeName(options_.regime)
         << " budget, charge costs " << cost;
     return Status::OverBudget(msg.str());
   }
@@ -447,10 +453,11 @@ double BudgetAccountant::Spent(const std::string& dataset) const {
 }
 
 double BudgetAccountant::Remaining(const std::string& dataset) const {
+  const double ceiling = CeilingFor(dataset);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = ledgers_.find(dataset);
   const double spent = it == ledgers_.end() ? 0.0 : it->second.spent;
-  return spent >= total_budget_ ? 0.0 : total_budget_ - spent;
+  return spent >= ceiling ? 0.0 : ceiling - spent;
 }
 
 int64_t BudgetAccountant::NumCharges(const std::string& dataset) const {
@@ -460,6 +467,15 @@ int64_t BudgetAccountant::NumCharges(const std::string& dataset) const {
 }
 
 double BudgetAccountant::TotalBudget() const { return total_budget_; }
+
+double BudgetAccountant::TotalBudget(const std::string& dataset) const {
+  return CeilingFor(dataset);
+}
+
+double BudgetAccountant::CeilingFor(const std::string& dataset) const {
+  auto it = options_.dataset_ceilings.find(dataset);
+  return it == options_.dataset_ceilings.end() ? total_budget_ : it->second;
+}
 
 double BudgetAccountant::total_epsilon() const {
   return options_.regime == BudgetRegime::kPureDp

@@ -75,6 +75,15 @@ struct BudgetAccountantOptions {
   /// Reporting delta for the zcdp regime's rho -> (eps, delta) conversion.
   double delta = 1e-9;
 
+  /// Per-dataset ceiling overrides in REGIME units (epsilon for pure-dp,
+  /// rho for zcdp); datasets not listed use the default ceiling above.
+  /// Sensitive datasets can be pinned below the fleet-wide default without
+  /// a dedicated accountant per dataset. Every override must be positive
+  /// and finite (checked at construction). Overrides bound future charges
+  /// only — spend already replayed from a ledger is history, exactly like a
+  /// lowered default ceiling.
+  std::unordered_map<std::string, double> dataset_ceilings;
+
   /// Durable ledger file; empty keeps the ledger in memory only (resets on
   /// restart — each process would get the full budget again).
   std::string ledger_path;
@@ -143,9 +152,14 @@ class BudgetAccountant {
   /// Number of successful charges against `dataset`.
   int64_t NumCharges(const std::string& dataset) const;
 
-  /// The per-dataset ceiling in regime units (== total_epsilon() for
-  /// pure-dp, == the rho ceiling for zcdp).
+  /// The default per-dataset ceiling in regime units (== total_epsilon()
+  /// for pure-dp, == the rho ceiling for zcdp). Per-dataset overrides are
+  /// not reflected here; use TotalBudget(dataset).
   double TotalBudget() const;
+
+  /// The ceiling actually enforced for `dataset` in regime units: its
+  /// entry in dataset_ceilings when present, the default otherwise.
+  double TotalBudget(const std::string& dataset) const;
 
   /// The ceiling as an epsilon: the configured total for pure-dp, the
   /// Bun-Steinke (eps, delta) report of the rho ceiling for zcdp.
@@ -168,6 +182,10 @@ class BudgetAccountant {
   /// The charge's cost in regime units, or a refusal (false + *why).
   bool RegimeCost(const PrivacyCharge& charge, double* cost,
                   std::string* why) const;
+
+  /// Ceiling for `dataset`: its override or the default. Lock-free —
+  /// options_ is immutable after construction.
+  double CeilingFor(const std::string& dataset) const;
 
   void LoadLedger();
   Status AppendRecordLocked(const PrivacyCharge& charge,

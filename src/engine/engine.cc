@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/gaussian.h"
 #include "core/gram_cache.h"
 #include "linalg/cholesky.h"
 
@@ -387,7 +388,7 @@ Vector MeasurementSession::AnswerBatch(
     }
   }
   Vector answers(queries.size(), 0.0);
-  ThreadPool::Global().ParallelFor(
+  ComputePool().ParallelFor(
       0, static_cast<int64_t>(queries.size()), /*grain=*/64,
       [&](int64_t begin, int64_t end) {
         for (int64_t i = begin; i < end; ++i) {
@@ -435,6 +436,14 @@ BudgetAccountantOptions AccountantOptions(const EngineOptions& options) {
   accountant.total_rho = options.total_rho;
   accountant.delta = options.delta;
   accountant.ledger_path = options.ledger_path;
+  // Engine-level overrides are epsilon ceilings; the accountant's are in
+  // regime units, so convert exactly as the default ceiling is converted.
+  for (const auto& [dataset, epsilon] : options.dataset_budgets) {
+    accountant.dataset_ceilings[dataset] =
+        options.regime == BudgetRegime::kPureDp
+            ? epsilon
+            : RhoFromEpsilonDelta(epsilon, options.delta);
+  }
   return accountant;
 }
 

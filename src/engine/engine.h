@@ -190,6 +190,13 @@ struct EngineOptions {
   /// Reporting delta for the zcdp regime.
   double delta = 1e-9;
 
+  /// Per-dataset epsilon-ceiling overrides; datasets not listed get
+  /// total_epsilon (or total_rho). Each value is converted to the
+  /// accountant's regime units exactly like total_epsilon — passed through
+  /// under pure-dp, inverted through Bun-Steinke against `delta` under
+  /// zcdp — so a sensitive dataset can be pinned below the fleet default.
+  std::unordered_map<std::string, double> dataset_budgets;
+
   /// Durable budget ledger file (see BudgetAccountant). Deployments that
   /// persist strategies across restarts should persist the ledger too —
   /// otherwise every restart hands out the full budget again.

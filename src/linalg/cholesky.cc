@@ -46,7 +46,8 @@ bool CholeskyFactor(const Matrix& x, Matrix* l) {
     // Panel TRSM: L21 = A21 L11^{-T}. Each row of the panel is an
     // independent forward substitution against L11, so rows fan out over the
     // shared pool.
-    ThreadPool::Global().ParallelFor(
+    ThreadPool& pool = ComputePool();
+    pool.ParallelFor(
         k + nb, n, /*grain=*/16, [&](int64_t r0, int64_t r1) {
           for (int64_t r = r0; r < r1; ++r) {
             double* row = a.Row(r) + k;
@@ -59,10 +60,25 @@ bool CholeskyFactor(const Matrix& x, Matrix* l) {
           }
         });
     // Trailing SYRK: A22 -= L21 L21^T, lower triangle only. This is where
-    // the n^3/3 bulk of the factorization runs, at blocked-GEMM speed.
-    GemmViewUpdate(rest, rest, nb, -1.0, a.Row(k + nb) + k, n, false,
-                   a.Row(k + nb) + k, n, true, a.Row(k + nb) + (k + nb), n,
-                   /*lower_only=*/true);
+    // the n^3/3 bulk of the factorization runs, at blocked-GEMM speed. The
+    // trailing matrix fans out by block-column: task cb updates the panel
+    // A[j0:n, j0:j0+w] (j0 = k + nb + cb*kPanel) with its own rank-nb GEMM —
+    // independent macro-panels, no shared packing buffers. The decomposition
+    // is the same at every pool width (on a 1-wide pool ParallelFor runs it
+    // inline), so the factor is bit-identical whether 1 or 16 threads run
+    // it; the extra per-block A packing costs ~1/kPanel of the update's
+    // flops. Tasks are issued widest-block first purely for balance.
+    const int64_t trail_blocks = (rest + kPanel - 1) / kPanel;
+    pool.ParallelFor(0, trail_blocks, /*grain=*/1, [&](int64_t b0,
+                                                       int64_t b1) {
+      for (int64_t cb = b0; cb < b1; ++cb) {
+        const int64_t j0 = k + nb + cb * kPanel;
+        const int64_t w = std::min<int64_t>(kPanel, n - j0);
+        GemmViewUpdate(n - j0, w, nb, -1.0, a.Row(j0) + k, n, false,
+                       a.Row(j0) + k, n, true, a.Row(j0) + j0, n,
+                       /*lower_only=*/true, GemmParallelism::kSerial);
+      }
+    });
   }
   // Only the lower triangle was factored; clear the copied-over upper part.
   for (int64_t i = 0; i < n; ++i) {
@@ -195,7 +211,7 @@ void CholeskySolveRowsInto(const Matrix& l, const Matrix& b, Matrix* out,
     }
   };
   if (par == GemmParallelism::kPooled) {
-    ThreadPool::Global().ParallelFor(0, rows, /*grain=*/32, body);
+    ComputePool().ParallelFor(0, rows, /*grain=*/32, body);
   } else {
     body(0, rows);
   }

@@ -227,7 +227,7 @@ bool TqlImplicit(Vector* d_io, Vector* e_io, Matrix* z) {
           ++nrot;
         }
         if (z != nullptr && nrot > 0) {
-          ThreadPool::Global().ParallelFor(
+          ComputePool().ParallelFor(
               0, z->rows(), /*grain=*/64, [&](int64_t r0, int64_t r1) {
                 for (int64_t k = r0; k < r1; ++k) {
                   double* zr = z->Row(k);

@@ -1,22 +1,18 @@
 #include "linalg/gemm.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "common/thread_pool.h"
 
 namespace hdmm {
 namespace {
-
-// Register micro-tile (kMR x kNR accumulators live in SIMD registers) and
-// cache blocking: an A panel is kMC x kKC (~256 KiB, L2-resident), a B panel
-// is kKC x kNC streamed through L3, and one B strip (kNR x kKC, 16 KiB)
-// stays in L1 across a whole row panel. See docs/performance.md for tuning.
-constexpr int kMR = 6;
-constexpr int kNR = 8;
-constexpr int64_t kMC = 120;
-constexpr int64_t kKC = 256;
-constexpr int64_t kNC = 1024;
 
 // Below this flop count the packing traffic outweighs the blocked kernel's
 // gains; a plain triple loop wins.
@@ -35,67 +31,24 @@ inline double At(const Operand& o, int64_t i, int64_t j) {
   return o.trans ? o.p[j * o.ld + i] : o.p[i * o.ld + j];
 }
 
-// Packs the mc x kc panel of A starting at (i0, p0) into kMR-row strips laid
-// out k-major: buf[strip*kMR*kc + k*kMR + r]. Rows past mc are zero-padded so
-// the micro-kernel never needs a row bound. The GEMM alpha scale is folded in
-// here (once per packed element, amortized over every micro-kernel reuse).
-void PackA(const Operand& a, int64_t i0, int64_t p0, int64_t mc, int64_t kc,
-           double alpha, double* buf) {
-  for (int64_t r0 = 0; r0 < mc; r0 += kMR) {
-    double* strip = buf + (r0 / kMR) * kMR * kc;
-    const int64_t rows = std::min<int64_t>(kMR, mc - r0);
-    if (a.trans) {
-      // Logical A(i,k) = p[k*ld + i]: both the read and the write of each k
-      // slice are contiguous.
-      for (int64_t k = 0; k < kc; ++k) {
-        const double* src = a.p + (p0 + k) * a.ld + i0 + r0;
-        double* dst = strip + k * kMR;
-        for (int64_t r = 0; r < rows; ++r) dst[r] = alpha * src[r];
-        for (int64_t r = rows; r < kMR; ++r) dst[r] = 0.0;
-      }
-    } else {
-      for (int64_t r = 0; r < rows; ++r) {
-        const double* src = a.p + (i0 + r0 + r) * a.ld + p0;
-        for (int64_t k = 0; k < kc; ++k) strip[k * kMR + r] = alpha * src[k];
-      }
-      for (int64_t r = rows; r < kMR; ++r)
-        for (int64_t k = 0; k < kc; ++k) strip[k * kMR + r] = 0.0;
-    }
-  }
-}
+// ------------------------------------------------------------------------
+// Micro-kernels. Each computes C[0:mr, 0:nr] += sum_k ap[k][:] outer
+// bp[k][:] over packed panels laid out k-major with the kernel's own MR/NR
+// strides. The accumulator tile must stay in registers across the whole k
+// loop, so every tier spells its tile out as named vector accumulators.
+//
+// The AVX2/AVX-512 tiers are compiled with per-function target attributes so
+// one binary carries all of them regardless of the -march baseline (the CI
+// HDMM_PORTABLE build included); cpuid picks at runtime.
 
-// Packs the kc x nc panel of B starting at (p0, j0) into kNR-column strips
-// laid out k-major: buf[strip*kNR*kc + k*kNR + c], zero-padded past nc.
-void PackB(const Operand& b, int64_t p0, int64_t j0, int64_t kc, int64_t nc,
-           double* buf) {
-  for (int64_t c0 = 0; c0 < nc; c0 += kNR) {
-    double* strip = buf + (c0 / kNR) * kNR * kc;
-    const int64_t cols = std::min<int64_t>(kNR, nc - c0);
-    if (b.trans) {
-      // Logical B(k,j) = p[j*ld + k]: read each column contiguously.
-      for (int64_t c = 0; c < cols; ++c) {
-        const double* src = b.p + (j0 + c0 + c) * b.ld + p0;
-        for (int64_t k = 0; k < kc; ++k) strip[k * kNR + c] = src[k];
-      }
-      for (int64_t c = cols; c < kNR; ++c)
-        for (int64_t k = 0; k < kc; ++k) strip[k * kNR + c] = 0.0;
-    } else {
-      for (int64_t k = 0; k < kc; ++k) {
-        const double* src = b.p + (p0 + k) * b.ld + j0 + c0;
-        double* dst = strip + k * kNR;
-        for (int64_t c = 0; c < cols; ++c) dst[c] = src[c];
-        for (int64_t c = cols; c < kNR; ++c) dst[c] = 0.0;
-      }
-    }
-  }
-}
+using MicroKernelFn = void (*)(int64_t kc, const double* ap, const double* bp,
+                               double* c, int64_t ldc, int64_t mr, int64_t nr);
 
-// C[0:mr, 0:nr] += sum_k ap[k][:] outer bp[k][:]. The kMR x kNR accumulator
-// block must stay in registers across the whole k loop; a plain scalar
-// accumulator array spills to the stack (GCC reloads it every iteration), so
-// the primary kernel spells the 6x8 tile out as twelve named 4-wide vector
-// accumulators — the classic FMA-era register budget: 12 accumulators + 2 B
-// loads + 1 broadcast fits the 16 architectural ymm registers.
+// Portable 6x8: GCC generic vectors lower to whatever the baseline arch
+// offers (two SSE2 ops per lane-pair without AVX), scalar elsewhere.
+constexpr int kMR6 = 6;
+constexpr int kNR8 = 8;
+
 #if defined(__GNUC__)
 #define HDMM_GEMM_VECTOR_KERNEL 1
 #endif
@@ -106,101 +59,421 @@ typedef double V4 __attribute__((vector_size(32), aligned(8)));
 inline V4 LoadV(const double* p) { return *reinterpret_cast<const V4*>(p); }
 inline void StoreV(double* p, V4 v) { *reinterpret_cast<V4*>(p) = v; }
 
-void MicroKernel(int64_t kc, const double* __restrict__ ap,
-                 const double* __restrict__ bp, double* __restrict__ c,
-                 int64_t ldc, int64_t mr, int64_t nr) {
-  V4 c00 = {0, 0, 0, 0}, c01 = c00, c10 = c00, c11 = c00, c20 = c00,
-     c21 = c00, c30 = c00, c31 = c00, c40 = c00, c41 = c00, c50 = c00,
-     c51 = c00;
-  for (int64_t k = 0; k < kc; ++k) {
-    const double* a = ap + k * kMR;
-    const double* b = bp + k * kNR;
-    const V4 b0 = LoadV(b);
-    const V4 b1 = LoadV(b + 4);
-    V4 ar = {a[0], a[0], a[0], a[0]};
-    c00 += ar * b0;
-    c01 += ar * b1;
-    ar = V4{a[1], a[1], a[1], a[1]};
-    c10 += ar * b0;
-    c11 += ar * b1;
-    ar = V4{a[2], a[2], a[2], a[2]};
-    c20 += ar * b0;
-    c21 += ar * b1;
-    ar = V4{a[3], a[3], a[3], a[3]};
-    c30 += ar * b0;
-    c31 += ar * b1;
-    ar = V4{a[4], a[4], a[4], a[4]};
-    c40 += ar * b0;
-    c41 += ar * b1;
-    ar = V4{a[5], a[5], a[5], a[5]};
-    c50 += ar * b0;
-    c51 += ar * b1;
+// The shared 6x8 tile body: 12 accumulators + 2 B loads + 1 broadcast fits
+// the 16 architectural ymm registers, the classic FMA-era budget. Expanded
+// via an always_inline helper so the portable and AVX2 tiers share the
+// source but get compiled for their own target.
+#define HDMM_DEFINE_KERNEL_6X8(NAME, TARGET_ATTR)                             \
+  TARGET_ATTR                                                                 \
+  void NAME(int64_t kc, const double* __restrict__ ap,                        \
+            const double* __restrict__ bp, double* __restrict__ c,            \
+            int64_t ldc, int64_t mr, int64_t nr) {                            \
+    V4 c00 = {0, 0, 0, 0}, c01 = c00, c10 = c00, c11 = c00, c20 = c00,        \
+       c21 = c00, c30 = c00, c31 = c00, c40 = c00, c41 = c00, c50 = c00,      \
+       c51 = c00;                                                             \
+    for (int64_t k = 0; k < kc; ++k) {                                        \
+      const double* a = ap + k * kMR6;                                        \
+      const double* b = bp + k * kNR8;                                        \
+      const V4 b0 = LoadV(b);                                                 \
+      const V4 b1 = LoadV(b + 4);                                             \
+      V4 ar = {a[0], a[0], a[0], a[0]};                                       \
+      c00 += ar * b0;                                                         \
+      c01 += ar * b1;                                                         \
+      ar = V4{a[1], a[1], a[1], a[1]};                                        \
+      c10 += ar * b0;                                                         \
+      c11 += ar * b1;                                                         \
+      ar = V4{a[2], a[2], a[2], a[2]};                                        \
+      c20 += ar * b0;                                                         \
+      c21 += ar * b1;                                                         \
+      ar = V4{a[3], a[3], a[3], a[3]};                                        \
+      c30 += ar * b0;                                                         \
+      c31 += ar * b1;                                                         \
+      ar = V4{a[4], a[4], a[4], a[4]};                                        \
+      c40 += ar * b0;                                                         \
+      c41 += ar * b1;                                                         \
+      ar = V4{a[5], a[5], a[5], a[5]};                                        \
+      c50 += ar * b0;                                                         \
+      c51 += ar * b1;                                                         \
+    }                                                                         \
+    if (mr == kMR6 && nr == kNR8) {                                           \
+      double* r;                                                              \
+      r = c + 0 * ldc;                                                        \
+      StoreV(r, LoadV(r) + c00);                                              \
+      StoreV(r + 4, LoadV(r + 4) + c01);                                      \
+      r = c + 1 * ldc;                                                        \
+      StoreV(r, LoadV(r) + c10);                                              \
+      StoreV(r + 4, LoadV(r + 4) + c11);                                      \
+      r = c + 2 * ldc;                                                        \
+      StoreV(r, LoadV(r) + c20);                                              \
+      StoreV(r + 4, LoadV(r + 4) + c21);                                      \
+      r = c + 3 * ldc;                                                        \
+      StoreV(r, LoadV(r) + c30);                                              \
+      StoreV(r + 4, LoadV(r + 4) + c31);                                      \
+      r = c + 4 * ldc;                                                        \
+      StoreV(r, LoadV(r) + c40);                                              \
+      StoreV(r + 4, LoadV(r + 4) + c41);                                      \
+      r = c + 5 * ldc;                                                        \
+      StoreV(r, LoadV(r) + c50);                                              \
+      StoreV(r + 4, LoadV(r + 4) + c51);                                      \
+    } else {                                                                  \
+      double tmp[kMR6 * kNR8];                                                \
+      StoreV(tmp + 0, c00);                                                   \
+      StoreV(tmp + 4, c01);                                                   \
+      StoreV(tmp + 8, c10);                                                   \
+      StoreV(tmp + 12, c11);                                                  \
+      StoreV(tmp + 16, c20);                                                  \
+      StoreV(tmp + 20, c21);                                                  \
+      StoreV(tmp + 24, c30);                                                  \
+      StoreV(tmp + 28, c31);                                                  \
+      StoreV(tmp + 32, c40);                                                  \
+      StoreV(tmp + 36, c41);                                                  \
+      StoreV(tmp + 40, c50);                                                  \
+      StoreV(tmp + 44, c51);                                                  \
+      for (int64_t r = 0; r < mr; ++r) {                                      \
+        double* crow = c + r * ldc;                                           \
+        for (int64_t j = 0; j < nr; ++j) crow[j] += tmp[r * kNR8 + j];        \
+      }                                                                       \
+    }                                                                         \
   }
-  if (mr == kMR && nr == kNR) {
-    double* r;
-    r = c + 0 * ldc;
-    StoreV(r, LoadV(r) + c00);
-    StoreV(r + 4, LoadV(r + 4) + c01);
-    r = c + 1 * ldc;
-    StoreV(r, LoadV(r) + c10);
-    StoreV(r + 4, LoadV(r + 4) + c11);
-    r = c + 2 * ldc;
-    StoreV(r, LoadV(r) + c20);
-    StoreV(r + 4, LoadV(r + 4) + c21);
-    r = c + 3 * ldc;
-    StoreV(r, LoadV(r) + c30);
-    StoreV(r + 4, LoadV(r + 4) + c31);
-    r = c + 4 * ldc;
-    StoreV(r, LoadV(r) + c40);
-    StoreV(r + 4, LoadV(r + 4) + c41);
-    r = c + 5 * ldc;
-    StoreV(r, LoadV(r) + c50);
-    StoreV(r + 4, LoadV(r + 4) + c51);
-  } else {
-    double tmp[kMR * kNR];
-    StoreV(tmp + 0, c00);
-    StoreV(tmp + 4, c01);
-    StoreV(tmp + 8, c10);
-    StoreV(tmp + 12, c11);
-    StoreV(tmp + 16, c20);
-    StoreV(tmp + 20, c21);
-    StoreV(tmp + 24, c30);
-    StoreV(tmp + 28, c31);
-    StoreV(tmp + 32, c40);
-    StoreV(tmp + 36, c41);
-    StoreV(tmp + 40, c50);
-    StoreV(tmp + 44, c51);
-    for (int64_t r = 0; r < mr; ++r) {
-      double* crow = c + r * ldc;
-      for (int64_t j = 0; j < nr; ++j) crow[j] += tmp[r * kNR + j];
-    }
-  }
-}
+
+HDMM_DEFINE_KERNEL_6X8(MicroKernelPortable, )
+
 #else   // !HDMM_GEMM_VECTOR_KERNEL: portable scalar fallback.
-void MicroKernel(int64_t kc, const double* __restrict__ ap,
-                 const double* __restrict__ bp, double* __restrict__ c,
-                 int64_t ldc, int64_t mr, int64_t nr) {
-  double acc[kMR * kNR] = {0.0};
+void MicroKernelPortable(int64_t kc, const double* __restrict__ ap,
+                         const double* __restrict__ bp, double* __restrict__ c,
+                         int64_t ldc, int64_t mr, int64_t nr) {
+  double acc[kMR6 * kNR8] = {0.0};
   for (int64_t k = 0; k < kc; ++k) {
-    const double* a = ap + k * kMR;
-    const double* b = bp + k * kNR;
-    for (int r = 0; r < kMR; ++r) {
+    const double* a = ap + k * kMR6;
+    const double* b = bp + k * kNR8;
+    for (int r = 0; r < kMR6; ++r) {
       const double ar = a[r];
-      for (int j = 0; j < kNR; ++j) acc[r * kNR + j] += ar * b[j];
+      for (int j = 0; j < kNR8; ++j) acc[r * kNR8 + j] += ar * b[j];
     }
   }
   for (int64_t r = 0; r < mr; ++r) {
     double* crow = c + r * ldc;
-    for (int64_t j = 0; j < nr; ++j) crow[j] += acc[r * kNR + j];
+    for (int64_t j = 0; j < nr; ++j) crow[j] += acc[r * kNR8 + j];
   }
 }
 #endif  // HDMM_GEMM_VECTOR_KERNEL
 
+#if defined(__GNUC__) && defined(__x86_64__)
+#define HDMM_GEMM_X86_DISPATCH 1
+
+// AVX2 6x8: the same tile, but guaranteed ymm + FMA contractions even when
+// the baseline arch is plain SSE2 (portable CI builds).
+HDMM_DEFINE_KERNEL_6X8(MicroKernelAvx2,
+                       __attribute__((target("avx2,fma"), noinline)))
+
+// AVX-512 8x16: 8 rows x two zmm columns = 16 zmm accumulators, plus 2 B
+// loads and 1 broadcast — 19 of the 32 architectural zmm registers, leaving
+// slack for the compiler's address arithmetic. Wider than the ymm tile both
+// ways: 128 doubles of C per k iteration instead of 48.
+constexpr int kMR8 = 8;
+constexpr int kNR16 = 16;
+
+typedef double V8 __attribute__((vector_size(64), aligned(8)));
+
+__attribute__((target("avx512f"), always_inline)) inline V8 LoadV8(
+    const double* p) {
+  return *reinterpret_cast<const V8*>(p);
+}
+__attribute__((target("avx512f"), always_inline)) inline void StoreV8(
+    double* p, V8 v) {
+  *reinterpret_cast<V8*>(p) = v;
+}
+
+__attribute__((target("avx512f"), noinline)) void MicroKernelAvx512(
+    int64_t kc, const double* __restrict__ ap, const double* __restrict__ bp,
+    double* __restrict__ c, int64_t ldc, int64_t mr, int64_t nr) {
+  V8 c00 = {0, 0, 0, 0, 0, 0, 0, 0}, c01 = c00, c10 = c00, c11 = c00,
+     c20 = c00, c21 = c00, c30 = c00, c31 = c00, c40 = c00, c41 = c00,
+     c50 = c00, c51 = c00, c60 = c00, c61 = c00, c70 = c00, c71 = c00;
+  for (int64_t k = 0; k < kc; ++k) {
+    const double* a = ap + k * kMR8;
+    const double* b = bp + k * kNR16;
+    const V8 b0 = LoadV8(b);
+    const V8 b1 = LoadV8(b + 8);
+    V8 ar = {a[0], a[0], a[0], a[0], a[0], a[0], a[0], a[0]};
+    c00 += ar * b0;
+    c01 += ar * b1;
+    ar = V8{a[1], a[1], a[1], a[1], a[1], a[1], a[1], a[1]};
+    c10 += ar * b0;
+    c11 += ar * b1;
+    ar = V8{a[2], a[2], a[2], a[2], a[2], a[2], a[2], a[2]};
+    c20 += ar * b0;
+    c21 += ar * b1;
+    ar = V8{a[3], a[3], a[3], a[3], a[3], a[3], a[3], a[3]};
+    c30 += ar * b0;
+    c31 += ar * b1;
+    ar = V8{a[4], a[4], a[4], a[4], a[4], a[4], a[4], a[4]};
+    c40 += ar * b0;
+    c41 += ar * b1;
+    ar = V8{a[5], a[5], a[5], a[5], a[5], a[5], a[5], a[5]};
+    c50 += ar * b0;
+    c51 += ar * b1;
+    ar = V8{a[6], a[6], a[6], a[6], a[6], a[6], a[6], a[6]};
+    c60 += ar * b0;
+    c61 += ar * b1;
+    ar = V8{a[7], a[7], a[7], a[7], a[7], a[7], a[7], a[7]};
+    c70 += ar * b0;
+    c71 += ar * b1;
+  }
+  if (mr == kMR8 && nr == kNR16) {
+    double* r;
+    r = c + 0 * ldc;
+    StoreV8(r, LoadV8(r) + c00);
+    StoreV8(r + 8, LoadV8(r + 8) + c01);
+    r = c + 1 * ldc;
+    StoreV8(r, LoadV8(r) + c10);
+    StoreV8(r + 8, LoadV8(r + 8) + c11);
+    r = c + 2 * ldc;
+    StoreV8(r, LoadV8(r) + c20);
+    StoreV8(r + 8, LoadV8(r + 8) + c21);
+    r = c + 3 * ldc;
+    StoreV8(r, LoadV8(r) + c30);
+    StoreV8(r + 8, LoadV8(r + 8) + c31);
+    r = c + 4 * ldc;
+    StoreV8(r, LoadV8(r) + c40);
+    StoreV8(r + 8, LoadV8(r + 8) + c41);
+    r = c + 5 * ldc;
+    StoreV8(r, LoadV8(r) + c50);
+    StoreV8(r + 8, LoadV8(r + 8) + c51);
+    r = c + 6 * ldc;
+    StoreV8(r, LoadV8(r) + c60);
+    StoreV8(r + 8, LoadV8(r + 8) + c61);
+    r = c + 7 * ldc;
+    StoreV8(r, LoadV8(r) + c70);
+    StoreV8(r + 8, LoadV8(r + 8) + c71);
+  } else {
+    double tmp[kMR8 * kNR16];
+    StoreV8(tmp + 0, c00);
+    StoreV8(tmp + 8, c01);
+    StoreV8(tmp + 16, c10);
+    StoreV8(tmp + 24, c11);
+    StoreV8(tmp + 32, c20);
+    StoreV8(tmp + 40, c21);
+    StoreV8(tmp + 48, c30);
+    StoreV8(tmp + 56, c31);
+    StoreV8(tmp + 64, c40);
+    StoreV8(tmp + 72, c41);
+    StoreV8(tmp + 80, c50);
+    StoreV8(tmp + 88, c51);
+    StoreV8(tmp + 96, c60);
+    StoreV8(tmp + 104, c61);
+    StoreV8(tmp + 112, c70);
+    StoreV8(tmp + 120, c71);
+    for (int64_t r = 0; r < mr; ++r) {
+      double* crow = c + r * ldc;
+      for (int64_t j = 0; j < nr; ++j) crow[j] += tmp[r * kNR16 + j];
+    }
+  }
+}
+#endif  // HDMM_GEMM_X86_DISPATCH
+
+// ------------------------------------------------------------------------
+// Kernel descriptor + runtime selection.
+
+struct Kernel {
+  GemmIsa isa;
+  const char* name;
+  MicroKernelFn micro;
+  int mr;
+  int nr;
+  int64_t mc;  // A panel rows: mc x kc stays within ~half of L2.
+  int64_t kc;  // Shared depth: one B strip (kc x nr) stays within ~half of L1.
+  int64_t nc;  // B panel columns: kc x nc stays within ~half of L3.
+};
+
+int64_t CacheSizeOr(int name, int64_t fallback) {
+#if defined(_SC_LEVEL1_DCACHE_SIZE)
+  long v = sysconf(name);
+  if (v > 0) return static_cast<int64_t>(v);
+#else
+  (void)name;
+#endif
+  return fallback;
+}
+
+int64_t RoundDownMultiple(int64_t v, int64_t m, int64_t lo, int64_t hi) {
+  v = std::min(hi, std::max(lo, v));
+  return std::max(lo, (v / m) * m);
+}
+
+// Derives MC/KC/NC for a mr x nr tile from the host cache sizes (classic
+// BLIS sizing at half-capacity so the other half absorbs C traffic and the
+// second hyperthread). Falls back to 32K/1M/8M when sysconf can't say.
+void TuneBlocking(Kernel* k) {
+#if defined(_SC_LEVEL1_DCACHE_SIZE)
+  const int64_t l1 = CacheSizeOr(_SC_LEVEL1_DCACHE_SIZE, 32 << 10);
+  const int64_t l2 = CacheSizeOr(_SC_LEVEL2_CACHE_SIZE, 1 << 20);
+  const int64_t l3 = CacheSizeOr(_SC_LEVEL3_CACHE_SIZE, 8 << 20);
+#else
+  const int64_t l1 = 32 << 10, l2 = 1 << 20, l3 = 8 << 20;
+#endif
+  const int64_t elems = 8;  // sizeof(double)
+  k->kc = RoundDownMultiple(l1 / 2 / (k->nr * elems), 8, 64, 512);
+  k->mc = RoundDownMultiple(l2 / 2 / (k->kc * elems), k->mr, 2 * k->mr, 768);
+  k->nc = RoundDownMultiple(l3 / 2 / (k->kc * elems), k->nr, 8 * k->nr, 4096);
+}
+
+Kernel MakeKernel(GemmIsa isa) {
+  Kernel k;
+  k.isa = GemmIsa::kPortable;
+  k.name = "portable";
+  k.micro = &MicroKernelPortable;
+  k.mr = kMR6;
+  k.nr = kNR8;
+#ifdef HDMM_GEMM_X86_DISPATCH
+  if (isa == GemmIsa::kAvx512) {
+    k.isa = GemmIsa::kAvx512;
+    k.name = "avx512";
+    k.micro = &MicroKernelAvx512;
+    k.mr = kMR8;
+    k.nr = kNR16;
+  } else if (isa == GemmIsa::kAvx2) {
+    k.isa = GemmIsa::kAvx2;
+    k.name = "avx2";
+    k.micro = &MicroKernelAvx2;
+    k.mr = kMR6;
+    k.nr = kNR8;
+  }
+#else
+  (void)isa;
+#endif
+  TuneBlocking(&k);
+  return k;
+}
+
+bool HostSupports(GemmIsa isa) {
+  if (isa == GemmIsa::kPortable) return true;
+#ifdef HDMM_GEMM_X86_DISPATCH
+  if (isa == GemmIsa::kAvx2)
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  if (isa == GemmIsa::kAvx512) return __builtin_cpu_supports("avx512f");
+#endif
+  return false;
+}
+
+GemmIsa ProbeIsa() {
+  // HDMM_ISA caps the tier (requests the host can't honor fall through to
+  // the best supported one) — the knob behind per-ISA bench arms.
+  GemmIsa cap = GemmIsa::kAvx512;
+  if (const char* env = std::getenv("HDMM_ISA")) {
+    const std::string s(env);
+    if (s == "portable") {
+      cap = GemmIsa::kPortable;
+    } else if (s == "avx2") {
+      cap = GemmIsa::kAvx2;
+    }
+  }
+  if (cap == GemmIsa::kAvx512 && HostSupports(GemmIsa::kAvx512))
+    return GemmIsa::kAvx512;
+  if (cap >= GemmIsa::kAvx2 && HostSupports(GemmIsa::kAvx2))
+    return GemmIsa::kAvx2;
+  return GemmIsa::kPortable;
+}
+
+// The active kernel, selected once on first use. SetGemmIsa swaps the slot
+// (bench/test only, unsynchronized against in-flight kernels by contract).
+Kernel& KernelSlot() {
+  static Kernel kernel = MakeKernel(ProbeIsa());
+  return kernel;
+}
+
+// ------------------------------------------------------------------------
+// Packing-buffer storage, 64-byte aligned so (a) zmm loads of packed strips
+// never split cache lines and (b) two workers' A panels can't false-share a
+// line across their buffer boundaries.
+struct AlignedBuffer {
+  double* data = nullptr;
+  size_t capacity = 0;
+
+  ~AlignedBuffer() { std::free(data); }
+
+  void Reserve(size_t n) {
+    if (n <= capacity) return;
+    std::free(data);
+    data = static_cast<double*>(std::aligned_alloc(64, ((n * 8 + 63) / 64) * 64));
+    capacity = data != nullptr ? n : 0;
+  }
+};
+
+// Packs the mc x kc panel of A starting at (i0, p0) into mr-row strips laid
+// out k-major: buf[strip*mr*kc + k*mr + r]. Rows past mc are zero-padded so
+// the micro-kernel never needs a row bound. The GEMM alpha scale is folded in
+// here (once per packed element, amortized over every micro-kernel reuse).
+void PackA(const Operand& a, int mr, int64_t i0, int64_t p0, int64_t mc,
+           int64_t kc, double alpha, double* buf) {
+  for (int64_t r0 = 0; r0 < mc; r0 += mr) {
+    double* strip = buf + (r0 / mr) * mr * kc;
+    const int64_t rows = std::min<int64_t>(mr, mc - r0);
+    if (a.trans) {
+      // Logical A(i,k) = p[k*ld + i]: both the read and the write of each k
+      // slice are contiguous.
+      for (int64_t k = 0; k < kc; ++k) {
+        const double* src = a.p + (p0 + k) * a.ld + i0 + r0;
+        double* dst = strip + k * mr;
+        for (int64_t r = 0; r < rows; ++r) dst[r] = alpha * src[r];
+        for (int64_t r = rows; r < mr; ++r) dst[r] = 0.0;
+      }
+    } else {
+      for (int64_t r = 0; r < rows; ++r) {
+        const double* src = a.p + (i0 + r0 + r) * a.ld + p0;
+        for (int64_t k = 0; k < kc; ++k) strip[k * mr + r] = alpha * src[k];
+      }
+      for (int64_t r = rows; r < mr; ++r)
+        for (int64_t k = 0; k < kc; ++k) strip[k * mr + r] = 0.0;
+    }
+  }
+}
+
+// Packs the kc x nc panel of B starting at (p0, j0) into nr-column strips
+// laid out k-major: buf[strip*nr*kc + k*nr + c], zero-padded past nc. Only
+// strips [strip_begin, strip_end) are written, so the strips of one panel
+// can be packed by different pool workers concurrently (each strip's bytes
+// are disjoint, and strip boundaries are 64-byte aligned).
+void PackBStrips(const Operand& b, int nr, int64_t p0, int64_t j0, int64_t kc,
+                 int64_t nc, int64_t strip_begin, int64_t strip_end,
+                 double* buf) {
+  for (int64_t s = strip_begin; s < strip_end; ++s) {
+    const int64_t c0 = s * nr;
+    double* strip = buf + s * nr * kc;
+    const int64_t cols = std::min<int64_t>(nr, nc - c0);
+    if (b.trans) {
+      // Logical B(k,j) = p[j*ld + k]: read each column contiguously.
+      for (int64_t c = 0; c < cols; ++c) {
+        const double* src = b.p + (j0 + c0 + c) * b.ld + p0;
+        for (int64_t k = 0; k < kc; ++k) strip[k * nr + c] = src[k];
+      }
+      for (int64_t c = cols; c < nr; ++c)
+        for (int64_t k = 0; k < kc; ++k) strip[k * nr + c] = 0.0;
+    } else {
+      for (int64_t k = 0; k < kc; ++k) {
+        const double* src = b.p + (p0 + k) * b.ld + j0 + c0;
+        double* dst = strip + k * nr;
+        for (int64_t c = 0; c < cols; ++c) dst[c] = src[c];
+        for (int64_t c = cols; c < nr; ++c) dst[c] = 0.0;
+      }
+    }
+  }
+}
+
 // C (m x n row-major view at leading dimension ldc) += alpha * op(A) * op(B),
 // with op given by the operand views. The driver always accumulates; callers
 // wanting overwrite semantics zero C first (the *Into wrappers allocate
-// fresh). When `lower_only` is set (SYRK callers), row panels entirely above
+// fresh). When `lower_only` is set (SYRK callers), micro-tiles entirely above
 // the view's diagonal are skipped; Gram callers mirror afterward.
+//
+// Parallel decomposition (the order matters for determinism): the jc/pc cache
+// blocking loops stay serial on the caller, B panels are packed by the pool
+// strip-by-strip, and the micro-kernel work fans out over a 2-D grid of
+// (row panel) x (column chunk) tiles of C. Tiles are disjoint in C and every
+// C element accumulates its kc-deep update in a single micro-kernel call, so
+// the floating-point result is bit-identical for every pool width including
+// the serial path — parallelism changes who computes a tile, never the order
+// of the sums inside it.
 void GemmDriver(int64_t m, int64_t n, int64_t k, double alpha,
                 const Operand& a, const Operand& b, double* c, int64_t ldc,
                 GemmParallelism par, bool lower_only) {
@@ -244,7 +517,7 @@ void GemmDriver(int64_t m, int64_t n, int64_t k, double alpha,
     const int64_t grain =
         std::max<int64_t>(1, kNaiveFlopCutoff / std::max<int64_t>(1, n * k));
     if (par == GemmParallelism::kPooled) {
-      ThreadPool::Global().ParallelFor(0, m, grain, rows);
+      ComputePool().ParallelFor(0, m, grain, rows);
     } else {
       rows(0, m);
     }
@@ -268,12 +541,23 @@ void GemmDriver(int64_t m, int64_t n, int64_t k, double alpha,
     const int64_t grain =
         std::max<int64_t>(1, kNaiveFlopCutoff / std::max<int64_t>(1, n * k));
     if (par == GemmParallelism::kPooled) {
-      ThreadPool::Global().ParallelFor(0, m, grain, rows);
+      ComputePool().ParallelFor(0, m, grain, rows);
     } else {
       rows(0, m);
     }
     return;
   }
+
+  const Kernel& ker = KernelSlot();
+  const int mr = ker.mr;
+  const int nr = ker.nr;
+  const int64_t kMCb = ker.mc;
+  const int64_t kKCb = ker.kc;
+  const int64_t kNCb = ker.nc;
+
+  ThreadPool& pool = ComputePool();
+  const bool pooled = par == GemmParallelism::kPooled &&
+                      !ThreadPool::InWorker() && pool.num_threads() > 1;
 
   // B panel scratch. When the pooled path may spawn tasks, the calling
   // thread helps drain *unrelated* queued tasks while it waits — and such a
@@ -282,48 +566,93 @@ void GemmDriver(int64_t m, int64_t n, int64_t k, double alpha,
   // with no stealing window (serial kernels, or any call made from inside a
   // pool task, where ParallelFor degrades to an inline call) reuse the
   // thread-local buffer; they are exactly the optimizer inner loops that
-  // need allocation-free evaluation.
+  // need allocation-free evaluation. The pooled path takes one call-local
+  // aligned allocation, reused across every (jc, pc) pass of the call.
   const bool may_steal =
       par == GemmParallelism::kPooled && !ThreadPool::InWorker();
-  thread_local std::vector<double> tls_b_buf;
-  std::vector<double> local_b_buf;
-  std::vector<double>& b_buf = may_steal ? local_b_buf : tls_b_buf;
-  b_buf.resize(
-      static_cast<size_t>(((std::min(n, kNC) + kNR - 1) / kNR) * kNR * std::min(k, kKC)));
+  thread_local AlignedBuffer tls_b_buf;
+  AlignedBuffer local_b_buf;
+  AlignedBuffer& b_buf = may_steal ? local_b_buf : tls_b_buf;
+  b_buf.Reserve(
+      static_cast<size_t>(((std::min(n, kNCb) + nr - 1) / nr) * nr *
+                          std::min(k, kKCb)));
 
-  for (int64_t jc = 0; jc < n; jc += kNC) {
-    const int64_t nc = std::min(kNC, n - jc);
-    for (int64_t pc = 0; pc < k; pc += kKC) {
-      const int64_t kc = std::min(kKC, k - pc);
-      PackB(b, pc, jc, kc, nc, b_buf.data());
+  for (int64_t jc = 0; jc < n; jc += kNCb) {
+    const int64_t nc = std::min(kNCb, n - jc);
+    for (int64_t pc = 0; pc < k; pc += kKCb) {
+      const int64_t kc = std::min(kKCb, k - pc);
 
-      const int64_t num_row_blocks = (m + kMC - 1) / kMC;
-      auto row_panels = [&](int64_t blk_begin, int64_t blk_end) {
-        // Per-thread A panel scratch, reused across calls.
-        thread_local std::vector<double> a_buf;
-        a_buf.resize(static_cast<size_t>(((kMC + kMR - 1) / kMR) * kMR * kKC));
-        for (int64_t blk = blk_begin; blk < blk_end; ++blk) {
-          const int64_t ic = blk * kMC;
-          const int64_t mc = std::min(kMC, m - ic);
-          // SYRK: skip panels whose rows all lie above the diagonal.
-          if (lower_only && ic + mc - 1 < jc) continue;
-          PackA(a, ic, pc, mc, kc, alpha, a_buf.data());
-          for (int64_t js = 0; js < nc; js += kNR) {
-            const double* bs = b_buf.data() + (js / kNR) * kNR * kc;
-            const int64_t nr = std::min<int64_t>(kNR, nc - js);
-            for (int64_t is = 0; is < mc; is += kMR) {
-              if (lower_only && ic + is + kMR - 1 < jc + js) continue;
-              MicroKernel(kc, a_buf.data() + (is / kMR) * kMR * kc, bs,
-                          c + (ic + is) * ldc + jc + js, ldc,
-                          std::min<int64_t>(kMR, mc - is), nr);
+      // Pack this pass's B panel — strip-parallel when pooled, so the
+      // packing bandwidth scales with the pool instead of serializing on
+      // the caller (the old decomposition's first Amdahl bottleneck).
+      const int64_t num_strips = (nc + nr - 1) / nr;
+      if (pooled) {
+        pool.ParallelFor(0, num_strips, /*grain=*/8,
+                         [&](int64_t s0, int64_t s1) {
+                           PackBStrips(b, nr, pc, jc, kc, nc, s0, s1,
+                                       b_buf.data);
+                         });
+      } else {
+        PackBStrips(b, nr, pc, jc, kc, nc, 0, num_strips, b_buf.data);
+      }
+
+      // 2-D C tile grid: row panels (mc rows each) crossed with column
+      // chunks of the packed panel. Row panels alone cap the task count at
+      // m/mc (9 at 1024^2 — the old decomposition's second bottleneck: a
+      // 16-wide pool had at most 9 tiles to chew on, and lower_only SYRK
+      // skews them further); splitting columns restores a full grid. Tasks
+      // are flattened (row-major over [blk][chunk]) so a contiguous stolen
+      // range shares one packed A panel.
+      const int64_t num_row_blocks = (m + kMCb - 1) / kMCb;
+      int64_t col_chunks = 1;
+      if (pooled) {
+        const int64_t target = int64_t{4} * pool.num_threads();
+        const int64_t max_col_chunks =
+            std::max<int64_t>(1, num_strips / 4);  // >= 4 strips per chunk.
+        col_chunks = std::min(
+            max_col_chunks,
+            (target + num_row_blocks - 1) / std::max<int64_t>(1, num_row_blocks));
+      }
+      const int64_t strips_per_chunk = (num_strips + col_chunks - 1) / col_chunks;
+
+      auto tiles = [&](int64_t t0, int64_t t1) {
+        // Per-thread A panel scratch, reused across calls. Safe even with
+        // work stealing: the buffer is only live inside one task body, and
+        // tasks never yield mid-execution.
+        thread_local AlignedBuffer a_buf;
+        a_buf.Reserve(static_cast<size_t>(((kMCb + mr - 1) / mr) * mr * kKCb));
+        int64_t packed_blk = -1;
+        for (int64_t t = t0; t < t1; ++t) {
+          const int64_t blk = t / col_chunks;
+          const int64_t chunk = t % col_chunks;
+          const int64_t ic = blk * kMCb;
+          const int64_t mc = std::min(kMCb, m - ic);
+          const int64_t js_begin = chunk * strips_per_chunk * nr;
+          const int64_t js_end =
+              std::min(nc, (chunk + 1) * strips_per_chunk * nr);
+          if (js_begin >= js_end) continue;
+          // SYRK: skip tiles whose rows all lie above the diagonal.
+          if (lower_only && ic + mc - 1 < jc + js_begin) continue;
+          if (blk != packed_blk) {
+            PackA(a, mr, ic, pc, mc, kc, alpha, a_buf.data);
+            packed_blk = blk;
+          }
+          for (int64_t js = js_begin; js < js_end; js += nr) {
+            const double* bs = b_buf.data + (js / nr) * nr * kc;
+            const int64_t nrr = std::min<int64_t>(nr, nc - js);
+            for (int64_t is = 0; is < mc; is += mr) {
+              if (lower_only && ic + is + mr - 1 < jc + js) continue;
+              ker.micro(kc, a_buf.data + (is / mr) * mr * kc, bs,
+                        c + (ic + is) * ldc + jc + js, ldc,
+                        std::min<int64_t>(mr, mc - is), nrr);
             }
           }
         }
       };
-      if (par == GemmParallelism::kPooled) {
-        ThreadPool::Global().ParallelFor(0, num_row_blocks, 1, row_panels);
+      if (pooled) {
+        pool.ParallelFor(0, num_row_blocks * col_chunks, 1, tiles);
       } else {
-        row_panels(0, num_row_blocks);
+        tiles(0, num_row_blocks * col_chunks);
       }
     }
   }
@@ -340,6 +669,21 @@ void MirrorLowerToUpper(Matrix* c) {
 }
 
 }  // namespace
+
+GemmIsa ActiveGemmIsa() { return KernelSlot().isa; }
+
+const char* GemmIsaName() { return KernelSlot().name; }
+
+GemmBlocking ActiveGemmBlocking() {
+  const Kernel& k = KernelSlot();
+  return GemmBlocking{k.mr, k.nr, k.mc, k.kc, k.nc};
+}
+
+bool SetGemmIsa(GemmIsa isa) {
+  if (!HostSupports(isa)) return false;
+  KernelSlot() = MakeKernel(isa);
+  return true;
+}
 
 void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c,
                 GemmParallelism par) {

@@ -3,6 +3,12 @@
 // micro-panels (BLIS-style MC x KC x NC blocking) so the micro-kernel streams
 // unit-stride data the compiler can keep in SIMD registers; the N/T variants
 // differ only in how the packing routines gather, not in the kernel itself.
+//
+// The micro-kernel is selected once at runtime from the host CPU (cpuid):
+// a 8x16 zmm FMA kernel on AVX-512, the 6x8 ymm FMA kernel on AVX2, and a
+// compiler-vectorized portable kernel otherwise, each with MC/KC/NC blocking
+// re-derived from the detected cache hierarchy. HDMM_ISA=portable|avx2|avx512
+// forces a lower tier (requests above the host's capability fall back).
 #ifndef HDMM_LINALG_GEMM_H_
 #define HDMM_LINALG_GEMM_H_
 
@@ -13,6 +19,35 @@ namespace hdmm {
 /// Whether a kernel fans out over the shared ThreadPool or stays on the
 /// calling thread (used by benchmarks to isolate blocking from threading).
 enum class GemmParallelism { kSerial, kPooled };
+
+/// Instruction-set tier of the GEMM micro-kernel.
+enum class GemmIsa { kPortable, kAvx2, kAvx512 };
+
+/// Register-tile and cache-blocking geometry of the active kernel: the
+/// micro-tile is mr x nr, an A panel is mc x kc (L2-resident), a B panel is
+/// kc x nc (L3), one B strip (kc x nr) stays L1-resident.
+struct GemmBlocking {
+  int mr = 0;
+  int nr = 0;
+  int64_t mc = 0;
+  int64_t kc = 0;
+  int64_t nc = 0;
+};
+
+/// The ISA tier the dispatcher selected (after the HDMM_ISA override).
+GemmIsa ActiveGemmIsa();
+
+/// "avx512" | "avx2" | "portable" — for bench headers and logs.
+const char* GemmIsaName();
+
+/// The active kernel's blocking constants (bench headers record these so
+/// numbers are comparable across machines).
+GemmBlocking ActiveGemmBlocking();
+
+/// Forces the kernel tier; returns false (and leaves the selection alone)
+/// when the host cannot run `isa`. Bench/test knob — not synchronized
+/// against concurrent GEMM calls; quiesce kernels before switching.
+bool SetGemmIsa(GemmIsa isa);
 
 /// c = a * b. `c` is resized and overwritten.
 void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c,

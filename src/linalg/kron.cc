@@ -138,7 +138,7 @@ Vector KronMatVecParallel(const std::vector<Matrix>& factors, const Vector& x,
     if (num_threads == 1 || flops < (int64_t{1} << 16)) {
       KmatvecPassSlice(a, y, rest, 0, rest, &next);
     } else {
-      ThreadPool::Global().ParallelFor(
+      ComputePool().ParallelFor(
           0, rest, /*grain=*/1024, [&](int64_t begin, int64_t end) {
             KmatvecPassSlice(a, y, rest, begin, end, &next);
           });

@@ -25,7 +25,7 @@ double EstimateTraceInvProduct(const LinearOperator& x,
     probes.push_back(rng->RademacherVector(n));
 
   Vector per_sample(static_cast<size_t>(num_samples), 0.0);
-  ThreadPool::Global().ParallelFor(
+  ComputePool().ParallelFor(
       0, num_samples, /*grain=*/1, [&](int64_t begin, int64_t end) {
         Vector gz;
         for (int64_t s = begin; s < end; ++s) {

@@ -417,6 +417,52 @@ TEST(AccountantDeath, RejectsInvalidTotal) {
                "positive and finite");
 }
 
+TEST(Accountant, PerDatasetCeilingOverrides) {
+  BudgetAccountantOptions options;
+  options.regime = BudgetRegime::kPureDp;
+  options.total_epsilon = 1.0;
+  options.dataset_ceilings["sensitive"] = 0.4;
+  BudgetAccountant accountant(options);
+  EXPECT_NEAR(accountant.TotalBudget("sensitive"), 0.4, 1e-15);
+  EXPECT_NEAR(accountant.TotalBudget("other"), 1.0, 1e-15);
+  EXPECT_NEAR(accountant.Remaining("sensitive"), 0.4, 1e-15);
+  // A charge the default ceiling would admit is refused on the overridden
+  // dataset, admitted elsewhere; the refusal records nothing.
+  EXPECT_FALSE(accountant.TryCharge("sensitive", 0.6));
+  EXPECT_EQ(accountant.Spent("sensitive"), 0.0);
+  EXPECT_TRUE(accountant.TryCharge("other", 0.6));
+  // Exactly exhausting the override is allowed; one more dust charge isn't.
+  EXPECT_TRUE(accountant.TryCharge("sensitive", 0.4));
+  EXPECT_FALSE(accountant.TryCharge("sensitive", 1e-9));
+  EXPECT_EQ(accountant.Remaining("sensitive"), 0.0);
+  EXPECT_NEAR(accountant.Remaining("other"), 0.4, 1e-15);
+}
+
+TEST(Accountant, PerDatasetCeilingSurvivesLedgerReplay) {
+  const std::string path = FreshDir("ledger_override") + "/budget.ledger";
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path());
+  BudgetAccountantOptions options;
+  options.total_epsilon = 1.0;
+  options.dataset_ceilings["tight"] = 0.3;
+  options.ledger_path = path;
+  {
+    BudgetAccountant accountant(options);
+    EXPECT_TRUE(accountant.TryCharge("tight", 0.3));
+  }
+  BudgetAccountant restarted(options);
+  EXPECT_NEAR(restarted.Spent("tight"), 0.3, 1e-15);
+  EXPECT_FALSE(restarted.TryCharge("tight", 0.1));
+  EXPECT_TRUE(restarted.TryCharge("loose", 0.9));
+}
+
+TEST(AccountantDeath, RejectsInvalidDatasetCeiling) {
+  BudgetAccountantOptions options;
+  options.total_epsilon = 1.0;
+  options.dataset_ceilings["d"] = 0.0;
+  EXPECT_DEATH(BudgetAccountant{options}, "positive and finite");
+}
+
 // --- zCDP accounting ---------------------------------------------------------
 
 BudgetAccountantOptions ZCdpOptions(double total_rho,
@@ -861,6 +907,45 @@ TEST(Engine, MeasureChargesAndRefuses) {
   auto second = engine.Measure(w, "census", x, 0.3, &rng, &error);
   ASSERT_NE(second, nullptr) << error;
   EXPECT_EQ(engine.accountant().Remaining("census"), 0.0);
+}
+
+TEST(Engine, PerDatasetBudgetOverridesGateMeasure) {
+  UnionWorkload w = SmallWorkload();
+  EngineOptions options = FastEngineOptions();  // total_epsilon = 1.0.
+  options.dataset_budgets["sensitive.csv"] = 0.4;
+  Engine engine(options);
+  Vector x(static_cast<size_t>(w.DomainSize()), 2.0);
+  Rng rng(43);
+
+  // 0.6 fits the fleet-wide ceiling but not the override.
+  std::string error;
+  auto refused = engine.Measure(w, "sensitive.csv", x, 0.6, &rng, &error);
+  EXPECT_EQ(refused, nullptr);
+  EXPECT_NE(error.find("budget exceeded"), std::string::npos);
+  EXPECT_EQ(engine.accountant().Spent("sensitive.csv"), 0.0);
+
+  auto allowed = engine.Measure(w, "other.csv", x, 0.6, &rng, &error);
+  ASSERT_NE(allowed, nullptr) << error;
+
+  auto under = engine.Measure(w, "sensitive.csv", x, 0.4, &rng, &error);
+  ASSERT_NE(under, nullptr) << error;
+  EXPECT_EQ(engine.accountant().Remaining("sensitive.csv"), 0.0);
+  EXPECT_NEAR(engine.accountant().Remaining("other.csv"), 0.4, 1e-15);
+}
+
+TEST(Engine, PerDatasetBudgetOverridesConvertUnderZCdp) {
+  // Engine overrides are epsilon ceilings; under zcdp they must arrive at
+  // the accountant as the Bun-Steinke rho, same as total_epsilon does.
+  EngineOptions options = FastEngineOptions();
+  options.regime = BudgetRegime::kZCdp;
+  options.total_epsilon = 2.0;
+  options.delta = 1e-9;
+  options.dataset_budgets["tight"] = 0.5;
+  Engine engine(options);
+  EXPECT_NEAR(engine.accountant().TotalBudget("tight"),
+              RhoFromEpsilonDelta(0.5, 1e-9), 1e-15);
+  EXPECT_NEAR(engine.accountant().TotalBudget("other"),
+              RhoFromEpsilonDelta(2.0, 1e-9), 1e-15);
 }
 
 TEST(Engine, SessionAnswersApproximateTruthAtHighEpsilon) {

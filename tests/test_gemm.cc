@@ -164,5 +164,63 @@ TEST(Gemm, IdentityAndDiagonalSanity) {
   EXPECT_LT(c.MaxAbsDiff(a), 1e-15);
 }
 
+// Restores the dispatcher's original ISA selection when a test body that
+// forces tiers exits (including via an assertion failure).
+class IsaGuard {
+ public:
+  IsaGuard() : saved_(ActiveGemmIsa()) {}
+  ~IsaGuard() { SetGemmIsa(saved_); }
+
+ private:
+  GemmIsa saved_;
+};
+
+TEST(Gemm, BlockingIsCoherent) {
+  const GemmBlocking bl = ActiveGemmBlocking();
+  EXPECT_GT(bl.mr, 0);
+  EXPECT_GT(bl.nr, 0);
+  // Macro blocks must hold whole micro-tiles, and at least two of them so
+  // the packed loops always run.
+  EXPECT_EQ(bl.mc % bl.mr, 0);
+  EXPECT_EQ(bl.nc % bl.nr, 0);
+  EXPECT_GE(bl.mc, 2 * bl.mr);
+  EXPECT_GE(bl.nc, 2 * bl.nr);
+  EXPECT_GE(bl.kc, 64);
+  EXPECT_NE(GemmIsaName(), nullptr);
+}
+
+TEST(Gemm, EveryIsaTierMatchesNaive) {
+  IsaGuard guard;
+  Rng rng(49);
+  // Shapes straddling both the 6x8 and 8x16 micro-tiles and a kc boundary.
+  const Shape shapes[] = {{1, 1, 1},    {6, 8, 8},      {8, 16, 16},
+                          {9, 17, 23},  {130, 300, 140}, {127, 513, 129}};
+  for (GemmIsa isa : {GemmIsa::kPortable, GemmIsa::kAvx2, GemmIsa::kAvx512}) {
+    if (!SetGemmIsa(isa)) continue;  // Host CPU can't run this tier.
+    EXPECT_EQ(ActiveGemmIsa(), isa);
+    for (const Shape& s : shapes) {
+      Matrix a = RandomSigned(s.m, s.k, &rng);
+      Matrix b = RandomSigned(s.k, s.n, &rng);
+      Matrix c;
+      MatMulInto(a, b, &c, GemmParallelism::kSerial);
+      EXPECT_LT(c.MaxAbsDiff(NaiveMatMul(a, b)), Tol(s.k))
+          << GemmIsaName() << " " << s.m << "x" << s.k << "x" << s.n;
+    }
+  }
+}
+
+TEST(Gemm, ForcingUnsupportedTierIsRejected) {
+  IsaGuard guard;
+  const GemmIsa before = ActiveGemmIsa();
+  // The portable tier always exists; forcing it must succeed, and forcing
+  // anything the probe rejected must leave the selection untouched.
+  ASSERT_TRUE(SetGemmIsa(GemmIsa::kPortable));
+  EXPECT_EQ(ActiveGemmIsa(), GemmIsa::kPortable);
+  if (!SetGemmIsa(GemmIsa::kAvx512)) {
+    EXPECT_EQ(ActiveGemmIsa(), GemmIsa::kPortable);
+  }
+  SetGemmIsa(before);
+}
+
 }  // namespace
 }  // namespace hdmm

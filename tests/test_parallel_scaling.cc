@@ -1,0 +1,123 @@
+// Thread-invariance tests for the pooled kernels: the GEMM driver and the
+// blocked Cholesky partition work only over disjoint output tiles, with
+// every element's reduction running in a fixed order inside one micro-kernel
+// call, so results must be bit-identical at ANY pool width — including the
+// degenerate 1-thread pool that runs everything inline. These tests install
+// private pools via SetComputePool and compare against the serial kernels
+// with memcmp, not a tolerance. The suite name matches the sanitize-thread
+// CI job's gtest filter (Parallel*), so the same bodies double as the TSan
+// workout for the packing-buffer and task-decomposition paths.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "linalg/cholesky.h"
+#include "linalg/gemm.h"
+
+namespace hdmm {
+namespace {
+
+bool SameBits(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(),
+                     sizeof(double) *
+                         static_cast<size_t>(a.rows() * a.cols())) == 0;
+}
+
+// Runs `fn` with a private pool of `total_threads` (caller included)
+// installed as the compute pool, restoring the global pool afterwards.
+template <typename Fn>
+void WithComputeThreads(int total_threads, Fn&& fn) {
+  ThreadPool pool(total_threads - 1);
+  SetComputePool(&pool);
+  fn();
+  SetComputePool(nullptr);
+}
+
+TEST(ParallelKernels, PooledGemmBitIdenticalToSerial) {
+  Rng rng(71);
+  // Shapes chosen to span multiple row panels and column chunks of the
+  // active blocking, plus a thin one that takes the elementwise fast path.
+  struct Shape {
+    int64_t m, k, n;
+  };
+  const Shape shapes[] = {{777, 333, 555}, {1024, 256, 1024}, {2000, 8, 3}};
+  for (const Shape& s : shapes) {
+    Matrix a = Matrix::RandomUniform(s.m, s.k, &rng, -1.0, 1.0);
+    Matrix b = Matrix::RandomUniform(s.k, s.n, &rng, -1.0, 1.0);
+    Matrix serial;
+    MatMulInto(a, b, &serial, GemmParallelism::kSerial);
+    for (int threads : {1, 4, 8}) {
+      Matrix pooled;
+      WithComputeThreads(threads, [&] {
+        MatMulInto(a, b, &pooled, GemmParallelism::kPooled);
+      });
+      EXPECT_TRUE(SameBits(serial, pooled))
+          << s.m << "x" << s.k << "x" << s.n << " @ " << threads
+          << " threads";
+    }
+  }
+}
+
+TEST(ParallelKernels, PooledGramBitIdenticalToSerial) {
+  Rng rng(72);
+  Matrix a = Matrix::RandomUniform(600, 450, &rng, -1.0, 1.0);
+  Matrix serial;
+  GramInto(a, &serial, GemmParallelism::kSerial);
+  for (int threads : {1, 8}) {
+    Matrix pooled;
+    WithComputeThreads(
+        threads, [&] { GramInto(a, &pooled, GemmParallelism::kPooled); });
+    EXPECT_TRUE(SameBits(serial, pooled)) << threads << " threads";
+  }
+}
+
+TEST(ParallelKernels, CholeskyFactorBitIdenticalAcrossPoolWidths) {
+  Rng rng(73);
+  const int64_t n = 500;  // > kPanel so TRSM + trailing SYRK both fan out.
+  Matrix g = Matrix::RandomUniform(n, n, &rng, -1.0, 1.0);
+  Matrix spd;
+  GramInto(g, &spd, GemmParallelism::kSerial);
+  for (int64_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  Matrix ref;
+  ASSERT_TRUE(CholeskyFactor(spd, &ref));
+  for (int threads : {1, 4, 16}) {
+    Matrix l;
+    bool ok = false;
+    WithComputeThreads(threads, [&] { ok = CholeskyFactor(spd, &l); });
+    ASSERT_TRUE(ok) << threads << " threads";
+    EXPECT_TRUE(SameBits(ref, l)) << threads << " threads";
+  }
+}
+
+TEST(ParallelKernels, EveryIsaTierIsPoolWidthInvariant) {
+  const GemmIsa saved = ActiveGemmIsa();
+  Rng rng(74);
+  Matrix a = Matrix::RandomUniform(513, 257, &rng, -1.0, 1.0);
+  Matrix b = Matrix::RandomUniform(257, 385, &rng, -1.0, 1.0);
+  for (GemmIsa isa : {GemmIsa::kPortable, GemmIsa::kAvx2, GemmIsa::kAvx512}) {
+    if (!SetGemmIsa(isa)) continue;
+    Matrix serial;
+    MatMulInto(a, b, &serial, GemmParallelism::kSerial);
+    Matrix pooled;
+    WithComputeThreads(
+        8, [&] { MatMulInto(a, b, &pooled, GemmParallelism::kPooled); });
+    EXPECT_TRUE(SameBits(serial, pooled)) << GemmIsaName();
+  }
+  SetGemmIsa(saved);
+}
+
+TEST(ParallelKernels, ComputePoolOverrideInstallsAndReverts) {
+  ThreadPool pool(3);
+  EXPECT_EQ(&ComputePool(), &ThreadPool::Global());
+  SetComputePool(&pool);
+  EXPECT_EQ(&ComputePool(), &pool);
+  EXPECT_EQ(ComputePool().num_threads(), 4);
+  SetComputePool(nullptr);
+  EXPECT_EQ(&ComputePool(), &ThreadPool::Global());
+}
+
+}  // namespace
+}  // namespace hdmm

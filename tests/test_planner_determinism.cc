@@ -1,9 +1,11 @@
 // Thread-count invariance of the planner: for a fixed seed, Opt0 / OptKron /
 // OptMarginals / OptimizeStrategy must select bit-identical strategies and
-// errors whether restarts fan out over 1 thread or 4. The tests route the
-// restart fan-out through private pools of different widths
+// errors whether restarts fan out over 1 thread, 4, or 16. The tests route
+// the restart fan-out through private pools of different widths
 // (SetRestartPoolForTest) and compare raw result bits, so any scheduling- or
-// reduction-order dependence fails loudly.
+// reduction-order dependence fails loudly. 16 exceeds both the restart
+// counts used here (tasks outnumbered by threads — idle workers must not
+// perturb anything) and any CI runner's core count (oversubscription).
 #include <cstring>
 
 #include <gtest/gtest.h>
@@ -92,9 +94,11 @@ TEST(PlannerDeterminism, Opt0ThreadCountInvariant) {
     return Opt0(g, opts, &rng);
   };
   Opt0Result narrow = WithRestartThreads(1, run);
-  Opt0Result wide = WithRestartThreads(4, run);
-  EXPECT_TRUE(BitIdentical(narrow.error, wide.error));
-  EXPECT_TRUE(BitIdentical(narrow.theta, wide.theta));
+  for (int threads : {4, 16}) {
+    Opt0Result wide = WithRestartThreads(threads, run);
+    EXPECT_TRUE(BitIdentical(narrow.error, wide.error)) << threads;
+    EXPECT_TRUE(BitIdentical(narrow.theta, wide.theta)) << threads;
+  }
 }
 
 TEST(PlannerDeterminism, OptKronThreadCountInvariant) {
@@ -107,11 +111,14 @@ TEST(PlannerDeterminism, OptKronThreadCountInvariant) {
     return OptKron(w, opts, &rng);
   };
   OptKronResult narrow = WithRestartThreads(1, run);
-  OptKronResult wide = WithRestartThreads(4, run);
-  EXPECT_TRUE(BitIdentical(narrow.error, wide.error));
-  ASSERT_EQ(narrow.thetas.size(), wide.thetas.size());
-  for (size_t i = 0; i < narrow.thetas.size(); ++i)
-    EXPECT_TRUE(BitIdentical(narrow.thetas[i], wide.thetas[i])) << "theta " << i;
+  for (int threads : {4, 16}) {
+    OptKronResult wide = WithRestartThreads(threads, run);
+    EXPECT_TRUE(BitIdentical(narrow.error, wide.error)) << threads;
+    ASSERT_EQ(narrow.thetas.size(), wide.thetas.size());
+    for (size_t i = 0; i < narrow.thetas.size(); ++i)
+      EXPECT_TRUE(BitIdentical(narrow.thetas[i], wide.thetas[i]))
+          << threads << " threads, theta " << i;
+  }
 }
 
 TEST(PlannerDeterminism, OptMarginalsThreadCountInvariant) {
@@ -130,9 +137,11 @@ TEST(PlannerDeterminism, OptMarginalsThreadCountInvariant) {
     return OptMarginals(w, opts, &rng);
   };
   OptMarginalsResult narrow = WithRestartThreads(1, run);
-  OptMarginalsResult wide = WithRestartThreads(4, run);
-  EXPECT_TRUE(BitIdentical(narrow.error, wide.error));
-  EXPECT_TRUE(BitIdentical(narrow.theta, wide.theta));
+  for (int threads : {4, 16}) {
+    OptMarginalsResult wide = WithRestartThreads(threads, run);
+    EXPECT_TRUE(BitIdentical(narrow.error, wide.error)) << threads;
+    EXPECT_TRUE(BitIdentical(narrow.theta, wide.theta)) << threads;
+  }
 }
 
 TEST(PlannerDeterminism, OptimizeStrategyThreadCountInvariant) {
@@ -142,12 +151,17 @@ TEST(PlannerDeterminism, OptimizeStrategyThreadCountInvariant) {
   options.seed = 99;
   auto run = [&] { return OptimizeStrategy(w, options); };
   HdmmResult narrow = WithRestartThreads(1, run);
-  HdmmResult wide = WithRestartThreads(4, run);
-  EXPECT_EQ(narrow.chosen_operator, wide.chosen_operator);
-  EXPECT_TRUE(BitIdentical(narrow.squared_error, wide.squared_error));
-  // The strategies themselves must match bit-for-bit, not just their errors:
-  // compare through the canonical serialization.
-  EXPECT_EQ(SerializeStrategy(*narrow.strategy), SerializeStrategy(*wide.strategy));
+  for (int threads : {4, 16}) {
+    HdmmResult wide = WithRestartThreads(threads, run);
+    EXPECT_EQ(narrow.chosen_operator, wide.chosen_operator) << threads;
+    EXPECT_TRUE(BitIdentical(narrow.squared_error, wide.squared_error))
+        << threads;
+    // The strategies themselves must match bit-for-bit, not just their
+    // errors: compare through the canonical serialization.
+    EXPECT_EQ(SerializeStrategy(*narrow.strategy),
+              SerializeStrategy(*wide.strategy))
+        << threads;
+  }
 }
 
 TEST(PlannerDeterminism, RepeatedRunsIdenticalOnSamePool) {
