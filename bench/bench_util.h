@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "linalg/gemm.h"
 
@@ -74,6 +75,16 @@ inline void WriteJsonHeader(std::FILE* f, const std::string& bench) {
                "\"kc\": %lld, \"nc\": %lld},\n",
                bl.mr, bl.nr, static_cast<long long>(bl.mc),
                static_cast<long long>(bl.kc), static_cast<long long>(bl.nc));
+}
+
+/// Writes a `"metrics": {...}` member holding the live metrics-registry
+/// snapshot (hdmm::Metrics::WriteJson schema — the same document
+/// `hdmm_cli --stats-json` emits; see docs/observability.md). Call between
+/// other members; emits the trailing comma when `trailing_comma`.
+inline void WriteMetricsSection(std::FILE* f, bool trailing_comma = true) {
+  std::fprintf(f, "  \"metrics\": ");
+  hdmm::Metrics::WriteJson(f, 2);
+  std::fprintf(f, trailing_comma ? ",\n" : "\n");
 }
 
 }  // namespace hdmm_bench

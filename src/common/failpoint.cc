@@ -3,6 +3,8 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include "common/log.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -116,7 +118,7 @@ const bool g_env_activated = [] {
   if (env != nullptr && *env != '\0') {
     std::string error;
     if (!Failpoints::ActivateSpec(env, &error)) {
-      std::fprintf(stderr, "HDMM_FAILPOINTS: %s\n", error.c_str());
+      HDMM_LOG(Error, "HDMM_FAILPOINTS: %s", error.c_str());
       std::abort();  // A misspelled injection spec must not silently no-op.
     }
   }

@@ -1,0 +1,415 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace hdmm {
+
+namespace metrics_internal {
+
+SlotId AssignSlotId() {
+  static std::atomic<int> next{0};
+  const int n = next.fetch_add(1, std::memory_order_relaxed);
+  SlotId id;
+  if (n < kSlots - 1) {
+    id.index = n;
+    id.shared = false;
+  } else {
+    // Thread ids are never recycled, so a process that churns through more
+    // threads than slots funnels the excess into the last slot, which is
+    // updated with fetch_add instead of the single-writer fast path. The
+    // persistent ThreadPool keeps real deployments far below the limit.
+    id.index = kSlots - 1;
+    id.shared = true;
+  }
+  return id;
+}
+
+}  // namespace metrics_internal
+
+using metrics_internal::kSlots;
+using metrics_internal::ThisThreadSlot;
+
+// ---------------------------------------------------------------- counter --
+
+void Counter::AddEnabled(uint64_t n) {
+  const metrics_internal::SlotId& id = ThisThreadSlot();
+  std::atomic<uint64_t>& slot = slots_[id.index].value;
+  if (id.shared) {
+    slot.fetch_add(n, std::memory_order_relaxed);
+  } else {
+    // Single-writer slot: a plain load+store relaxed pair is race-free and
+    // avoids the locked RMW — this is the ~1 ns uncontended path.
+    slot.store(slot.load(std::memory_order_relaxed) + n,
+               std::memory_order_relaxed);
+  }
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const auto& slot : slots_) {
+    total += slot.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (auto& slot : slots_) slot.value.store(0, std::memory_order_relaxed);
+}
+
+// -------------------------------------------------------------- histogram --
+
+namespace {
+
+// Bucket b holds [2^(b-1), 2^b): 0 -> bucket 0, 1 -> bucket 1, etc.
+inline int BucketOf(uint64_t value) {
+  if (value == 0) return 0;
+  const int b = 64 - __builtin_clzll(value);
+  // Values in [2^63, 2^64) would index bucket 64; fold them into the top
+  // bucket (its reported upper bound saturates at 2^63).
+  return b < Histogram::kBuckets ? b : Histogram::kBuckets - 1;
+}
+
+inline double BucketLow(int b) {
+  return b <= 0 ? 0.0 : std::ldexp(1.0, b - 1);
+}
+
+inline double BucketHigh(int b) { return std::ldexp(1.0, b); }
+
+// Rank-r (1-based) order statistic estimate from merged bucket counts:
+// find the bucket holding rank r, then interpolate geometrically inside it
+// (log-bucketed data is closer to log-uniform than uniform within a bucket).
+double PercentileFromBuckets(const uint64_t* buckets, uint64_t total,
+                             double q) {
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  uint64_t cum = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const uint64_t next = cum + buckets[b];
+    if (static_cast<double>(next) >= rank) {
+      if (b == 0) return 0.0;
+      const double frac =
+          (rank - static_cast<double>(cum)) / static_cast<double>(buckets[b]);
+      // Geometric interpolation between the bucket bounds: low * 2^frac.
+      return BucketLow(b) * std::exp2(frac);
+    }
+    cum = next;
+  }
+  return BucketHigh(Histogram::kBuckets - 1);
+}
+
+}  // namespace
+
+void Histogram::RecordEnabled(uint64_t value) {
+  const metrics_internal::SlotId& id = ThisThreadSlot();
+  Slot& slot = slots_[id.index];
+  const int b = BucketOf(value);
+  if (id.shared) {
+    slot.count.fetch_add(1, std::memory_order_relaxed);
+    slot.sum.fetch_add(value, std::memory_order_relaxed);
+    slot.buckets[b].fetch_add(1, std::memory_order_relaxed);
+  } else {
+    slot.count.store(slot.count.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+    slot.sum.store(slot.sum.load(std::memory_order_relaxed) + value,
+                   std::memory_order_relaxed);
+    slot.buckets[b].store(slot.buckets[b].load(std::memory_order_relaxed) + 1,
+                          std::memory_order_relaxed);
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  uint64_t merged[kBuckets] = {};
+  HistogramSnapshot s;
+  uint64_t sum = 0;
+  for (const Slot& slot : slots_) {
+    s.count += slot.count.load(std::memory_order_relaxed);
+    sum += slot.sum.load(std::memory_order_relaxed);
+    for (int b = 0; b < kBuckets; ++b) {
+      merged[b] += slot.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  s.sum = static_cast<double>(sum);
+  if (s.count == 0) return s;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (merged[b] != 0) {
+      s.min = BucketLow(b);
+      break;
+    }
+  }
+  for (int b = kBuckets - 1; b >= 0; --b) {
+    if (merged[b] != 0) {
+      s.max = BucketHigh(b);
+      break;
+    }
+  }
+  s.p50 = PercentileFromBuckets(merged, s.count, 0.50);
+  s.p95 = PercentileFromBuckets(merged, s.count, 0.95);
+  s.p99 = PercentileFromBuckets(merged, s.count, 0.99);
+  return s;
+}
+
+void Histogram::Reset() {
+  for (Slot& slot : slots_) {
+    slot.count.store(0, std::memory_order_relaxed);
+    slot.sum.store(0, std::memory_order_relaxed);
+    for (auto& b : slot.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --------------------------------------------------------------- registry --
+
+namespace metrics_internal {
+
+struct RegistryAccess {
+  static Counter* NewCounter() { return new Counter(); }
+  static Gauge* NewGauge() { return new Gauge(); }
+  static Histogram* NewHistogram() { return new Histogram(); }
+};
+
+}  // namespace metrics_internal
+
+namespace {
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+struct Entry {
+  MetricType type;
+  Counter* counter = nullptr;
+  Gauge* gauge = nullptr;
+  Histogram* histogram = nullptr;
+};
+
+struct Registry {
+  std::mutex mu;
+  // Metric objects are heap-allocated once and never freed: record sites
+  // cache raw pointers in static locals, so entries must outlive everything.
+  std::unordered_map<std::string, Entry> entries;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Entry& LookupOrCreate(const std::string& name, MetricType type) {
+  HDMM_CHECK_MSG(!name.empty(), "metric name must be non-empty");
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto [it, inserted] = registry.entries.try_emplace(name);
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.type = type;
+    switch (type) {
+      case MetricType::kCounter:
+        entry.counter = metrics_internal::RegistryAccess::NewCounter();
+        break;
+      case MetricType::kGauge:
+        entry.gauge = metrics_internal::RegistryAccess::NewGauge();
+        break;
+      case MetricType::kHistogram:
+        entry.histogram = metrics_internal::RegistryAccess::NewHistogram();
+        break;
+    }
+  }
+  HDMM_CHECK_MSG(entry.type == type,
+                 "metric name already registered with a different type");
+  return entry;
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  if (std::isfinite(v)) {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  } else {
+    // JSON has no inf/nan literal; null keeps the document parseable.
+    std::snprintf(buf, sizeof(buf), "null");
+  }
+  *out += buf;
+}
+
+}  // namespace
+
+std::atomic<bool> Metrics::enabled_{[] {
+  const char* env = std::getenv("HDMM_METRICS");
+  if (env == nullptr) return true;
+  return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+           std::strcmp(env, "false") == 0);
+}()};
+
+Counter* Metrics::GetCounter(const std::string& name) {
+  return LookupOrCreate(name, MetricType::kCounter).counter;
+}
+
+Gauge* Metrics::GetGauge(const std::string& name) {
+  return LookupOrCreate(name, MetricType::kGauge).gauge;
+}
+
+Histogram* Metrics::GetHistogram(const std::string& name) {
+  return LookupOrCreate(name, MetricType::kHistogram).histogram;
+}
+
+MetricsSnapshot Metrics::Snapshot() {
+  // Collect stable pointers under the lock, read values outside it: metric
+  // reads are relaxed atomics, so a snapshot never blocks record sites.
+  std::map<std::string, Counter*> counters;
+  std::map<std::string, Gauge*> gauges;
+  std::map<std::string, Histogram*> histograms;
+  {
+    Registry& registry = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    for (const auto& [name, entry] : registry.entries) {
+      switch (entry.type) {
+        case MetricType::kCounter:
+          counters[name] = entry.counter;
+          break;
+        case MetricType::kGauge:
+          gauges[name] = entry.gauge;
+          break;
+        case MetricType::kHistogram:
+          histograms[name] = entry.histogram;
+          break;
+      }
+    }
+  }
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges) {
+    snapshot.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms) {
+    snapshot.histograms[name] = histogram->Snapshot();
+  }
+  return snapshot;
+}
+
+std::string Metrics::ToJson() {
+  const MetricsSnapshot s = Snapshot();
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : s.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    AppendJsonString(&out, name);
+    out += ": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : s.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    AppendJsonString(&out, name);
+    out += ": ";
+    AppendDouble(&out, value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : s.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    AppendJsonString(&out, name);
+    out += ": {\"count\": " + std::to_string(h.count) + ", \"sum\": ";
+    AppendDouble(&out, h.sum);
+    out += ", \"min\": ";
+    AppendDouble(&out, h.min);
+    out += ", \"max\": ";
+    AppendDouble(&out, h.max);
+    out += ", \"p50\": ";
+    AppendDouble(&out, h.p50);
+    out += ", \"p95\": ";
+    AppendDouble(&out, h.p95);
+    out += ", \"p99\": ";
+    AppendDouble(&out, h.p99);
+    out += "}";
+  }
+  out += first ? "}\n}" : "\n  }\n}";
+  return out;
+}
+
+void Metrics::WriteJson(std::FILE* f, int indent) {
+  const std::string json = ToJson();
+  if (indent <= 0) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    return;
+  }
+  const std::string pad(static_cast<size_t>(indent), ' ');
+  size_t start = 0;
+  bool first_line = true;
+  while (start <= json.size()) {
+    size_t end = json.find('\n', start);
+    if (end == std::string::npos) end = json.size();
+    // The first line lands where the caller already wrote its key.
+    if (!first_line) std::fwrite(pad.data(), 1, pad.size(), f);
+    first_line = false;
+    std::fwrite(json.data() + start, 1, end - start, f);
+    if (end < json.size()) std::fputc('\n', f);
+    start = end + 1;
+  }
+}
+
+void Metrics::ResetAllForTest() {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto& [name, entry] : registry.entries) {
+    (void)name;
+    switch (entry.type) {
+      case MetricType::kCounter:
+        entry.counter->Reset();
+        break;
+      case MetricType::kGauge:
+        entry.gauge->Reset();
+        break;
+      case MetricType::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+}  // namespace hdmm

@@ -1,0 +1,218 @@
+// Always-on serving metrics: named counters, gauges, and log-bucketed
+// latency histograms, registered process-wide and snapshotted on demand.
+// The serving tier (Engine, StrategyCache, BudgetAccountant, GramCache,
+// ThreadPool, the optimizer) records into this registry unconditionally, so
+// cache hit rates, budget spend, and per-phase latency tails are visible at
+// runtime — `hdmm_cli serve` `stats`, `--stats-json`, BENCH_engine.json —
+// instead of only by re-running offline benches.
+//
+// Cost model, following the failpoint pattern (common/failpoint.h): sites
+// are compiled in ALWAYS, and the disabled path (HDMM_METRICS=off, or
+// Metrics::SetEnabled(false)) is one relaxed atomic load and a
+// predicted-taken branch — bench_engine's metrics arm gates it at ~1 ns.
+// The enabled, uncontended path is barely slower: every metric shards its
+// state across cache-line-padded per-thread slots, and a thread that owns
+// its slot updates it with a plain relaxed load+store (no lock prefix, no
+// RMW). Only when more threads than slots exist do the overflow threads
+// share one slot through fetch_add. Snapshots merge the slots; they never
+// stall writers.
+//
+// Usage at a site (the static local caches the registry lookup, so the
+// steady-state cost is the slot update alone):
+//
+//   static Counter* const hits = Metrics::GetCounter("strategy_cache.hits");
+//   hits->Add(1);
+//
+//   static Histogram* const lat = Metrics::GetHistogram("plan.latency_ns");
+//   lat->Record(elapsed_ns);
+//
+// Metric objects are created on first lookup and never destroyed, so cached
+// pointers stay valid for the life of the process. Names are dotted paths
+// (`subsystem.metric`); the catalog lives in docs/observability.md.
+#ifndef HDMM_COMMON_METRICS_H_
+#define HDMM_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+
+namespace hdmm {
+
+namespace metrics_internal {
+
+/// Per-thread slot assignment shared by every metric: thread i < kSlots - 1
+/// owns slot i exclusively (single-writer, plain relaxed load+store);
+/// later threads share the last slot and must use fetch_add.
+constexpr int kSlots = 64;
+
+struct SlotId {
+  int index = 0;
+  bool shared = false;
+};
+
+SlotId AssignSlotId();
+
+inline const SlotId& ThisThreadSlot() {
+  thread_local const SlotId id = AssignSlotId();
+  return id;
+}
+
+struct alignas(64) PaddedU64 {
+  std::atomic<uint64_t> value{0};
+};
+
+/// Registry-only constructor access (metric objects must be created through
+/// Metrics::Get*, never directly — cached pointers rely on registry
+/// ownership and process lifetime).
+struct RegistryAccess;
+
+}  // namespace metrics_internal
+
+/// Monotonic event counter. Exact under any interleaving: exclusive slots
+/// are single-writer, the shared overflow slot uses fetch_add.
+class Counter {
+ public:
+  /// Inlined so the disabled path is the gate alone (one relaxed load and a
+  /// predicted-taken branch, no call); defined after Metrics below.
+  void Add(uint64_t n = 1);
+  /// Sum over all slots (racy-consistent: concurrent adds may or may not be
+  /// included, exactly like reading one atomic).
+  uint64_t Value() const;
+
+ private:
+  friend class Metrics;
+  friend struct metrics_internal::RegistryAccess;
+  Counter() = default;
+  void AddEnabled(uint64_t n);  // Slot update; out of line.
+  void Reset();
+  metrics_internal::PaddedU64 slots_[metrics_internal::kSlots];
+};
+
+/// Last-write-wins instantaneous value (budget remaining, degraded flags).
+class Gauge {
+ public:
+  void Set(double value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Metrics;
+  friend struct metrics_internal::RegistryAccess;
+  Gauge() = default;
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+  std::atomic<double> value_{0.0};
+};
+
+/// Merged view of one histogram at snapshot time. Values are in whatever
+/// unit was recorded (latency sites record nanoseconds; see the catalog).
+/// Percentiles are estimated inside the matched power-of-two bucket by
+/// geometric interpolation, so they are accurate to within the bucket's 2x
+/// width — plenty for p50/p95/p99 tail tracking.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< Lower bound of the lowest non-empty bucket.
+  double max = 0.0;  ///< Upper bound of the highest non-empty bucket.
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double Mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// Log-bucketed (power-of-two) histogram of non-negative integer samples.
+/// Bucket b holds values in [2^(b-1), 2^b); 64 buckets cover the full
+/// uint64 range, so a nanosecond-scale latency site never saturates.
+class Histogram {
+ public:
+  /// Inlined gate like Counter::Add; defined after Metrics below.
+  void Record(uint64_t value);
+  HistogramSnapshot Snapshot() const;
+
+  static constexpr int kBuckets = 64;
+
+ private:
+  friend class Metrics;
+  friend struct metrics_internal::RegistryAccess;
+  Histogram() = default;
+  void RecordEnabled(uint64_t value);  // Slot update; out of line.
+  void Reset();
+
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> buckets[kBuckets] = {};
+  };
+  Slot slots_[metrics_internal::kSlots];
+};
+
+/// Full registry snapshot: every metric by name, merged across slots.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+class Metrics {
+ public:
+  /// Fast-path gate, inlined into every record site. Defaults to true
+  /// ("always-on"); HDMM_METRICS=0|off|false disables recording at process
+  /// start, SetEnabled flips it at runtime.
+  static bool Enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  static void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Looks up (creating on first use) the named metric. The returned
+  /// pointer is valid for the life of the process — record sites cache it
+  /// in a static local. A name must keep one metric type for the whole
+  /// process; re-requesting it as a different type dies.
+  static Counter* GetCounter(const std::string& name);
+  static Gauge* GetGauge(const std::string& name);
+  static Histogram* GetHistogram(const std::string& name);
+
+  /// Merged values of every registered metric.
+  static MetricsSnapshot Snapshot();
+
+  /// Writes Snapshot() as JSON:
+  ///
+  ///   {"counters": {name: N, ...},
+  ///    "gauges": {name: V, ...},
+  ///    "histograms": {name: {"count": N, "sum": S, "min": m, "max": M,
+  ///                          "p50": a, "p95": b, "p99": c}, ...}}
+  ///
+  /// This is the machine-readable stats schema shared by `hdmm_cli
+  /// --stats-json`, the serve-mode `stats` command's JSON form, and the
+  /// `"metrics"` section of BENCH_engine.json. `indent` spaces prefix every
+  /// line so the object can be embedded in a larger document.
+  static void WriteJson(std::FILE* f, int indent = 0);
+  static std::string ToJson();
+
+  /// Zeroes every metric's value in place. Registered pointers stay valid
+  /// and keep their types; only the recorded values reset. For tests and
+  /// benches that need a clean slate mid-process.
+  static void ResetAllForTest();
+
+ private:
+  static std::atomic<bool> enabled_;
+};
+
+inline void Counter::Add(uint64_t n) {
+  if (__builtin_expect(!Metrics::Enabled(), 0)) return;
+  AddEnabled(n);
+}
+
+inline void Histogram::Record(uint64_t value) {
+  if (__builtin_expect(!Metrics::Enabled(), 0)) return;
+  RecordEnabled(value);
+}
+
+}  // namespace hdmm
+
+#endif  // HDMM_COMMON_METRICS_H_

@@ -5,6 +5,8 @@
 #include <cstdlib>
 
 #include "common/check.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace hdmm {
 namespace {
@@ -132,6 +134,9 @@ bool ThreadPool::TryPop(size_t preferred, Task* out) {
     } else {  // Steal from the FIFO end of a victim queue.
       *out = std::move(q.tasks.front());
       q.tasks.pop_front();
+      static Counter* const steals =
+          Metrics::GetCounter("thread_pool.steals");
+      steals->Add(1);
     }
     pending_.fetch_sub(1, std::memory_order_relaxed);
     return true;
@@ -140,6 +145,8 @@ bool ThreadPool::TryPop(size_t preferred, Task* out) {
 }
 
 void ThreadPool::RunTask(Task& task) {
+  static Counter* const tasks = Metrics::GetCounter("thread_pool.tasks");
+  tasks->Add(1);
   tls_in_pool_task = true;
   task.fn();
   tls_in_pool_task = false;
@@ -147,6 +154,7 @@ void ThreadPool::RunTask(Task& task) {
 }
 
 void ThreadPool::WorkerLoop(size_t index) {
+  Trace::SetThreadName("hdmm-worker-" + std::to_string(index));
   // Spin briefly before parking: kernels issue many back-to-back short
   // parallel sections (one per GEMM panel pass), and a cv wakeup can cost
   // milliseconds under a busy hypervisor — longer than the section itself.

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "core/gaussian.h"
+#include "core/svd_bound.h"
 #include "linalg/kron.h"
 #include "linalg/pinv.h"
 #include "linalg/svd.h"
@@ -158,6 +159,37 @@ std::string ReportToString(const StrategyReport& report) {
       << (report.full_column_rank ? " (supports every workload)" : "")
       << ", condition number " << report.condition_number << "\n";
   return out.str();
+}
+
+SessionDiagnostics DiagnoseSession(const Strategy& strategy,
+                                   const UnionWorkload& w, double epsilon,
+                                   int64_t max_explicit_cells) {
+  SessionDiagnostics diag;
+  diag.epsilon = epsilon;
+  // Single products get the implicit (factor-multiplicative) nuclear norm at
+  // any size; unions need the explicit N x N Gram spectrum, so refuse
+  // gracefully past the ceiling instead of dying inside the bound.
+  if (w.NumProducts() > 1 && w.DomainSize() > max_explicit_cells) {
+    diag.note = "lower bound needs the explicit Gram spectrum (domain " +
+                std::to_string(w.DomainSize()) + " > ceiling " +
+                std::to_string(max_explicit_cells) + " for union workloads)";
+    return diag;
+  }
+  const double bound_sq =
+      SquaredErrorLowerBound(w, w.DomainSize() * w.DomainSize());
+  if (bound_sq <= 0.0) {
+    diag.note = "degenerate workload: zero spectral bound";
+    return diag;
+  }
+  const double achieved_sq = strategy.SquaredError(w);
+  diag.lower_bound_total_sq = 2.0 / (epsilon * epsilon) * bound_sq;
+  diag.achieved_total_sq = 2.0 / (epsilon * epsilon) * achieved_sq;
+  // Root scale (the paper's error-ratio convention): 100% certifies the
+  // plan optimal among all supporting strategies. Epsilon cancels.
+  diag.pct_of_optimal =
+      achieved_sq > 0.0 ? 100.0 * std::sqrt(bound_sq / achieved_sq) : 0.0;
+  diag.computable = true;
+  return diag;
 }
 
 }  // namespace hdmm

@@ -56,6 +56,32 @@ StrategyReport DescribeStrategy(const Strategy& strategy,
 /// Human-readable rendering of a report (used by hdmm_cli).
 std::string ReportToString(const StrategyReport& report);
 
+/// Error-vs-optimal diagnostics for a served plan: the spectral
+/// (Hardt–Talwar / Li–Miklau) lower bound on Err(W, *) next to the
+/// strategy's achieved Err(W, A), reduced to one percentage on the paper's
+/// root-error scale. 100% certifies the plan optimal; 80% means no strategy
+/// whatsoever can beat this plan's root error by more than 25%.
+struct SessionDiagnostics {
+  double epsilon = 0.0;
+  double lower_bound_total_sq = 0.0;  ///< Bound on Err(W, *) at epsilon.
+  double achieved_total_sq = 0.0;     ///< Err(W, A) for the served strategy.
+  double pct_of_optimal = 0.0;  ///< 100 * sqrt(bound / achieved), in (0, 100].
+  bool computable = false;  ///< False when the bound needs explicit expansion
+                            ///< beyond max_explicit_cells (see note).
+  std::string note;
+};
+
+/// Computes the diagnostics. The bound is implicit (no expansion) for
+/// single-product workloads at any domain size; unions of products need the
+/// explicit Gram spectrum, so beyond `max_explicit_cells` the result has
+/// computable = false and a note instead of dying. pct_of_optimal is
+/// epsilon-independent (the (2/eps^2) factor cancels), but both error
+/// figures are reported at the session's epsilon for interpretability.
+SessionDiagnostics DiagnoseSession(const Strategy& strategy,
+                                   const UnionWorkload& w, double epsilon,
+                                   int64_t max_explicit_cells = (int64_t{1}
+                                                                 << 12));
+
 }  // namespace hdmm
 
 #endif  // HDMM_CORE_DIAGNOSTICS_H_

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "common/metrics.h"
 #include "linalg/gemm.h"
 #include "workload/building_blocks.h"
 
@@ -140,15 +141,21 @@ uint64_t GramCache::FactorKey(const Matrix& factor) {
 }
 
 std::shared_ptr<const Matrix> GramCache::FactorGram(const Matrix& factor) {
+  static Counter* const hit_count = Metrics::GetCounter("gram_cache.hits");
+  static Counter* const miss_count = Metrics::GetCounter("gram_cache.misses");
+  static Counter* const closed_count =
+      Metrics::GetCounter("gram_cache.closed_form");
   const uint64_t key = FactorKey(factor);
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(key);
     if (it != map_.end() && it->second->cols() == factor.cols()) {
       ++hits_;
+      hit_count->Add(1);
       return it->second;
     }
     ++misses_;
+    miss_count->Add(1);
   }
   // Compute outside the lock: concurrent misses of the same factor may
   // duplicate the work, but both arrive at the same value and the loser's
@@ -159,7 +166,10 @@ std::shared_ptr<const Matrix> GramCache::FactorGram(const Matrix& factor) {
   auto shared = std::make_shared<const Matrix>(std::move(gram));
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (closed) ++closed_form_;
+    if (closed) {
+      ++closed_form_;
+      closed_count->Add(1);
+    }
     if (resident_doubles_ + shared->size() > kMaxResidentDoubles) {
       map_.clear();
       resident_doubles_ = 0;

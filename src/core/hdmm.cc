@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "workload/building_blocks.h"
 
 namespace hdmm {
@@ -22,6 +24,7 @@ std::unique_ptr<Strategy> MakeIdentityStrategy(const Domain& domain) {
 
 HdmmResult OptimizeStrategy(const UnionWorkload& w,
                             const HdmmOptions& options) {
+  HDMM_TRACE_SPAN("OptimizeStrategy");
   HDMM_CHECK(w.NumProducts() >= 1);
   Rng rng(options.seed);
   const int d = w.domain().NumAttributes();
@@ -68,6 +71,9 @@ HdmmResult OptimizeStrategy(const UnionWorkload& w,
   // with the built strategy at extreme parameters; see
   // docs/pidentity_gradient.md). The error is computed inside the job so it
   // overlaps with other restarts.
+  static Counter* const restarts_run =
+      Metrics::GetCounter("optimizer.restarts");
+  restarts_run->Add(jobs.size());
   RestartPool().ParallelFor(
       0, static_cast<int64_t>(jobs.size()), /*grain=*/1,
       [&](int64_t j0, int64_t j1) {

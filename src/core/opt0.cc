@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 
 namespace hdmm {
@@ -39,7 +40,12 @@ Opt0Result Opt0WarmStart(const Matrix& gram, const Matrix& theta0,
                          const LbfgsbOptions& lbfgs, GemmParallelism par) {
   const int p = static_cast<int>(theta0.rows());
   PIdentityObjective objective(gram, p, par);
+  // The counter update is an allocation-free relaxed store, so the
+  // planner-smoke zero-alloc-per-Eval gate is unaffected (the static-local
+  // registry lookup lands once, during warmup).
+  static Counter* const evals = Metrics::GetCounter("optimizer.evals");
   ObjectiveFn fn = [&objective](const Vector& x, Vector* grad) {
+    evals->Add(1);
     return objective.Eval(x, grad);
   };
   Vector x0(theta0.data(), theta0.data() + theta0.size());

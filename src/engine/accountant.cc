@@ -18,6 +18,8 @@
 
 #include "common/check.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/timer.h"
 #include "core/gaussian.h"
 
 namespace hdmm {
@@ -180,6 +182,7 @@ void BudgetAccountant::LoadLedger() {
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::milliseconds(std::max(0, options_.lock_timeout_ms));
+  WallTimer flock_timer;
   int backoff_ms = 1;
   bool locked = false;
   while (true) {
@@ -192,6 +195,9 @@ void BudgetAccountant::LoadLedger() {
     std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
     backoff_ms = std::min(backoff_ms * 2, 100);
   }
+  static Histogram* const flock_wait =
+      Metrics::GetHistogram("accountant.flock_wait_ns");
+  flock_wait->Record(static_cast<uint64_t>(flock_timer.Seconds() * 1e9));
   HDMM_CHECK_MSG(locked,
                  "budget ledger is locked by another accountant (still held "
                  "after the lock timeout); two processes sharing a ledger "
@@ -330,9 +336,12 @@ bool BudgetAccountant::RegimeCost(const PrivacyCharge& charge, double* cost,
 
 Status BudgetAccountant::Charge(const std::string& dataset,
                                 const PrivacyCharge& charge) {
+  static Counter* const charges = Metrics::GetCounter("accountant.charges");
+  static Counter* const refusals = Metrics::GetCounter("accountant.refusals");
   double cost = 0.0;
   std::string why;
   if (!RegimeCost(charge, &cost, &why)) {
+    refusals->Add(1);
     return Status::FailedPrecondition(why);
   }
   const double ceiling = CeilingFor(dataset);
@@ -343,6 +352,7 @@ Status BudgetAccountant::Charge(const std::string& dataset,
     msg << "budget exceeded: spent " << ledger.spent << " of " << ceiling
         << " " << BudgetRegimeName(options_.regime)
         << " budget, charge costs " << cost;
+    refusals->Add(1);
     return Status::OverBudget(msg.str());
   }
   if (ledger_file_ != nullptr) {
@@ -351,10 +361,21 @@ Status BudgetAccountant::Charge(const std::string& dataset,
     // draw noise, so a crash can only over-record (refuse budget that was
     // never used), never under-record. An append failure refuses the charge
     // without updating the in-memory ledger.
-    HDMM_RETURN_IF_ERROR(AppendRecordLocked(charge, dataset));
+    const Status appended = AppendRecordLocked(charge, dataset);
+    if (!appended.ok()) {
+      refusals->Add(1);
+      return appended;
+    }
   }
   ledger.spent += cost;
   ++ledger.charges;
+  charges->Add(1);
+  // Per-dataset gauges are in regime units (epsilon for pure-dp, rho for
+  // zcdp), matching Spent()/Remaining(). The name lookup is a mutex-guarded
+  // map probe — noise next to the fsync this path just paid.
+  Metrics::GetGauge("accountant.spent." + dataset)->Set(ledger.spent);
+  Metrics::GetGauge("accountant.remaining." + dataset)
+      ->Set(ledger.spent >= ceiling ? 0.0 : ceiling - ledger.spent);
   return Status::Ok();
 }
 

@@ -6,8 +6,10 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "core/gaussian.h"
 #include "core/gram_cache.h"
 #include "linalg/cholesky.h"
@@ -387,15 +389,27 @@ Vector MeasurementSession::AnswerBatch(
       }
     }
   }
+  HDMM_TRACE_SPAN("AnswerBatch");
+  WallTimer timer;
   Vector answers(queries.size(), 0.0);
   ComputePool().ParallelFor(
       0, static_cast<int64_t>(queries.size()), /*grain=*/64,
       [&](int64_t begin, int64_t end) {
+        HDMM_TRACE_SPAN("AnswerBatch.chunk");
         for (int64_t i = begin; i < end; ++i) {
           answers[static_cast<size_t>(i)] =
               Answer(queries[static_cast<size_t>(i)]);
         }
       });
+  static Counter* const batches =
+      Metrics::GetCounter("engine.answer_batch.count");
+  static Counter* const answered =
+      Metrics::GetCounter("engine.answer_batch.queries");
+  static Histogram* const latency =
+      Metrics::GetHistogram("engine.answer_batch.latency_ns");
+  batches->Add(1);
+  answered->Add(queries.size());
+  latency->Record(static_cast<uint64_t>(timer.Seconds() * 1e9));
   return answers;
 }
 
@@ -455,6 +469,16 @@ Engine::Engine(EngineOptions options)
       accountant_(AccountantOptions(options_)) {}
 
 PlanResult Engine::Plan(const UnionWorkload& w) {
+  HDMM_TRACE_SPAN("Engine::Plan");
+  static Counter* const memory_hits =
+      Metrics::GetCounter("engine.plan.memory_hits");
+  static Counter* const disk_hits =
+      Metrics::GetCounter("engine.plan.disk_hits");
+  static Counter* const optimized_count =
+      Metrics::GetCounter("engine.plan.optimized");
+  static Histogram* const latency =
+      Metrics::GetHistogram("engine.plan.latency_ns");
+
   WallTimer timer;
   PlanResult result;
   result.fingerprint = FingerprintPlan(w, options_.optimizer);
@@ -473,7 +497,9 @@ PlanResult Engine::Plan(const UnionWorkload& w) {
     result.source = tier == StrategyCache::Tier::kMemory
                         ? PlanSource::kMemoryCache
                         : PlanSource::kDiskCache;
+    (tier == StrategyCache::Tier::kMemory ? memory_hits : disk_hits)->Add(1);
     result.seconds = timer.Seconds();
+    latency->Record(static_cast<uint64_t>(result.seconds * 1e9));
     return result;
   }
 
@@ -489,7 +515,9 @@ PlanResult Engine::Plan(const UnionWorkload& w) {
   // every restart would re-optimize until the directory is fixed.
   const Status put_status = cache_.Put(result.fingerprint, result.strategy);
   if (!put_status.ok()) result.cache_error = put_status.ToString();
+  optimized_count->Add(1);
   result.seconds = timer.Seconds();
+  latency->Record(static_cast<uint64_t>(result.seconds * 1e9));
   return result;
 }
 
@@ -534,6 +562,10 @@ Vector Engine::Reconstruct(const Strategy& strategy, const Fingerprint& fp,
 StatusOr<std::unique_ptr<MeasurementSession>> Engine::MeasureOr(
     const UnionWorkload& w, const std::string& dataset_id, const Vector& x,
     const MeasureRequest& request, Rng* rng) {
+  HDMM_TRACE_SPAN("Engine::Measure");
+  static Histogram* const latency =
+      Metrics::GetHistogram("engine.measure.latency_ns");
+  WallTimer timer;
   HDMM_CHECK(rng != nullptr);
   HDMM_CHECK_MSG(static_cast<int64_t>(x.size()) == w.DomainSize(),
                  "data vector length does not match the workload domain");
@@ -558,13 +590,17 @@ StatusOr<std::unique_ptr<MeasurementSession>> Engine::MeasureOr(
   // query arrives.
   if (auto marginals =
           std::dynamic_pointer_cast<const MarginalsStrategy>(plan.strategy)) {
-    return std::make_unique<MeasurementSession>(w.domain(), marginals,
-                                                std::move(y), charge);
+    auto session = std::make_unique<MeasurementSession>(
+        w.domain(), marginals, std::move(y), charge);
+    latency->Record(static_cast<uint64_t>(timer.Seconds() * 1e9));
+    return session;
   }
 
   Vector x_hat = Reconstruct(*plan.strategy, plan.fingerprint, y);
-  return std::make_unique<MeasurementSession>(w.domain(), std::move(x_hat),
-                                              charge, plan.strategy);
+  auto session = std::make_unique<MeasurementSession>(
+      w.domain(), std::move(x_hat), charge, plan.strategy);
+  latency->Record(static_cast<uint64_t>(timer.Seconds() * 1e9));
+  return session;
 }
 
 std::unique_ptr<MeasurementSession> Engine::Measure(

@@ -8,9 +8,29 @@
 #include <utility>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "core/strategy_io.h"
 
 namespace hdmm {
+
+namespace {
+
+// Registry-side mirrors of stats_: the struct stays the per-instance API,
+// the counters are what `stats`/--stats-json report process-wide.
+Counter* const g_memory_hits =
+    Metrics::GetCounter("strategy_cache.memory_hits");
+Counter* const g_disk_hits = Metrics::GetCounter("strategy_cache.disk_hits");
+Counter* const g_misses = Metrics::GetCounter("strategy_cache.misses");
+Counter* const g_evictions = Metrics::GetCounter("strategy_cache.evictions");
+Counter* const g_corrupt_quarantined =
+    Metrics::GetCounter("strategy_cache.corrupt_quarantined");
+Counter* const g_disk_read_errors =
+    Metrics::GetCounter("strategy_cache.disk_read_errors");
+Counter* const g_disk_write_failures =
+    Metrics::GetCounter("strategy_cache.disk_write_failures");
+Gauge* const g_degraded = Metrics::GetGauge("strategy_cache.degraded");
+
+}  // namespace
 
 StrategyCache::StrategyCache(StrategyCacheOptions options)
     : options_(std::move(options)) {
@@ -40,6 +60,7 @@ void StrategyCache::InsertLocked(uint64_t key,
     index_.erase(lru_.back().key);
     lru_.pop_back();
     ++stats_.evictions;
+    g_evictions->Add(1);
   }
 }
 
@@ -50,6 +71,7 @@ std::shared_ptr<const Strategy> StrategyCache::Get(const Fingerprint& fp,
     auto it = index_.find(fp.value);
     if (it != index_.end()) {
       ++stats_.memory_hits;
+      g_memory_hits->Add(1);
       Promote(it->second);
       if (tier != nullptr) *tier = Tier::kMemory;
       return it->second->strategy;
@@ -65,6 +87,7 @@ std::shared_ptr<const Strategy> StrategyCache::Get(const Fingerprint& fp,
       std::shared_ptr<const Strategy> shared = std::move(loaded);
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.disk_hits;
+      g_disk_hits->Add(1);
       InsertLocked(fp.value, shared);
       if (tier != nullptr) *tier = Tier::kDisk;
       return shared;
@@ -78,13 +101,16 @@ std::shared_ptr<const Strategy> StrategyCache::Get(const Fingerprint& fp,
       if (ec) std::filesystem::remove(path, ec);  // Last resort: unpoison.
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.corrupt_quarantined;
+      g_corrupt_quarantined->Add(1);
     } else if (status.code() != StatusCode::kNotFound) {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.disk_read_errors;
+      g_disk_read_errors->Add(1);
     }
   }
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.misses;
+  g_misses->Add(1);
   if (tier != nullptr) *tier = Tier::kMiss;
   return nullptr;
 }
@@ -108,11 +134,13 @@ Status StrategyCache::Put(const Fingerprint& fp,
   auto disk_failed = [this](Status status) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.disk_write_failures;
+    g_disk_write_failures->Add(1);
     if (++consecutive_disk_failures_ >= kDiskFailureLimit) {
       // The disk tier is hurting, not helping: stop retrying on every Plan
       // and serve from memory only. Reads keep working, so entries written
       // before the disk went bad are still honored.
       disk_writes_disabled_ = true;
+      g_degraded->Set(1.0);
     }
     return status;
   };

@@ -1,0 +1,161 @@
+// Minimal recursive-descent JSON validator for tests: checks that a string
+// is one well-formed JSON value (RFC 8259 grammar, no extensions). Used by
+// the metrics and trace tests to assert that every exported document —
+// --stats-json snapshots, Chrome trace files, BENCH_*.json sections — stays
+// loadable by real parsers without taking a JSON library dependency.
+#ifndef HDMM_TESTS_JSON_LINT_H_
+#define HDMM_TESTS_JSON_LINT_H_
+
+#include <cctype>
+#include <string>
+
+namespace hdmm_tests {
+
+class JsonLinter {
+ public:
+  /// True iff `text` is exactly one valid JSON value (plus whitespace).
+  /// On failure, *error (when given) describes the first problem.
+  static bool Valid(const std::string& text, std::string* error = nullptr) {
+    JsonLinter lint(text);
+    bool ok = lint.Value() && (lint.SkipWs(), lint.pos_ == text.size());
+    if (!ok && error != nullptr) {
+      *error = "invalid JSON near byte " + std::to_string(lint.pos_);
+    }
+    return ok;
+  }
+
+ private:
+  explicit JsonLinter(const std::string& text) : text_(text) {}
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    const size_t n = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool String() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // Raw control.
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // Unterminated.
+  }
+
+  bool Digits() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Number() {
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '0') {
+      ++pos_;  // Leading zero must stand alone.
+    } else if (!Digits()) {
+      return false;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!Digits()) return false;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!Digits()) return false;
+    }
+    return true;
+  }
+
+  bool Members(char close, bool keyed) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == close) {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (keyed) {
+        if (!String()) return false;
+        SkipWs();
+        if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+        ++pos_;
+      }
+      if (!Value()) return false;
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == close) {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Value() {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      return Members('}', /*keyed=*/true);
+    }
+    if (c == '[') {
+      ++pos_;
+      return Members(']', /*keyed=*/false);
+    }
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return Number();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace hdmm_tests
+
+#endif  // HDMM_TESTS_JSON_LINT_H_

@@ -133,6 +133,81 @@ TEST(Diagnostics, ReportRankDeficiency) {
   EXPECT_NE(text.find("rank 1/5"), std::string::npos) << text;
 }
 
+TEST(Diagnostics, SessionIdentityIsCertifiedOptimal) {
+  // W = I: the spectral bound ||W||_*^2 / N equals the identity strategy's
+  // error exactly, so the session is certified 100% of optimal.
+  UnionWorkload w = MakeProductWorkload(Domain({8}), {IdentityBlock(8)});
+  KronStrategy s({IdentityBlock(8)});
+  SessionDiagnostics diag = DiagnoseSession(s, w, /*epsilon=*/1.0);
+  ASSERT_TRUE(diag.computable) << diag.note;
+  EXPECT_NEAR(diag.pct_of_optimal, 100.0, 1e-6);
+  EXPECT_NEAR(diag.achieved_total_sq, diag.lower_bound_total_sq, 1e-6);
+  EXPECT_DOUBLE_EQ(diag.epsilon, 1.0);
+}
+
+TEST(Diagnostics, SessionSuboptimalStrategyScoresBelowOptimal) {
+  // Identity is a legal but poor strategy for prefix queries; the bound
+  // must still hold (pct <= 100) and stay strictly positive.
+  UnionWorkload w = MakeProductWorkload(Domain({16}), {PrefixBlock(16)});
+  KronStrategy s({IdentityBlock(16)});
+  SessionDiagnostics diag = DiagnoseSession(s, w, /*epsilon=*/0.5);
+  ASSERT_TRUE(diag.computable) << diag.note;
+  EXPECT_GT(diag.pct_of_optimal, 0.0);
+  EXPECT_LT(diag.pct_of_optimal, 100.0);
+  EXPECT_GE(diag.achieved_total_sq, diag.lower_bound_total_sq);
+}
+
+TEST(Diagnostics, SessionPctIsEpsilonIndependent) {
+  UnionWorkload w = MakeProductWorkload(Domain({16}), {PrefixBlock(16)});
+  KronStrategy s({IdentityBlock(16)});
+  SessionDiagnostics tight = DiagnoseSession(s, w, 0.1);
+  SessionDiagnostics loose = DiagnoseSession(s, w, 2.0);
+  ASSERT_TRUE(tight.computable && loose.computable);
+  EXPECT_NEAR(tight.pct_of_optimal, loose.pct_of_optimal, 1e-9);
+  // The error figures themselves scale by (2/eps^2).
+  EXPECT_NEAR(tight.lower_bound_total_sq / loose.lower_bound_total_sq,
+              (2.0 / 0.01) / (2.0 / 4.0), 1e-9);
+}
+
+TEST(Diagnostics, SessionUnionBeyondCeilingRefusesGracefully) {
+  Domain d({4, 3});
+  UnionWorkload w(d);
+  ProductWorkload p1;
+  p1.factors = {PrefixBlock(4), TotalBlock(3)};
+  w.AddProduct(p1);
+  ProductWorkload p2;
+  p2.factors = {TotalBlock(4), PrefixBlock(3)};
+  w.AddProduct(p2);
+  KronStrategy s({IdentityBlock(4), IdentityBlock(3)});
+
+  // Domain 12 > ceiling 8: the union path needs the explicit Gram spectrum,
+  // so the diagnostics must refuse with a note rather than die.
+  SessionDiagnostics gated =
+      DiagnoseSession(s, w, /*epsilon=*/1.0, /*max_explicit_cells=*/8);
+  EXPECT_FALSE(gated.computable);
+  EXPECT_FALSE(gated.note.empty());
+  EXPECT_DOUBLE_EQ(gated.pct_of_optimal, 0.0);
+
+  // At the default ceiling the same union is computable.
+  SessionDiagnostics open = DiagnoseSession(s, w, /*epsilon=*/1.0);
+  ASSERT_TRUE(open.computable) << open.note;
+  EXPECT_GT(open.pct_of_optimal, 0.0);
+  EXPECT_LE(open.pct_of_optimal, 100.0 + 1e-9);
+}
+
+TEST(Diagnostics, SessionSingleProductIsImplicitAtAnySize) {
+  // Single products use factor multiplicativity: no explicit expansion, so
+  // a tiny ceiling must not gate them.
+  UnionWorkload w = MakeProductWorkload(Domain({8, 4}),
+                                        {PrefixBlock(8), PrefixBlock(4)});
+  KronStrategy s({IdentityBlock(8), IdentityBlock(4)});
+  SessionDiagnostics diag =
+      DiagnoseSession(s, w, /*epsilon=*/1.0, /*max_explicit_cells=*/2);
+  ASSERT_TRUE(diag.computable) << diag.note;
+  EXPECT_GT(diag.pct_of_optimal, 0.0);
+  EXPECT_LE(diag.pct_of_optimal, 100.0 + 1e-9);
+}
+
 TEST(DiagnosticsDeath, GenericPathSizeGuard) {
   Domain d({64, 64, 64});
   MarginalsStrategy s(d, Vector(8, 1.0));

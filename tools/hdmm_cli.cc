@@ -20,7 +20,9 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/diagnostics.h"
 #include "core/hdmm.h"
 #include "core/strategy_io.h"
@@ -38,7 +40,7 @@ using namespace hdmm;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: hdmm_cli COMMAND [--threads N] ...\n"
+      "usage: hdmm_cli COMMAND [--threads N] [--stats-json FILE] ...\n"
       "  hdmm_cli optimize    --workload FILE [--restarts N] [--seed S]\n"
       "                       [--epsilon E] [--save-strategy FILE]\n"
       "  hdmm_cli run         --workload FILE --data FILE --epsilon E\n"
@@ -55,7 +57,8 @@ int Usage() {
       "optimization (strategy selection is data-independent, Section 7.3).\n"
       "`serve` reads commands from stdin and answers from a measurement\n"
       "session: measure EPS | gaussian RHO | point a=V ... |\n"
-      "range a=LO:HI ... | marginal a=V ... | budget | quit. The accountant\n"
+      "range a=LO:HI ... | marginal a=V ... | budget | stats [json] | quit.\n"
+      "The accountant\n"
       "enforces the budget ceiling: --regime pure composes epsilons\n"
       "sequentially (Laplace only); --regime zcdp composes rho additively\n"
       "(Bun-Steinke) so `gaussian RHO` measurements are accountable too, and\n"
@@ -68,7 +71,13 @@ int Usage() {
       "--threads N (any command) pins the shared pool's total thread count\n"
       "(planning stays bit-identical at any value for a fixed seed); the\n"
       "HDMM_THREADS environment variable is the equivalent knob for the\n"
-      "bench binaries.\n");
+      "bench binaries.\n"
+      "\n"
+      "Observability (docs/observability.md): --stats-json FILE (any\n"
+      "command) dumps the metrics registry snapshot as JSON on exit; the\n"
+      "serve-mode `stats` command prints live counters (`stats json` for\n"
+      "the full snapshot); HDMM_TRACE=FILE records a Chrome trace of the\n"
+      "session, loadable at ui.perfetto.dev.\n");
   return 2;
 }
 
@@ -208,11 +217,17 @@ int CmdOptimize(const Flags& flags) {
               std::sqrt(lm_error / result.squared_error));
 
   // Spectral lower bound when computable (single product at any scale,
-  // unions on modest domains).
-  if (w.NumProducts() == 1 || w.DomainSize() <= 4096) {
+  // unions on modest domains): report how close this plan is to the best
+  // any strategy could do, on the paper's root-error scale.
+  const SessionDiagnostics diag = DiagnoseSession(*result.strategy, w, epsilon);
+  if (diag.computable) {
     const double gap = OptimalityRatio(*result.strategy, w);
     std::printf("optimality gap vs spectral lower bound [28]: %.3f%s\n", gap,
                 gap < 1.005 ? " (certified optimal)" : "");
+    std::printf("pct_of_optimal: %.1f%%  (Err bound %.6g vs achieved %.6g at "
+                "epsilon=%.3g)\n",
+                diag.pct_of_optimal, diag.lower_bound_total_sq,
+                diag.achieved_total_sq, epsilon);
   }
 
   if (flags.Has("save-strategy")) {
@@ -441,6 +456,12 @@ int CmdServe(const Flags& flags) {
     std::fprintf(stderr, "warning: strategy not persisted: %s\n",
                  plan.cache_error.c_str());
   }
+  const SessionDiagnostics serve_diag = DiagnoseSession(
+      *plan.strategy, w, engine.accountant().total_epsilon());
+  if (serve_diag.computable) {
+    std::printf("pct_of_optimal: %.1f%% of the spectral error bound\n",
+                serve_diag.pct_of_optimal);
+  }
   std::fflush(stdout);
 
   // Serve-loop contract: a malformed line gets a one-line `error: ...`
@@ -530,12 +551,49 @@ int CmdServe(const Flags& flags) {
         if (!ParseQueryLine(line, w.domain(), &q, &why)) {
           std::printf("error: %s\n", why.c_str());
         } else {
-          std::printf("answer %.4f\n", session->Answer(q));
+          // Through the batch path (not session->Answer directly) so the
+          // `stats` command's AnswerBatch latency histogram covers every
+          // served answer.
+          std::printf("answer %.4f\n", session->AnswerBatch({q})[0]);
         }
+      }
+    } else if (command == "stats") {
+      std::string mode;
+      in >> mode;
+      if (mode == "json") {
+        std::fputs(Metrics::ToJson().c_str(), stdout);
+        std::fputc('\n', stdout);
+      } else {
+        const MetricsSnapshot snap = Metrics::Snapshot();
+        auto count = [&snap](const char* name) -> unsigned long long {
+          auto it = snap.counters.find(name);
+          return it == snap.counters.end() ? 0 : it->second;
+        };
+        const unsigned long long memory_hits =
+            count("strategy_cache.memory_hits");
+        const unsigned long long disk_hits = count("strategy_cache.disk_hits");
+        const unsigned long long misses = count("strategy_cache.misses");
+        const unsigned long long lookups = memory_hits + disk_hits + misses;
+        const double hit_rate =
+            lookups == 0
+                ? 0.0
+                : 100.0 * static_cast<double>(memory_hits + disk_hits) /
+                      static_cast<double>(lookups);
+        HistogramSnapshot answer_latency;
+        auto hist_it = snap.histograms.find("engine.answer_batch.latency_ns");
+        if (hist_it != snap.histograms.end()) answer_latency = hist_it->second;
+        std::printf(
+            "stats cache_hit_rate=%.1f%% memory_hits=%llu disk_hits=%llu "
+            "misses=%llu budget_spent=%g budget_remaining=%g "
+            "answer_batches=%llu answer_batch_p99_us=%.1f\n",
+            hit_rate, memory_hits, disk_hits, misses,
+            engine.accountant().Spent(dataset_id),
+            engine.accountant().Remaining(dataset_id),
+            count("engine.answer_batch.count"), answer_latency.p99 / 1e3);
       }
     } else {
       std::printf("error: unknown command '%s' (measure | gaussian | point | "
-                  "range | marginal | budget | quit)\n",
+                  "range | marginal | budget | stats | quit)\n",
                   command.c_str());
     }
     std::fflush(stdout);
@@ -629,11 +687,32 @@ int main(int argc, char** argv) {
     ThreadPool::SetGlobalThreads(static_cast<int>(n));
   }
 
-  if (command == "optimize") return CmdOptimize(flags);
-  if (command == "run") return CmdRun(flags);
-  if (command == "serve") return CmdServe(flags);
-  if (command == "convert-sql") return CmdConvertSql(flags);
-  if (command == "show") return CmdShow(flags);
-  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
-  return Usage();
+  Trace::SetThreadName("main");
+
+  int rc = -1;
+  if (command == "optimize") rc = CmdOptimize(flags);
+  else if (command == "run") rc = CmdRun(flags);
+  else if (command == "serve") rc = CmdServe(flags);
+  else if (command == "convert-sql") rc = CmdConvertSql(flags);
+  else if (command == "show") rc = CmdShow(flags);
+  if (rc < 0) {
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return Usage();
+  }
+
+  // --stats-json FILE (any command): machine-readable snapshot of every
+  // metric the command touched, in the schema shared with bench_util's
+  // BENCH_*.json "metrics" section (see docs/observability.md).
+  if (flags.Has("stats-json")) {
+    const std::string path = flags.Get("stats-json");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write --stats-json '%s'\n", path.c_str());
+      return rc == 0 ? 1 : rc;
+    }
+    Metrics::WriteJson(f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+  return rc;
 }
