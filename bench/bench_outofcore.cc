@@ -1,0 +1,424 @@
+// Out-of-core session benchmark: answer latency and peak RSS of
+// MeasurementSession on the in-memory vs mmap-tiled data-vector backends
+// (src/engine/tile_store.*).
+//
+// Each arm forks: the child builds a session over a synthetic separable
+// data vector x[c] = prod_a g_a(c_a) through the streaming fill
+// constructor (the full vector never exists in RAM), answers a fixed set
+// of box queries against the closed-form expectation
+// prod_a sum_{lo_a..hi_a} g_a, and reports its own VmHWM — so every arm's
+// peak RSS is isolated and honestly measured, not inferred.
+//
+//   --log2n L       domain size 2^L cells (default 24)
+//   --backend B     memory | mmap | both (default both)
+//   --queries Q     box queries per arm (default 64)
+//   --full          adds the flagship arm: 2^29 cells on the mmap backend
+//                   under a self-imposed 1 GiB RLIMIT_AS — the dense path
+//                   would need 8 GiB for x_hat + summed-area table alone
+//   --probe-dense   builds the in-memory session at --log2n IN-PROCESS and
+//                   exits 0; run it under `ulimit -v` to prove the dense
+//                   path exceeds a cap the mmap path fits (CI does)
+//   --out PATH      output JSON (default BENCH_outofcore.json)
+//
+// Emits BENCH_outofcore.json; the outofcore-smoke CI job runs the probe
+// and the mmap arm under a 768 MiB address-space cap and validates the
+// schema, the parity bit, and the answer accuracy.
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "engine/engine.h"
+#include "engine/privacy.h"
+#include "engine/tile_store.h"
+#include "workload/domain.h"
+
+namespace {
+
+using namespace hdmm;
+
+// ------------------------------------------------------------ test signal --
+
+// Per-axis weights in [0.75, 1.25), deterministic and cheap: a separable
+// x[c] = prod_a g_a(c_a) gives every box query the closed-form answer
+// prod_a (S_a[hi_a + 1] - S_a[lo_a]) with S_a the per-axis prefix sums —
+// an independent oracle that never touches the code under test.
+double AxisWeight(int axis, int64_t c) {
+  const uint64_t h =
+      (static_cast<uint64_t>(c) * 2654435761ull + 0x9e37ull * (axis + 1));
+  return 0.75 + 0.5 * static_cast<double>(h % 1024) / 1024.0;
+}
+
+struct Signal {
+  Domain domain;
+  std::vector<std::vector<double>> axis_prefix;  // S_a, size n_a + 1.
+
+  explicit Signal(Domain d) : domain(std::move(d)) {
+    for (int a = 0; a < domain.NumAttributes(); ++a) {
+      std::vector<double> s(static_cast<size_t>(domain.AttributeSize(a)) + 1,
+                            0.0);
+      for (int64_t c = 0; c < domain.AttributeSize(a); ++c)
+        s[static_cast<size_t>(c) + 1] =
+            s[static_cast<size_t>(c)] + AxisWeight(a, c);
+      axis_prefix.push_back(std::move(s));
+    }
+  }
+
+  // fill(begin, end, out): walks the flattened range with an odometer.
+  void Fill(int64_t begin, int64_t end, double* out) const {
+    const int d = domain.NumAttributes();
+    std::vector<int64_t> coord = domain.Unflatten(begin);
+    for (int64_t i = begin; i < end; ++i) {
+      double v = 1.0;
+      for (int a = 0; a < d; ++a)
+        v *= AxisWeight(a, coord[static_cast<size_t>(a)]);
+      out[i - begin] = v;
+      for (int a = d - 1; a >= 0; --a) {
+        if (++coord[static_cast<size_t>(a)] < domain.AttributeSize(a)) break;
+        coord[static_cast<size_t>(a)] = 0;
+      }
+    }
+  }
+
+  double Expected(const BoxQuery& q) const {
+    double v = 1.0;
+    for (int a = 0; a < domain.NumAttributes(); ++a) {
+      const auto& s = axis_prefix[static_cast<size_t>(a)];
+      v *= s[static_cast<size_t>(q.hi[static_cast<size_t>(a)]) + 1] -
+           s[static_cast<size_t>(q.lo[static_cast<size_t>(a)])];
+    }
+    return v;
+  }
+};
+
+// The seam pass's transient memory is sum_a strides_a ~ N / n_0, so the
+// leading attribute takes most of the bits: 2^L splits as
+// {2^(L-2k), 2^k, 2^k} with k = min(7, L/3).
+Domain ShapeForLog2N(int log2n) {
+  const int k = std::min<int>(7, log2n / 3);
+  return Domain({int64_t{1} << (log2n - 2 * k), int64_t{1} << k,
+                 int64_t{1} << k});
+}
+
+// Deterministic query mix: points, thin ranges, fat ranges, and
+// marginal-style boxes (some axes full-range). Identical across arms so the
+// parity memcmp below compares like with like.
+std::vector<BoxQuery> MakeQueries(const Domain& domain, int count) {
+  Rng rng(20260807);
+  std::vector<BoxQuery> queries;
+  const int d = domain.NumAttributes();
+  for (int qi = 0; qi < count; ++qi) {
+    BoxQuery q = FullRangeQuery(domain);
+    const int kind = qi % 4;
+    for (int a = 0; a < d; ++a) {
+      const int64_t n = domain.AttributeSize(a);
+      if (kind == 3 && a % 2 == (qi / 4) % 2) continue;  // Leave full-range.
+      int64_t lo = rng.UniformInt(0, n - 1);
+      int64_t hi;
+      if (kind == 0) {
+        hi = lo;  // Point.
+      } else if (kind == 1) {
+        hi = std::min<int64_t>(n - 1, lo + rng.UniformInt(0, 7));  // Thin.
+      } else {
+        hi = rng.UniformInt(lo, n - 1);  // Fat / marginal sub-box.
+      }
+      q.lo[static_cast<size_t>(a)] = lo;
+      q.hi[static_cast<size_t>(a)] = hi;
+    }
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+// ------------------------------------------------------------------- arms --
+
+long long ReadVmHwmKb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  char line[256];
+  long long kb = -1;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %lld kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb;
+}
+
+struct ArmResult {
+  std::string backend;
+  int log2n = 0;
+  long long cells = 0;
+  long long cap_kb = 0;  // Self-imposed RLIMIT_AS; 0 = unlimited.
+  double build_s = 0.0;
+  int queries = 0;
+  double answer_total_s = 0.0;
+  double mean_answer_us = 0.0;
+  double max_answer_us = 0.0;
+  double max_abs_err = 0.0;
+  double answers_checksum = 0.0;
+  long long peak_rss_kb = 0;
+  bool ok = false;
+};
+
+// Runs one arm in the current process and writes its result (plus the raw
+// answer doubles, for the parent's cross-backend memcmp) to `result_path` /
+// `answers_path`.
+int RunArmChild(SessionStorage backend, int log2n, int num_queries,
+                long long cap_mib, const std::string& result_path,
+                const std::string& answers_path) {
+  if (cap_mib > 0) {
+    struct rlimit rl;
+    rl.rlim_cur = rl.rlim_max =
+        static_cast<rlim_t>(cap_mib) * 1024 * 1024;
+    if (setrlimit(RLIMIT_AS, &rl) != 0) {
+      std::fprintf(stderr, "setrlimit(RLIMIT_AS) failed\n");
+      return 1;
+    }
+  }
+  Signal sig(ShapeForLog2N(log2n));
+  SessionStorageOptions storage;
+  storage.backend = backend;
+
+  WallTimer build_timer;
+  MeasurementSession session(
+      sig.domain,
+      [&sig](int64_t begin, int64_t end, double* out) {
+        sig.Fill(begin, end, out);
+      },
+      PrivacyCharge::Laplace(1.0), nullptr, storage);
+  const double build_s = build_timer.Seconds();
+
+  const std::vector<BoxQuery> queries = MakeQueries(sig.domain, num_queries);
+  std::vector<double> answers(queries.size());
+  double max_err = 0.0, checksum = 0.0, max_us = 0.0;
+  WallTimer answer_timer;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    WallTimer one;
+    answers[i] = session.Answer(queries[i]);
+    max_us = std::max(max_us, 1e6 * one.Seconds());
+    max_err = std::max(max_err,
+                       std::fabs(answers[i] - sig.Expected(queries[i])));
+    checksum += answers[i];
+  }
+  const double answer_s = answer_timer.Seconds();
+  const long long hwm = ReadVmHwmKb();
+
+  std::FILE* af = std::fopen(answers_path.c_str(), "wb");
+  if (af == nullptr) return 1;
+  std::fwrite(answers.data(), sizeof(double), answers.size(), af);
+  std::fclose(af);
+
+  std::FILE* rf = std::fopen(result_path.c_str(), "w");
+  if (rf == nullptr) return 1;
+  std::fprintf(rf, "%.6f %.6f %.6f %.3g %.17g %lld\n", build_s, answer_s,
+               max_us, max_err, checksum, hwm);
+  std::fclose(rf);
+  return 0;
+}
+
+bool RunArm(SessionStorage backend, int log2n, int num_queries,
+            long long cap_mib, const std::string& scratch, ArmResult* out) {
+  out->backend = SessionStorageName(backend);
+  out->log2n = log2n;
+  out->cells = 1ll << log2n;
+  out->cap_kb = cap_mib * 1024;
+  out->queries = num_queries;
+  const std::string result_path =
+      scratch + "/arm-" + out->backend + "-" + std::to_string(log2n) + ".txt";
+  const std::string answers_path =
+      scratch + "/ans-" + out->backend + "-" + std::to_string(log2n) + ".bin";
+
+  const pid_t pid = fork();
+  if (pid == 0) {
+    _exit(RunArmChild(backend, log2n, num_queries, cap_mib, result_path,
+                      answers_path));
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    std::fprintf(stderr, "arm %s log2n=%d failed (status %d)\n",
+                 out->backend.c_str(), log2n, status);
+    return false;
+  }
+  std::FILE* rf = std::fopen(result_path.c_str(), "r");
+  if (rf == nullptr) return false;
+  const int got = std::fscanf(rf, "%lf %lf %lf %lf %lf %lld", &out->build_s,
+                              &out->answer_total_s, &out->max_answer_us,
+                              &out->max_abs_err, &out->answers_checksum,
+                              &out->peak_rss_kb);
+  std::fclose(rf);
+  std::remove(result_path.c_str());
+  if (got != 6) return false;
+  out->mean_answer_us =
+      1e6 * out->answer_total_s / std::max(1, out->queries);
+  out->ok = true;
+  std::printf("  %-6s 2^%-2d  build %8.2f s   answer mean %8.1f us "
+              "(max %.1f us)   max |err| %.3g   peak RSS %lld MiB%s\n",
+              out->backend.c_str(), log2n, out->build_s, out->mean_answer_us,
+              out->max_answer_us, out->max_abs_err, out->peak_rss_kb / 1024,
+              cap_mib > 0
+                  ? (" (under " + std::to_string(cap_mib) + " MiB cap)")
+                        .c_str()
+                  : "");
+  return true;
+}
+
+// Byte-compares the answer files two arms wrote. Bit-identity across
+// backends is a design property (same fill, same seam pass, same corner
+// reads), so anything but equality is a bug.
+bool AnswersBitIdentical(const std::string& scratch, int log2n) {
+  auto read = [&](const char* backend, std::vector<char>* bytes) {
+    const std::string path =
+        scratch + "/ans-" + backend + "-" + std::to_string(log2n) + ".bin";
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return false;
+    std::fseek(f, 0, SEEK_END);
+    bytes->resize(static_cast<size_t>(std::ftell(f)));
+    std::fseek(f, 0, SEEK_SET);
+    const bool ok = std::fread(bytes->data(), 1, bytes->size(), f) ==
+                    bytes->size();
+    std::fclose(f);
+    return ok;
+  };
+  std::vector<char> mem, mm;
+  if (!read("memory", &mem) || !read("mmap", &mm)) return false;
+  return !mem.empty() && mem.size() == mm.size() &&
+         std::memcmp(mem.data(), mm.data(), mem.size()) == 0;
+}
+
+void WriteJson(const std::vector<ArmResult>& arms, int parity_log2n,
+               int parity, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "could not open %s for writing\n", path);
+    return;
+  }
+  hdmm_bench::WriteJsonHeader(f, "bench_outofcore");
+  std::fprintf(f, "  \"arms\": [\n");
+  for (size_t i = 0; i < arms.size(); ++i) {
+    const ArmResult& a = arms[i];
+    std::fprintf(
+        f,
+        "    {\"backend\": \"%s\", \"log2n\": %d, \"cells\": %lld, "
+        "\"address_space_cap_kb\": %lld, \"build_s\": %.6f, "
+        "\"queries\": %d, \"mean_answer_us\": %.3f, "
+        "\"max_answer_us\": %.3f, \"max_abs_err\": %.3g, "
+        "\"answers_checksum\": %.17g, \"peak_rss_kb\": %lld}%s\n",
+        a.backend.c_str(), a.log2n, a.cells, a.cap_kb, a.build_s, a.queries,
+        a.mean_answer_us, a.max_answer_us, a.max_abs_err, a.answers_checksum,
+        a.peak_rss_kb, i + 1 < arms.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  if (parity >= 0) {
+    std::fprintf(f,
+                 "  \"parity\": {\"log2n\": %d, \"bitwise_identical\": %s}\n",
+                 parity_log2n, parity == 1 ? "true" : "false");
+  } else {
+    std::fprintf(f, "  \"parity\": null\n");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+const char* FlagValue(int argc, char** argv, const char* name) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int log2n = 24;
+  if (const char* v = FlagValue(argc, argv, "--log2n")) log2n = std::atoi(v);
+  int num_queries = 64;
+  if (const char* v = FlagValue(argc, argv, "--queries"))
+    num_queries = std::atoi(v);
+  std::string backend = "both";
+  if (const char* v = FlagValue(argc, argv, "--backend")) backend = v;
+  const char* out_path = "BENCH_outofcore.json";
+  if (const char* v = FlagValue(argc, argv, "--out")) out_path = v;
+  const bool full = HasFlag(argc, argv, "--full");
+
+  if (HasFlag(argc, argv, "--probe-dense")) {
+    // The whole point of this mode is to die under a ulimit the mmap arm
+    // survives: the in-memory backend's x_hat + summed-area stores need
+    // 2 * 8 * 2^log2n bytes, built right here in-process.
+    std::printf("probe: dense in-memory session over 2^%d cells "
+                "(needs %lld MiB)...\n",
+                log2n, (2ll * 8 << log2n) >> 20);
+    Signal sig(ShapeForLog2N(log2n));
+    MeasurementSession session(
+        sig.domain,
+        [&sig](int64_t begin, int64_t end, double* out) {
+          sig.Fill(begin, end, out);
+        },
+        PrivacyCharge::Laplace(1.0), nullptr, SessionStorageOptions{});
+    const double answer = session.Answer(FullRangeQuery(sig.domain));
+    std::printf("probe: survived (total = %.6g, peak RSS %lld MiB)\n", answer,
+                ReadVmHwmKb() / 1024);
+    return 0;
+  }
+
+  std::printf("=== out-of-core sessions: tiled mmap store vs in-memory "
+              "(%d box queries/arm) ===\n",
+              num_queries);
+  const std::string scratch = ".";
+  std::vector<ArmResult> arms;
+  auto run = [&](SessionStorage b, int l, long long cap_mib) {
+    ArmResult r;
+    if (!RunArm(b, l, num_queries, cap_mib, scratch, &r)) return false;
+    arms.push_back(std::move(r));
+    return true;
+  };
+
+  bool ok = true;
+  const bool want_mem = backend == "memory" || backend == "both";
+  const bool want_mmap = backend == "mmap" || backend == "both";
+  if (want_mem) ok &= run(SessionStorage::kMemory, log2n, 0);
+  if (want_mmap) ok &= run(SessionStorage::kMmap, log2n, 0);
+
+  int parity = -1;
+  if (want_mem && want_mmap) {
+    parity = AnswersBitIdentical(scratch, log2n) ? 1 : 0;
+    std::printf("  parity at 2^%d: answers %s across backends\n", log2n,
+                parity == 1 ? "bit-identical" : "DIVERGE");
+    ok &= parity == 1;
+  }
+
+  if (full) {
+    // The flagship arm: 2^29 cells (dense would need 8 GiB for the two
+    // stores) served out-of-core inside a 1 GiB address space.
+    std::printf("  --full: 2^29-cell mmap session under 1 GiB RLIMIT_AS\n");
+    ok &= run(SessionStorage::kMmap, 29, 1024);
+  }
+
+  for (const char* b : {"memory", "mmap"}) {
+    for (int l : {log2n, 29}) {
+      std::remove(
+          (scratch + "/ans-" + b + "-" + std::to_string(l) + ".bin").c_str());
+    }
+  }
+
+  WriteJson(arms, log2n, parity, out_path);
+  return ok ? 0 : 1;
+}

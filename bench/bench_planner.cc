@@ -10,6 +10,12 @@
 //            start, so the speedup is pure workspace-reuse + Gram-cache +
 //            transposed-solve effect, valid on a 1-core box.
 //   allocs   heap allocations per Eval after warmup (must be zero).
+//   error_eval  heap allocations per repeated Strategy::SquaredError
+//            evaluation after one warm call, for Kron and union-Kron
+//            candidates (must be zero: the factor Grams, their inverses,
+//            and the sensitivity are memoized on the strategy, and the
+//            workload factor Grams come shared from the GramCache, so
+//            re-scoring a candidate never densifies the implicit factors).
 //   plan     full OPT_HDMM cold plan on the bench_engine census workload,
 //            with GramCache hit/miss/closed-form counts, plus a second
 //            plan over the warm Gram cache (cross-call reuse).
@@ -37,6 +43,7 @@
 #include "core/gram_cache.h"
 #include "core/hdmm.h"
 #include "core/opt0.h"
+#include "core/strategy.h"
 #include "linalg/cholesky.h"
 #include "linalg/gemm.h"
 #include "optimize/lbfgsb.h"
@@ -487,6 +494,55 @@ double MeasureEvalAllocations() {
   return per_eval;
 }
 
+struct ErrorEvalAllocs {
+  double kron_per_eval = 0.0;
+  double union_per_eval = 0.0;
+  double kron_error = 0.0;   // Sanity: the evaluations return real numbers.
+  double union_error = 0.0;
+};
+
+// Heap allocations per repeated SquaredError after one warm call. The
+// OPT_HDMM outer loop re-scores every candidate strategy against the
+// workload; with the Grams, their inverses, and the sensitivity memoized on
+// the strategy (and the workload factor Grams shared from the GramCache), a
+// warm re-evaluation must not densify or allocate anything.
+ErrorEvalAllocs MeasureErrorEvalAllocations(const UnionWorkload& w) {
+  ErrorEvalAllocs out;
+  const Domain& dom = w.domain();
+
+  std::vector<Matrix> kron_factors;
+  for (int i = 0; i < dom.NumAttributes(); ++i)
+    kron_factors.push_back(PrefixBlock(dom.AttributeSize(i)));
+  KronStrategy kron(std::move(kron_factors), "bench-kron");
+
+  // A two-part union: identity factors answer half the products, prefix
+  // factors the other half (the split is arbitrary; what matters is that
+  // both per-part tracer sets get exercised every evaluation).
+  std::vector<std::vector<Matrix>> parts(2);
+  for (int i = 0; i < dom.NumAttributes(); ++i) {
+    parts[0].push_back(IdentityBlock(dom.AttributeSize(i)));
+    parts[1].push_back(PrefixBlock(dom.AttributeSize(i)));
+  }
+  std::vector<std::vector<int>> groups(2);
+  for (int j = 0; j < w.NumProducts(); ++j) groups[static_cast<size_t>(j % 2)].push_back(j);
+  UnionKronStrategy uni(std::move(parts), std::move(groups), "bench-union");
+
+  const int kEvals = 50;
+  auto measure = [&](const Strategy& s, double* err) {
+    for (int i = 0; i < 2; ++i) *err = s.SquaredError(w);  // Warm caches.
+    const long long before = g_heap_allocs.load(std::memory_order_relaxed);
+    for (int i = 0; i < kEvals; ++i) *err = s.SquaredError(w);
+    const long long after = g_heap_allocs.load(std::memory_order_relaxed);
+    return static_cast<double>(after - before) / static_cast<double>(kEvals);
+  };
+  out.kron_per_eval = measure(kron, &out.kron_error);
+  out.union_per_eval = measure(uni, &out.union_error);
+  std::printf("  heap allocations per SquaredError after warmup: "
+              "kron %.3f, union-kron %.3f\n",
+              out.kron_per_eval, out.union_per_eval);
+  return out;
+}
+
 struct PlanTimings {
   double cold_s = 0.0;
   double warm_gram_s = 0.0;
@@ -592,8 +648,8 @@ std::vector<ThreadArm> BenchRestartScaling(const UnionWorkload& w) {
 }
 
 void WriteJson(const EvalRace& race, double allocs_per_eval,
-               const PlanTimings& plan, const std::vector<ThreadArm>& scaling,
-               const char* path) {
+               const ErrorEvalAllocs& error_allocs, const PlanTimings& plan,
+               const std::vector<ThreadArm>& scaling, const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "could not open %s for writing\n", path);
@@ -621,8 +677,15 @@ void WriteJson(const EvalRace& race, double allocs_per_eval,
                "workload's only p>1 block) vs the seed-replicated Eval + GEMM "
                "substrate + per-restart SYRK Gram; track absolute census "
                "cold-plan time via plan.cold_s\",\n");
-  std::fprintf(f, "  \"allocations\": {\"per_eval_after_warmup\": %.3f},\n",
-               allocs_per_eval);
+  std::fprintf(f,
+               "  \"allocations\": {\"per_eval_after_warmup\": %.3f, "
+               "\"per_error_eval_after_warmup\": %.3f, "
+               "\"per_error_eval_kron\": %.3f, "
+               "\"per_error_eval_union\": %.3f},\n",
+               allocs_per_eval,
+               std::max(error_allocs.kron_per_eval,
+                        error_allocs.union_per_eval),
+               error_allocs.kron_per_eval, error_allocs.union_per_eval);
   std::fprintf(f,
                "  \"plan\": {\"cold_s\": %.6f, \"warm_gram_s\": %.6f, "
                "\"cold_gram_misses\": %llu, \"cold_gram_hits\": %llu, "
@@ -664,6 +727,9 @@ int main(int argc, char** argv) {
   std::printf("\n=== planner: Eval allocation audit ===\n");
   const double allocs = MeasureEvalAllocations();
 
+  std::printf("\n=== planner: SquaredError allocation audit ===\n");
+  const ErrorEvalAllocs error_allocs = MeasureErrorEvalAllocations(w);
+
   std::printf("\n=== planner: cold plan, census workload (N=%lld, %d pool "
               "threads) ===\n",
               static_cast<long long>(w.DomainSize()),
@@ -674,6 +740,7 @@ int main(int argc, char** argv) {
               "restarts, private 1/2/4-thread pools) ===\n");
   const std::vector<ThreadArm> scaling = BenchRestartScaling(w);
 
-  WriteJson(race, allocs, plan, scaling, "BENCH_planner.json");
+  WriteJson(race, allocs, error_allocs, plan, scaling,
+            "BENCH_planner.json");
   return 0;
 }

@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "linalg/eigen_sym.h"
 #include "linalg/pinv.h"
+#include "linalg/qr.h"
 
 namespace hdmm {
 namespace {
@@ -91,16 +92,23 @@ LrmResult LowRankMechanism(const Matrix& w, const LrmOptions& options) {
   Matrix gram = Gram(w);
   Spectral spec = SpectralStrategy(gram, options);
   Matrix l = spec.l;
-  Matrix b = MatMul(w, PseudoInverse(l));
+  // B = W L^+ as the least-squares problem min_B ||L^T B^T - W^T||_F through
+  // the rank-revealing QR: the ALS iterates routinely turn rank-deficient
+  // (a workload whose rank sits below the requested factor rank collapses
+  // directions of L to zero), and the pivoted solve truncates those
+  // directions instead of amplifying roundoff through a pseudo-inverse of a
+  // squared Gram.
+  Matrix b =
+      PivotedQrLeastSquares(l.Transposed(), w.Transposed()).Transposed();
 
   // Alternating refinement: B = W L^+, L = B^+ W, rebalanced each round so
   // the L1 sensitivity stays on L's side of the product.
   for (int it = 0; it < options.als_iterations; ++it) {
-    l = MatMul(PseudoInverse(b), w);
+    l = PivotedQrLeastSquares(b, w);
     double sens = l.MaxAbsColSum();
     if (sens <= 0.0) break;
     l.ScaleInPlace(1.0 / sens);
-    b = MatMul(w, PseudoInverse(l));
+    b = PivotedQrLeastSquares(l.Transposed(), w.Transposed()).Transposed();
   }
 
   LrmResult out;

@@ -1,6 +1,7 @@
 #include "core/strategy.h"
 
 #include <cmath>
+#include <map>
 
 #include "common/check.h"
 #include "core/gaussian.h"
@@ -96,7 +97,14 @@ int64_t KronStrategy::NumQueries() const {
   return m;
 }
 
-double KronStrategy::Sensitivity() const { return KronSensitivity(factors_); }
+double KronStrategy::Sensitivity() const {
+  // Memoized: MaxAbsColSum allocates a column-sum scratch per factor, and
+  // SquaredError calls this on every evaluation — the cache keeps repeated
+  // error evaluations allocation-free once warm.
+  std::call_once(sensitivity_once_,
+                 [this] { sensitivity_ = KronSensitivity(factors_); });
+  return sensitivity_;
+}
 
 double KronStrategy::L2Sensitivity() const {
   return KronL2Sensitivity(factors_);
@@ -118,20 +126,28 @@ Vector KronStrategy::Reconstruct(const Vector& y) const {
   return KronMatVec(FactorPinvs(), y);
 }
 
+const std::vector<PinvGramTracer>& KronStrategy::FactorTracers() const {
+  std::call_once(tracers_once_, [this] {
+    tracers_.reserve(factors_.size());
+    for (const Matrix& f : factors_) tracers_.emplace_back(Gram(f));
+  });
+  return tracers_;
+}
+
 double KronStrategy::SquaredError(const UnionWorkload& w) const {
   HDMM_CHECK(w.DomainSize() == DomainSize());
   HDMM_CHECK(static_cast<int>(factors_.size()) ==
              w.domain().NumAttributes());
   // Theorem 6: ||W A^+||_F^2 = sum_j w_j^2 prod_i tr[(A_i^T A_i)^+ G_i^(j)].
+  // The factor Grams and their inverses live on the strategy (FactorTracers)
+  // and the workload Grams come shared from the GramCache, so once both are
+  // warm a repeated evaluation materializes nothing.
+  const std::vector<PinvGramTracer>& tracers = FactorTracers();
   double total = 0.0;
-  std::vector<Matrix> factor_grams;
-  factor_grams.reserve(factors_.size());
-  for (const Matrix& f : factors_) factor_grams.push_back(Gram(f));
   for (const ProductWorkload& prod : w.products()) {
     double term = prod.weight * prod.weight;
     for (size_t i = 0; i < factors_.size(); ++i) {
-      term *= TracePinvGram(factor_grams[i],
-                            *prod.FactorGramShared(static_cast<int>(i)));
+      term *= tracers[i].Trace(*prod.FactorGramShared(static_cast<int>(i)));
     }
     total += term;
   }
@@ -160,9 +176,13 @@ int64_t UnionKronStrategy::DomainSize() const { return op_->Cols(); }
 int64_t UnionKronStrategy::NumQueries() const { return op_->Rows(); }
 
 double UnionKronStrategy::Sensitivity() const {
-  double s = 0.0;
-  for (const auto& factors : parts_) s += KronSensitivity(factors);
-  return s;
+  // Memoized for the same reason as KronStrategy::Sensitivity.
+  std::call_once(sensitivity_once_, [this] {
+    double s = 0.0;
+    for (const auto& factors : parts_) s += KronSensitivity(factors);
+    sensitivity_ = s;
+  });
+  return sensitivity_;
 }
 
 double UnionKronStrategy::L2Sensitivity() const {
@@ -188,23 +208,35 @@ Vector UnionKronStrategy::Reconstruct(const Vector& y) const {
   return res.x;
 }
 
+const std::vector<std::vector<PinvGramTracer>>&
+UnionKronStrategy::PartTracers() const {
+  std::call_once(part_tracers_once_, [this] {
+    part_tracers_.resize(parts_.size());
+    for (size_t g = 0; g < parts_.size(); ++g) {
+      part_tracers_[g].reserve(parts_[g].size());
+      for (const Matrix& f : parts_[g]) part_tracers_[g].emplace_back(Gram(f));
+    }
+  });
+  return part_tracers_;
+}
+
 double UnionKronStrategy::SquaredError(const UnionWorkload& w) const {
   HDMM_CHECK_MSG(static_cast<int>(group_products_.size()) >= 1,
                  "union strategy without group mapping");
   // Each group g answers the workload products assigned to it using its own
-  // sub-strategy; the stacked sensitivity scales all measurements.
+  // sub-strategy; the stacked sensitivity scales all measurements. Factor
+  // Grams and inverses are memoized per part (PartTracers), so repeated
+  // evaluations allocate nothing once the GramCache is warm.
+  const std::vector<std::vector<PinvGramTracer>>& tracers = PartTracers();
   double total = 0.0;
   for (size_t g = 0; g < parts_.size(); ++g) {
-    std::vector<Matrix> grams;
-    grams.reserve(parts_[g].size());
-    for (const Matrix& f : parts_[g]) grams.push_back(Gram(f));
     for (int j : group_products_[g]) {
       HDMM_CHECK(j >= 0 && j < w.NumProducts());
       const ProductWorkload& prod = w.products()[static_cast<size_t>(j)];
       double term = prod.weight * prod.weight;
-      for (size_t i = 0; i < grams.size(); ++i) {
-        term *= TracePinvGram(grams[i],
-                              *prod.FactorGramShared(static_cast<int>(i)));
+      for (size_t i = 0; i < tracers[g].size(); ++i) {
+        term *= tracers[g][i].Trace(
+            *prod.FactorGramShared(static_cast<int>(i)));
       }
       total += term;
     }
@@ -323,6 +355,182 @@ double MarginalsStrategy::SquaredError(const UnionWorkload& w) const {
   double tr = algebra_.TraceObjective(theta_, tau);
   double sens = Sensitivity();
   return sens * sens * tr;
+}
+
+// --------------------------------------------- MarginalsStreamReconstructor
+
+namespace {
+
+// Sums a per-mask measurement table (row-major over mask's attributes,
+// ascending) down to the attributes in `sub` (sub subset of mask). Tables
+// are marginal-sized, so the straightforward odometer pass is cheap.
+Vector DownsumTable(const Domain& domain, uint32_t mask, uint32_t sub,
+                    const Vector& in) {
+  const int d = domain.NumAttributes();
+  std::vector<int> attrs;
+  for (int i = 0; i < d; ++i) {
+    if ((mask >> i) & 1u) attrs.push_back(i);
+  }
+  const size_t k = attrs.size();
+  std::vector<int64_t> in_stride(k, 1);
+  for (size_t i = k; i-- > 1;) {
+    in_stride[i - 1] = in_stride[i] * domain.AttributeSize(attrs[i]);
+  }
+  int64_t out_cells = 1;
+  std::vector<int64_t> out_stride(k, 0);
+  for (size_t i = k; i-- > 0;) {
+    if ((sub >> attrs[i]) & 1u) {
+      out_stride[i] = out_cells;
+      out_cells *= domain.AttributeSize(attrs[i]);
+    }
+  }
+  // out_stride above grew innermost-first; rebuild in row-major form.
+  {
+    int64_t s = 1;
+    for (size_t i = k; i-- > 0;) {
+      if ((sub >> attrs[i]) & 1u) {
+        out_stride[i] = s;
+        s *= domain.AttributeSize(attrs[i]);
+      } else {
+        out_stride[i] = 0;
+      }
+    }
+  }
+  Vector out(static_cast<size_t>(out_cells), 0.0);
+  std::vector<int64_t> coord(k, 0);
+  int64_t out_idx = 0;
+  for (size_t cell = 0; cell < in.size(); ++cell) {
+    out[static_cast<size_t>(out_idx)] += in[cell];
+    size_t axis = k;
+    while (axis-- > 0) {
+      out_idx += out_stride[axis];
+      if (++coord[axis] < domain.AttributeSize(attrs[axis])) break;
+      out_idx -= coord[axis] * out_stride[axis];
+      coord[axis] = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MarginalsStreamReconstructor::MarginalsStreamReconstructor(
+    const MarginalsStrategy& strategy, const Vector& y)
+    : domain_(strategy.domain()) {
+  const int d = domain_.NumAttributes();
+  const MarginalsAlgebra algebra(domain_.sizes());
+  const uint32_t full = algebra.num_masks() - 1;
+  const Vector& theta = strategy.theta();
+  Vector u(algebra.num_masks());
+  for (uint32_t a = 0; a < algebra.num_masks(); ++a) u[a] = theta[a] * theta[a];
+  const Vector v = algebra.InverseWeights(u);
+
+  // Combined tables E_s in ascending-submask order (deterministic layout —
+  // the backends' bit-identity rests on a fixed summation order).
+  std::map<uint32_t, Vector> combined;
+  size_t offset = 0;
+  for (uint32_t m : strategy.ActiveMasks()) {
+    int64_t cells = 1;
+    for (int i = 0; i < d; ++i) {
+      if ((m >> i) & 1u) cells *= domain_.AttributeSize(i);
+    }
+    HDMM_CHECK(offset + static_cast<size_t>(cells) <= y.size());
+    const Vector raw(y.begin() + static_cast<long>(offset),
+                     y.begin() + static_cast<long>(offset) +
+                         static_cast<long>(cells));
+    offset += static_cast<size_t>(cells);
+
+    // K_{m,s} = theta_m sum_{b subset ~m} v_{s|b} prod_{i in ~m \ b} n_i:
+    // every G(v) term with a & m == s lands on the same downsummed table.
+    const uint32_t fm = full & ~m;
+    uint32_t s = m;
+    while (true) {
+      double k = 0.0;
+      uint32_t b = fm;
+      while (true) {
+        double mult = 1.0;
+        for (int i = 0; i < d; ++i) {
+          if (((fm >> i) & 1u) && !((b >> i) & 1u)) {
+            mult *= static_cast<double>(domain_.AttributeSize(i));
+          }
+        }
+        k += v[s | b] * mult;
+        if (b == 0) break;
+        b = (b - 1) & fm;
+      }
+      k *= theta[m];
+      if (k != 0.0) {
+        Vector t = DownsumTable(domain_, m, s, raw);
+        Vector& e = combined[s];
+        if (e.empty()) e.assign(t.size(), 0.0);
+        HDMM_CHECK(e.size() == t.size());
+        for (size_t i = 0; i < t.size(); ++i) e[i] += k * t[i];
+      }
+      if (s == 0) break;
+      s = (s - 1) & m;
+    }
+  }
+  HDMM_CHECK(offset == y.size());
+
+  for (auto& [s, values] : combined) {
+    Table table;
+    table.values = std::move(values);
+    table.stride.assign(static_cast<size_t>(d), 0);
+    int64_t stride = 1;
+    for (int i = d; i-- > 0;) {
+      if ((s >> i) & 1u) {
+        table.stride[static_cast<size_t>(i)] = stride;
+        stride *= domain_.AttributeSize(i);
+      }
+    }
+    // roll[j]: index delta when axis j increments and every inner axis
+    // wraps from its maximum back to zero.
+    table.roll.assign(static_cast<size_t>(d), 0);
+    for (int j = 0; j < d; ++j) {
+      int64_t roll = table.stride[static_cast<size_t>(j)];
+      for (int i = j + 1; i < d; ++i) {
+        roll -= (domain_.AttributeSize(i) - 1) *
+                table.stride[static_cast<size_t>(i)];
+      }
+      table.roll[static_cast<size_t>(j)] = roll;
+    }
+    tables_.push_back(std::move(table));
+  }
+}
+
+void MarginalsStreamReconstructor::Fill(int64_t begin, int64_t end,
+                                        double* out) const {
+  HDMM_CHECK(begin >= 0 && begin <= end && end <= domain_.TotalSize());
+  if (begin == end) return;
+  const int d = domain_.NumAttributes();
+  std::vector<int64_t> coord = domain_.Unflatten(begin);
+  const size_t nt = tables_.size();
+  std::vector<int64_t> idx(nt, 0);
+  for (size_t t = 0; t < nt; ++t) {
+    for (int i = 0; i < d; ++i) {
+      idx[t] += coord[static_cast<size_t>(i)] *
+                tables_[t].stride[static_cast<size_t>(i)];
+    }
+  }
+  for (int64_t c = begin; c < end; ++c) {
+    double value = 0.0;
+    for (size_t t = 0; t < nt; ++t) {
+      value += tables_[t].values[static_cast<size_t>(idx[t])];
+    }
+    *out++ = value;
+    int axis = d - 1;
+    while (axis >= 0) {
+      if (++coord[static_cast<size_t>(axis)] < domain_.AttributeSize(axis)) {
+        break;
+      }
+      coord[static_cast<size_t>(axis)] = 0;
+      --axis;
+    }
+    if (axis < 0) break;  // Walked past the final cell.
+    for (size_t t = 0; t < nt; ++t) {
+      idx[t] += tables_[t].roll[static_cast<size_t>(axis)];
+    }
+  }
 }
 
 }  // namespace hdmm

@@ -6,7 +6,9 @@
 #ifndef HDMM_CORE_STRATEGY_H_
 #define HDMM_CORE_STRATEGY_H_
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -14,6 +16,7 @@
 #include "core/opt_marginals.h"
 #include "linalg/kron.h"
 #include "linalg/matrix.h"
+#include "linalg/pinv.h"
 #include "workload/workload.h"
 
 namespace hdmm {
@@ -113,10 +116,20 @@ class KronStrategy : public Strategy {
 
  private:
   const std::vector<Matrix>& FactorPinvs() const;
+  const std::vector<PinvGramTracer>& FactorTracers() const;
 
   std::vector<Matrix> factors_;
   std::string name_;
   mutable std::vector<Matrix> pinvs_;  // Cached lazily.
+  /// Per-factor trace engines, built once (first SquaredError call): the
+  /// factor Grams and their inverses stop being re-materialized per
+  /// evaluation, so repeated error evaluations allocate nothing.
+  mutable std::vector<PinvGramTracer> tracers_;
+  mutable std::once_flag tracers_once_;
+  /// Memoized L1 sensitivity (MaxAbsColSum allocates; SquaredError calls it
+  /// every evaluation).
+  mutable double sensitivity_ = 0.0;
+  mutable std::once_flag sensitivity_once_;
 };
 
 /// A union (vertical stack) of Kronecker products A_1 + ... + A_l, the OPT_+
@@ -152,10 +165,18 @@ class UnionKronStrategy : public Strategy {
   }
 
  private:
+  const std::vector<std::vector<PinvGramTracer>>& PartTracers() const;
+
   std::vector<std::vector<Matrix>> parts_;
   std::vector<std::vector<int>> group_products_;
   std::string name_;
   std::shared_ptr<LinearOperator> op_;
+  /// Per-part factor trace engines (see KronStrategy::tracers_).
+  mutable std::vector<std::vector<PinvGramTracer>> part_tracers_;
+  mutable std::once_flag part_tracers_once_;
+  /// Memoized L1 sensitivity (see KronStrategy::sensitivity_).
+  mutable double sensitivity_ = 0.0;
+  mutable std::once_flag sensitivity_once_;
 };
 
 /// The weighted-marginals strategy M(theta) produced by OPT_M.
@@ -195,6 +216,52 @@ class MarginalsStrategy : public Strategy {
   Vector theta_;
   std::string name_;
   MarginalsAlgebra algebra_;
+};
+
+/// Streams a marginals-measured reconstruction tile-by-tile: the closed-form
+/// x_hat = G(v) M^T y of MarginalsStrategy::Reconstruct re-expressed as a
+/// sum of small per-submask tables, so any cell range of x_hat can be
+/// produced in O(#tables) per cell without ever materializing a full-domain
+/// vector. Out-of-core sessions build their tiled summed-area table through
+/// this — the only full-domain state during construction is one tile buffer.
+///
+/// Derivation: with v = InverseWeights(theta^2) and y split into raw
+/// per-mask measurement tables Y_m,
+///
+///   x_hat[c] = sum_a v_a (C(a) M^T y)[c]
+///            = sum_a v_a sum_m theta_m mult(a,m) T_{m->a&m}[c|_{a&m}]
+///
+/// where C(a) = kron_i (I if bit_i(a) else ones), T_{m->s} sums Y_m down to
+/// the attributes in s, and mult(a,m) = prod_{i not in a|m} n_i counts the
+/// axes replicated by the all-ones factors. Grouping terms by s = a & m
+/// collapses everything into one combined table E_s per distinct submask,
+/// and x_hat[c] = sum_s E_s[c|_s].
+class MarginalsStreamReconstructor {
+ public:
+  /// `y` is the strategy's raw (theta-weighted) measurement vector, exactly
+  /// as MeasurementSession receives it.
+  MarginalsStreamReconstructor(const MarginalsStrategy& strategy,
+                               const Vector& y);
+
+  /// Writes x_hat[begin..end) into out[0..end-begin). Stateless per call
+  /// (ranges may be produced in any order) and allocation-light: per-table
+  /// indices advance with the cell odometer, no division per cell.
+  void Fill(int64_t begin, int64_t end, double* out) const;
+
+  int64_t NumTables() const { return static_cast<int64_t>(tables_.size()); }
+
+ private:
+  struct Table {
+    Vector values;
+    /// Per-domain-axis stride within the compact table (0 = axis summed
+    /// out) and the index delta applied when the odometer increments that
+    /// axis (wrapping every inner axis back to zero).
+    std::vector<int64_t> stride;
+    std::vector<int64_t> roll;
+  };
+
+  Domain domain_;
+  std::vector<Table> tables_;
 };
 
 }  // namespace hdmm

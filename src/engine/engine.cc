@@ -1,7 +1,11 @@
 #include "engine/engine.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <sstream>
 #include <utility>
 
@@ -62,6 +66,29 @@ bool ParseBound(const std::string& text, int64_t* lo, int64_t* hi,
   *hi = std::strtoll(b.c_str(), &end, 10);
   if (b.empty() || end != b.c_str() + b.size()) return false;
   return true;
+}
+
+// Store build/read failures inside a session are fatal: there is no way to
+// regenerate lost tiles without re-measuring (and re-charging) the dataset,
+// so the failure must surface instead of degrading answers silently.
+void DieOnStatus(const Status& status, const char* what) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "session storage: %s: %s\n", what,
+               status.ToString().c_str());
+  std::abort();
+}
+
+// Resolves the session's private storage directory: mmap sessions with no
+// configured dir claim a fresh unique directory under the system temp path.
+SessionStorageOptions ResolveStorage(SessionStorageOptions storage) {
+  if (storage.backend == SessionStorage::kMmap && storage.dir.empty()) {
+    static std::atomic<uint64_t> counter{0};
+    storage.dir = (std::filesystem::temp_directory_path() /
+                   ("hdmm-session-" + std::to_string(::getpid()) + "-" +
+                    std::to_string(counter.fetch_add(1))))
+                      .string();
+  }
+  return storage;
 }
 
 }  // namespace
@@ -143,34 +170,70 @@ bool ParseQueryLine(const std::string& line, const Domain& domain,
 
 MeasurementSession::MeasurementSession(
     Domain domain, Vector x_hat, double epsilon,
-    std::shared_ptr<const Strategy> strategy)
+    std::shared_ptr<const Strategy> strategy, SessionStorageOptions storage)
     : MeasurementSession(std::move(domain), std::move(x_hat),
-                         PrivacyCharge::Laplace(epsilon),
-                         std::move(strategy)) {}
+                         PrivacyCharge::Laplace(epsilon), std::move(strategy),
+                         std::move(storage)) {}
 
 MeasurementSession::MeasurementSession(
     Domain domain, Vector x_hat, PrivacyCharge charge,
-    std::shared_ptr<const Strategy> strategy)
+    std::shared_ptr<const Strategy> strategy, SessionStorageOptions storage)
     : domain_(std::move(domain)),
       charge_(charge),
-      strategy_(std::move(strategy)) {
+      strategy_(std::move(strategy)),
+      storage_(ResolveStorage(std::move(storage))) {
   HDMM_CHECK(static_cast<int64_t>(x_hat.size()) == domain_.TotalSize());
   InitStrides();
-  x_hat_ = std::move(x_hat);
   // Eager sessions materialize the summed-area table up front: the x_hat is
-  // already paid for, and Answer must stay lock-free in the common case.
-  BuildPrefixFromXHat();
+  // already paid for, and Answer must stay lock-free in the common case. On
+  // the memory backend the incoming vector is adopted as the x_hat store
+  // without copying; on the mmap backend it is streamed out tile-by-tile
+  // (the fill callback below is only used on that path — BuildStores
+  // replaces it with a store-backed reader when it adopts).
+  const Vector& src = x_hat;
+  BuildStores(
+      [&src](int64_t begin, int64_t end, double* out) {
+        std::copy(src.data() + begin, src.data() + end, out);
+      },
+      storage_.backend == SessionStorage::kMemory ? &x_hat : nullptr);
+  materialized_.store(true, std::memory_order_release);
+}
+
+MeasurementSession::MeasurementSession(
+    Domain domain, std::function<void(int64_t, int64_t, double*)> fill,
+    PrivacyCharge charge, std::shared_ptr<const Strategy> strategy,
+    SessionStorageOptions storage)
+    : domain_(std::move(domain)),
+      charge_(charge),
+      strategy_(std::move(strategy)),
+      storage_(ResolveStorage(std::move(storage))) {
+  InitStrides();
+  BuildStores(fill, nullptr);
   materialized_.store(true, std::memory_order_release);
 }
 
 MeasurementSession::MeasurementSession(
     Domain domain, std::shared_ptr<const MarginalsStrategy> strategy,
-    Vector y, PrivacyCharge charge)
-    : domain_(std::move(domain)), charge_(charge), strategy_(strategy) {
+    Vector y, PrivacyCharge charge, SessionStorageOptions storage)
+    : domain_(std::move(domain)),
+      charge_(charge),
+      strategy_(strategy),
+      storage_(ResolveStorage(std::move(storage))) {
   HDMM_CHECK(strategy != nullptr);
   InitStrides();
   BuildMarginalTables(*strategy, y);
   y_ = std::move(y);
+}
+
+MeasurementSession::~MeasurementSession() {
+  // Stores unmap and remove their own tile subdirectories first; then the
+  // session's directory itself goes (mmap sessions own their storage).
+  xhat_store_.reset();
+  prefix_store_.reset();
+  if (storage_.backend == SessionStorage::kMmap && !storage_.dir.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(storage_.dir, ec);
+  }
 }
 
 void MeasurementSession::InitStrides() {
@@ -221,48 +284,125 @@ void MeasurementSession::BuildMarginalTables(const MarginalsStrategy& strategy,
   HDMM_CHECK(offset == y.size());
 }
 
-// Summed-area table of x_hat_: one prefix pass per axis turns prefix_[t]
-// into sum_{s <= t componentwise} x_hat[s].
-void MeasurementSession::BuildPrefixFromXHat() const {
-  const int d = domain_.NumAttributes();
-  prefix_ = x_hat_;
-  const int64_t n = static_cast<int64_t>(prefix_.size());
-  for (int a = 0; a < d; ++a) {
-    const int64_t stride = strides_[static_cast<size_t>(a)];
-    const int64_t size = domain_.AttributeSize(a);
-    for (int64_t i = 0; i < n; ++i) {
-      if ((i / stride) % size != 0) prefix_[static_cast<size_t>(i)] +=
-          prefix_[static_cast<size_t>(i - stride)];
-    }
+// One streaming pass building both stores: each x_hat tile (produced by
+// `fill`) is folded into the summed-area table in flattened row-major order,
+// carrying per-axis prefix seams between cells. seams[a][i % strides_[a]]
+// holds the summed-area value of the most recent cell one step back along
+// axis a's coordinate at the same position on every inner axis — exactly the
+// neighbor the classic per-axis prefix pass would read — so the pass never
+// needs more than the seams (sum_a strides_[a] cells, ~N / n_0) plus two
+// tile buffers, regardless of N.
+void MeasurementSession::BuildStores(
+    const std::function<void(int64_t, int64_t, double*)>& fill,
+    Vector* adopt_xhat) const {
+  const int64_t n = domain_.TotalSize();
+  std::function<void(int64_t, int64_t, double*)> source = fill;
+  if (adopt_xhat != nullptr && storage_.backend == SessionStorage::kMemory) {
+    xhat_store_ =
+        MemoryVectorStore::Adopt(std::move(*adopt_xhat), storage_.tile_bytes);
+    const double* src = xhat_store_->ContiguousData();
+    source = [src](int64_t begin, int64_t end, double* out) {
+      std::copy(src + begin, src + end, out);
+    };
+  } else {
+    xhat_store_ = MakeDataVectorStore(n, storage_, "xhat");
   }
+  prefix_store_ = MakeDataVectorStore(n, storage_, "prefix");
+  const bool append_xhat = !xhat_store_->sealed();
+
+  const int d = domain_.NumAttributes();
+  std::vector<Vector> seams(static_cast<size_t>(d));
+  for (int a = 0; a < d; ++a) {
+    seams[static_cast<size_t>(a)].assign(
+        static_cast<size_t>(strides_[static_cast<size_t>(a)]), 0.0);
+  }
+  std::vector<int64_t> coord(static_cast<size_t>(d), 0);
+  std::vector<int64_t> pos(static_cast<size_t>(d), 0);  // i % strides_[a].
+  const int64_t tile_cells = prefix_store_->tile_cells();
+  Vector xbuf(static_cast<size_t>(tile_cells));
+  Vector pbuf(static_cast<size_t>(tile_cells));
+  for (int64_t begin = 0; begin < n; begin += tile_cells) {
+    const int64_t count = std::min(tile_cells, n - begin);
+    source(begin, begin + count, xbuf.data());
+    for (int64_t i = 0; i < count; ++i) {
+      double v = xbuf[static_cast<size_t>(i)];
+      // Inner axes first: by the time axis a folds in its seam, v already
+      // holds the prefix over every axis after a — the same accumulation
+      // order as running the per-axis passes innermost-first.
+      for (int a = d - 1; a >= 0; --a) {
+        Vector& seam = seams[static_cast<size_t>(a)];
+        const size_t p = static_cast<size_t>(pos[static_cast<size_t>(a)]);
+        if (coord[static_cast<size_t>(a)] > 0) v += seam[p];
+        seam[p] = v;
+      }
+      pbuf[static_cast<size_t>(i)] = v;
+      for (int a = d - 1; a >= 0; --a) {
+        if (++coord[static_cast<size_t>(a)] < domain_.AttributeSize(a)) break;
+        coord[static_cast<size_t>(a)] = 0;
+      }
+      for (int a = 0; a < d; ++a) {
+        if (++pos[static_cast<size_t>(a)] ==
+            strides_[static_cast<size_t>(a)]) {
+          pos[static_cast<size_t>(a)] = 0;
+        }
+      }
+    }
+    if (append_xhat) {
+      DieOnStatus(xhat_store_->AppendTile(xbuf.data(), count),
+                  "appending x_hat tile");
+    }
+    DieOnStatus(prefix_store_->AppendTile(pbuf.data(), count),
+                "appending summed-area tile");
+  }
+  if (append_xhat) DieOnStatus(xhat_store_->Seal(), "sealing x_hat store");
+  DieOnStatus(prefix_store_->Seal(), "sealing summed-area store");
+  prefix_contig_ = prefix_store_->ContiguousData();
 }
 
-const Vector& MeasurementSession::Prefix() const {
+void MeasurementSession::EnsureMaterialized() const {
   // Double-checked: the release store below publishes the fully built
-  // prefix_, so once the acquire load sees true every reader is lock-free —
+  // stores, so once the acquire load sees true every reader is lock-free —
   // pool workers answering a batch must not serialize on the mutex.
-  if (!materialized_.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lock(lazy_mu_);
-    if (!materialized_.load(std::memory_order_relaxed)) {
-      // First uncovered query on a marginals-measured session: reconstruct
-      // x_hat through the strategy's closed-form pseudo-inverse, then build
-      // the summed-area table. Post-processing only — no budget involved.
-      x_hat_ = strategy_->Reconstruct(y_);
-      HDMM_CHECK(static_cast<int64_t>(x_hat_.size()) == domain_.TotalSize());
-      BuildPrefixFromXHat();
-      // The raw measurement is dead weight from here on: covered queries
-      // read marginal_tables_, everything else reads prefix_.
-      y_.clear();
-      y_.shrink_to_fit();
-      materialized_.store(true, std::memory_order_release);
-    }
-  }
-  return prefix_;
+  if (materialized_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  if (materialized_.load(std::memory_order_relaxed)) return;
+  // First uncovered query on a marginals-measured session: stream x_hat out
+  // of the strategy's closed-form pseudo-inverse (re-expressed as compact
+  // per-submask tables) and fold it into the summed-area stores tile by
+  // tile. Post-processing only — no budget involved — and no full-domain
+  // intermediate is ever held.
+  const auto* marginals =
+      dynamic_cast<const MarginalsStrategy*>(strategy_.get());
+  HDMM_CHECK(marginals != nullptr);
+  const MarginalsStreamReconstructor recon(*marginals, y_);
+  BuildStores(
+      [&recon](int64_t begin, int64_t end, double* out) {
+        recon.Fill(begin, end, out);
+      },
+      nullptr);
+  // The raw measurement is dead weight from here on: covered queries read
+  // marginal_tables_, everything else reads the summed-area store.
+  y_.clear();
+  y_.shrink_to_fit();
+  materialized_.store(true, std::memory_order_release);
 }
 
 const Vector& MeasurementSession::XHat() const {
-  Prefix();  // Materializes x_hat_ as a side effect.
-  return x_hat_;
+  EnsureMaterialized();
+  if (const Vector* dense = xhat_store_->AsVector()) return *dense;
+  // Mmap backend: densify once, on demand, under the lazy lock.
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  if (static_cast<int64_t>(xhat_dense_.size()) != domain_.TotalSize()) {
+    xhat_dense_.resize(static_cast<size_t>(domain_.TotalSize()));
+    for (int64_t t = 0; t < xhat_store_->num_tiles(); ++t) {
+      StatusOr<TileRef> ref = xhat_store_->Tile(t);
+      DieOnStatus(ref.status(), "reading x_hat tile");
+      const TileRef& tile = ref.value();
+      std::copy(tile.data(), tile.data() + tile.cells(),
+                xhat_dense_.data() + t * xhat_store_->tile_cells());
+    }
+  }
+  return xhat_dense_;
 }
 
 const MeasuredMarginal* MeasurementSession::CoveringTable(
@@ -350,8 +490,10 @@ double MeasurementSession::Answer(const BoxQuery& q) const {
   }
 
   // Inclusion-exclusion over the 2^d box corners: corner bit i picks the
-  // (lo_i - 1) face; a corner with any coordinate -1 contributes zero.
-  const Vector& prefix = Prefix();
+  // (lo_i - 1) face; a corner with any coordinate -1 contributes zero. Each
+  // corner is one summed-area-table cell, so the mmap backend touches at
+  // most 2^d tiles per query no matter how large the domain is.
+  EnsureMaterialized();
   double total = 0.0;
   const uint32_t corners = 1u << d;
   for (uint32_t mask = 0; mask < corners; ++mask) {
@@ -369,7 +511,7 @@ double MeasurementSession::Answer(const BoxQuery& q) const {
     }
     if (outside) continue;
     const bool negate = __builtin_popcount(mask) & 1;
-    const double term = prefix[static_cast<size_t>(index)];
+    const double term = PrefixAt(index);
     total += negate ? -term : term;
   }
   return total;
@@ -384,7 +526,7 @@ Vector MeasurementSession::AnswerBatch(
   if (!materialized_.load(std::memory_order_acquire)) {
     for (const BoxQuery& q : queries) {
       if (!CoveredByMarginal(q)) {
-        Prefix();
+        EnsureMaterialized();
         break;
       }
     }
@@ -459,6 +601,20 @@ BudgetAccountantOptions AccountantOptions(const EngineOptions& options) {
             : RhoFromEpsilonDelta(epsilon, options.delta);
   }
   return accountant;
+}
+
+// Each measured session gets its own storage directory under the configured
+// base (so concurrent sessions never share tile files); an empty base lets
+// the session derive a unique temp directory itself.
+SessionStorageOptions PerSessionStorage(const SessionStorageOptions& base) {
+  SessionStorageOptions storage = base;
+  if (storage.backend == SessionStorage::kMmap && !storage.dir.empty()) {
+    static std::atomic<uint64_t> counter{0};
+    storage.dir = (std::filesystem::path(storage.dir) /
+                   ("session-" + std::to_string(counter.fetch_add(1))))
+                      .string();
+  }
+  return storage;
 }
 
 }  // namespace
@@ -591,14 +747,16 @@ StatusOr<std::unique_ptr<MeasurementSession>> Engine::MeasureOr(
   if (auto marginals =
           std::dynamic_pointer_cast<const MarginalsStrategy>(plan.strategy)) {
     auto session = std::make_unique<MeasurementSession>(
-        w.domain(), marginals, std::move(y), charge);
+        w.domain(), marginals, std::move(y), charge,
+        PerSessionStorage(options_.session_storage));
     latency->Record(static_cast<uint64_t>(timer.Seconds() * 1e9));
     return session;
   }
 
   Vector x_hat = Reconstruct(*plan.strategy, plan.fingerprint, y);
   auto session = std::make_unique<MeasurementSession>(
-      w.domain(), std::move(x_hat), charge, plan.strategy);
+      w.domain(), std::move(x_hat), charge, plan.strategy,
+      PerSessionStorage(options_.session_storage));
   latency->Record(static_cast<uint64_t>(timer.Seconds() * 1e9));
   return session;
 }

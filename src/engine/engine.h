@@ -25,6 +25,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -39,6 +40,7 @@
 #include "engine/fingerprint.h"
 #include "engine/privacy.h"
 #include "engine/strategy_cache.h"
+#include "engine/tile_store.h"
 #include "linalg/matrix.h"
 #include "workload/domain.h"
 #include "workload/workload.h"
@@ -92,16 +94,40 @@ struct MeasuredMarginal {
 ///     full x_hat + summed-area table is only reconstructed — lazily, once,
 ///     thread-safely — if an uncovered query arrives.
 ///
+/// Both full-domain vectors (x_hat and its summed-area table) live in
+/// DataVectorStores selected by SessionStorageOptions: the in-memory backend
+/// keeps the pre-PR behavior (contiguous vectors, lock-free answering),
+/// while the mmap backend tiles both vectors onto per-tile files so a
+/// session over a domain far larger than RAM still answers box queries by
+/// touching only the O(2^d) corner tiles of the summed-area table. The
+/// summed-area table is built tile-by-tile in one streaming pass (per-axis
+/// prefix seams carried between tiles), so construction never holds the
+/// full table either; for marginals-measured sessions even x_hat itself is
+/// produced tile-by-tile through MarginalsStreamReconstructor.
+///
 /// Sessions are safe to share across threads for answering.
 class MeasurementSession {
  public:
   /// Generic session over an already-reconstructed x_hat (Laplace charge).
   MeasurementSession(Domain domain, Vector x_hat, double epsilon,
-                     std::shared_ptr<const Strategy> strategy);
+                     std::shared_ptr<const Strategy> strategy,
+                     SessionStorageOptions storage = {});
 
   /// Generic session with an explicit privacy charge.
   MeasurementSession(Domain domain, Vector x_hat, PrivacyCharge charge,
-                     std::shared_ptr<const Strategy> strategy);
+                     std::shared_ptr<const Strategy> strategy,
+                     SessionStorageOptions storage = {});
+
+  /// Generic session whose x_hat is produced by `fill` over flattened cell
+  /// ranges (fill(begin, end, out) writes cells [begin, end) into out). The
+  /// out-of-core construction path: the full data vector never exists in
+  /// RAM — on the mmap backend peak transient memory is two tile buffers
+  /// plus the per-axis prefix seams, regardless of domain size.
+  MeasurementSession(Domain domain,
+                     std::function<void(int64_t, int64_t, double*)> fill,
+                     PrivacyCharge charge,
+                     std::shared_ptr<const Strategy> strategy,
+                     SessionStorageOptions storage = {});
 
   /// Marginals-measured session: `y` is the strategy's raw measurement
   /// vector (theta-weighted marginal tables concatenated in ActiveMasks
@@ -109,7 +135,12 @@ class MeasurementSession {
   /// needs it.
   MeasurementSession(Domain domain,
                      std::shared_ptr<const MarginalsStrategy> strategy,
-                     Vector y, PrivacyCharge charge);
+                     Vector y, PrivacyCharge charge,
+                     SessionStorageOptions storage = {});
+
+  /// Removes the session's storage directory (mmap backend) — sessions own
+  /// their on-disk state.
+  ~MeasurementSession();
 
   const Domain& domain() const { return domain_; }
   Mechanism mechanism() const { return charge_.mechanism; }
@@ -120,8 +151,13 @@ class MeasurementSession {
   const std::shared_ptr<const Strategy>& strategy() const { return strategy_; }
 
   /// The reconstructed data vector; triggers (and caches) reconstruction on
-  /// a marginals-measured session.
+  /// a marginals-measured session. On the mmap backend this densifies the
+  /// whole vector into RAM (cached) — a debugging/accuracy-check affordance,
+  /// not the serving path; callers that only answer queries never pay it.
   const Vector& XHat() const;
+
+  /// The storage configuration this session was built with (dir resolved).
+  const SessionStorageOptions& storage() const { return storage_; }
 
   /// The measured marginal tables (empty for generic sessions).
   const std::vector<MeasuredMarginal>& marginal_tables() const {
@@ -142,29 +178,46 @@ class MeasurementSession {
   void InitStrides();
   void BuildMarginalTables(const MarginalsStrategy& strategy,
                            const Vector& y);
-  /// Builds prefix_ (the summed-area table) from x_hat_. Caller must hold
-  /// lazy_mu_ or be the constructor.
-  void BuildPrefixFromXHat() const;
+  /// Streams x_hat (produced by `fill` over cell ranges) into the tiled
+  /// stores: one pass that appends each x_hat tile and the matching
+  /// summed-area-table tile, carrying per-axis prefix seams between tiles —
+  /// peak transient memory is two tile buffers plus the seams
+  /// (sum_a strides_[a] cells, i.e. ~N / n_0 for the leading attribute's
+  /// size n_0), never the full table. With `adopt_xhat` non-null the vector
+  /// is adopted as the x_hat store (memory backend, zero copy) instead of
+  /// being re-appended. Caller must hold lazy_mu_ or be the constructor.
+  void BuildStores(const std::function<void(int64_t, int64_t, double*)>& fill,
+                   Vector* adopt_xhat) const;
   /// The covering table with the fewest cells to sum, or nullptr.
   const MeasuredMarginal* CoveringTable(const BoxQuery& q) const;
   double AnswerFromTable(const MeasuredMarginal& table,
                          const BoxQuery& q) const;
-  /// x_hat + summed-area table, building both on first use (marginals
-  /// sessions defer this until an uncovered query arrives). Lock-free once
+  /// Builds x_hat + summed-area stores on first use (marginals sessions
+  /// defer this until an uncovered query arrives). Lock-free once
   /// materialized.
-  const Vector& Prefix() const;
+  void EnsureMaterialized() const;
+  /// One summed-area-table cell: contiguous read on the memory backend,
+  /// tile-pinned read on the mmap backend.
+  double PrefixAt(int64_t index) const {
+    return prefix_contig_ != nullptr ? prefix_contig_[index]
+                                     : prefix_store_->At(index);
+  }
 
   Domain domain_;
   PrivacyCharge charge_;
   std::shared_ptr<const Strategy> strategy_;
+  SessionStorageOptions storage_;  // dir resolved to this session's own.
   std::vector<int64_t> strides_;  // Row-major strides per attribute.
   std::vector<MeasuredMarginal> marginal_tables_;
 
   mutable Vector y_;  // Raw measurement; released once x_hat materializes.
   mutable std::mutex lazy_mu_;
   mutable std::atomic<bool> materialized_{false};
-  mutable Vector x_hat_;
-  mutable Vector prefix_;  // Summed-area table of x_hat_.
+  mutable std::unique_ptr<DataVectorStore> xhat_store_;
+  mutable std::unique_ptr<DataVectorStore> prefix_store_;
+  /// Non-null iff prefix_store_ is contiguous (memory backend fast path).
+  mutable const double* prefix_contig_ = nullptr;
+  mutable Vector xhat_dense_;  // XHat() cache for the mmap backend.
 };
 
 struct EngineOptions {
@@ -173,6 +226,14 @@ struct EngineOptions {
 
   /// Strategy cache configuration (set cache.disk_dir for persistence).
   StrategyCacheOptions cache;
+
+  /// Data-vector storage for measurement sessions. The default (in-memory)
+  /// keeps everything in RAM; `mmap` tiles each session's x_hat and
+  /// summed-area table onto files so sessions over domains larger than RAM
+  /// still serve box queries. `session_storage.dir` is a base directory —
+  /// each session gets its own subdirectory under it (a unique temp
+  /// directory when empty) and removes it on destruction.
+  SessionStorageOptions session_storage;
 
   /// Accounting regime: pure-dp (Laplace only, epsilons add) or zcdp
   /// (rho adds; Gaussian costs rho, Laplace costs eps^2/2).

@@ -66,4 +66,26 @@ double TracePinvGram(const Matrix& gram_a, const Matrix& gram_w) {
   return tr;
 }
 
+PinvGramTracer::PinvGramTracer(const Matrix& gram_a) {
+  HDMM_CHECK(gram_a.rows() == gram_a.cols());
+  Matrix l;
+  if (CholeskyFactor(gram_a, &l)) {
+    CholeskySolveMatrixInto(l, Matrix::Identity(gram_a.rows()), &inv_);
+  } else {
+    inv_ = PsdPseudoInverse(gram_a);
+  }
+}
+
+double PinvGramTracer::Trace(const Matrix& gram_w) const {
+  HDMM_CHECK(gram_w.rows() == inv_.rows() && gram_w.cols() == inv_.cols());
+  // Both operands are symmetric, so the trace of the product is the
+  // elementwise dot of the row-major storage — one linear pass.
+  const double* a = inv_.data();
+  const double* b = gram_w.data();
+  const int64_t n = inv_.rows() * inv_.cols();
+  double tr = 0.0;
+  for (int64_t i = 0; i < n; ++i) tr += a[i] * b[i];
+  return tr;
+}
+
 }  // namespace hdmm

@@ -22,6 +22,23 @@ Matrix PseudoInverse(const Matrix& a, double rcond = 1e-12);
 /// when A^T A is singular.
 double TracePinvGram(const Matrix& gram_a, const Matrix& gram_w);
 
+/// Precomputed form of TracePinvGram for a fixed strategy Gram: the inverse
+/// (or PSD pseudo-inverse, when singular) is materialized once, and each
+/// Trace against a workload Gram is the symmetric elementwise dot
+/// tr[(A^T A)^+ G] = sum_ij (A^T A)^+_ij G_ij — no factorization, no solve,
+/// and no allocation per call. This is what lets strategy error evaluation
+/// run allocation-free over repeated workloads (the optimizer's restart
+/// grid evaluates the same factor Grams against every candidate).
+class PinvGramTracer {
+ public:
+  explicit PinvGramTracer(const Matrix& gram_a);
+  double Trace(const Matrix& gram_w) const;
+  int64_t rows() const { return inv_.rows(); }
+
+ private:
+  Matrix inv_;
+};
+
 }  // namespace hdmm
 
 #endif  // HDMM_LINALG_PINV_H_

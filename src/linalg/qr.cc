@@ -316,4 +316,174 @@ double AbsDeterminant(const Matrix& a) {
   return det;
 }
 
+namespace {
+
+// Businger-Golub pivoted factorization in compact form: R in the upper
+// trapezoid of `a`, essential reflector vectors below the diagonal of the
+// first min(m, n) columns, taus in `betas`, column permutation in `perm`.
+// Pivot selection maximizes the remaining column norm; norms are downdated
+// per step (O(n) instead of O(mn)) and recomputed from scratch when
+// cancellation has eaten the downdated value (the dgeqp3 guard — without it
+// a near-rank boundary can pivot on pure roundoff).
+void PivotedFactor(Matrix* a, Vector* betas, std::vector<int64_t>* perm,
+                   int64_t* rank, double rcond) {
+  const int64_t m = a->rows();
+  const int64_t n = a->cols();
+  const int64_t kmax = std::min(m, n);
+  betas->assign(static_cast<size_t>(n), 0.0);
+  perm->resize(static_cast<size_t>(n));
+  for (int64_t j = 0; j < n; ++j) (*perm)[static_cast<size_t>(j)] = j;
+
+  Vector norms(static_cast<size_t>(n), 0.0);
+  for (int64_t j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (int64_t i = 0; i < m; ++i) s += (*a)(i, j) * (*a)(i, j);
+    norms[static_cast<size_t>(j)] = std::sqrt(s);
+  }
+  Vector norms_ref = norms;
+  // Downdate accuracy floor (sqrt of double machine epsilon).
+  constexpr double kRecomputeTol = 1.49e-8;
+
+  *rank = 0;
+  double r00 = 0.0;
+  for (int64_t j = 0; j < kmax; ++j) {
+    int64_t pivot = j;
+    for (int64_t k = j + 1; k < n; ++k) {
+      if (norms[static_cast<size_t>(k)] > norms[static_cast<size_t>(pivot)]) {
+        pivot = k;
+      }
+    }
+    if (pivot != j) {
+      for (int64_t i = 0; i < m; ++i) std::swap((*a)(i, j), (*a)(i, pivot));
+      std::swap((*perm)[static_cast<size_t>(j)],
+                (*perm)[static_cast<size_t>(pivot)]);
+      std::swap(norms[static_cast<size_t>(j)],
+                norms[static_cast<size_t>(pivot)]);
+      std::swap(norms_ref[static_cast<size_t>(j)],
+                norms_ref[static_cast<size_t>(pivot)]);
+    }
+
+    ReflectColumn(a, betas, j, n);
+
+    const double diag = std::abs((*a)(j, j));
+    if (j == 0) r00 = diag;
+    if (diag > rcond * r00) *rank = j + 1;
+
+    for (int64_t k = j + 1; k < n; ++k) {
+      double& nk = norms[static_cast<size_t>(k)];
+      if (nk == 0.0) continue;
+      const double ratio = std::abs((*a)(j, k)) / nk;
+      const double temp = std::max(0.0, 1.0 - ratio * ratio);
+      const double rel = nk / norms_ref[static_cast<size_t>(k)];
+      if (temp * rel * rel <= kRecomputeTol) {
+        double s = 0.0;
+        for (int64_t i = j + 1; i < m; ++i) s += (*a)(i, k) * (*a)(i, k);
+        nk = std::sqrt(s);
+        norms_ref[static_cast<size_t>(k)] = nk;
+      } else {
+        nk *= std::sqrt(temp);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Matrix PivotedQrResult::Reconstruct() const {
+  const Matrix qr = MatMul(q, r);
+  Matrix out(qr.rows(), qr.cols());
+  for (int64_t j = 0; j < qr.cols(); ++j) {
+    const int64_t dst = perm[static_cast<size_t>(j)];
+    for (int64_t i = 0; i < qr.rows(); ++i) out(i, dst) = qr(i, j);
+  }
+  return out;
+}
+
+PivotedQrResult ColumnPivotedQr(const Matrix& a, double rcond) {
+  HDMM_CHECK(a.rows() > 0 && a.cols() > 0);
+  const int64_t m = a.rows();
+  const int64_t n = a.cols();
+  const int64_t kmax = std::min(m, n);
+
+  Matrix factored = a;
+  Vector betas;
+  PivotedQrResult result;
+  PivotedFactor(&factored, &betas, &result.perm, &result.rank, rcond);
+
+  // R (upper trapezoid), flipping signs so the diagonal is >= 0.
+  Matrix r(kmax, n);
+  std::vector<bool> flip(static_cast<size_t>(kmax), false);
+  for (int64_t i = 0; i < kmax; ++i) {
+    flip[static_cast<size_t>(i)] = factored(i, i) < 0.0;
+    for (int64_t j = i; j < n; ++j) {
+      r(i, j) = flip[static_cast<size_t>(i)] ? -factored(i, j) : factored(i, j);
+    }
+  }
+
+  // BuildThinQ reads one reflector per column, so hand it just the kmax
+  // reflector columns (all of them when m >= n; the wide case has no
+  // reflectors past row m).
+  Matrix reflectors(m, kmax);
+  for (int64_t j = 0; j < kmax; ++j) {
+    for (int64_t i = 0; i < m; ++i) reflectors(i, j) = factored(i, j);
+  }
+  Vector reflector_betas(betas.begin(), betas.begin() + kmax);
+  Matrix q = BuildThinQ(reflectors, reflector_betas);
+  for (int64_t k = 0; k < kmax; ++k) {
+    if (!flip[static_cast<size_t>(k)]) continue;
+    for (int64_t i = 0; i < m; ++i) q(i, k) = -q(i, k);
+  }
+  result.q = std::move(q);
+  result.r = std::move(r);
+  return result;
+}
+
+Matrix PivotedQrLeastSquares(const Matrix& a, const Matrix& b, double rcond) {
+  HDMM_CHECK_MSG(a.rows() >= a.cols(),
+                 "PivotedQrLeastSquares requires rows >= cols");
+  HDMM_CHECK(b.rows() == a.rows());
+  const int64_t m = a.rows();
+  const int64_t n = a.cols();
+  const int64_t nrhs = b.cols();
+
+  Matrix factored = a;
+  Vector betas;
+  std::vector<int64_t> perm;
+  int64_t rank = 0;
+  PivotedFactor(&factored, &betas, &perm, &rank, rcond);
+
+  Matrix x(n, nrhs);
+  Vector c(static_cast<size_t>(m), 0.0);
+  Vector z(static_cast<size_t>(n), 0.0);
+  for (int64_t col = 0; col < nrhs; ++col) {
+    for (int64_t i = 0; i < m; ++i) c[static_cast<size_t>(i)] = b(i, col);
+    ApplyQTranspose(factored, betas, &c);
+    // Back substitution on the leading rank x rank block; directions beyond
+    // the numerical rank carry no signal, only noise divided by a tiny
+    // pivot — truncate them to zero instead.
+    std::fill(z.begin(), z.end(), 0.0);
+    for (int64_t i = rank - 1; i >= 0; --i) {
+      double acc = c[static_cast<size_t>(i)];
+      for (int64_t j = i + 1; j < rank; ++j) {
+        acc -= factored(i, j) * z[static_cast<size_t>(j)];
+      }
+      z[static_cast<size_t>(i)] = acc / factored(i, i);
+    }
+    for (int64_t j = 0; j < n; ++j) {
+      x(perm[static_cast<size_t>(j)], col) = z[static_cast<size_t>(j)];
+    }
+  }
+  return x;
+}
+
+Vector PivotedQrLeastSquares(const Matrix& a, const Vector& b, double rcond) {
+  HDMM_CHECK(static_cast<int64_t>(b.size()) == a.rows());
+  Matrix rhs(a.rows(), 1);
+  for (int64_t i = 0; i < a.rows(); ++i) rhs(i, 0) = b[static_cast<size_t>(i)];
+  const Matrix x = PivotedQrLeastSquares(a, rhs, rcond);
+  Vector out(static_cast<size_t>(a.cols()), 0.0);
+  for (int64_t i = 0; i < a.cols(); ++i) out[static_cast<size_t>(i)] = x(i, 0);
+  return out;
+}
+
 }  // namespace hdmm

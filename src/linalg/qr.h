@@ -5,6 +5,9 @@
 #ifndef HDMM_LINALG_QR_H_
 #define HDMM_LINALG_QR_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "linalg/matrix.h"
 
 namespace hdmm {
@@ -33,6 +36,40 @@ Vector QrLeastSquares(const Matrix& a, const Vector& b, double rcond = 1e-12);
 /// Determinant of a square matrix through its QR factorization, up to sign:
 /// returns prod_j r_jj = |det(A)|.
 double AbsDeterminant(const Matrix& a);
+
+/// Column-pivoted (rank-revealing) QR factorization A P = Q R of an m x n
+/// matrix: `q` is m x k with orthonormal columns (k = min(m, n)), `r` is
+/// k x n upper trapezoidal with a non-negative diagonal of non-increasing
+/// magnitude, and `perm[j]` names the original column standing at pivot
+/// position j. `rank` counts the diagonal entries above rcond * r_00 — the
+/// numerical rank the pivoting reveals.
+struct PivotedQrResult {
+  Matrix q;
+  Matrix r;
+  std::vector<int64_t> perm;
+  int64_t rank = 0;
+
+  /// Q R P^T (= A up to roundoff), for testing the factorization.
+  Matrix Reconstruct() const;
+};
+
+/// Businger-Golub column pivoting with downdated column norms (and the
+/// LAPACK-style recompute guard against cancellation). Unlike HouseholderQr
+/// this accepts any shape and any rank.
+PivotedQrResult ColumnPivotedQr(const Matrix& a, double rcond = 1e-12);
+
+/// Minimum-residual "basic" solution of min_X ||A X - B||_F through the
+/// rank-revealing factorization: directions beyond the numerical rank are
+/// truncated instead of divided by, so rank-deficient systems get a finite
+/// least-squares solution where QrLeastSquares dies (the solution with zero
+/// coefficients on the n - rank non-pivot columns, not the minimum-norm
+/// one). Requires rows >= cols; B stacks one right-hand side per column.
+Matrix PivotedQrLeastSquares(const Matrix& a, const Matrix& b,
+                             double rcond = 1e-12);
+
+/// Single right-hand-side convenience overload.
+Vector PivotedQrLeastSquares(const Matrix& a, const Vector& b,
+                             double rcond = 1e-12);
 
 }  // namespace hdmm
 

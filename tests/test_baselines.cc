@@ -220,6 +220,38 @@ TEST(Lrm, GramOnlyPathAgreesOnError) {
   EXPECT_NEAR(a.squared_error, b.squared_error, 1e-6 * a.squared_error);
 }
 
+TEST(Lrm, SurvivesRankDeficientFactorIterates) {
+  // Rank-2 workload (every row a combination of two base rows, with exact
+  // duplicates) but a requested factor rank of 5 with the spectral floor
+  // disabled: the seed L carries near-zero rows for the junk eigenvalues,
+  // so the ALS least-squares iterates are numerically rank-deficient. The
+  // rank-revealing solves must truncate those directions — finite factors,
+  // finite error, and B L still reconstructing W — where a plain QR solve
+  // dies and normal equations amplify roundoff.
+  Matrix base = Matrix::FromRows({{1.0, 2.0, 3.0, 4.0, 5.0, 6.0},
+                                  {6.0, 5.0, 4.0, 3.0, 2.0, 1.0}});
+  Matrix w(8, 6);
+  for (int64_t i = 0; i < 8; ++i) {
+    const double c0 = static_cast<double>(i % 3) - 1.0;
+    const double c1 = static_cast<double>(i % 2) + 0.5;
+    for (int64_t j = 0; j < 6; ++j) {
+      w(i, j) = c0 * base(0, j) + c1 * base(1, j);
+    }
+  }
+  LrmOptions opts;
+  opts.rank = 5;
+  opts.spectral_tol = 1e-30;
+  LrmResult res = LowRankMechanism(w, opts);
+  EXPECT_TRUE(std::isfinite(res.squared_error));
+  for (int64_t i = 0; i < res.b.rows(); ++i) {
+    for (int64_t j = 0; j < res.b.cols(); ++j) {
+      ASSERT_TRUE(std::isfinite(res.b(i, j)));
+    }
+  }
+  Matrix rec = MatMul(res.b, res.l);
+  EXPECT_LT(rec.MaxAbsDiff(w), 1e-6);
+}
+
 TEST(MatrixMechanism, ImprovesOverIdentityStart) {
   Matrix gram = PrefixGram(24);
   Rng rng(5);

@@ -51,6 +51,9 @@ int Usage() {
       "                       [--regime pure|zcdp] [--budget-rho R]\n"
       "                       [--delta D] [--cache-dir DIR] [--ledger FILE]\n"
       "                       [--seed S] [--opt-seed S] [--restarts N]\n"
+      "                       [--session-storage memory|mmap]\n"
+      "                       [--tile-bytes B] [--hot-tile-budget B]\n"
+      "                       [--session-dir DIR]\n"
       "\n"
       "Optimize once, reuse forever: `optimize --save-strategy s.hdmm`\n"
       "persists the selected strategy; `run --strategy s.hdmm` skips the\n"
@@ -391,6 +394,47 @@ int CmdServe(const Flags& flags) {
         std::strtod(flags.Get("budget-rho").c_str(), nullptr);
     if (!(engine_options.total_rho > 0.0)) {
       std::fprintf(stderr, "--budget-rho must be positive\n");
+      return 1;
+    }
+  }
+  // Session data-vector storage: --session-storage mmap tiles each
+  // measurement session's x_hat + summed-area table onto files (see
+  // docs/serving.md, "Out-of-core sessions"), so serving a domain larger
+  // than RAM answers box queries from O(2^d) corner tiles instead of a
+  // dense vector.
+  SessionStorageOptions& session_storage = engine_options.session_storage;
+  if (!ParseSessionStorage(flags.Get("session-storage", "memory"),
+                           &session_storage.backend)) {
+    std::fprintf(stderr, "--session-storage must be memory or mmap\n");
+    return 1;
+  }
+  if (flags.Has("tile-bytes")) {
+    session_storage.tile_bytes =
+        std::strtoll(flags.Get("tile-bytes").c_str(), nullptr, 10);
+    if (session_storage.tile_bytes < static_cast<int64_t>(sizeof(double))) {
+      std::fprintf(stderr, "--tile-bytes must be at least 8\n");
+      return 1;
+    }
+  }
+  if (flags.Has("hot-tile-budget")) {
+    session_storage.hot_tile_budget =
+        std::strtoll(flags.Get("hot-tile-budget").c_str(), nullptr, 10);
+    if (session_storage.hot_tile_budget < 0) {
+      std::fprintf(stderr, "--hot-tile-budget must be non-negative\n");
+      return 1;
+    }
+  }
+  session_storage.dir = flags.Get("session-dir");
+  if (!session_storage.dir.empty()) {
+    if (session_storage.backend != SessionStorage::kMmap) {
+      std::fprintf(stderr, "--session-dir needs --session-storage mmap\n");
+      return 1;
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(session_storage.dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create --session-dir '%s': %s\n",
+                   session_storage.dir.c_str(), ec.message().c_str());
       return 1;
     }
   }
