@@ -10,6 +10,7 @@
 // Emits BENCH_engine.json in the working directory; the CI smoke job parses
 // it and fails the build if the cache ever gets slower than a cold plan.
 #include <cmath>
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
@@ -242,6 +243,67 @@ struct BatchTimings {
   double max_abs_diff = 0.0;
 };
 
+struct GovernorTimings {
+  double touch_ns = 0.0;  ///< Throttled ticket Touch: the per-answer hook.
+  double admit_release_us = 0.0;  ///< Full Admit + release cycle (cold path).
+  double overhead_pct_bound = 0.0;  ///< Worst case on a warm batched answer.
+};
+
+// The resource governor's standing cost on the warm serving path, mirroring
+// the failpoint/metrics arms: a session ticket Touch() (LRU recency) fires
+// once per public Answer() call and once per AnswerBatch call — the batched
+// inner loop is touch-free — and is a relaxed counter bump on 63 of 64
+// calls, one governor-lock splice on the 64th. Admit/release is the cold
+// path — once per measurement, never per query — and is reported for
+// capacity planning, not gated.
+GovernorTimings BenchGovernor(const BatchTimings& batch) {
+  constexpr int64_t kIters = 50'000'000;
+  GovernorTimings t;
+  GovernorOptions options;
+  options.max_sessions = 64;
+  options.memory_budget_bytes = 1ll << 30;
+  auto governor = std::make_shared<ResourceGovernor>(options);
+
+  SessionStorageOptions storage;
+  auto admitted = governor->Admit(1 << 20, &storage);
+  if (!admitted.ok()) {
+    std::fprintf(stderr, "governor bench: admit failed: %s\n",
+                 admitted.status().ToString().c_str());
+    return t;
+  }
+  AdmissionTicket held = std::move(admitted).value();
+
+  WallTimer timer;
+  for (int64_t i = 0; i < kIters; ++i) held.Touch();
+  t.touch_ns = timer.Seconds() * 1e9 / static_cast<double>(kIters);
+
+  constexpr int64_t kCycles = 200'000;
+  timer.Restart();
+  for (int64_t i = 0; i < kCycles; ++i) {
+    SessionStorageOptions cycle_storage;
+    auto ticket = governor->Admit(1 << 12, &cycle_storage);
+    if (!ticket.ok()) break;  // Cannot happen under these limits.
+    // The ticket releases its charge at scope exit.
+  }
+  t.admit_release_us = timer.Seconds() * 1e6 / static_cast<double>(kCycles);
+
+  // Worst-case bound: one Touch per governed call, against the cheaper of
+  // the two call shapes that pay it — a single one-at-a-time Answer() or a
+  // whole AnswerBatch invocation (whose inner loop is touch-free).
+  const double per_single_answer_s =
+      batch.one_at_a_time_s / static_cast<double>(batch.num_queries);
+  const double cheapest_call_s = std::min(per_single_answer_s, batch.batched_s);
+  t.overhead_pct_bound = 100.0 * (t.touch_ns * 1e-9) / cheapest_call_s;
+
+  std::printf("  ticket touch (throttled):  %9.3f ns  (per governed call)\n",
+              t.touch_ns);
+  std::printf("  admit + release cycle:     %9.3f us  (per measurement)\n",
+              t.admit_release_us);
+  std::printf("  answer overhead bound:     %9.4f %%  (1 touch per call)\n",
+              t.overhead_pct_bound);
+  return t;
+}
+
 // Today's serving path for an ad-hoc query: materialize its dense indicator
 // row over the domain and dot it with x_hat — O(N) per query.
 double DenseRowAnswer(const Domain& domain, const Vector& x_hat,
@@ -329,7 +391,7 @@ BatchTimings BenchBatch(const Domain& domain, int64_t num_queries) {
 
 void WriteJson(const PlanTimings& plan, const FailpointTimings& fp,
                const MetricsTimings& mt, const BatchTimings& batch,
-               const char* path) {
+               const GovernorTimings& gov, const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "could not open %s for writing\n", path);
@@ -363,6 +425,11 @@ void WriteJson(const PlanTimings& plan, const FailpointTimings& fp,
                batch.one_at_a_time_s / batch.batched_s,
                static_cast<double>(batch.num_queries) / batch.batched_s,
                batch.max_abs_diff);
+  std::fprintf(f,
+               "  \"governor\": {\"touch_ns\": %.4f, "
+               "\"admit_release_us\": %.4f, "
+               "\"overhead_pct_bound\": %.6f},\n",
+               gov.touch_ns, gov.admit_release_us, gov.overhead_pct_bound);
   // Live registry snapshot: the cache_hits/misses/quarantine counters CI
   // asserts on come from the same metrics the serving tier reports, not
   // from bench-local bookkeeping.
@@ -396,6 +463,9 @@ int main(int argc, char** argv) {
               static_cast<long long>(num_queries));
   const BatchTimings batch = BenchBatch(w.domain(), num_queries);
 
-  WriteJson(plan, fp, mt, batch, "BENCH_engine.json");
+  std::printf("\n=== serving engine: governor overhead ===\n");
+  const GovernorTimings gov = BenchGovernor(batch);
+
+  WriteJson(plan, fp, mt, batch, gov, "BENCH_engine.json");
   return 0;
 }

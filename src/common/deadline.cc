@@ -1,0 +1,15 @@
+#include "common/deadline.h"
+
+namespace hdmm {
+
+Status CancelToken::StopStatus() const {
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    return Status::DeadlineExceeded("cancelled by caller");
+  }
+  if (deadline_.Expired()) {
+    return Status::DeadlineExceeded("deadline expired");
+  }
+  return Status::Ok();
+}
+
+}  // namespace hdmm

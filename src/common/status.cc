@@ -22,8 +22,82 @@ const char* StatusCodeName(StatusCode code) {
       return "FAILED_PRECONDITION";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
+}
+
+bool IsRetryable(StatusCode code) {
+  switch (code) {
+    case StatusCode::kContention:
+    case StatusCode::kUnavailable:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kDeadlineExceeded:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+constexpr char kRetryAfterKey[] = "retry_after_ms=";
+
+Status WithMessage(StatusCode code, std::string message) {
+  switch (code) {
+    case StatusCode::kOk:
+      return Status::Ok();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(message));
+    case StatusCode::kIoError:
+      return Status::IoError(std::move(message));
+    case StatusCode::kCorruption:
+      return Status::Corruption(std::move(message));
+    case StatusCode::kContention:
+      return Status::Contention(std::move(message));
+    case StatusCode::kOverBudget:
+      return Status::OverBudget(std::move(message));
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(std::move(message));
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(std::move(message));
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(message));
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(message));
+  }
+  return Status::IoError(std::move(message));
+}
+
+}  // namespace
+
+Status WithRetryAfter(Status status, int retry_after_ms) {
+  if (status.ok()) return status;
+  if (retry_after_ms < 0) retry_after_ms = 0;
+  std::string message = status.message();
+  if (!message.empty()) message += " ";
+  message += kRetryAfterKey;
+  message += std::to_string(retry_after_ms);
+  return WithMessage(status.code(), std::move(message));
+}
+
+int RetryAfterMillis(const Status& status) {
+  const std::string& message = status.message();
+  const size_t pos = message.rfind(kRetryAfterKey);
+  if (pos == std::string::npos) return -1;
+  size_t i = pos + sizeof(kRetryAfterKey) - 1;
+  if (i >= message.size() || message[i] < '0' || message[i] > '9') return -1;
+  long value = 0;
+  for (; i < message.size() && message[i] >= '0' && message[i] <= '9'; ++i) {
+    value = value * 10 + (message[i] - '0');
+    if (value > 86400000) return 86400000;  // cap at a day; hints, not law
+  }
+  return static_cast<int>(value);
 }
 
 std::string Status::ToString() const {

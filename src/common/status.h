@@ -37,9 +37,17 @@ enum class StatusCode {
   kOverBudget,          ///< The privacy budget cannot cover the charge.
   kFailedPrecondition,  ///< Valid request, wrong state/configuration for it.
   kUnavailable,         ///< A subsystem degraded itself out of service.
+  kResourceExhausted,   ///< Admission refused: capacity budget is full; retryable.
+  kDeadlineExceeded,    ///< The caller's deadline passed or it cancelled; retryable.
 };
 
 const char* StatusCodeName(StatusCode code);
+
+/// True for codes a well-behaved client should retry (possibly after the
+/// interval suggested by RetryAfterMillis): the condition is transient and
+/// re-sending the identical request later can succeed. Everything else is
+/// fatal for that request — retrying verbatim would fail the same way.
+bool IsRetryable(StatusCode code);
 
 class Status {
  public:
@@ -71,6 +79,12 @@ class Status {
   static Status Unavailable(std::string message) {
     return Status(StatusCode::kUnavailable, std::move(message));
   }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -93,6 +107,14 @@ class Status {
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
 };
+
+/// Status carries no structured payload, so retryable refusals embed their
+/// suggested backoff in the message as a trailing "retry_after_ms=N" clause.
+/// WithRetryAfter writes it; RetryAfterMillis recovers it (-1 when absent).
+/// The serve reply protocol forwards the clause verbatim so clients never
+/// need to parse free-form prose.
+Status WithRetryAfter(Status status, int retry_after_ms);
+int RetryAfterMillis(const Status& status);
 
 /// Either a value or the non-OK Status explaining its absence.
 template <typename T>

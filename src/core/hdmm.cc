@@ -74,17 +74,31 @@ HdmmResult OptimizeStrategy(const UnionWorkload& w,
   static Counter* const restarts_run =
       Metrics::GetCounter("optimizer.restarts");
   restarts_run->Add(jobs.size());
+
+  // Push the cancel token down into every operator's L-BFGS-B loop — that
+  // inner iteration is the finest-grained yield point, giving ~ms-scale
+  // response to a deadline on a ~0.5 s cold plan.
+  OptKronOptions kron_opts = options.kron;
+  kron_opts.lbfgs.cancel = options.cancel;
+  OptUnionOptions union_opts = options.union_opts;
+  union_opts.kron.lbfgs.cancel = options.cancel;
+  OptMarginalsOptions marginals_opts = options.marginals;
+  marginals_opts.lbfgs.cancel = options.cancel;
+
   RestartPool().ParallelFor(
       0, static_cast<int64_t>(jobs.size()), /*grain=*/1,
       [&](int64_t j0, int64_t j1) {
         for (int64_t ji = j0; ji < j1; ++ji) {
           Job& job = jobs[static_cast<size_t>(ji)];
+          // A signalled token skips jobs that have not started; jobs already
+          // inside L-BFGS-B notice it themselves within one iteration.
+          if (CancelRequested(options.cancel)) continue;
           if (job.op == kKron) {
-            OptKronResult res = OptKron(w, options.kron, &job.rng);
+            OptKronResult res = OptKron(w, kron_opts, &job.rng);
             job.strategy = std::make_unique<KronStrategy>(
                 KronStrategyFactors(res), "opt-kron");
           } else if (job.op == kUnion) {
-            OptUnionResult res = OptUnion(w, options.union_opts, &job.rng);
+            OptUnionResult res = OptUnion(w, union_opts, &job.rng);
             std::vector<std::vector<Matrix>> parts;
             for (size_t g = 0; g < res.group_thetas.size(); ++g) {
               OptKronResult tmp;
@@ -99,10 +113,16 @@ HdmmResult OptimizeStrategy(const UnionWorkload& w,
             job.strategy = std::make_unique<UnionKronStrategy>(
                 std::move(parts), res.group_products, "opt-union");
           } else {
-            OptMarginalsResult res = OptMarginals(w, options.marginals,
+            OptMarginalsResult res = OptMarginals(w, marginals_opts,
                                                   &job.rng);
             job.strategy = std::make_unique<MarginalsStrategy>(
                 w.domain(), res.theta, "opt-marginals");
+          }
+          if (CancelRequested(options.cancel)) {
+            // Stopped mid-optimization: the iterate is abandoned, so don't
+            // spend time scoring it either.
+            job.strategy.reset();
+            continue;
           }
           job.error = job.strategy->SquaredError(w);
         }
@@ -110,8 +130,10 @@ HdmmResult OptimizeStrategy(const UnionWorkload& w,
 
   // Deterministic selection in job order: strict improvement only, so the
   // earliest (lowest restart, operator-order) candidate wins ties.
+  best.cancelled = CancelRequested(options.cancel);
   static const char* kOpNames[] = {"kron", "union", "marginals"};
   for (Job& job : jobs) {
+    if (job.strategy == nullptr) continue;  // Skipped under cancellation.
     if (job.error < best.squared_error) {
       best.strategy = std::move(job.strategy);
       best.squared_error = job.error;

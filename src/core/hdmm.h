@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "common/deadline.h"
 #include "common/rng.h"
 #include "core/opt_kron.h"
 #include "core/opt_marginals.h"
@@ -33,6 +34,12 @@ struct HdmmOptions {
   OptMarginalsOptions marginals;
 
   uint64_t seed = 0;
+
+  /// Cooperative stop, polled before each restart job and once per L-BFGS-B
+  /// iteration inside them. Not owned; null means run to completion. Plan
+  /// fingerprints hash the fields above and ignore this pointer, so the same
+  /// options with or without a token name the same plan.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Result of strategy selection.
@@ -40,6 +47,10 @@ struct HdmmResult {
   std::unique_ptr<Strategy> strategy;
   double squared_error = 0.0;   ///< ||A||_1^2 ||W A^+||_F^2 of the winner.
   std::string chosen_operator;  ///< "identity", "kron", "union", "marginals".
+  /// True when options.cancel fired mid-run. The strategy is then a
+  /// best-so-far, NOT the deterministic full-grid winner — callers must
+  /// treat the result as abandoned (never cache or serve it).
+  bool cancelled = false;
 };
 
 /// Runs OPT_HDMM: evaluates the Identity fallback plus every enabled operator

@@ -191,8 +191,16 @@ void BudgetAccountant::LoadLedger() {
       locked = true;
       break;
     }
-    if (std::chrono::steady_clock::now() >= deadline) break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    // Never sleep past the deadline: an unclamped backoff step (up to
+    // 100ms) could overshoot the configured lock_timeout_ms by a whole
+    // step, making small timeouts lie.
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    std::this_thread::sleep_for(
+        std::min(std::chrono::milliseconds(backoff_ms),
+                 std::max(std::chrono::milliseconds(1), remaining)));
     backoff_ms = std::min(backoff_ms * 2, 100);
   }
   static Histogram* const flock_wait =

@@ -226,6 +226,11 @@ MeasurementSession::MeasurementSession(
 }
 
 MeasurementSession::~MeasurementSession() {
+  // Detach from the governor before anything else: after Unbind returns no
+  // governor thread can reach this session's stores. The byte charge itself
+  // is released later, when ticket_ (declared before the stores) destructs
+  // after the mappings are gone.
+  ticket_.Unbind();
   // Stores unmap and remove their own tile subdirectories first; then the
   // session's directory itself goes (mmap sessions own their storage).
   xhat_store_.reset();
@@ -471,6 +476,11 @@ double MeasurementSession::AnswerFromTable(const MeasuredMarginal& table,
 }
 
 double MeasurementSession::Answer(const BoxQuery& q) const {
+  ticket_.Touch();  // Governor LRU recency; throttled internally.
+  return AnswerImpl(q);
+}
+
+double MeasurementSession::AnswerImpl(const BoxQuery& q) const {
   const int d = domain_.NumAttributes();
   HDMM_CHECK_MSG(static_cast<int>(q.lo.size()) == d &&
                      static_cast<int>(q.hi.size()) == d,
@@ -519,6 +529,21 @@ double MeasurementSession::Answer(const BoxQuery& q) const {
 
 Vector MeasurementSession::AnswerBatch(
     const std::vector<BoxQuery>& queries) const {
+  // Without a token AnswerBatchOr cannot fail.
+  return std::move(AnswerBatchOr(queries, nullptr)).value();
+}
+
+StatusOr<Vector> MeasurementSession::AnswerBatchOr(
+    const std::vector<BoxQuery>& queries, const CancelToken* cancel) const {
+  // A blown deadline must cost nothing: check before the (potentially
+  // expensive) lazy materialization and again once per pool chunk.
+  // Answering is post-processing of an already-paid release, so the only
+  // thing a cancelled batch loses is the partial answers themselves.
+  if (CancelRequested(cancel)) return cancel->StopStatus();
+  // One recency touch per batch, not per query: the SAT inner loop answers
+  // in tens of nanoseconds and must not share the ticket's touch counter
+  // across pool threads.
+  ticket_.Touch();
   // Materialize the summed-area table up front when any query will need it,
   // so reconstruction cost is paid once before the parallel region instead
   // of stalling the first worker to hit an uncovered query. Skipped when
@@ -534,15 +559,21 @@ Vector MeasurementSession::AnswerBatch(
   HDMM_TRACE_SPAN("AnswerBatch");
   WallTimer timer;
   Vector answers(queries.size(), 0.0);
+  std::atomic<bool> stopped{false};
   ComputePool().ParallelFor(
       0, static_cast<int64_t>(queries.size()), /*grain=*/64,
       [&](int64_t begin, int64_t end) {
         HDMM_TRACE_SPAN("AnswerBatch.chunk");
+        if (CancelRequested(cancel)) {
+          stopped.store(true, std::memory_order_relaxed);
+          return;
+        }
         for (int64_t i = begin; i < end; ++i) {
           answers[static_cast<size_t>(i)] =
-              Answer(queries[static_cast<size_t>(i)]);
+              AnswerImpl(queries[static_cast<size_t>(i)]);
         }
       });
+  if (stopped.load(std::memory_order_relaxed)) return cancel->StopStatus();
   static Counter* const batches =
       Metrics::GetCounter("engine.answer_batch.count");
   static Counter* const answered =
@@ -553,6 +584,46 @@ Vector MeasurementSession::AnswerBatch(
   answered->Add(queries.size());
   latency->Record(static_cast<uint64_t>(timer.Seconds() * 1e9));
   return answers;
+}
+
+// ------------------------------------------------- session governor hooks --
+
+bool MeasurementSession::Hibernatable() const {
+  // Only mmap sessions with live stores have anything to shed; the stores
+  // are created before materialized_ flips true and never replaced after,
+  // so once this returns true the store pointers are stable.
+  return storage_.backend == SessionStorage::kMmap &&
+         materialized_.load(std::memory_order_acquire);
+}
+
+void MeasurementSession::HibernateStores() {
+  if (!Hibernatable()) return;
+  if (auto* xhat = dynamic_cast<MmapTileStore*>(xhat_store_.get())) {
+    xhat->SetHotTileBudget(0);
+  }
+  if (auto* prefix = dynamic_cast<MmapTileStore*>(prefix_store_.get())) {
+    prefix->SetHotTileBudget(0);
+  }
+  // Drop the XHat() densification cache too — it is a debugging affordance,
+  // rebuilt on demand, and under memory pressure it is pure ballast.
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  xhat_dense_.clear();
+  xhat_dense_.shrink_to_fit();
+}
+
+void MeasurementSession::WakeStores() {
+  if (!Hibernatable()) return;
+  if (auto* xhat = dynamic_cast<MmapTileStore*>(xhat_store_.get())) {
+    xhat->SetHotTileBudget(storage_.hot_tile_budget);
+  }
+  if (auto* prefix = dynamic_cast<MmapTileStore*>(prefix_store_.get())) {
+    prefix->SetHotTileBudget(storage_.hot_tile_budget);
+  }
+}
+
+void MeasurementSession::AttachTicket(AdmissionTicket ticket) {
+  ticket_ = std::move(ticket);
+  ticket_.Bind(this);
 }
 
 // ---------------------------------------------------------------- engine --
@@ -622,9 +693,20 @@ SessionStorageOptions PerSessionStorage(const SessionStorageOptions& base) {
 Engine::Engine(EngineOptions options)
     : options_(std::move(options)),
       cache_(options_.cache),
-      accountant_(AccountantOptions(options_)) {}
+      accountant_(AccountantOptions(options_)) {
+  if (options_.governor.max_sessions > 0 ||
+      options_.governor.memory_budget_bytes > 0) {
+    governor_ = std::make_shared<ResourceGovernor>(options_.governor);
+  }
+}
 
 PlanResult Engine::Plan(const UnionWorkload& w) {
+  // Without a token PlanOr cannot fail.
+  return std::move(PlanOr(w, nullptr)).value();
+}
+
+StatusOr<PlanResult> Engine::PlanOr(const UnionWorkload& w,
+                                    const CancelToken* cancel) {
   HDMM_TRACE_SPAN("Engine::Plan");
   static Counter* const memory_hits =
       Metrics::GetCounter("engine.plan.memory_hits");
@@ -634,6 +716,8 @@ PlanResult Engine::Plan(const UnionWorkload& w) {
       Metrics::GetCounter("engine.plan.optimized");
   static Histogram* const latency =
       Metrics::GetHistogram("engine.plan.latency_ns");
+
+  if (CancelRequested(cancel)) return cancel->StopStatus();
 
   WallTimer timer;
   PlanResult result;
@@ -660,10 +744,21 @@ PlanResult Engine::Plan(const UnionWorkload& w) {
   }
 
   const GramCache::Stats gram_before = GramCache::Global().stats();
-  HdmmResult optimized = OptimizeStrategy(w, options_.optimizer);
+  HdmmOptions optimizer = options_.optimizer;
+  optimizer.cancel = cancel;
+  HdmmResult optimized = OptimizeStrategy(w, optimizer);
   const GramCache::Stats gram_after = GramCache::Global().stats();
   result.gram_cache_hits = gram_after.hits - gram_before.hits;
   result.gram_cache_misses = gram_after.misses - gram_before.misses;
+  if (optimized.cancelled) {
+    // No side effects on a cancelled plan: the partial strategy is a
+    // best-so-far, not the deterministic full-grid winner, so caching (or
+    // returning) it would make plan quality depend on the deadline.
+    static Counter* const cancelled_count =
+        Metrics::GetCounter("engine.plan.cancelled");
+    cancelled_count->Add(1);
+    return cancel->StopStatus();
+  }
   result.strategy = std::shared_ptr<const Strategy>(std::move(
       optimized.strategy));
   result.source = PlanSource::kOptimized;
@@ -717,7 +812,7 @@ Vector Engine::Reconstruct(const Strategy& strategy, const Fingerprint& fp,
 
 StatusOr<std::unique_ptr<MeasurementSession>> Engine::MeasureOr(
     const UnionWorkload& w, const std::string& dataset_id, const Vector& x,
-    const MeasureRequest& request, Rng* rng) {
+    const MeasureRequest& request, Rng* rng, const CancelToken* cancel) {
   HDMM_TRACE_SPAN("Engine::Measure");
   static Histogram* const latency =
       Metrics::GetHistogram("engine.measure.latency_ns");
@@ -731,7 +826,28 @@ StatusOr<std::unique_ptr<MeasurementSession>> Engine::MeasureOr(
           ? PrivacyCharge::Laplace(request.epsilon)
           : PrivacyCharge::Gaussian(request.rho);
 
-  PlanResult plan = Plan(w);
+  // Refusals must precede every side effect. Order: deadline, admission,
+  // plan (cancellable; data-independent, no budget), deadline again, and
+  // only then the accountant — which itself refuses before drawing noise.
+  if (CancelRequested(cancel)) return cancel->StopStatus();
+
+  SessionStorageOptions storage = options_.session_storage;
+  AdmissionTicket ticket;
+  if (governor_ != nullptr) {
+    StatusOr<AdmissionTicket> admitted =
+        governor_->Admit(w.DomainSize(), &storage);
+    if (!admitted.ok()) return admitted.status();
+    ticket = std::move(admitted).value();
+    // The ticket's RAII release keeps every early return below charge-
+    // neutral on the governor too.
+  }
+  storage = PerSessionStorage(storage);
+
+  StatusOr<PlanResult> planned = PlanOr(w, cancel);
+  if (!planned.ok()) return planned.status();
+  PlanResult plan = std::move(planned).value();
+  if (CancelRequested(cancel)) return cancel->StopStatus();
+
   const Status charged = accountant_.Charge(dataset_id, charge);
   if (!charged.ok()) {
     return charged.Annotated("dataset '" + dataset_id + "'");
@@ -747,16 +863,16 @@ StatusOr<std::unique_ptr<MeasurementSession>> Engine::MeasureOr(
   if (auto marginals =
           std::dynamic_pointer_cast<const MarginalsStrategy>(plan.strategy)) {
     auto session = std::make_unique<MeasurementSession>(
-        w.domain(), marginals, std::move(y), charge,
-        PerSessionStorage(options_.session_storage));
+        w.domain(), marginals, std::move(y), charge, storage);
+    session->AttachTicket(std::move(ticket));
     latency->Record(static_cast<uint64_t>(timer.Seconds() * 1e9));
     return session;
   }
 
   Vector x_hat = Reconstruct(*plan.strategy, plan.fingerprint, y);
   auto session = std::make_unique<MeasurementSession>(
-      w.domain(), std::move(x_hat), charge, plan.strategy,
-      PerSessionStorage(options_.session_storage));
+      w.domain(), std::move(x_hat), charge, plan.strategy, storage);
+  session->AttachTicket(std::move(ticket));
   latency->Record(static_cast<uint64_t>(timer.Seconds() * 1e9));
   return session;
 }

@@ -32,12 +32,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/hdmm.h"
 #include "core/strategy.h"
 #include "engine/accountant.h"
 #include "engine/fingerprint.h"
+#include "engine/governor.h"
 #include "engine/privacy.h"
 #include "engine/strategy_cache.h"
 #include "engine/tile_store.h"
@@ -106,7 +108,14 @@ struct MeasuredMarginal {
 /// produced tile-by-tile through MarginalsStreamReconstructor.
 ///
 /// Sessions are safe to share across threads for answering.
-class MeasurementSession {
+///
+/// Sessions participate in resource governance (GovernedSession): a session
+/// measured through a governed Engine carries an AdmissionTicket charging
+/// its footprint estimate against the governor's budget until destruction,
+/// and the governor may hibernate an idle mmap session (drop its hot-tile
+/// LRUs; answers keep working, one transient tile at a time) to make room
+/// for new admissions.
+class MeasurementSession : public GovernedSession {
  public:
   /// Generic session over an already-reconstructed x_hat (Laplace charge).
   MeasurementSession(Domain domain, Vector x_hat, double epsilon,
@@ -140,7 +149,7 @@ class MeasurementSession {
 
   /// Removes the session's storage directory (mmap backend) — sessions own
   /// their on-disk state.
-  ~MeasurementSession();
+  ~MeasurementSession() override;
 
   const Domain& domain() const { return domain_; }
   Mechanism mechanism() const { return charge_.mechanism; }
@@ -171,8 +180,27 @@ class MeasurementSession {
   /// Answers a batch, sharded across the persistent ThreadPool.
   Vector AnswerBatch(const std::vector<BoxQuery>& queries) const;
 
+  /// AnswerBatch with a cooperative stop: polled once per pool chunk (and
+  /// before any lazy materialization), returning kDeadlineExceeded without
+  /// side effects — the session stays fully serviceable, and answering is
+  /// post-processing so no budget is at stake. Null `cancel` never fails.
+  StatusOr<Vector> AnswerBatchOr(const std::vector<BoxQuery>& queries,
+                                 const CancelToken* cancel) const;
+
   /// True when `q` would be answered from a measured marginal table.
   bool CoveredByMarginal(const BoxQuery& q) const;
+
+  /// Governor hooks (GovernedSession). Hibernation only applies to mmap
+  /// sessions whose stores exist; both calls are idempotent and safe
+  /// against concurrent answering.
+  bool Hibernatable() const override;
+  void HibernateStores() override;
+  void WakeStores() override;
+
+  /// Takes ownership of the admission ticket charging this session against
+  /// the engine's governor, and binds the session to it so the hibernation
+  /// rung can reach the stores. Called once by Engine::MeasureOr.
+  void AttachTicket(AdmissionTicket ticket);
 
  private:
   void InitStrides();
@@ -190,6 +218,10 @@ class MeasurementSession {
                    Vector* adopt_xhat) const;
   /// The covering table with the fewest cells to sum, or nullptr.
   const MeasuredMarginal* CoveringTable(const BoxQuery& q) const;
+  /// Answer() minus the governor Touch(): the batched path touches once per
+  /// batch at the AnswerBatchOr entry, keeping the per-query loop free of
+  /// the ticket's shared counter.
+  double AnswerImpl(const BoxQuery& q) const;
   double AnswerFromTable(const MeasuredMarginal& table,
                          const BoxQuery& q) const;
   /// Builds x_hat + summed-area stores on first use (marginals sessions
@@ -207,6 +239,12 @@ class MeasurementSession {
   PrivacyCharge charge_;
   std::shared_ptr<const Strategy> strategy_;
   SessionStorageOptions storage_;  // dir resolved to this session's own.
+  /// Governor charge; inert when the engine is ungoverned. Unbound first
+  /// thing in the destructor (so the governor never touches a dying
+  /// session) and released only after the stores unmap (so the byte charge
+  /// outlives the mappings it accounts for). Mutable: Touch() from the
+  /// const answer path only updates recency metadata.
+  mutable AdmissionTicket ticket_;
   std::vector<int64_t> strides_;  // Row-major strides per attribute.
   std::vector<MeasuredMarginal> marginal_tables_;
 
@@ -262,6 +300,11 @@ struct EngineOptions {
   /// persist strategies across restarts should persist the ledger too —
   /// otherwise every restart hands out the full budget again.
   std::string ledger_path;
+
+  /// Admission control and the degradation ladder (see engine/governor.h).
+  /// With both limits 0 (the default) no governor is constructed and the
+  /// serving path is identical to the ungoverned one.
+  GovernorOptions governor;
 };
 
 /// Where a planned strategy came from.
@@ -310,18 +353,33 @@ class Engine {
   /// result; on a hit the optimization is skipped entirely.
   PlanResult Plan(const UnionWorkload& w);
 
+  /// Plan with a cooperative deadline/cancel. The token is polled before
+  /// the cache lookup, before each restart job, and once per L-BFGS-B
+  /// iteration inside the optimizer, so a ~0.5 s cold plan stops within
+  /// a few milliseconds of the deadline. A cancelled plan has no side
+  /// effects: the abandoned partial strategy is never cached (it is a
+  /// best-so-far, not the deterministic grid winner) and never returned.
+  /// Null `cancel` never fails. Strategy selection is data-independent, so
+  /// cancelling a plan costs nothing but the wasted CPU.
+  StatusOr<PlanResult> PlanOr(const UnionWorkload& w,
+                              const CancelToken* cancel);
+
   /// Plans, charges the request's cost against `dataset_id`, measures the
   /// data vector `x` with the requested mechanism, and builds a session
   /// (marginal-table-backed when the plan is a marginals strategy measured
   /// under Gaussian/Laplace noise; x_hat-backed otherwise). A non-OK
   /// status carries the accountant's refusal — kOverBudget, the regime
-  /// mismatch as kFailedPrecondition, or a ledger-append kIoError; no
-  /// noise is drawn in any refused case, and the engine (its cache,
-  /// accountant, and any previously measured sessions) remains fully
-  /// serviceable afterwards.
+  /// mismatch as kFailedPrecondition, or a ledger-append kIoError; the
+  /// governor's refusal (kResourceExhausted with a retry_after_ms hint);
+  /// or the token's kDeadlineExceeded. No noise is drawn and no budget is
+  /// charged in any refused case — admission and cancellation are checked
+  /// *before* the accountant, and the accountant refuses before drawing —
+  /// and the engine (its cache, accountant, and any previously measured
+  /// sessions) remains fully serviceable afterwards.
   StatusOr<std::unique_ptr<MeasurementSession>> MeasureOr(
       const UnionWorkload& w, const std::string& dataset_id, const Vector& x,
-      const MeasureRequest& request, Rng* rng);
+      const MeasureRequest& request, Rng* rng,
+      const CancelToken* cancel = nullptr);
 
   /// Pointer-shaped wrapper over MeasureOr: nullptr (with *error holding
   /// the status message) on refusal.
@@ -342,6 +400,10 @@ class Engine {
   BudgetAccountant& accountant() { return accountant_; }
   StrategyCache& cache() { return cache_; }
   const EngineOptions& options() const { return options_; }
+  /// Null when both governor limits are 0 (ungoverned engine). Shared with
+  /// the admission tickets of live sessions, so sessions may outlive the
+  /// engine as they always could.
+  ResourceGovernor* governor() { return governor_.get(); }
 
  private:
   /// x_hat from noisy answers, reusing a per-fingerprint Cholesky factor of
@@ -353,6 +415,7 @@ class Engine {
   EngineOptions options_;
   StrategyCache cache_;
   BudgetAccountant accountant_;
+  std::shared_ptr<ResourceGovernor> governor_;
   std::mutex recon_mu_;
   std::unordered_map<uint64_t, std::shared_ptr<const Matrix>> recon_chol_;
 };

@@ -1,0 +1,261 @@
+#include "engine/governor.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace hdmm {
+
+namespace {
+
+// Registry-cached counters/gauges, the tile-store pattern.
+Counter* const g_admitted = Metrics::GetCounter("governor.admitted");
+Counter* const g_refused = Metrics::GetCounter("governor.refused");
+Counter* const g_degraded =
+    Metrics::GetCounter("governor.degraded_to_mmap");
+Counter* const g_hibernated = Metrics::GetCounter("governor.hibernated");
+Counter* const g_woken = Metrics::GetCounter("governor.woken");
+Gauge* const g_sessions_gauge = Metrics::GetGauge("governor.sessions");
+Gauge* const g_charged_gauge = Metrics::GetGauge("governor.charged_bytes");
+
+// Per-mapped-tile slack for the 40-byte header plus page rounding; folded
+// into every estimate so the sum of charges stays an upper bound on what
+// the stores actually map.
+constexpr int64_t kTileSlack = 4096;
+
+int64_t PerStoreEstimate(int64_t cells, const SessionStorageOptions& s) {
+  const int64_t dense = cells * static_cast<int64_t>(sizeof(double));
+  if (s.backend == SessionStorage::kMemory) return dense;
+  // Mmap backend: the hot-tile LRU keeps at most max(budget, one tile)
+  // mapped per store, never more than the whole (tiled) vector.
+  const int64_t tile = std::max<int64_t>(8, s.tile_bytes) + kTileSlack;
+  return std::min(dense + kTileSlack, std::max(s.hot_tile_budget, tile));
+}
+
+int64_t HibernatedFloor(int64_t full_bytes, const SessionStorageOptions& s) {
+  // A hibernated store still maps one transient tile per read; budget two
+  // (x_hat + summed-area table), capped by the awake charge.
+  const int64_t tile = std::max<int64_t>(8, s.tile_bytes) + kTileSlack;
+  return std::min(full_bytes, 2 * tile);
+}
+
+}  // namespace
+
+// --------------------------------------------------------- AdmissionTicket
+
+AdmissionTicket& AdmissionTicket::operator=(AdmissionTicket&& other) noexcept {
+  if (this != &other) {
+    if (governor_ != nullptr) governor_->Release(id_);
+    governor_ = std::move(other.governor_);
+    id_ = other.id_;
+    touch_count_.store(0, std::memory_order_relaxed);
+    other.governor_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+AdmissionTicket::~AdmissionTicket() {
+  if (governor_ != nullptr) governor_->Release(id_);
+}
+
+void AdmissionTicket::Bind(GovernedSession* session) {
+  if (governor_ != nullptr) governor_->BindLocked(id_, session);
+}
+
+void AdmissionTicket::Unbind() {
+  if (governor_ != nullptr) governor_->UnbindOnly(id_);
+}
+
+void AdmissionTicket::Touch() {
+  if (governor_ == nullptr) return;
+  // Throttled: recency only needs to be approximately fresh, and a batch of
+  // point queries must not serialize on the governor lock per query.
+  if (touch_count_.fetch_add(1, std::memory_order_relaxed) % 64 != 0) return;
+  governor_->TouchEntry(id_);
+}
+
+// -------------------------------------------------------- ResourceGovernor
+
+ResourceGovernor::ResourceGovernor(GovernorOptions options)
+    : options_(options) {
+  HDMM_CHECK_MSG(options_.max_sessions >= 0 &&
+                     options_.memory_budget_bytes >= 0 &&
+                     options_.retry_after_ms >= 0,
+                 "governor limits must be non-negative");
+}
+
+int64_t ResourceGovernor::EstimateFootprintBytes(
+    int64_t domain_cells, const SessionStorageOptions& storage) {
+  const int64_t cells = std::max<int64_t>(0, domain_cells);
+  // Two full-domain stores: x_hat and its summed-area table.
+  return 2 * PerStoreEstimate(cells, storage);
+}
+
+StatusOr<AdmissionTicket> ResourceGovernor::Admit(
+    int64_t domain_cells, SessionStorageOptions* storage) {
+  HDMM_TRACE_SPAN("Governor::Admit");
+  HDMM_CHECK(storage != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+
+  const auto refuse = [&](const std::string& why) -> Status {
+    g_refused->Add(1);
+    return WithRetryAfter(Status::ResourceExhausted(why),
+                          options_.retry_after_ms);
+  };
+
+  if (HDMM_FAILPOINT("governor.admit.force_refuse")) {
+    return refuse("injected: governor.admit.force_refuse");
+  }
+
+  // Session-count limit first: hibernation frees bytes, never slots.
+  if (options_.max_sessions > 0 &&
+      static_cast<int64_t>(entries_.size()) >= options_.max_sessions) {
+    return refuse("session limit reached (" +
+                  std::to_string(options_.max_sessions) + " live)");
+  }
+
+  int64_t bytes = EstimateFootprintBytes(domain_cells, *storage);
+  if (options_.memory_budget_bytes > 0 &&
+      charged_bytes_ + bytes > options_.memory_budget_bytes) {
+    // Rung 2: force the new session out-of-core. Its resident estimate
+    // drops from dense to the hot-tile budgets; the session resolves an
+    // empty dir to a unique temp directory exactly as a configured mmap
+    // session would.
+    if (storage->backend == SessionStorage::kMemory) {
+      SessionStorageOptions candidate = *storage;
+      candidate.backend = SessionStorage::kMmap;
+      const int64_t degraded = EstimateFootprintBytes(domain_cells, candidate);
+      // Only take the rung when it actually shrinks the charge — a huge
+      // hot-tile budget can make the mmap estimate the larger one, and an
+      // mmap session charged at the (smaller) memory estimate would break
+      // the charges-bound-usage invariant.
+      if (degraded < bytes) {
+        *storage = candidate;
+        bytes = degraded;
+        g_degraded->Add(1);
+      }
+    }
+    // Rung 3: hibernate cold sessions until the remainder fits.
+    if (charged_bytes_ + bytes > options_.memory_budget_bytes &&
+        !HibernateUntilFits(bytes)) {
+      return refuse(
+          "memory budget exhausted (" + std::to_string(charged_bytes_) +
+          " of " + std::to_string(options_.memory_budget_bytes) +
+          " bytes charged, request needs " + std::to_string(bytes) + ")");
+    }
+  }
+
+  const uint64_t id = next_id_++;
+  Entry entry;
+  entry.full_bytes = bytes;
+  entry.charged_bytes = bytes;
+  entry.floor_bytes = storage->backend == SessionStorage::kMmap
+                          ? HibernatedFloor(bytes, *storage)
+                          : bytes;
+  lru_.push_front(id);
+  entry.lru_it = lru_.begin();
+  charged_bytes_ += bytes;
+  entries_.emplace(id, entry);
+  g_admitted->Add(1);
+  PublishGauges();
+  return AdmissionTicket(shared_from_this(), id);
+}
+
+bool ResourceGovernor::HibernateUntilFits(int64_t needed_bytes) {
+  // Oldest (least recently touched) first. The victim's stores drop their
+  // hot-tile LRUs; its answers keep working one transient tile at a time,
+  // so hibernating a session that turns out to be mid-batch is safe, just
+  // slow for it.
+  for (auto it = lru_.rbegin();
+       it != lru_.rend() &&
+       charged_bytes_ + needed_bytes > options_.memory_budget_bytes;
+       ++it) {
+    Entry& entry = entries_.at(*it);
+    if (entry.hibernated || entry.session == nullptr ||
+        !entry.session->Hibernatable()) {
+      continue;
+    }
+    if (entry.charged_bytes <= entry.floor_bytes) continue;
+    if (HDMM_FAILPOINT("governor.hibernate.io_error")) {
+      // The rung reports failure for this victim; the ladder moves on to
+      // the next instead of refusing outright.
+      continue;
+    }
+    entry.session->HibernateStores();
+    charged_bytes_ -= entry.charged_bytes - entry.floor_bytes;
+    entry.charged_bytes = entry.floor_bytes;
+    entry.hibernated = true;
+    g_hibernated->Add(1);
+  }
+  return charged_bytes_ + needed_bytes <= options_.memory_budget_bytes;
+}
+
+void ResourceGovernor::BindLocked(uint64_t id, GovernedSession* session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it != entries_.end()) it->second.session = session;
+}
+
+void ResourceGovernor::UnbindOnly(uint64_t id) {
+  // Once this returns, no governor thread will call into the session again
+  // — the destructor may unmap its stores. The byte charge stays until the
+  // ticket itself releases (after the stores are gone).
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it != entries_.end()) it->second.session = nullptr;
+}
+
+void ResourceGovernor::Release(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  charged_bytes_ -= it->second.charged_bytes;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+  PublishGauges();
+}
+
+void ResourceGovernor::TouchEntry(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  Entry& entry = it->second;
+  lru_.splice(lru_.begin(), lru_, entry.lru_it);
+  if (entry.hibernated && entry.session != nullptr) {
+    // Wake on use — but only when the budget can absorb the regrowth;
+    // otherwise the session keeps serving from its hibernated floor.
+    const int64_t regrow = entry.full_bytes - entry.charged_bytes;
+    if (options_.memory_budget_bytes == 0 ||
+        charged_bytes_ + regrow <= options_.memory_budget_bytes) {
+      entry.session->WakeStores();
+      charged_bytes_ += regrow;
+      entry.charged_bytes = entry.full_bytes;
+      entry.hibernated = false;
+      g_woken->Add(1);
+    }
+  }
+  PublishGauges();
+}
+
+int64_t ResourceGovernor::live_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+int64_t ResourceGovernor::charged_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return charged_bytes_;
+}
+
+void ResourceGovernor::PublishGauges() const {
+  g_sessions_gauge->Set(static_cast<double>(entries_.size()));
+  g_charged_gauge->Set(static_cast<double>(charged_bytes_));
+}
+
+}  // namespace hdmm

@@ -1,0 +1,179 @@
+// Resource governor for the serving tier: admission control, a
+// graceful-degradation ladder, and the accounting that keeps concurrent
+// measurement sessions inside a configured memory budget.
+//
+// The serve-many model (optimize once, answer forever) means a long-lived
+// process accumulates sessions, each pinning up to two data-vector stores
+// (x_hat + summed-area table). Nothing bounded that before: enough
+// concurrent sessions and the process OOMs — after their privacy budget was
+// already spent, which the paper's one-shot measurement model makes
+// unrecoverable. The governor moves the refusal to the *front* of the
+// pipeline: a request that cannot be afforded is refused with
+// kResourceExhausted (plus a retry_after_ms hint) before any plan is run,
+// any noise drawn, or any budget charged.
+//
+// Ladder, in order, before refusing:
+//
+//   1. admit in place      the estimated footprint fits the budget.
+//   2. degrade to mmap     a memory-backend session is forced onto the
+//                          mmap backend, shrinking its resident estimate
+//                          from 2·N·8 bytes to the hot-tile budgets.
+//   3. hibernate idle      least-recently-touched mmap sessions drop their
+//                          hot-tile LRUs to zero (tiles stay sealed on
+//                          disk; answers still work one transient tile at
+//                          a time) until enough bytes free up.
+//   4. refuse              kResourceExhausted with retry_after_ms.
+//
+// Footprints are *estimates from the domain shape* (the only thing known at
+// admission time); they deliberately upper-bound the stores' steady-state
+// mapped/resident bytes so the sum of admitted charges bounds real usage.
+//
+// Metrics: governor.{admitted,refused,degraded_to_mmap,hibernated,woken}
+// counters and governor.{sessions,charged_bytes} gauges. Failpoints:
+// governor.admit.force_refuse (refuse everything — overload drills),
+// governor.hibernate.io_error (hibernation rung reports failure, ladder
+// skips the victim).
+#ifndef HDMM_ENGINE_GOVERNOR_H_
+#define HDMM_ENGINE_GOVERNOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "engine/tile_store.h"
+
+namespace hdmm {
+
+/// Governor knobs, surfaced through EngineOptions and `hdmm_cli serve`
+/// (`--max-sessions`, `--memory-budget-bytes`). A limit of 0 means
+/// "unlimited"; with both limits 0 the engine does not construct a governor
+/// at all and the serving path is byte-identical to the ungoverned one.
+struct GovernorOptions {
+  /// Concurrently live measurement sessions (0 = unlimited). Sessions
+  /// count from admission until destruction; hibernation does not reduce
+  /// the count (a hibernated session still answers).
+  int64_t max_sessions = 0;
+  /// Budget over the summed per-session footprint estimates
+  /// (0 = unlimited).
+  int64_t memory_budget_bytes = 0;
+  /// The retry_after_ms hint carried on every refusal.
+  int retry_after_ms = 100;
+};
+
+/// What the governor needs from a session to walk it down the ladder.
+/// MeasurementSession implements this; the indirection keeps governor.h
+/// free of engine.h (the engine already includes the governor).
+class GovernedSession {
+ public:
+  virtual ~GovernedSession() = default;
+  /// True when HibernateStores/WakeStores can actually shrink this session
+  /// (mmap backend with materialized stores).
+  virtual bool Hibernatable() const = 0;
+  /// Drops the hot-tile LRUs to zero. Idempotent; answers keep working.
+  virtual void HibernateStores() = 0;
+  /// Restores the configured hot-tile budgets. Idempotent.
+  virtual void WakeStores() = 0;
+};
+
+class ResourceGovernor;
+
+/// RAII admission: one admitted session's charge against the governor's
+/// session and byte budgets. Movable, not copyable; releasing (destruction)
+/// returns the charge. A default-constructed ticket is inert — sessions
+/// built without a governor carry one at zero cost. Tickets share ownership
+/// of the governor, so a session outliving its Engine stays safe.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  AdmissionTicket(AdmissionTicket&& other) noexcept { *this = std::move(other); }
+  AdmissionTicket& operator=(AdmissionTicket&& other) noexcept;
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+  ~AdmissionTicket();
+
+  bool valid() const { return governor_ != nullptr; }
+
+  /// Attaches the built session so the hibernation rung can reach it.
+  void Bind(GovernedSession* session);
+  /// Detaches the session (governor will never touch it again) while
+  /// keeping the byte charge — called first thing in ~MeasurementSession,
+  /// before the stores unmap, so the charge outlives the mappings.
+  void Unbind();
+  /// Marks the session recently used (LRU recency) and wakes it if it was
+  /// hibernated and the budget allows. Internally throttled — safe to call
+  /// per answered query.
+  void Touch();
+
+ private:
+  friend class ResourceGovernor;
+  AdmissionTicket(std::shared_ptr<ResourceGovernor> governor, uint64_t id)
+      : governor_(std::move(governor)), id_(id) {}
+
+  std::shared_ptr<ResourceGovernor> governor_;
+  uint64_t id_ = 0;
+  std::atomic<uint64_t> touch_count_{0};
+};
+
+/// Thread-safe; one per Engine. Create through std::make_shared — Admit
+/// hands out tickets that share ownership (enable_shared_from_this), so a
+/// stack-constructed governor cannot admit. See the file comment for the
+/// ladder.
+class ResourceGovernor
+    : public std::enable_shared_from_this<ResourceGovernor> {
+ public:
+  explicit ResourceGovernor(GovernorOptions options);
+
+  /// Admission + degradation ladder for a session over `domain_cells`
+  /// flattened cells. May rewrite `storage` (backend forced to mmap on rung
+  /// 2 — an empty dir is resolved to a unique temp dir by the session, as
+  /// always) and may hibernate idle sessions (rung 3). On refusal returns
+  /// kResourceExhausted carrying retry_after_ms; nothing is charged.
+  StatusOr<AdmissionTicket> Admit(int64_t domain_cells,
+                                  SessionStorageOptions* storage);
+
+  /// The footprint estimate Admit charges for this shape — exposed so tests
+  /// and capacity planning see the same arithmetic.
+  static int64_t EstimateFootprintBytes(int64_t domain_cells,
+                                        const SessionStorageOptions& storage);
+
+  int64_t live_sessions() const;
+  int64_t charged_bytes() const;
+  const GovernorOptions& options() const { return options_; }
+
+ private:
+  friend class AdmissionTicket;
+
+  struct Entry {
+    int64_t charged_bytes = 0;    ///< Currently held against the budget.
+    int64_t full_bytes = 0;       ///< Charge when awake.
+    int64_t floor_bytes = 0;      ///< Charge when hibernated.
+    GovernedSession* session = nullptr;  ///< Null until Bind / after Unbind.
+    bool hibernated = false;
+    std::list<uint64_t>::iterator lru_it;  ///< Into lru_; front = most recent.
+  };
+
+  void BindLocked(uint64_t id, GovernedSession* session);
+  void Release(uint64_t id);
+  void UnbindOnly(uint64_t id);
+  void TouchEntry(uint64_t id);
+  /// Hibernates cold sessions until `needed_bytes` fit, oldest first.
+  /// Returns true when the budget now covers them. Caller holds mu_.
+  bool HibernateUntilFits(int64_t needed_bytes);
+  void PublishGauges() const;  // Caller holds mu_.
+
+  const GovernorOptions options_;
+
+  mutable std::mutex mu_;
+  uint64_t next_id_ = 1;
+  int64_t charged_bytes_ = 0;
+  std::unordered_map<uint64_t, Entry> entries_;
+  std::list<uint64_t> lru_;  // Front = most recently touched.
+};
+
+}  // namespace hdmm
+
+#endif  // HDMM_ENGINE_GOVERNOR_H_

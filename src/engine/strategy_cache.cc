@@ -28,6 +28,8 @@ Counter* const g_disk_read_errors =
     Metrics::GetCounter("strategy_cache.disk_read_errors");
 Counter* const g_disk_write_failures =
     Metrics::GetCounter("strategy_cache.disk_write_failures");
+Counter* const g_disk_reprobes =
+    Metrics::GetCounter("strategy_cache.disk_reprobes");
 Gauge* const g_degraded = Metrics::GetGauge("strategy_cache.degraded");
 
 }  // namespace
@@ -127,11 +129,21 @@ Status StrategyCache::Put(const Fingerprint& fp,
   }
   const std::string path = DiskPath(fp);
   if (path.empty()) return Status::Ok();
+  // While degraded, most Puts skip the disk — but every kReprobeInterval-th
+  // one probes it with a real write, so a recovered disk re-enables the
+  // tier. Without the probe, degradation would be one-way in steady state:
+  // no writes attempted means no success to reset the failure counter.
+  bool probing = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (disk_writes_disabled_) return Status::Ok();
+    if (disk_writes_disabled_) {
+      if (++degraded_puts_ % kReprobeInterval != 0) return Status::Ok();
+      probing = true;
+      ++stats_.disk_reprobes;
+      g_disk_reprobes->Add(1);
+    }
   }
-  auto disk_failed = [this](Status status) {
+  auto disk_failed = [this, probing](Status status) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.disk_write_failures;
     g_disk_write_failures->Add(1);
@@ -142,7 +154,8 @@ Status StrategyCache::Put(const Fingerprint& fp,
       disk_writes_disabled_ = true;
       g_degraded->Set(1.0);
     }
-    return status;
+    // A failed probe keeps the degraded contract: Put returns OK.
+    return probing ? Status::Ok() : status;
   };
   if (HDMM_FAILPOINT("strategy_cache.put.io_error")) {
     return disk_failed(Status::IoError("injected: strategy_cache.put.io_error"));
@@ -201,6 +214,12 @@ Status StrategyCache::Put(const Fingerprint& fp,
   {
     std::lock_guard<std::mutex> lock(mu_);
     consecutive_disk_failures_ = 0;
+    if (disk_writes_disabled_) {
+      // A successful probe: the disk recovered, bring the tier back.
+      disk_writes_disabled_ = false;
+      degraded_puts_ = 0;
+      g_degraded->Set(0.0);
+    }
   }
   return Status::Ok();
 }

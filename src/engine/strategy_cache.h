@@ -74,8 +74,12 @@ class StrategyCache {
   ///
   /// After kDiskFailureLimit consecutive disk-write failures the cache
   /// degrades to memory-only: further Puts skip the disk tier and return OK
-  /// (reads still hit existing disk files). A successful disk write before
-  /// the limit resets the counter.
+  /// (reads still hit existing disk files). A successful disk write resets
+  /// the counter. Degradation is not one-way: every kReprobeInterval-th Put
+  /// while degraded re-probes the disk with a real write — a recovered disk
+  /// (volume remounted, space freed) re-enables the tier on the first
+  /// successful probe, and a failed probe stays degraded and still returns
+  /// OK (re-probe failures are accounting, not caller errors).
   ///
   /// Failpoints: `strategy_cache.put.io_error` injects a disk-write
   /// failure; crash sites `strategy_cache.put.torn_tmp` (partial tmp file),
@@ -85,6 +89,10 @@ class StrategyCache {
 
   /// Consecutive disk-write failures before Put stops touching the disk.
   static constexpr int kDiskFailureLimit = 3;
+
+  /// While degraded, one Put in this many attempts the disk anyway, so a
+  /// recovered disk brings the tier back without operator intervention.
+  static constexpr int kReprobeInterval = 16;
 
   /// True once Put has given up on the disk tier (see kDiskFailureLimit).
   bool DiskWriteDegraded() const;
@@ -100,6 +108,7 @@ class StrategyCache {
     uint64_t corrupt_quarantined = 0;  // Disk files renamed to .corrupt.
     uint64_t disk_read_errors = 0;     // Unreadable (not corrupt) files.
     uint64_t disk_write_failures = 0;  // Failed disk-tier Puts.
+    uint64_t disk_reprobes = 0;        // Degraded-mode probe writes tried.
   };
   Stats stats() const;
 
@@ -125,6 +134,7 @@ class StrategyCache {
   Stats stats_;
   int consecutive_disk_failures_ = 0;
   bool disk_writes_disabled_ = false;
+  int degraded_puts_ = 0;  // Puts skipped since degradation; drives probes.
 };
 
 }  // namespace hdmm

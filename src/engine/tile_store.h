@@ -193,6 +193,15 @@ class MmapTileStore : public DataVectorStore {
   int64_t HotBytes() const;
   /// Tiles currently in the hot set.
   int64_t HotTiles() const;
+  int64_t hot_tile_budget() const;
+
+  /// Retargets the hot-tile LRU budget and evicts down to it immediately.
+  /// The governor's hibernate/resume lever: a budget of 0 drops every hot
+  /// mapping (tiles stay sealed on disk; reads still work, one transient
+  /// tile at a time), and restoring the old budget lets the LRU refill on
+  /// demand. Thread-safe; outstanding TileRefs stay valid — their mappings
+  /// are released when the last ref drops.
+  void SetHotTileBudget(int64_t budget);
 
   static constexpr const char* kManifestName = "MANIFEST";
 

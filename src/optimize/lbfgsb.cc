@@ -98,6 +98,10 @@ LbfgsbResult MinimizeLbfgsb(const ObjectiveFn& f, Vector x0,
   Vector x_new(n), g_new(n, 0.0);
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    if (CancelRequested(options.cancel)) {
+      result.stopped = true;
+      break;
+    }
     result.iterations = iter + 1;
     double pg = ProjectedGradientNorm(result.x, g, lower, upper);
     if (pg <= options.pg_tolerance) {

@@ -9,6 +9,7 @@
 #include <functional>
 #include <limits>
 
+#include "common/deadline.h"
 #include "linalg/vector_ops.h"
 
 namespace hdmm {
@@ -25,6 +26,10 @@ struct LbfgsbOptions {
   double f_tolerance = 1e-10; ///< Stop on relative objective improvement.
   int max_line_search = 30;   ///< Backtracking steps per iteration.
   double armijo_c1 = 1e-4;
+  /// Polled once per iteration; when signalled the run stops early with
+  /// `stopped = true` and the best iterate so far. Not owned; may be null.
+  /// Excluded from plan fingerprints (they hash the numeric fields only).
+  const CancelToken* cancel = nullptr;
 };
 
 /// Result of a minimization run.
@@ -34,6 +39,7 @@ struct LbfgsbResult {
   int iterations = 0;
   int function_evaluations = 0;
   bool converged = false;
+  bool stopped = false;  ///< Cut short by options.cancel; x is best-so-far.
 };
 
 /// Minimizes f over the box [lower_i, upper_i]^n starting from x0 (which is

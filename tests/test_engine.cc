@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "core/gaussian.h"
 #include "core/measure.h"
@@ -327,6 +328,63 @@ TEST(StrategyCache, ConcurrentGetPutEvictStress) {
   EXPECT_EQ(cache.stats().corrupt_quarantined, 0u);
   EXPECT_EQ(cache.stats().disk_read_errors, 0u);
   EXPECT_FALSE(cache.DiskWriteDegraded());
+}
+
+TEST(StrategyCache, DiskTierReenablesAfterRecoveryProbe) {
+  // Regression: degradation used to be one-way — once Put stopped touching
+  // the disk, no write could ever succeed to reset the failure counter, so
+  // a recovered disk (volume remounted, space freed) stayed unused until
+  // restart. Now every kReprobeInterval-th degraded Put probes the disk.
+  const std::string dir = FreshDir("cache_reprobe");
+  StrategyCacheOptions options;
+  options.disk_dir = dir;
+  StrategyCache cache(options);
+  auto strategy = [] {
+    return std::make_shared<ExplicitStrategy>(PrefixBlock(3), "probe");
+  };
+
+  ASSERT_TRUE(Failpoints::Activate("strategy_cache.put.io_error", "always"));
+  for (int i = 0; i < StrategyCache::kDiskFailureLimit; ++i) {
+    EXPECT_FALSE(
+        cache.Put(Fingerprint{static_cast<uint64_t>(i + 1)}, strategy())
+            .ok());
+  }
+  ASSERT_TRUE(cache.DiskWriteDegraded());
+  Failpoints::Deactivate("strategy_cache.put.io_error");
+
+  // The disk has "recovered", but degraded Puts skip it — until the probe.
+  int puts = 0;
+  uint64_t last = 0;
+  while (cache.DiskWriteDegraded() &&
+         puts < StrategyCache::kReprobeInterval + 1) {
+    last = static_cast<uint64_t>(100 + puts);
+    EXPECT_TRUE(cache.Put(Fingerprint{last}, strategy()).ok());
+    ++puts;
+  }
+  EXPECT_FALSE(cache.DiskWriteDegraded());
+  EXPECT_LE(puts, StrategyCache::kReprobeInterval);
+  EXPECT_GE(cache.stats().disk_reprobes, 1u);
+  // The probe write itself landed on disk, and the tier is live again for
+  // ordinary Puts.
+  EXPECT_TRUE(std::filesystem::exists(cache.DiskPath(Fingerprint{last})));
+  EXPECT_TRUE(cache.Put(Fingerprint{999}, strategy()).ok());
+  EXPECT_TRUE(std::filesystem::exists(cache.DiskPath(Fingerprint{999})));
+
+  // And a failed probe keeps the degraded contract: Put returns OK.
+  ASSERT_TRUE(Failpoints::Activate("strategy_cache.put.io_error", "always"));
+  for (int i = 0; i < StrategyCache::kDiskFailureLimit; ++i) {
+    cache.Put(Fingerprint{static_cast<uint64_t>(200 + i)}, strategy());
+  }
+  ASSERT_TRUE(cache.DiskWriteDegraded());
+  const uint64_t probes_before = cache.stats().disk_reprobes;
+  for (int i = 0; i < StrategyCache::kReprobeInterval; ++i) {
+    EXPECT_TRUE(
+        cache.Put(Fingerprint{static_cast<uint64_t>(300 + i)}, strategy())
+            .ok());
+  }
+  EXPECT_GT(cache.stats().disk_reprobes, probes_before);
+  EXPECT_TRUE(cache.DiskWriteDegraded());  // Probe failed: still degraded.
+  Failpoints::Deactivate("strategy_cache.put.io_error");
 }
 
 // --- Accountant --------------------------------------------------------------

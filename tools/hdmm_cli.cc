@@ -9,7 +9,9 @@
 //
 // Strategy selection never touches the data (Section 7.3 of the paper);
 // only `run` consumes privacy budget, via the Laplace mechanism.
+#include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -20,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
@@ -53,14 +56,25 @@ int Usage() {
       "                       [--seed S] [--opt-seed S] [--restarts N]\n"
       "                       [--session-storage memory|mmap]\n"
       "                       [--tile-bytes B] [--hot-tile-budget B]\n"
-      "                       [--session-dir DIR]\n"
+      "                       [--session-dir DIR] [--max-sessions N]\n"
+      "                       [--memory-budget-bytes B] [--deadline-ms MS]\n"
       "\n"
       "Optimize once, reuse forever: `optimize --save-strategy s.hdmm`\n"
       "persists the selected strategy; `run --strategy s.hdmm` skips the\n"
       "optimization (strategy selection is data-independent, Section 7.3).\n"
-      "`serve` reads commands from stdin and answers from a measurement\n"
-      "session: measure EPS | gaussian RHO | point a=V ... |\n"
-      "range a=LO:HI ... | marginal a=V ... | budget | stats [json] | quit.\n"
+      "`serve` reads commands from stdin and answers from measurement\n"
+      "sessions: measure EPS [NAME] | gaussian RHO [NAME] | use NAME |\n"
+      "release [NAME] | sessions | point a=V ... | range a=LO:HI ... |\n"
+      "marginal a=V ... | budget | stats [json] | quit. Measurements are\n"
+      "named sessions (default name `default`); queries answer from the\n"
+      "most recently measured or `use`-selected one.\n"
+      "\n"
+      "Overload behavior (docs/serving.md): --max-sessions N and\n"
+      "--memory-budget-bytes B cap live sessions and their footprint; an\n"
+      "over-capacity measure is refused with a retryable\n"
+      "`error retryable retry_after_ms=...` reply BEFORE any budget is\n"
+      "spent. --deadline-ms MS bounds each measure/query; an expired\n"
+      "deadline is likewise retryable and side-effect free.\n"
       "The accountant\n"
       "enforces the budget ceiling: --regime pure composes epsilons\n"
       "sequentially (Laplace only); --regime zcdp composes rho additively\n"
@@ -438,6 +452,33 @@ int CmdServe(const Flags& flags) {
       return 1;
     }
   }
+  // Resource governor (docs/serving.md, "Overload behavior"): caps are
+  // enforced at admission time, before any noise is drawn or budget
+  // charged, so an over-capacity request is retryable and free.
+  if (flags.Has("max-sessions")) {
+    engine_options.governor.max_sessions =
+        std::strtoll(flags.Get("max-sessions").c_str(), nullptr, 10);
+    if (engine_options.governor.max_sessions < 0) {
+      std::fprintf(stderr, "--max-sessions must be non-negative\n");
+      return 1;
+    }
+  }
+  if (flags.Has("memory-budget-bytes")) {
+    engine_options.governor.memory_budget_bytes =
+        std::strtoll(flags.Get("memory-budget-bytes").c_str(), nullptr, 10);
+    if (engine_options.governor.memory_budget_bytes < 0) {
+      std::fprintf(stderr, "--memory-budget-bytes must be non-negative\n");
+      return 1;
+    }
+  }
+  int64_t deadline_ms = 0;  // 0 = no deadline.
+  if (flags.Has("deadline-ms")) {
+    deadline_ms = std::strtoll(flags.Get("deadline-ms").c_str(), nullptr, 10);
+    if (deadline_ms < 0) {
+      std::fprintf(stderr, "--deadline-ms must be non-negative\n");
+      return 1;
+    }
+  }
   engine_options.cache.disk_dir = flags.Get("cache-dir");
   // The budget ceiling must survive restarts whenever the strategies do:
   // with a cache directory the ledger defaults to living next to the
@@ -509,11 +550,42 @@ int CmdServe(const Flags& flags) {
   std::fflush(stdout);
 
   // Serve-loop contract: a malformed line gets a one-line `error: ...`
-  // reply and the loop continues. The session may hold a measurement whose
+  // reply and the loop continues. A session may hold a measurement whose
   // budget is already spent — tearing it down over a typo would waste an
   // unrecoverable release.
+  //
+  // Reply protocol for failures: retryable conditions (admission refused,
+  // deadline expired, lock contention) reply
+  //   error retryable retry_after_ms=N: <status>
+  // so a client can back off and resend; everything else keeps the plain
+  // fatal `error: ...` form.
   constexpr size_t kMaxLineBytes = 4096;
-  std::unique_ptr<MeasurementSession> session;
+  std::map<std::string, std::unique_ptr<MeasurementSession>> sessions;
+  std::string current_name;  // Empty until the first successful measure.
+  auto current_session = [&]() -> MeasurementSession* {
+    auto it = sessions.find(current_name);
+    return it == sessions.end() ? nullptr : it->second.get();
+  };
+  auto print_status_error = [](const Status& status) {
+    if (IsRetryable(status.code())) {
+      int retry_ms = RetryAfterMillis(status);
+      if (retry_ms < 0) retry_ms = 100;
+      std::printf("error retryable retry_after_ms=%d: %s\n", retry_ms,
+                  status.ToString().c_str());
+    } else {
+      std::printf("error: %s\n", status.ToString().c_str());
+    }
+  };
+  auto valid_session_name = [](const std::string& name) {
+    if (name.empty() || name.size() > 64) return false;
+    for (char c : name) {
+      if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '-')) {
+        return false;
+      }
+    }
+    return true;
+  };
   std::string line;
   while (std::getline(std::cin, line)) {
     // CRLF-tolerant: Windows clients and piped here-docs send \r\n.
@@ -550,42 +622,100 @@ int CmdServe(const Flags& flags) {
                     engine.accountant().total_epsilon());
       }
     } else if (command == "measure" || command == "gaussian") {
-      // measure EPS -> Laplace; gaussian RHO -> Gaussian under zCDP. The
-      // accountant decides whether the regime can express the charge.
+      // measure EPS [NAME] -> Laplace; gaussian RHO [NAME] -> Gaussian under
+      // zCDP. The accountant decides whether the regime can express the
+      // charge. NAME (default `default`) keys the session: re-measuring a
+      // name replaces that session, so many live sessions need many names.
       const bool is_gaussian = command == "gaussian";
-      // Strict numeric parse: `measure 1.5x` or `measure 1 2` is a malformed
-      // request, not a request for 1.5 — iostream's lax "parse a prefix"
-      // behavior would silently spend budget on a typo.
+      // Strict numeric parse: `measure 1.5x` is a malformed request, not a
+      // request for 1.5 — iostream's lax "parse a prefix" behavior would
+      // silently spend budget on a typo.
       std::string amount_token;
+      std::string name = "default";
       std::string extra;
       char* end = nullptr;
       double amount = 0.0;
-      bool well_formed = static_cast<bool>(in >> amount_token) &&
-                         !static_cast<bool>(in >> extra);
+      bool well_formed = static_cast<bool>(in >> amount_token);
+      if (well_formed && (in >> extra)) {
+        name = extra;
+        extra.clear();
+        well_formed = !static_cast<bool>(in >> extra);
+      }
       if (well_formed) {
         amount = std::strtod(amount_token.c_str(), &end);
         well_formed = end == amount_token.c_str() + amount_token.size();
       }
       if (!well_formed || !(amount > 0.0) || !std::isfinite(amount)) {
-        std::printf("error: %s needs exactly one positive finite %s\n",
-                    command.c_str(), is_gaussian ? "rho" : "epsilon");
+        std::printf(
+            "error: %s needs one positive finite %s and at most one "
+            "session name\n",
+            command.c_str(), is_gaussian ? "rho" : "epsilon");
+      } else if (!valid_session_name(name)) {
+        std::printf(
+            "error: session name must be 1-64 chars of [A-Za-z0-9_-]\n");
       } else {
         const MeasureRequest request = is_gaussian
                                            ? MeasureRequest::Gaussian(amount)
                                            : MeasureRequest::Laplace(amount);
-        auto next = engine.MeasureOr(w, dataset_id, x, request, &rng);
+        // A fresh token per request: --deadline-ms bounds each command, not
+        // the process lifetime.
+        CancelToken token(deadline_ms > 0 ? Deadline::AfterMillis(deadline_ms)
+                                          : Deadline());
+        const CancelToken* cancel = deadline_ms > 0 ? &token : nullptr;
+        auto next = engine.MeasureOr(w, dataset_id, x, request, &rng, cancel);
         if (!next.ok()) {
-          std::printf("error: %s\n", next.status().ToString().c_str());
+          print_status_error(next.status());
         } else {
-          session = std::move(next).value();
-          std::printf("ok measured %s=%g spent=%g remaining=%g\n",
-                      is_gaussian ? "rho" : "epsilon", amount,
+          sessions[name] = std::move(next).value();
+          current_name = name;
+          std::printf("ok measured %s=%g session=%s spent=%g remaining=%g\n",
+                      is_gaussian ? "rho" : "epsilon", amount, name.c_str(),
                       engine.accountant().Spent(dataset_id),
                       engine.accountant().Remaining(dataset_id));
         }
       }
+    } else if (command == "use") {
+      std::string name;
+      if (!(in >> name) || sessions.find(name) == sessions.end()) {
+        std::printf("error: no session named '%s'\n", name.c_str());
+      } else {
+        current_name = name;
+        std::printf("ok using session=%s\n", name.c_str());
+      }
+    } else if (command == "release") {
+      // release [NAME]: drop a session and return its footprint to the
+      // governor. The budget already spent on it stays spent — release
+      // frees memory, never privacy budget.
+      std::string name;
+      if (!(in >> name)) name = current_name;
+      auto it = sessions.find(name);
+      if (it == sessions.end()) {
+        std::printf("error: no session named '%s'\n", name.c_str());
+      } else {
+        sessions.erase(it);
+        if (name == current_name) current_name.clear();
+        std::printf("ok released session=%s live=%zu\n", name.c_str(),
+                    sessions.size());
+      }
+    } else if (command == "sessions") {
+      std::string names;
+      for (const auto& entry : sessions) {
+        names += names.empty() ? entry.first : " " + entry.first;
+      }
+      if (engine.governor() != nullptr) {
+        std::printf("sessions live=%zu charged_bytes=%lld current=%s [%s]\n",
+                    sessions.size(),
+                    static_cast<long long>(engine.governor()->charged_bytes()),
+                    current_name.empty() ? "-" : current_name.c_str(),
+                    names.c_str());
+      } else {
+        std::printf("sessions live=%zu current=%s [%s]\n", sessions.size(),
+                    current_name.empty() ? "-" : current_name.c_str(),
+                    names.c_str());
+      }
     } else if (command == "point" || command == "range" ||
                command == "marginal") {
+      MeasurementSession* session = current_session();
       if (session == nullptr) {
         std::printf(
             "error: no measurement session (run `measure EPS` first)\n");
@@ -597,8 +727,18 @@ int CmdServe(const Flags& flags) {
         } else {
           // Through the batch path (not session->Answer directly) so the
           // `stats` command's AnswerBatch latency histogram covers every
-          // served answer.
-          std::printf("answer %.4f\n", session->AnswerBatch({q})[0]);
+          // served answer, and through the Or variant so --deadline-ms
+          // bounds queries the same way it bounds measurements.
+          CancelToken token(deadline_ms > 0
+                                ? Deadline::AfterMillis(deadline_ms)
+                                : Deadline());
+          const CancelToken* cancel = deadline_ms > 0 ? &token : nullptr;
+          auto answer = session->AnswerBatchOr({q}, cancel);
+          if (!answer.ok()) {
+            print_status_error(answer.status());
+          } else {
+            std::printf("answer %.4f\n", answer.value()[0]);
+          }
         }
       }
     } else if (command == "stats") {
@@ -636,8 +776,9 @@ int CmdServe(const Flags& flags) {
             count("engine.answer_batch.count"), answer_latency.p99 / 1e3);
       }
     } else {
-      std::printf("error: unknown command '%s' (measure | gaussian | point | "
-                  "range | marginal | budget | stats | quit)\n",
+      std::printf("error: unknown command '%s' (measure | gaussian | use | "
+                  "release | sessions | point | range | marginal | budget | "
+                  "stats | quit)\n",
                   command.c_str());
     }
     std::fflush(stdout);
